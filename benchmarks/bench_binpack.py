@@ -1,0 +1,75 @@
+"""E9b: bin-packing solver ablation (FFD heuristic vs exact branch-and-bound).
+
+DESIGN.md calls this ablation out: the paper "applies ILP techniques to
+obtain the best solution"; we compare our exact solver (equivalent to the
+ILP optimum) with first-fit-decreasing on realistic cardinality profiles —
+how often FFD is optimal, the bin-count gap when not, and solve times.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.optimizer.binpack import branch_and_bound_pack, first_fit_decreasing
+from repro.util.rng import derive_rng
+
+
+def random_instance(rng, n_items: int):
+    """Cardinality-like weights: log-uniform in [2, 5000]."""
+    cards = np.exp(rng.uniform(np.log(2), np.log(5000), size=n_items))
+    weights = {f"d{i}": float(np.log(c)) for i, c in enumerate(cards)}
+    capacity = math.log(100_000)
+    return weights, capacity
+
+
+def test_ffd_vs_exact_gap(benchmark, record_rows):
+    rows = benchmark.pedantic(_gap_sweep, rounds=1, iterations=1)
+    record_rows("e9b_binpack_ablation", rows)
+    # FFD is near-optimal on these profiles but not free of gaps overall;
+    # the exact solver must never lose and must stay sub-millisecond-ish.
+    assert all(row["ffd_optimal_rate"] >= 0.5 for row in rows)
+
+
+def _gap_sweep():
+    rng = derive_rng(2024)
+    rows = []
+    for n_items in (6, 8, 10, 12):
+        gaps = []
+        ffd_times = []
+        exact_times = []
+        for _ in range(20):
+            weights, capacity = random_instance(rng, n_items)
+            start = time.perf_counter()
+            ffd = first_fit_decreasing(weights, capacity)
+            ffd_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            exact = branch_and_bound_pack(weights, capacity)
+            exact_times.append(time.perf_counter() - start)
+            assert exact.n_bins <= ffd.n_bins
+            gaps.append(ffd.n_bins - exact.n_bins)
+        rows.append(
+            {
+                "n_dimensions": n_items,
+                "ffd_optimal_rate": round(
+                    sum(1 for g in gaps if g == 0) / len(gaps), 2
+                ),
+                "mean_gap_bins": round(float(np.mean(gaps)), 3),
+                "ffd_mean_us": round(float(np.mean(ffd_times)) * 1e6, 1),
+                "exact_mean_us": round(float(np.mean(exact_times)) * 1e6, 1),
+            }
+        )
+    return rows
+
+
+def test_exact_solver_speed(benchmark):
+    rng = derive_rng(7)
+    weights, capacity = random_instance(rng, 12)
+    benchmark(lambda: branch_and_bound_pack(weights, capacity))
+
+
+def test_ffd_speed(benchmark):
+    rng = derive_rng(7)
+    weights, capacity = random_instance(rng, 40)
+    benchmark(lambda: first_fit_decreasing(weights, capacity))

@@ -1,0 +1,32 @@
+"""E1-E3: Table 1 and Figures 1-3 — the paper's running example.
+
+Benchmarks the full §1 pipeline (filter + group + aggregate producing
+Table 1) and records the Figure 2 vs Figure 3 utility comparison for every
+metric. Shape assertion: utility(Scenario A) > 5x utility(Scenario B).
+"""
+
+import pytest
+
+from repro.experiments.figures import figures_2_3_utilities, verify_table_1
+
+
+def test_table_1_pipeline(benchmark, record_rows):
+    result = benchmark.pedantic(
+        lambda: verify_table_1(n_rows=20_000), rounds=3, iterations=1
+    )
+    assert result["max_abs_error"] < 0.01
+    record_rows(
+        "e1_table1",
+        [
+            {"store": store, "computed": value,
+             "expected": result["expected"][store]}
+            for store, value in result["computed"].items()
+        ],
+    )
+
+
+def test_figures_2_3_utilities(benchmark, record_rows):
+    rows = benchmark.pedantic(figures_2_3_utilities, rounds=3, iterations=1)
+    record_rows("e3_scenario_a_vs_b", rows)
+    for row in rows:
+        assert row["utility_scenario_a"] > 5 * row["utility_scenario_b"], row

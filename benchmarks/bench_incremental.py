@@ -1,0 +1,101 @@
+"""E19 (extension): incremental execution with early termination.
+
+The latency/accuracy trade-off of §1 challenge (d), realized as phased
+execution with confidence-based view pruning. Recorded per delta setting:
+work saved (fraction of per-view phase executions skipped), top-k
+precision vs. the exact run, and wall-clock latency vs. single-shot
+execution.
+"""
+
+import time
+
+import pytest
+
+from repro.core.incremental import IncrementalRecommender
+from repro.core.space import enumerate_views, split_predicate_dimensions
+from repro.core.view_processor import ViewProcessor
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.metrics.registry import get_metric
+from repro.optimizer.plan import ExecutionPlan, FlagStep, ViewGroup
+from repro.sampling.accuracy import topk_precision
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = generate_synthetic(
+        SyntheticConfig(n_rows=120_000, n_dimensions=8, n_measures=2,
+                        cardinality=12, planted_dimensions=(0, 4)),
+        seed=901,
+    )
+    views = enumerate_views(dataset.table.schema, functions=("sum", "avg"))
+    views, _excluded = split_predicate_dimensions(views, dataset.predicate)
+    return dataset, views
+
+
+def exact_run(dataset, views):
+    from repro.backends.memory import MemoryBackend
+
+    backend = MemoryBackend()
+    backend.register_table(dataset.table)
+    grouped = {}
+    for view in views:
+        grouped.setdefault(view.dimension, []).append(view)
+    plan = ExecutionPlan(
+        [
+            FlagStep(dataset.table.name, dataset.predicate,
+                     ViewGroup(dim, tuple(members)))
+            for dim, members in grouped.items()
+        ]
+    )
+    start = time.perf_counter()
+    raw = plan.run(backend)
+    scored = ViewProcessor(get_metric("js")).score_all(raw)
+    elapsed = time.perf_counter() - start
+    return {spec: view.utility for spec, view in scored.items()}, elapsed
+
+
+def test_early_termination_tradeoff(benchmark, record_rows, workload):
+    dataset, views = workload
+    truth, exact_seconds = exact_run(dataset, views)
+
+    def sweep():
+        rows = [
+            {
+                "configuration": "exact single-shot",
+                "work_saved": 0.0,
+                "topk_precision": 1.0,
+                "latency_s": round(exact_seconds, 4),
+            }
+        ]
+        for label, delta, scale in (
+            ("conservative (d=0.05, c=0.25)", 0.05, 0.25),
+            ("balanced (d=0.2, c=0.25)", 0.2, 0.25),
+            ("aggressive (d=0.2, c=0.1)", 0.2, 0.1),
+        ):
+            recommender = IncrementalRecommender(dataset.table, metric="js")
+            start = time.perf_counter()
+            result = recommender.recommend(
+                dataset.predicate, views, k=5, n_phases=10, delta=delta,
+                epsilon_scale=scale,
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "configuration": label,
+                    "work_saved": round(result.work_saved_fraction, 3),
+                    "topk_precision": round(
+                        topk_precision(truth, result.utilities, k=5), 2
+                    ),
+                    "latency_s": round(elapsed, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("e19_incremental", rows)
+    # Shape: more aggressive settings save more work; precision stays high.
+    saved = [row["work_saved"] for row in rows]
+    assert saved == sorted(saved), rows
+    assert saved[-1] > 0.2, rows
+    for row in rows:
+        assert row["topk_precision"] >= 0.8, row

@@ -1,0 +1,90 @@
+"""E11: parallel query execution (§3.3, last optimization).
+
+"We observe that as the number of queries executed in parallel increases,
+the total latency decreases at the cost of increased per query execution
+time." The workload is a plan of independent per-dimension steps on the
+SQLite backend (whose C-level execution releases the GIL, so threads give
+real concurrency); we sweep the worker count and record both total and
+mean per-step latency.
+"""
+
+import os
+
+import pytest
+
+from repro.backends.sqlite import SqliteBackend
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.model.view import ViewSpec
+from repro.optimizer.parallel import ParallelExecutor
+from repro.optimizer.plan import ExecutionPlan, FlagStep, ViewGroup
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = generate_synthetic(
+        SyntheticConfig(n_rows=60_000, n_dimensions=12, n_measures=2,
+                        cardinality=10),
+        seed=55,
+    )
+    backend = SqliteBackend()
+    backend.register_table(dataset.table)
+    views = [ViewSpec(f"d{i}", "m0", "sum") for i in range(12)]
+    plan = ExecutionPlan(
+        [
+            FlagStep(dataset.table.name, dataset.predicate,
+                     ViewGroup(v.dimension, (v,)))
+            for v in views
+        ]
+    )
+    yield backend, plan
+    backend.close()
+
+
+def test_parallelism_sweep(benchmark, record_rows, workload):
+    backend, plan = workload
+    n_cores = len(os.sched_getaffinity(0))
+
+    def sweep():
+        rows = []
+        for n_workers in (1, 2, 4, 8):
+            # Best-of-2 per configuration: thread scheduling on small
+            # containers is noisy and a single run misleads.
+            reports = [
+                ParallelExecutor(n_workers).run(plan, backend)[1]
+                for _ in range(2)
+            ]
+            best = min(reports, key=lambda r: r.total_seconds)
+            rows.append(
+                {
+                    "workers": n_workers,
+                    "cores": n_cores,
+                    "total_s": round(best.total_seconds, 4),
+                    "mean_per_step_s": round(best.mean_step_seconds, 4),
+                    "max_step_s": round(best.max_step_seconds, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("e11_parallelism", rows)
+    by_workers = {row["workers"]: row for row in rows}
+    # Per-query latency rises under concurrency — the robust half of the
+    # paper's claim, visible even on core-limited containers.
+    assert (
+        by_workers[8]["mean_per_step_s"]
+        >= by_workers[1]["mean_per_step_s"] * 0.8
+    )
+    # Total latency: parallelism must not be pathological, and on machines
+    # with real parallel headroom it must win outright.
+    best_parallel = min(
+        by_workers[n]["total_s"] for n in (2, 4, 8)
+    )
+    assert best_parallel <= by_workers[1]["total_s"] * 1.2
+    if n_cores >= 4:
+        assert best_parallel < by_workers[1]["total_s"] * 0.95
+
+
+def test_four_workers_latency(benchmark, workload):
+    backend, plan = workload
+    executor = ParallelExecutor(4)
+    benchmark.pedantic(lambda: executor.run(plan, backend), rounds=3, iterations=1)

@@ -1,0 +1,50 @@
+"""E6: the candidate view space grows as the square of the attribute count.
+
+§1 challenge (b): "the number of candidate views (or visualizations)
+increases as the square of the number of attributes in a table". With n
+attributes split evenly between dimensions and measures and f aggregate
+functions, |views| = f(n/2)^2 (+count views): doubling n must quadruple
+the space. The benchmark enumerates real schemas and fits the growth.
+"""
+
+import numpy as np
+
+from repro.core.space import enumerate_views, view_space_size
+from repro.db.schema import ColumnSpec, Schema
+from repro.db.types import AttributeRole, DataType
+
+
+def make_schema(n_attributes: int) -> Schema:
+    n_dimensions = n_attributes // 2
+    specs = [
+        ColumnSpec(f"d{i}", DataType.STR, AttributeRole.DIMENSION)
+        for i in range(n_dimensions)
+    ] + [
+        ColumnSpec(f"m{i}", DataType.FLOAT, AttributeRole.MEASURE)
+        for i in range(n_attributes - n_dimensions)
+    ]
+    return Schema(tuple(specs))
+
+
+def test_view_space_quadratic_growth(benchmark, record_rows):
+    attribute_counts = [10, 20, 40, 80]
+    rows = []
+    for n in attribute_counts:
+        schema = make_schema(n)
+        views = enumerate_views(schema, functions=("sum", "avg"),
+                                include_count=False)
+        assert len(views) == view_space_size(n // 2, n // 2, 2,
+                                             include_count=False)
+        rows.append({"attributes": n, "views": len(views)})
+    record_rows("e6_view_space", rows)
+
+    # Quadratic fit: log(views) vs log(attributes) slope must be ~2.
+    logs_n = np.log([row["attributes"] for row in rows])
+    logs_v = np.log([row["views"] for row in rows])
+    slope = np.polyfit(logs_n, logs_v, 1)[0]
+    assert 1.9 < slope < 2.1, f"growth exponent {slope}"
+
+    # Benchmark enumeration cost at the largest size.
+    schema = make_schema(80)
+    views = benchmark(lambda: enumerate_views(schema, functions=("sum", "avg")))
+    assert len(views) > 3000

@@ -1,0 +1,96 @@
+"""Demo Scenario 2: performance knobs, interactively printed (§4).
+
+"Attendees will be able to easily experiment with a range of synthetic
+datasets and input queries by adjusting various 'knobs' such as data size,
+number of attributes, and data distribution. In addition, attendees will
+also be able to select the optimizations that SEEDB applies and observe
+the effect on response times and accuracy."
+
+This script sweeps each knob once and prints the resulting tables. The
+benchmarks/ directory contains the pytest-benchmark versions of the same
+sweeps used for EXPERIMENTS.md.
+
+Run:  python examples/performance_knobs.py
+"""
+
+from repro.core.config import SeeDBConfig
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.experiments.accuracy import sampling_accuracy_sweep
+from repro.experiments.harness import rows_to_table, sweep_rows
+from repro.experiments.latency import latency_vs_optimizations, measure_recommendation
+
+
+def knob_data_size() -> None:
+    print("=== knob: data size (rows) ===")
+
+    def run(n_rows):
+        dataset = generate_synthetic(
+            SyntheticConfig(n_rows=n_rows, n_dimensions=5, n_measures=2), seed=1
+        )
+        return measure_recommendation(
+            dataset.table, dataset.predicate, SeeDBConfig(), repeats=1
+        )
+
+    print(rows_to_table(sweep_rows("rows", [10_000, 50_000, 100_000], run)))
+
+
+def knob_attributes() -> None:
+    print("\n=== knob: number of attributes ===")
+
+    def run(n_attributes):
+        dataset = generate_synthetic(
+            SyntheticConfig(
+                n_rows=30_000,
+                n_dimensions=n_attributes // 2,
+                n_measures=n_attributes - n_attributes // 2,
+            ),
+            seed=1,
+        )
+        return measure_recommendation(
+            dataset.table, dataset.predicate, SeeDBConfig(), repeats=1
+        )
+
+    print(rows_to_table(sweep_rows("attributes", [4, 8, 16], run)))
+
+
+def knob_distribution() -> None:
+    print("\n=== knob: data distribution ===")
+
+    def run(distribution):
+        dataset = generate_synthetic(
+            SyntheticConfig(
+                n_rows=30_000, dimension_distribution=distribution, zipf_exponent=1.5
+            ),
+            seed=1,
+        )
+        return measure_recommendation(
+            dataset.table, dataset.predicate, SeeDBConfig(), repeats=1
+        )
+
+    print(rows_to_table(sweep_rows("distribution", ["uniform", "zipf", "normal"], run)))
+
+
+def knob_optimizations() -> None:
+    print("\n=== knob: optimization toggles (cumulative) ===")
+    dataset = generate_synthetic(
+        SyntheticConfig(n_rows=50_000, n_dimensions=6, n_measures=2), seed=1
+    )
+    rows = latency_vs_optimizations(dataset.table, dataset.predicate, repeats=1)
+    print(rows_to_table(rows))
+
+
+def knob_sampling() -> None:
+    print("\n=== knob: sampling fraction (latency vs accuracy) ===")
+    dataset = generate_synthetic(
+        SyntheticConfig(n_rows=100_000, n_dimensions=5, n_measures=2), seed=1
+    )
+    rows = sampling_accuracy_sweep(dataset, fractions=[0.5, 0.1, 0.01], k=5)
+    print(rows_to_table(rows))
+
+
+if __name__ == "__main__":
+    knob_data_size()
+    knob_attributes()
+    knob_distribution()
+    knob_optimizations()
+    knob_sampling()

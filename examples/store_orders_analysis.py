@@ -1,0 +1,66 @@
+"""Store Orders walkthrough: the Figure 5 interaction, in the terminal.
+
+Demonstrates the frontend surface of the demo (§3.2, §4 Scenario 1) on the
+Tableau-Superstore-like dataset: form-based query building, recommendations
+with view metadata, the "bad views" panel, and a drill-down into the most
+deviating group.
+
+Run:  python examples/store_orders_analysis.py
+"""
+
+from repro import MemoryBackend, QueryBuilder, SeeDBConfig
+from repro.datasets import generate_store_orders
+from repro.frontend.session import AnalystSession
+
+
+def main() -> None:
+    backend = MemoryBackend()
+    table = generate_store_orders(n_rows=20_000, seed=11)
+    backend.register_table(table)
+
+    session = AnalystSession(
+        backend,
+        # state refines region and sub_category refines category; the
+        # correlation pruner should collapse each pair to one view.
+        SeeDBConfig(metric="js", correlation_threshold=0.8),
+    )
+
+    # The analyst (via the query-builder form) slices to Technology orders.
+    query = (
+        QueryBuilder("store_orders", backend.schema("store_orders"))
+        .where("category", "=", "Technology")
+        .build()
+    )
+    result = session.issue(query, k=4)
+    print(result.summary())
+
+    print("\npruned views (why):")
+    for view, reason in result.pruned_views()[:6]:
+        print(f"  {view.label}: {reason}")
+
+    print("\nbad views (lowest utility, shown on demand in the demo):")
+    for view in result.worst_views(3):
+        print(f"  {view.spec.label}: {view.utility:.4f}")
+
+    # Inspect the top view's metadata panel (§3.2).
+    top = result.recommendations[0]
+    metadata = session.view_metadata(top)
+    print(f"\ntop view: {top.spec.label}")
+    print(f"  groups: {metadata.n_groups}")
+    print(f"  max change at: {metadata.max_change_group!r} "
+          f"(delta {metadata.max_change_delta:.3f})")
+    print(f"  sample rows (group, target, comparison):")
+    for group, target, comparison in metadata.sample_groups:
+        print(f"    {group!r}: {target:.2f} vs {comparison:.2f}")
+
+    print("\n" + session.show(top))
+
+    # Drill down into the most deviating group and re-recommend.
+    print(f"\n-- drill-down into {top.spec.dimension} = "
+          f"{metadata.max_change_group!r} --")
+    drilled = session.drill_down(top, metadata.max_change_group, k=3)
+    print(drilled.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail. This file enables the legacy
+``pip install -e . --no-use-pep517`` path; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""SeeDB reproduction: automatic recommendation of query visualizations.
+
+Reimplements the system of "SeeDB: Automatically Generating Query
+Visualizations" (Vartak, Madden, Parameswaran, Polyzotis; PVLDB 7(13),
+2014) as a complete Python library: an in-memory column-store DBMS and a
+sqlite3 wrapper as substrates, deviation-based view scoring with pluggable
+distance metrics, metadata-driven view-space pruning, a query optimizer
+(target/comparison combining, multi-aggregate and multi-group-by sharing
+with bin-packed rollups, sampling, parallelism), a visualization layer,
+and a frontend with SQL/builder/template query input.
+
+Quickstart::
+
+    from repro import MemoryBackend, SeeDB, col, RowSelectQuery
+    from repro.datasets import laserwave_sales_history
+
+    backend = MemoryBackend()
+    backend.register_table(laserwave_sales_history())
+    result = SeeDB(backend).recommend(
+        RowSelectQuery("sales", col("product") == "Laserwave"), k=3
+    )
+    print(result.summary())
+"""
+
+from repro.backends import MemoryBackend, SqliteBackend
+from repro.core import (
+    BasicFramework,
+    GroupByCombining,
+    RecommendationResult,
+    SeeDB,
+    SeeDBConfig,
+    ViewSpec,
+)
+from repro.db import (
+    AttributeRole,
+    DataType,
+    RowSelectQuery,
+    Table,
+    col,
+    read_csv,
+)
+from repro.frontend import AnalystSession, QueryBuilder
+from repro.metrics import available_metrics, get_metric
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemoryBackend",
+    "SqliteBackend",
+    "BasicFramework",
+    "GroupByCombining",
+    "RecommendationResult",
+    "SeeDB",
+    "SeeDBConfig",
+    "ViewSpec",
+    "AttributeRole",
+    "DataType",
+    "RowSelectQuery",
+    "Table",
+    "col",
+    "read_csv",
+    "AnalystSession",
+    "QueryBuilder",
+    "available_metrics",
+    "get_metric",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Pluggable DBMS backends.
+
+SeeDB "is designed as a layer on top of a traditional relational database
+system ... our design permits SEEDB to be used in conjunction with a
+variety of existing database systems" (§3.1). The :class:`Backend`
+interface is that seam. Two implementations ship:
+
+* :class:`MemoryBackend` — the from-scratch column store of
+  :mod:`repro.db`, with shared-scan GROUPING SETS and exact scan accounting.
+* :class:`SqliteBackend` — stdlib sqlite3, a real relational DBMS reached
+  through generated SQL, demonstrating the wrapper architecture.
+"""
+
+from repro.backends.base import Backend, BackendCapabilities
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.backends.sqlgen import (
+    render_aggregate_query,
+    render_expression,
+    render_row_select,
+)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "MemoryBackend",
+    "SqliteBackend",
+    "render_aggregate_query",
+    "render_expression",
+    "render_row_select",
+]

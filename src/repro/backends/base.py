@@ -1,0 +1,97 @@
+"""The backend (DBMS) interface SeeDB is written against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.util.errors import BackendError
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What the underlying DBMS can do; the optimizer adapts to these.
+
+    * ``grouping_sets`` — multiple group-by sets share one scan
+      ("if the SQL GROUPING SETS functionality is available in the
+      underlying DBMS, SEEDB can leverage that", §3.3).
+    * ``parallel_queries`` — concurrent query execution is safe and useful.
+    * ``native_var_std`` — VAR/STD can be pushed down unrewritten.
+    """
+
+    grouping_sets: bool
+    parallel_queries: bool
+    native_var_std: bool
+
+
+class Backend:
+    """Abstract DBMS: table registry + query execution.
+
+    All view queries SeeDB generates go through :meth:`execute` /
+    :meth:`execute_grouping_sets`. ``queries_executed`` counts round trips
+    to the DBMS — the unit the paper's combining optimizations minimize.
+    """
+
+    name: str = ""
+    capabilities: BackendCapabilities
+
+    # -- data management -------------------------------------------------
+
+    def register_table(self, table: Table, replace: bool = False) -> None:
+        """Load a table into the DBMS."""
+        raise NotImplementedError
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (samples are created and dropped per session)."""
+        raise NotImplementedError
+
+    def has_table(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def schema(self, table_name: str) -> Schema:
+        """Schema (with dimension/measure roles) of a registered table."""
+        raise NotImplementedError
+
+    def row_count(self, table_name: str) -> int:
+        raise NotImplementedError
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, query: "AggregateQuery | RowSelectQuery") -> Table:
+        raise NotImplementedError
+
+    def execute_grouping_sets(self, query: GroupingSetsQuery) -> list[Table]:
+        """Execute every grouping set; backends without native support fall
+        back to one query per set (correct, just less shared)."""
+        raise NotImplementedError
+
+    # -- support services --------------------------------------------------
+
+    def fetch_table(self, name: str, max_rows: "int | None" = None) -> Table:
+        """Materialize (a prefix of) a table for metadata collection."""
+        raise NotImplementedError
+
+    def create_sample(
+        self, source: str, sample_name: str, fraction: float, seed: int = 0
+    ) -> str:
+        """Materialize a row sample of ``source`` as a new table; returns
+        its name. Used by the sampling optimization (§3.3)."""
+        raise NotImplementedError
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def queries_executed(self) -> int:
+        """DBMS round trips since construction/reset."""
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _require_table(self, name: str) -> None:
+        if not self.has_table(name):
+            raise BackendError(f"backend {self.name!r} has no table {name!r}")

@@ -1,0 +1,161 @@
+"""SQL generation: render logical queries to SQL text.
+
+Targets the SQLite dialect but sticks to vanilla SQL-92 for everything
+except VAR/STD (emulated arithmetically) so the generated text would run on
+PostgreSQL/MySQL too. Identifiers are double-quoted and literals escaped
+here, never by string interpolation at call sites.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Any
+
+import numpy as np
+
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    In,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.db.query import (
+    AggregateQuery,
+    FlagColumn,
+    GroupingKey,
+    RowSelectQuery,
+)
+from repro.util.errors import QueryError
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, doubling embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def render_literal(value: Any) -> str:
+    """Render a Python/numpy scalar as a SQL literal."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value != value:
+            raise QueryError("cannot render NaN as a SQL literal")
+        return repr(value)
+    if isinstance(value, np.datetime64):
+        return "'" + str(value) + "'"
+    if isinstance(value, date):
+        return "'" + value.isoformat() + "'"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise QueryError(f"cannot render literal of type {type(value).__name__}")
+
+
+def render_expression(expression: Expression) -> str:
+    """Render a predicate AST to a SQL boolean expression."""
+    if isinstance(expression, TruePredicate):
+        return "1=1"
+    if isinstance(expression, Comparison):
+        column = quote_identifier(expression.column.name)
+        literal = render_literal(expression.literal.value)
+        operator = "<>" if expression.op == "!=" else expression.op
+        return f"{column} {operator} {literal}"
+    if isinstance(expression, In):
+        column = quote_identifier(expression.column.name)
+        if not expression.values:
+            return "1=0"
+        rendered = ", ".join(render_literal(v) for v in expression.values)
+        return f"{column} IN ({rendered})"
+    if isinstance(expression, Between):
+        column = quote_identifier(expression.column.name)
+        low = render_literal(expression.low)
+        high = render_literal(expression.high)
+        return f"{column} BETWEEN {low} AND {high}"
+    if isinstance(expression, And):
+        return "(" + " AND ".join(render_expression(op) for op in expression.operands) + ")"
+    if isinstance(expression, Or):
+        return "(" + " OR ".join(render_expression(op) for op in expression.operands) + ")"
+    if isinstance(expression, Not):
+        return "NOT (" + render_expression(expression.operand) + ")"
+    raise QueryError(f"cannot render expression type {type(expression).__name__}")
+
+
+def render_aggregate(aggregate: Aggregate, native_var_std: bool = False) -> str:
+    """Render one SELECT-list aggregate with its alias.
+
+    VAR/STD have no standard SQL form; unless the dialect provides them
+    natively they are emulated with AVG arithmetic (population variance)
+    and a ``sqrt`` function the backend must supply.
+    """
+    alias = quote_identifier(aggregate.alias)
+    if aggregate.column is None:
+        return f"COUNT(*) AS {alias}"
+    column = quote_identifier(aggregate.column)
+    if aggregate.func in ("sum", "avg", "min", "max"):
+        return f"{aggregate.func.upper()}({column}) AS {alias}"
+    if aggregate.func == "countv":
+        return f"COUNT({column}) AS {alias}"
+    if aggregate.func == "sumsq":
+        return f"SUM({column} * {column}) AS {alias}"
+    if aggregate.func in ("var", "std"):
+        if native_var_std:
+            native = {"var": "VAR_POP", "std": "STDDEV_POP"}[aggregate.func]
+            return f"{native}({column}) AS {alias}"
+        variance = (
+            f"AVG(({column}) * ({column})) - AVG({column}) * AVG({column})"
+        )
+        if aggregate.func == "var":
+            return f"{variance} AS {alias}"
+        return f"sqrt(MAX({variance}, 0)) AS {alias}"
+    raise QueryError(f"cannot render aggregate {aggregate.func!r} to SQL")
+
+
+def render_grouping_key(key: GroupingKey) -> tuple[str, str]:
+    """Render one group-by key; returns (select_item, group_by_expression)."""
+    if isinstance(key, FlagColumn):
+        case = f"CASE WHEN {render_expression(key.predicate)} THEN 1 ELSE 0 END"
+        return f"{case} AS {quote_identifier(key.name)}", case
+    quoted = quote_identifier(key)
+    return quoted, quoted
+
+
+def render_aggregate_query(
+    query: AggregateQuery, native_var_std: bool = False
+) -> str:
+    """Full SELECT for an aggregate view query, deterministically ordered."""
+    select_items: list[str] = []
+    group_expressions: list[str] = []
+    for key in query.group_by:
+        select_item, group_expression = render_grouping_key(key)
+        select_items.append(select_item)
+        group_expressions.append(group_expression)
+    for aggregate in query.aggregates:
+        select_items.append(render_aggregate(aggregate, native_var_std))
+
+    sql = f"SELECT {', '.join(select_items)} FROM {quote_identifier(query.table)}"
+    if query.predicate is not None:
+        sql += f" WHERE {render_expression(query.predicate)}"
+    if group_expressions:
+        # Ordinal references (GROUP BY 1, 2) avoid re-evaluating flag CASE
+        # expressions per clause; supported by SQLite and PostgreSQL alike.
+        ordinals = ", ".join(str(i + 1) for i in range(len(group_expressions)))
+        sql += f" GROUP BY {ordinals} ORDER BY {ordinals}"
+    return sql
+
+
+def render_row_select(query: RowSelectQuery) -> str:
+    """``SELECT * FROM t [WHERE ...] [LIMIT n]`` for the analyst's query."""
+    sql = f"SELECT * FROM {quote_identifier(query.table)}"
+    if query.predicate is not None:
+        sql += f" WHERE {render_expression(query.predicate)}"
+    if query.limit is not None:
+        sql += f" LIMIT {int(query.limit)}"
+    return sql

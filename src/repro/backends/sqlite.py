@@ -1,0 +1,287 @@
+"""SQLite backend: SeeDB as a wrapper over a real relational DBMS.
+
+Everything flows through generated SQL (:mod:`repro.backends.sqlgen`):
+table loading, view queries, sampling. SQLite lacks GROUPING SETS, so the
+capability flag steers the optimizer toward per-set queries or rollup
+combining instead — exactly the "depends on the underlying DBMS" behaviour
+the paper describes.
+
+Concurrency: SQLite connections must not cross threads, so the backend
+keeps one connection per thread (all pointing at one on-disk database
+file), which is what makes the parallel-execution optimization (§3.3) safe
+to exercise here.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sqlite3
+import tempfile
+import threading
+from datetime import date, datetime
+
+import numpy as np
+
+from repro.backends.base import Backend, BackendCapabilities
+from repro.backends.sqlgen import (
+    quote_identifier,
+    render_aggregate_query,
+    render_row_select,
+)
+from repro.db.query import (
+    AggregateQuery,
+    FlagColumn,
+    GroupingSetsQuery,
+    RowSelectQuery,
+    grouping_key_name,
+)
+from repro.db.schema import ColumnSpec, Schema
+from repro.db.table import Table
+from repro.db.types import AttributeRole, DataType
+from repro.util.errors import BackendError
+
+_SQL_TYPES = {
+    DataType.INT: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.STR: "TEXT",
+    DataType.BOOL: "INTEGER",
+    DataType.DATE: "TEXT",
+}
+
+#: Knuth multiplicative hash modulus/multiplier for deterministic sampling.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 1_000_000
+
+
+class SqliteBackend(Backend):
+    """Backend over stdlib ``sqlite3``."""
+
+    name = "sqlite"
+    capabilities = BackendCapabilities(
+        grouping_sets=False, parallel_queries=True, native_var_std=False
+    )
+
+    def __init__(self, path: "str | None" = None):
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="seedb_", suffix=".sqlite")
+            os.close(handle)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self._path = path
+        self._local = threading.local()
+        self._schemas: dict[str, Schema] = {}
+        self._queries_executed = 0
+        self._counter_lock = threading.Lock()
+
+    # -- connection management ---------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(self._path)
+            connection.create_function("sqrt", 1, _safe_sqrt)
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        """Close this thread's connection and delete an owned temp file."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+        if self._owns_file and os.path.exists(self._path):
+            os.unlink(self._path)
+            self._owns_file = False
+
+    # -- data management -----------------------------------------------------
+
+    def register_table(self, table: Table, replace: bool = False) -> None:
+        if table.name in self._schemas and not replace:
+            raise BackendError(
+                f"table {table.name!r} already registered (pass replace=True)"
+            )
+        connection = self._connection()
+        quoted = quote_identifier(table.name)
+        column_defs = ", ".join(
+            f"{quote_identifier(spec.name)} {_SQL_TYPES[spec.dtype]}"
+            for spec in table.schema
+        )
+        with connection:
+            connection.execute(f"DROP TABLE IF EXISTS {quoted}")
+            connection.execute(f"CREATE TABLE {quoted} ({column_defs})")
+            placeholders = ", ".join("?" for _ in table.schema.names)
+            connection.executemany(
+                f"INSERT INTO {quoted} VALUES ({placeholders})",
+                (_encode_row(row) for row in table.iter_rows()),
+            )
+        self._schemas[table.name] = table.schema
+
+    def drop_table(self, name: str) -> None:
+        self._require_table(name)
+        with self._connection() as connection:
+            connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+        del self._schemas[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema(self, table_name: str) -> Schema:
+        self._require_table(table_name)
+        return self._schemas[table_name]
+
+    def row_count(self, table_name: str) -> int:
+        self._require_table(table_name)
+        cursor = self._connection().execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table_name)}"
+        )
+        return int(cursor.fetchone()[0])
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, query: "AggregateQuery | RowSelectQuery") -> Table:
+        self._require_table(query.table)
+        if isinstance(query, RowSelectQuery):
+            sql = render_row_select(query)
+            rows = self._run(sql)
+            return self._rows_to_table(
+                f"{query.table}_selected", self._schemas[query.table], rows
+            )
+        sql = render_aggregate_query(query)
+        rows = self._run(sql)
+        return self._rows_to_table(
+            f"{query.table}_view", self._result_schema(query), rows
+        )
+
+    def execute_grouping_sets(self, query: GroupingSetsQuery) -> list[Table]:
+        # SQLite has no GROUPING SETS: fall back to one query per set.
+        return [self.execute(single) for single in query.as_single_queries()]
+
+    # -- support services ---------------------------------------------------------
+
+    def fetch_table(self, name: str, max_rows: "int | None" = None) -> Table:
+        self._require_table(name)
+        sql = f"SELECT * FROM {quote_identifier(name)}"
+        if max_rows is not None:
+            sql += f" LIMIT {int(max_rows)}"
+        rows = self._run(sql)
+        return self._rows_to_table(name, self._schemas[name], rows)
+
+    def create_sample(
+        self, source: str, sample_name: str, fraction: float, seed: int = 0
+    ) -> str:
+        self._require_table(source)
+        if not (0.0 < fraction <= 1.0):
+            raise BackendError(f"sample fraction must be in (0, 1], got {fraction}")
+        threshold = int(fraction * _HASH_MODULUS)
+        quoted_source = quote_identifier(source)
+        quoted_sample = quote_identifier(sample_name)
+        with self._connection() as connection:
+            connection.execute(f"DROP TABLE IF EXISTS {quoted_sample}")
+            connection.execute(
+                f"CREATE TABLE {quoted_sample} AS SELECT * FROM {quoted_source} "
+                f"WHERE ((rowid * {_HASH_MULTIPLIER} + {int(seed)}) "
+                f"% {_HASH_MODULUS}) < {threshold}"
+            )
+        self._schemas[sample_name] = self._schemas[source]
+        return sample_name
+
+    # -- accounting ------------------------------------------------------------------
+
+    @property
+    def queries_executed(self) -> int:
+        return self._queries_executed
+
+    def reset_counters(self) -> None:
+        with self._counter_lock:
+            self._queries_executed = 0
+
+    # -- internals --------------------------------------------------------------------
+
+    def _run(self, sql: str) -> list[tuple]:
+        with self._counter_lock:
+            self._queries_executed += 1
+        try:
+            cursor = self._connection().execute(sql)
+        except sqlite3.Error as exc:
+            raise BackendError(f"sqlite error for SQL {sql!r}: {exc}") from exc
+        return cursor.fetchall()
+
+    def _result_schema(self, query: AggregateQuery) -> Schema:
+        base = self._schemas[query.table]
+        specs: list[ColumnSpec] = []
+        for key in query.group_by:
+            if isinstance(key, FlagColumn):
+                specs.append(
+                    ColumnSpec(key.name, DataType.INT, AttributeRole.DIMENSION)
+                )
+            else:
+                base_spec = base[key]
+                specs.append(
+                    ColumnSpec(
+                        grouping_key_name(key),
+                        base_spec.dtype,
+                        AttributeRole.DIMENSION,
+                        base_spec.semantic,
+                    )
+                )
+        for aggregate in query.aggregates:
+            specs.append(
+                ColumnSpec(aggregate.alias, DataType.FLOAT, AttributeRole.MEASURE)
+            )
+        return Schema(tuple(specs))
+
+    @staticmethod
+    def _rows_to_table(name: str, schema: Schema, rows: list[tuple]) -> Table:
+        arrays: dict[str, np.ndarray] = {}
+        for index, spec in enumerate(schema):
+            raw = [row[index] for row in rows]
+            arrays[spec.name] = _decode_column(raw, spec.dtype)
+        return Table(name, schema, arrays)
+
+    def __repr__(self) -> str:
+        return f"SqliteBackend(path={self._path!r}, tables={len(self._schemas)})"
+
+
+def _safe_sqrt(value: "float | None") -> "float | None":
+    if value is None or value < 0:
+        return None
+    return math.sqrt(value)
+
+
+def _encode_row(row: tuple) -> tuple:
+    """Convert one table row into sqlite-storable values."""
+    encoded = []
+    for value in row:
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, np.datetime64):
+            encoded.append(str(value))
+        elif isinstance(value, (datetime, date)):
+            encoded.append(value.isoformat()[:10])
+        elif isinstance(value, bool):
+            encoded.append(int(value))
+        elif isinstance(value, float) and value != value:  # NaN -> NULL
+            encoded.append(None)
+        else:
+            encoded.append(value)
+    return tuple(encoded)
+
+
+def _decode_column(raw: list, dtype: DataType) -> np.ndarray:
+    """Convert a fetched column back to the canonical numpy representation."""
+    if dtype is DataType.FLOAT:
+        return np.array(
+            [float("nan") if v is None else float(v) for v in raw], dtype=np.float64
+        )
+    if dtype is DataType.INT:
+        return np.array([int(v) for v in raw], dtype=np.int64)
+    if dtype is DataType.BOOL:
+        return np.array([bool(v) for v in raw], dtype=np.bool_)
+    if dtype is DataType.DATE:
+        return np.array([np.datetime64(v, "D") for v in raw], dtype="datetime64[D]")
+    array = np.empty(len(raw), dtype=object)
+    for i, value in enumerate(raw):
+        array[i] = value
+    return array

@@ -1,0 +1,45 @@
+"""SeeDB core: the paper's primary contribution.
+
+Given an analyst query ``Q`` over a table, enumerate all candidate views
+``(a, m, f)`` (§2), prune unpromising ones, execute the surviving target and
+comparison view queries through the optimizer, score each view's deviation
+with a distance metric, and return the top-k (Problem 2.1).
+
+Public entry point: :class:`~repro.core.recommender.SeeDB`.
+"""
+
+from repro.core.view import ViewSpec, RawViewData, ScoredView
+from repro.core.space import (
+    enumerate_views,
+    split_predicate_dimensions,
+    view_space_size,
+)
+from repro.core.config import SeeDBConfig, GroupByCombining
+from repro.core.result import RecommendationResult
+from repro.core.recommender import SeeDB
+from repro.core.basic import BasicFramework
+from repro.core.incremental import IncrementalRecommender, IncrementalResult
+from repro.core.multiview import (
+    MultiViewRecommender,
+    MultiViewSpec,
+    enumerate_multi_views,
+)
+
+__all__ = [
+    "ViewSpec",
+    "RawViewData",
+    "ScoredView",
+    "enumerate_views",
+    "split_predicate_dimensions",
+    "view_space_size",
+    "SeeDBConfig",
+    "GroupByCombining",
+    "RecommendationResult",
+    "SeeDB",
+    "BasicFramework",
+    "IncrementalRecommender",
+    "IncrementalResult",
+    "MultiViewRecommender",
+    "MultiViewSpec",
+    "enumerate_multi_views",
+]

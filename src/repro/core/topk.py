@@ -1,0 +1,37 @@
+"""Top-k selection of scored views (the k of Problem 2.1)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.model.view import ScoredView
+from repro.util.errors import ConfigError
+
+
+def top_k_views(scored: Iterable[ScoredView], k: int) -> list[ScoredView]:
+    """The ``k`` views with the largest utility, descending.
+
+    Ties break by the view spec's natural (lexicographic) order so the
+    recommendation list is deterministic across runs and backends. Works
+    for any spec exposing a ``sort_key`` of (possibly nested) strings —
+    both single-attribute :class:`~repro.model.view.ViewSpec` and the
+    multi-attribute extension.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    return heapq.nlargest(
+        k,
+        scored,
+        key=lambda view: (view.utility, _inverted(view.spec.sort_key)),
+    )
+
+
+def _inverted(value):
+    """Order-inverting transform: nlargest on the result prefers the
+    lexicographically *smallest* original value."""
+    if isinstance(value, str):
+        return tuple(-ord(char) for char in value)
+    if isinstance(value, tuple):
+        return tuple(_inverted(item) for item in value)
+    raise TypeError(f"cannot invert sort key component {value!r}")

@@ -1,0 +1,9 @@
+"""Re-export of the view data model under its paper-facing location.
+
+The definitions live in :mod:`repro.model.view` (a leaf package) to keep
+import graphs acyclic; the public API treats ``repro.core.view`` as home.
+"""
+
+from repro.model.view import RawViewData, ScoredView, ViewSpec
+
+__all__ = ["RawViewData", "ScoredView", "ViewSpec"]

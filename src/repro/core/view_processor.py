@@ -1,0 +1,75 @@
+"""The View Processor module (Figure 4).
+
+"Results of the optimized queries are processed by the View Processor in a
+streaming fashion to produce results for individual views. Individual view
+results are then normalized and the utility of each view is computed"
+(§3.1). Raw per-view series come in from plan extraction; aligned
+distributions and utilities come out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.view import RawViewData, ScoredView, ViewSpec
+from repro.metrics.base import DistanceMetric
+from repro.metrics.normalize import (
+    NormalizationPolicy,
+    align_series,
+    normalize_distribution,
+)
+
+
+class ViewProcessor:
+    """Normalizes raw view series and scores their deviation."""
+
+    def __init__(
+        self,
+        metric: DistanceMetric,
+        normalization: NormalizationPolicy = NormalizationPolicy.SHIFT,
+    ):
+        self.metric = metric
+        self.normalization = normalization
+
+    def score(self, raw: RawViewData) -> ScoredView:
+        """Align, normalize, and score one view (utility = S(P_target, P_comparison))."""
+        groups, target_values, comparison_values = align_series(
+            raw.target_keys,
+            raw.target_values,
+            raw.comparison_keys,
+            raw.comparison_values,
+        )
+        if not groups:
+            # Neither side produced any group (empty selection on an empty
+            # table): define utility as 0 — nothing deviates.
+            return ScoredView(
+                spec=raw.spec,
+                utility=0.0,
+                groups=[],
+                target_distribution=np.empty(0),
+                comparison_distribution=np.empty(0),
+            )
+        target_distribution = normalize_distribution(target_values, self.normalization)
+        comparison_distribution = normalize_distribution(
+            comparison_values, self.normalization
+        )
+        utility = self.metric.distance(target_distribution, comparison_distribution)
+        return ScoredView(
+            spec=raw.spec,
+            utility=utility,
+            groups=groups,
+            target_distribution=target_distribution,
+            comparison_distribution=comparison_distribution,
+            target_values=target_values,
+            comparison_values=comparison_values,
+        )
+
+    def score_all(
+        self, raw_views: "Mapping[ViewSpec, RawViewData] | Iterable[RawViewData]"
+    ) -> dict[ViewSpec, ScoredView]:
+        """Score every raw view; returns ``{spec: scored}``."""
+        if isinstance(raw_views, Mapping):
+            raw_views = raw_views.values()
+        return {raw.spec: self.score(raw) for raw in raw_views}

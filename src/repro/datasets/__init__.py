@@ -1,0 +1,40 @@
+"""Datasets for the demo scenarios (§4).
+
+The paper demos on four datasets: Tableau's Store Orders [4], FEC election
+contributions [1], the MIMIC-II medical database [2], and synthetic data.
+The first three are not redistributable/offline, so this package generates
+schema-faithful synthetic stand-ins with planted, documented trends —
+SeeDB's algorithms only ever see a schema and rows, so every code path is
+exercised identically (see DESIGN.md "Substitutions").
+"""
+
+from repro.datasets.laserwave import (
+    laserwave_sales_history,
+    laserwave_table_1,
+    scenario_a_comparison,
+    scenario_b_comparison,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    SyntheticDataset,
+    generate_synthetic,
+)
+from repro.datasets.store_orders import generate_store_orders
+from repro.datasets.elections import generate_elections
+from repro.datasets.medical import generate_medical
+from repro.datasets.registry import available_datasets, load_dataset
+
+__all__ = [
+    "laserwave_sales_history",
+    "laserwave_table_1",
+    "scenario_a_comparison",
+    "scenario_b_comparison",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "generate_synthetic",
+    "generate_store_orders",
+    "generate_elections",
+    "generate_medical",
+    "available_datasets",
+    "load_dataset",
+]

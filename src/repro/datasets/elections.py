@@ -1,0 +1,116 @@
+"""Election contributions: an FEC-like dataset (§4, dataset [1]).
+
+"This is an example of a dataset typically analyzed by non-expert data
+analysts like journalists or historians." Planted, journalist-discoverable
+trends:
+
+* Candidate Rivera is funded by many small individual donations,
+  concentrated in California and among educators/engineers.
+* Candidate Stone is funded by fewer, larger donations, concentrated in
+  Texas and among executives/attorneys, with a higher PAC share.
+* Retirees donate to both but skew toward round amounts.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.util.rng import derive_rng
+
+CANDIDATES = ("Rivera", "Stone", "Okafor")
+STATES = ("CA", "TX", "NY", "FL", "WA", "IL", "MA", "OH")
+OCCUPATIONS = (
+    "Teacher",
+    "Engineer",
+    "Attorney",
+    "Executive",
+    "Physician",
+    "Retired",
+    "Student",
+)
+ENTITY_TYPES = ("Individual", "PAC", "Party Committee")
+_PARTY = {"Rivera": "Blue", "Stone": "Red", "Okafor": "Independent"}
+
+_STATE_PROBS = {
+    "Rivera": (0.45, 0.05, 0.15, 0.07, 0.12, 0.06, 0.07, 0.03),
+    "Stone": (0.08, 0.42, 0.08, 0.17, 0.05, 0.08, 0.04, 0.08),
+    "Okafor": (0.15, 0.12, 0.15, 0.12, 0.12, 0.12, 0.11, 0.11),
+}
+_OCCUPATION_PROBS = {
+    "Rivera": (0.28, 0.25, 0.07, 0.05, 0.10, 0.15, 0.10),
+    "Stone": (0.05, 0.08, 0.25, 0.30, 0.12, 0.17, 0.03),
+    "Okafor": (0.15, 0.15, 0.14, 0.14, 0.14, 0.14, 0.14),
+}
+
+
+def generate_elections(n_rows: int = 12_000, seed: int = 23) -> Table:
+    """Generate the election-contribution stand-in with planted trends."""
+    rng = derive_rng(seed)
+    candidates = rng.choice(CANDIDATES, size=n_rows, p=(0.42, 0.38, 0.20))
+
+    states = np.array(
+        [rng.choice(STATES, p=_STATE_PROBS[c]) for c in candidates], dtype=object
+    )
+    occupations = np.array(
+        [rng.choice(OCCUPATIONS, p=_OCCUPATION_PROBS[c]) for c in candidates],
+        dtype=object,
+    )
+    parties = np.array([_PARTY[c] for c in candidates], dtype=object)
+
+    entity_probabilities = {
+        "Rivera": (0.90, 0.07, 0.03),
+        "Stone": (0.70, 0.24, 0.06),
+        "Okafor": (0.85, 0.10, 0.05),
+    }
+    entity_types = np.array(
+        [rng.choice(ENTITY_TYPES, p=entity_probabilities[c]) for c in candidates],
+        dtype=object,
+    )
+
+    # Contribution amounts: small-dollar for Rivera, large for Stone.
+    amounts = np.empty(n_rows)
+    rivera = candidates == "Rivera"
+    stone = candidates == "Stone"
+    other = ~(rivera | stone)
+    amounts[rivera] = rng.lognormal(mean=3.2, sigma=0.7, size=int(rivera.sum()))
+    amounts[stone] = rng.lognormal(mean=5.8, sigma=0.9, size=int(stone.sum()))
+    amounts[other] = rng.lognormal(mean=4.3, sigma=0.8, size=int(other.sum()))
+    retired = occupations == "Retired"
+    amounts[retired] = np.round(amounts[retired], -1)  # round-dollar habit
+    amounts = np.round(np.clip(amounts, 1.0, 50_000.0), 2)
+
+    start = date(2024, 1, 1)
+    dates = [
+        start + timedelta(days=int(offset))
+        for offset in rng.integers(0, 300, size=n_rows)
+    ]
+
+    return Table.from_columns(
+        "contributions",
+        {
+            "candidate": candidates.tolist(),
+            "party": parties.tolist(),
+            "contributor_state": states.tolist(),
+            "contributor_occupation": occupations.tolist(),
+            "entity_type": entity_types.tolist(),
+            "contribution_date": dates,
+            "amount": amounts,
+        },
+        roles={
+            "candidate": AttributeRole.DIMENSION,
+            "party": AttributeRole.DIMENSION,
+            "contributor_state": AttributeRole.DIMENSION,
+            "contributor_occupation": AttributeRole.DIMENSION,
+            "entity_type": AttributeRole.DIMENSION,
+            "contribution_date": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+        },
+        semantics={
+            "contributor_state": "geography",
+            "contribution_date": "time",
+        },
+    )

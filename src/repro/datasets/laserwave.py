@@ -1,0 +1,159 @@
+"""The paper's running example: Laserwave Oven sales (§1, Table 1, Figs 1-3).
+
+Three artifacts are reproduced exactly:
+
+* :func:`laserwave_table_1` — the data of Table 1 (total sales by store
+  for the Laserwave, with the paper's exact dollar values).
+* :func:`scenario_a_comparison` / :func:`scenario_b_comparison` — overall
+  sales-by-store tables shaped like Figures 2 and 3: Scenario A shows the
+  *opposite* store trend (the view is interesting), Scenario B the *same*
+  trend (the view is not).
+* :func:`laserwave_sales_history` — a full fact table engineered so that
+  the query ``product = 'Laserwave'`` reproduces the Table 1 totals while
+  the rest of the data follows the Scenario A trend; running SeeDB on it
+  surfaces the sales-by-store view at the top, exactly the paper's story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.util.rng import derive_rng
+
+#: Table 1 of the paper, verbatim.
+TABLE_1_ROWS: tuple[tuple[str, float], ...] = (
+    ("Cambridge, MA", 180.55),
+    ("Seattle, WA", 145.50),
+    ("New York, NY", 122.00),
+    ("San Francisco, CA", 90.13),
+)
+
+STORES: tuple[str, ...] = tuple(store for store, _total in TABLE_1_ROWS)
+
+#: Figure 2 (Scenario A): overall sales trend *opposite* to the Laserwave's
+#: (approximate bar heights read off the figure, in dollars).
+SCENARIO_A_TOTALS: tuple[tuple[str, float], ...] = (
+    ("Cambridge, MA", 5_000.0),
+    ("Seattle, WA", 15_000.0),
+    ("New York, NY", 30_000.0),
+    ("San Francisco, CA", 40_000.0),
+)
+
+#: Figure 3 (Scenario B): overall sales follow the *same* trend.
+SCENARIO_B_TOTALS: tuple[tuple[str, float], ...] = (
+    ("Cambridge, MA", 40_000.0),
+    ("Seattle, WA", 30_000.0),
+    ("New York, NY", 26_000.0),
+    ("San Francisco, CA", 20_000.0),
+)
+
+_ROLES = {
+    "store": AttributeRole.DIMENSION,
+    "total_sales": AttributeRole.MEASURE,
+}
+
+
+def laserwave_table_1() -> Table:
+    """Table 1: total sales by store for the Laserwave."""
+    stores = [store for store, _total in TABLE_1_ROWS]
+    totals = [total for _store, total in TABLE_1_ROWS]
+    return Table.from_columns(
+        "laserwave_by_store",
+        {"store": stores, "total_sales": totals},
+        roles=_ROLES,
+        semantics={"store": "geography"},
+    )
+
+
+def scenario_a_comparison() -> Table:
+    """Figure 2: overall sales by store, opposite trend (interesting)."""
+    stores = [store for store, _total in SCENARIO_A_TOTALS]
+    totals = [total for _store, total in SCENARIO_A_TOTALS]
+    return Table.from_columns(
+        "scenario_a_by_store",
+        {"store": stores, "total_sales": totals},
+        roles=_ROLES,
+        semantics={"store": "geography"},
+    )
+
+
+def scenario_b_comparison() -> Table:
+    """Figure 3: overall sales by store, same trend (uninteresting)."""
+    stores = [store for store, _total in SCENARIO_B_TOTALS]
+    totals = [total for _store, total in SCENARIO_B_TOTALS]
+    return Table.from_columns(
+        "scenario_b_by_store",
+        {"store": stores, "total_sales": totals},
+        roles=_ROLES,
+        semantics={"store": "geography"},
+    )
+
+
+def laserwave_sales_history(
+    n_rows: int = 20_000, seed: int = 42, scenario: str = "a"
+) -> Table:
+    """A sales fact table whose Laserwave slice reproduces Table 1.
+
+    Laserwave rows are fixed unit sales summing *exactly* to the Table 1
+    totals per store. The remaining rows ("other products") are distributed
+    across stores following Scenario A (opposite trend, default) or B
+    (same trend), so SeeDB's utility for ``sum(amount) by store`` under
+    ``product = 'Laserwave'`` is high for scenario A and low for B.
+    """
+    if scenario not in ("a", "b"):
+        raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
+    rng = derive_rng(seed)
+
+    store_values: list[str] = []
+    product_values: list[str] = []
+    amount_values: list[float] = []
+    month_values: list[int] = []
+
+    # Laserwave rows: split each Table 1 total into 12 unit sales, one per
+    # month, so the Laserwave's month distribution is exactly uniform and
+    # only the *store* dimension carries the planted deviation.
+    for store, total in TABLE_1_ROWS:
+        n_units = 12
+        # High Dirichlet concentration: unit amounts vary mildly around an
+        # even split, so no month accidentally dominates.
+        split = rng.dirichlet(np.full(n_units, 50.0)) * total
+        split = np.round(split, 2)
+        split[-1] = round(total - split[:-1].sum(), 2)  # exact total
+        for month, amount in enumerate(split, start=1):
+            store_values.append(store)
+            product_values.append("Laserwave")
+            amount_values.append(float(amount))
+            month_values.append(month)
+
+    # Other products: store distribution per the chosen scenario.
+    totals = SCENARIO_A_TOTALS if scenario == "a" else SCENARIO_B_TOTALS
+    weights = np.array([total for _store, total in totals])
+    weights = weights / weights.sum()
+    other_products = ("Saberwave", "Microwave", "Toaster", "Blender", "Kettle")
+    n_other = max(n_rows - len(store_values), 0)
+    store_choices = rng.choice(len(STORES), size=n_other, p=weights)
+    scenario_stores = [store for store, _total in totals]
+    for index in store_choices:
+        store_values.append(scenario_stores[index])
+        product_values.append(str(rng.choice(other_products)))
+        amount_values.append(float(np.round(rng.gamma(2.0, 15.0), 2)))
+        month_values.append(int(rng.integers(1, 13)))
+
+    return Table.from_columns(
+        "sales",
+        {
+            "store": store_values,
+            "product": product_values,
+            "month": month_values,
+            "amount": amount_values,
+        },
+        roles={
+            "store": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "month": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+        },
+        semantics={"store": "geography", "month": "time"},
+    )

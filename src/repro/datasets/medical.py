@@ -1,0 +1,106 @@
+"""Medical cohort data: a MIMIC-II-like dataset (§4, dataset [2]).
+
+"This real-world dataset exemplifies a dataset that a clinical researcher
+might use. The schema of the dataset is significantly complex and it is of
+larger size." The stand-in models ICU admissions with clinically plausible
+planted effects:
+
+* Emergency admissions have longer stays and higher mortality.
+* Cardiac diagnoses concentrate in older age groups and the CCU.
+* Sepsis drives the longest stays and highest lab counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.util.rng import derive_rng
+
+AGE_GROUPS = ("18-39", "40-59", "60-79", "80+")
+ADMISSION_TYPES = ("Emergency", "Urgent", "Elective")
+DIAGNOSES = ("Cardiac", "Sepsis", "Respiratory", "Neurological", "Trauma", "Renal")
+ICU_UNITS = ("MICU", "SICU", "CCU", "CSRU")
+GENDERS = ("F", "M")
+
+_DIAGNOSIS_BY_AGE = {
+    "18-39": (0.08, 0.12, 0.15, 0.20, 0.35, 0.10),
+    "40-59": (0.20, 0.15, 0.18, 0.17, 0.18, 0.12),
+    "60-79": (0.34, 0.18, 0.18, 0.12, 0.06, 0.12),
+    "80+": (0.42, 0.20, 0.16, 0.10, 0.02, 0.10),
+}
+_UNIT_BY_DIAGNOSIS = {
+    "Cardiac": (0.10, 0.08, 0.52, 0.30),
+    "Sepsis": (0.60, 0.20, 0.08, 0.12),
+    "Respiratory": (0.62, 0.16, 0.10, 0.12),
+    "Neurological": (0.35, 0.45, 0.08, 0.12),
+    "Trauma": (0.18, 0.64, 0.06, 0.12),
+    "Renal": (0.55, 0.20, 0.10, 0.15),
+}
+
+
+def generate_medical(n_rows: int = 15_000, seed: int = 37) -> Table:
+    """Generate the medical-cohort stand-in with planted clinical effects."""
+    rng = derive_rng(seed)
+
+    age_groups = rng.choice(AGE_GROUPS, size=n_rows, p=(0.18, 0.28, 0.36, 0.18))
+    genders = rng.choice(GENDERS, size=n_rows, p=(0.46, 0.54))
+    admission_types = rng.choice(ADMISSION_TYPES, size=n_rows, p=(0.55, 0.20, 0.25))
+    diagnoses = np.array(
+        [rng.choice(DIAGNOSES, p=_DIAGNOSIS_BY_AGE[age]) for age in age_groups],
+        dtype=object,
+    )
+    icu_units = np.array(
+        [rng.choice(ICU_UNITS, p=_UNIT_BY_DIAGNOSIS[d]) for d in diagnoses],
+        dtype=object,
+    )
+
+    # Length of stay (days): sepsis and emergencies stay longer.
+    los = rng.gamma(shape=1.8, scale=2.2, size=n_rows)
+    los[diagnoses == "Sepsis"] *= 1.9
+    los[admission_types == "Emergency"] *= 1.35
+    los = np.round(np.clip(los, 0.25, 90.0), 2)
+
+    lab_count = rng.poisson(lam=30, size=n_rows).astype(np.int64)
+    lab_count[diagnoses == "Sepsis"] += rng.poisson(
+        lam=25, size=int((diagnoses == "Sepsis").sum())
+    )
+
+    heart_rate = rng.normal(loc=84.0, scale=12.0, size=n_rows)
+    heart_rate[diagnoses == "Cardiac"] += 9.0
+    heart_rate = np.round(np.clip(heart_rate, 35, 180), 1)
+
+    mortality_risk = (
+        0.04
+        + 0.05 * (admission_types == "Emergency")
+        + 0.05 * (diagnoses == "Sepsis")
+        + 0.04 * (age_groups == "80+")
+    )
+    mortality = (rng.random(n_rows) < mortality_risk).astype(np.int64)
+
+    return Table.from_columns(
+        "admissions",
+        {
+            "age_group": age_groups.tolist(),
+            "gender": genders.tolist(),
+            "admission_type": admission_types.tolist(),
+            "diagnosis": diagnoses.tolist(),
+            "icu_unit": icu_units.tolist(),
+            "los_days": los,
+            "lab_count": lab_count,
+            "heart_rate_avg": heart_rate,
+            "mortality": mortality,
+        },
+        roles={
+            "age_group": AttributeRole.DIMENSION,
+            "gender": AttributeRole.DIMENSION,
+            "admission_type": AttributeRole.DIMENSION,
+            "diagnosis": AttributeRole.DIMENSION,
+            "icu_unit": AttributeRole.DIMENSION,
+            "los_days": AttributeRole.MEASURE,
+            "lab_count": AttributeRole.MEASURE,
+            "heart_rate_avg": AttributeRole.MEASURE,
+            "mortality": AttributeRole.MEASURE,
+        },
+    )

@@ -1,0 +1,36 @@
+"""Dataset registry: load any demo dataset by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.elections import generate_elections
+from repro.datasets.laserwave import laserwave_sales_history
+from repro.datasets.medical import generate_medical
+from repro.datasets.store_orders import generate_store_orders
+from repro.db.table import Table
+from repro.util.errors import ConfigError
+
+_GENERATORS: dict[str, Callable[..., Table]] = {
+    "laserwave": laserwave_sales_history,
+    "store_orders": generate_store_orders,
+    "elections": generate_elections,
+    "medical": generate_medical,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset` (synthetic is configured via
+    :func:`repro.datasets.synthetic.generate_synthetic` directly)."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(name: str, **kwargs) -> Table:
+    """Generate a demo dataset by name, passing ``kwargs`` to its generator."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    return generator(**kwargs)

@@ -1,0 +1,129 @@
+"""Store Orders: a Tableau-Superstore-like retail dataset (§4, dataset [4]).
+
+"It consists of information about orders placed in a store including
+products, prices, ship dates, geographical information, and profits.
+Interesting trends in this dataset have been very well studied." The
+generator plants documented trends that SeeDB should rediscover:
+
+* Technology orders concentrate in the West and carry high profit.
+* Furniture orders in the South are heavily discounted and lose money.
+* Same-day shipping is rare and concentrated in Consumer orders.
+
+``state`` is a deterministic refinement of ``region`` (high Cramér's V),
+planted deliberately so correlation pruning has something real to find.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.util.rng import derive_rng
+
+REGIONS = ("West", "East", "Central", "South")
+_STATES = {
+    "West": ("California", "Washington", "Oregon", "Colorado"),
+    "East": ("New York", "Pennsylvania", "Massachusetts", "Ohio"),
+    "Central": ("Texas", "Illinois", "Michigan", "Minnesota"),
+    "South": ("Florida", "Georgia", "Tennessee", "Alabama"),
+}
+CATEGORIES = ("Technology", "Furniture", "Office Supplies")
+_SUB_CATEGORIES = {
+    "Technology": ("Phones", "Machines", "Accessories", "Copiers"),
+    "Furniture": ("Chairs", "Tables", "Bookcases", "Furnishings"),
+    "Office Supplies": ("Paper", "Binders", "Storage", "Art"),
+}
+SHIP_MODES = ("Standard", "Second Class", "First Class", "Same Day")
+SEGMENTS = ("Consumer", "Corporate", "Home Office")
+
+
+def generate_store_orders(n_rows: int = 10_000, seed: int = 11) -> Table:
+    """Generate the Store Orders stand-in with planted retail trends."""
+    rng = derive_rng(seed)
+
+    # Category mix differs by region: Technology skews West (planted trend).
+    regions = rng.choice(REGIONS, size=n_rows, p=(0.30, 0.27, 0.23, 0.20))
+    category_probabilities = {
+        "West": (0.55, 0.20, 0.25),
+        "East": (0.30, 0.30, 0.40),
+        "Central": (0.28, 0.32, 0.40),
+        "South": (0.20, 0.50, 0.30),
+    }
+    categories = np.array(
+        [
+            rng.choice(CATEGORIES, p=category_probabilities[region])
+            for region in regions
+        ],
+        dtype=object,
+    )
+    states = np.array(
+        [rng.choice(_STATES[region]) for region in regions], dtype=object
+    )
+    sub_categories = np.array(
+        [rng.choice(_SUB_CATEGORIES[category]) for category in categories],
+        dtype=object,
+    )
+
+    segments = rng.choice(SEGMENTS, size=n_rows, p=(0.52, 0.30, 0.18))
+    ship_modes = np.where(
+        (segments == "Consumer") & (rng.random(n_rows) < 0.12),
+        "Same Day",
+        rng.choice(SHIP_MODES[:3], size=n_rows, p=(0.62, 0.23, 0.15)),
+    )
+
+    start = date(2024, 1, 1)
+    order_dates = [
+        start + timedelta(days=int(offset))
+        for offset in rng.integers(0, 365, size=n_rows)
+    ]
+
+    sales = np.round(rng.lognormal(mean=4.2, sigma=1.0, size=n_rows), 2)
+    quantity = rng.integers(1, 10, size=n_rows)
+
+    discount = np.round(rng.beta(1.2, 8.0, size=n_rows), 2)
+    furniture_south = (categories == "Furniture") & (regions == "South")
+    discount[furniture_south] = np.round(
+        np.clip(discount[furniture_south] + 0.35, 0, 0.8), 2
+    )
+
+    margin = rng.normal(loc=0.12, scale=0.10, size=n_rows)
+    margin[categories == "Technology"] += 0.10
+    profit = np.round(sales * (margin - discount), 2)
+
+    return Table.from_columns(
+        "store_orders",
+        {
+            "order_date": order_dates,
+            "ship_mode": ship_modes.tolist(),
+            "segment": segments.tolist(),
+            "region": regions.tolist(),
+            "state": states.tolist(),
+            "category": categories.tolist(),
+            "sub_category": sub_categories.tolist(),
+            "sales": sales,
+            "quantity": quantity,
+            "discount": discount,
+            "profit": profit,
+        },
+        roles={
+            "order_date": AttributeRole.DIMENSION,
+            "ship_mode": AttributeRole.DIMENSION,
+            "segment": AttributeRole.DIMENSION,
+            "region": AttributeRole.DIMENSION,
+            "state": AttributeRole.DIMENSION,
+            "category": AttributeRole.DIMENSION,
+            "sub_category": AttributeRole.DIMENSION,
+            "sales": AttributeRole.MEASURE,
+            "quantity": AttributeRole.MEASURE,
+            "discount": AttributeRole.MEASURE,
+            "profit": AttributeRole.MEASURE,
+        },
+        semantics={
+            "order_date": "time",
+            "region": "geography",
+            "state": "geography",
+        },
+    )

@@ -1,0 +1,216 @@
+"""Synthetic datasets with knobs and planted ground truth (§4).
+
+"We provide a set of synthetic datasets with varying sizes, number of
+attributes, and data distributions to help attendees evaluate SEEDB
+performance on diverse datasets." The generator exposes exactly those
+knobs (rows, dimensions, measures, cardinality, value distribution) plus a
+*planted-deviation* mechanism that creates ground truth for accuracy
+experiments: a target segment whose conditional distribution over chosen
+dimensions deviates sharply from the rest of the data, so views over
+planted dimensions are objectively the interesting ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.expressions import Expression, col
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.model.view import ViewSpec
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic generator.
+
+    ``dimension_distribution`` shapes how rows spread over dimension
+    values: "uniform", "zipf" (skew controlled by ``zipf_exponent``), or
+    "normal" (values near the middle of the domain more likely).
+    """
+
+    n_rows: int = 50_000
+    n_dimensions: int = 5
+    n_measures: int = 2
+    cardinality: int = 20
+    dimension_distribution: str = "uniform"
+    zipf_exponent: float = 1.5
+    measure_distribution: str = "lognormal"
+    #: Dimensions (by index) whose target-segment distribution deviates.
+    planted_dimensions: tuple[int, ...] = (0,)
+    #: Fraction of rows in the target segment the query selects.
+    target_fraction: float = 0.2
+    #: Planted-deviation strength: probability mass concentrated on the
+    #: first ``ceil(cardinality * concentration)`` values inside the target.
+    concentration: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise ConfigError("n_rows must be >= 1")
+        if self.n_dimensions < 1 or self.n_measures < 0:
+            raise ConfigError("need >= 1 dimension and >= 0 measures")
+        if self.cardinality < 2:
+            raise ConfigError("cardinality must be >= 2")
+        if self.dimension_distribution not in ("uniform", "zipf", "normal"):
+            raise ConfigError(
+                f"unknown dimension distribution {self.dimension_distribution!r}"
+            )
+        if self.measure_distribution not in ("lognormal", "normal", "uniform"):
+            raise ConfigError(
+                f"unknown measure distribution {self.measure_distribution!r}"
+            )
+        if not (0.0 < self.target_fraction < 1.0):
+            raise ConfigError("target_fraction must be in (0, 1)")
+        if not (0.0 < self.concentration <= 1.0):
+            raise ConfigError("concentration must be in (0, 1]")
+        for index in self.planted_dimensions:
+            if not (0 <= index < self.n_dimensions):
+                raise ConfigError(
+                    f"planted dimension index {index} out of range "
+                    f"[0, {self.n_dimensions})"
+                )
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated table plus the ground truth SeeDB should recover."""
+
+    table: Table
+    #: The analyst query predicate selecting the target segment.
+    predicate: Expression
+    #: Dimension column names with planted deviations.
+    planted_dimensions: tuple[str, ...]
+    config: SyntheticConfig = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def is_planted(self, view: ViewSpec) -> bool:
+        """Whether a view's dimension carries a planted deviation."""
+        return view.dimension in self.planted_dimensions
+
+
+def _base_probabilities(config: SyntheticConfig, rng) -> np.ndarray:
+    """Marginal distribution over dimension values (the knob)."""
+    cardinality = config.cardinality
+    if config.dimension_distribution == "uniform":
+        return np.full(cardinality, 1.0 / cardinality)
+    if config.dimension_distribution == "zipf":
+        ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+        weights = ranks ** (-config.zipf_exponent)
+        return weights / weights.sum()
+    # "normal": discretized bell over the domain.
+    positions = np.linspace(-2.0, 2.0, cardinality)
+    weights = np.exp(-0.5 * positions**2)
+    return weights / weights.sum()
+
+
+def _concentrated_probabilities(config: SyntheticConfig) -> np.ndarray:
+    """Target-segment distribution for planted dimensions: almost all mass
+    on the first few values, a little everywhere else (so supports match)."""
+    cardinality = config.cardinality
+    n_hot = max(int(np.ceil(cardinality * config.concentration)), 1)
+    probabilities = np.full(cardinality, 0.05 / cardinality)
+    probabilities[:n_hot] += 0.95 / n_hot
+    return probabilities / probabilities.sum()
+
+
+def generate_synthetic(
+    config: "SyntheticConfig | None" = None,
+    seed: int = 0,
+    table_name: str = "synthetic",
+) -> SyntheticDataset:
+    """Generate a synthetic dataset per ``config``.
+
+    The table has dimensions ``d0..d{k-1}`` (values ``d0=v000`` etc.), a
+    ``segment`` dimension ("target"/"rest"), and measures ``m0..``.
+    The analyst query is ``segment = 'target'``.
+    """
+    config = config if config is not None else SyntheticConfig()
+    seeds = spawn_seeds(seed, config.n_dimensions + config.n_measures + 1)
+    segment_rng = derive_rng(seeds[0])
+    n = config.n_rows
+
+    in_target = segment_rng.random(n) < config.target_fraction
+    data: dict[str, list | np.ndarray] = {
+        "segment": np.where(in_target, "target", "rest").tolist()
+    }
+    roles = {"segment": AttributeRole.DIMENSION}
+
+    planted_names: list[str] = []
+    for i in range(config.n_dimensions):
+        name = f"d{i}"
+        rng = derive_rng(seeds[1 + i])
+        base = _base_probabilities(config, rng)
+        codes = rng.choice(config.cardinality, size=n, p=base)
+        if i in config.planted_dimensions:
+            planted_names.append(name)
+            hot = _concentrated_probabilities(config)
+            n_target = int(in_target.sum())
+            codes[in_target] = rng.choice(config.cardinality, size=n_target, p=hot)
+        width = len(str(config.cardinality - 1))
+        values = np.array(
+            [f"{name}=v{code:0{width}d}" for code in range(config.cardinality)]
+        )
+        data[name] = values[codes].tolist()
+        roles[name] = AttributeRole.DIMENSION
+
+    for j in range(config.n_measures):
+        name = f"m{j}"
+        rng = derive_rng(seeds[1 + config.n_dimensions + j])
+        if config.measure_distribution == "lognormal":
+            values = rng.lognormal(mean=3.0, sigma=0.8, size=n)
+        elif config.measure_distribution == "normal":
+            values = rng.normal(loc=100.0, scale=20.0, size=n)
+        else:
+            values = rng.uniform(0.0, 200.0, size=n)
+        data[name] = np.round(values, 4)
+        roles[name] = AttributeRole.MEASURE
+
+    table = Table.from_columns(table_name, data, roles=roles)
+    return SyntheticDataset(
+        table=table,
+        predicate=(col("segment") == "target"),
+        planted_dimensions=tuple(planted_names),
+        config=config,
+    )
+
+
+def add_correlated_copy(
+    table: Table,
+    source: str,
+    name: str,
+    flip_fraction: float = 0.0,
+    seed: int = 0,
+) -> Table:
+    """Extend ``table`` with a dimension derived from ``source``.
+
+    With ``flip_fraction=0`` the copy is a bijective re-labeling (Cramér's
+    V = 1 — the paper's "full airport name vs abbreviation" case); larger
+    fractions add noise to weaken the association. Used by pruning tests
+    and benchmark E17.
+    """
+    if not (0.0 <= flip_fraction <= 1.0):
+        raise ConfigError("flip_fraction must be in [0, 1]")
+    rng = derive_rng(seed)
+    source_values = table.column(source)
+    derived = np.array([f"copy({v})" for v in source_values], dtype=object)
+    if flip_fraction > 0:
+        uniques = np.unique(derived)
+        flip = rng.random(len(derived)) < flip_fraction
+        derived[flip] = rng.choice(uniques, size=int(flip.sum()))
+    data = {col_name: table.column(col_name) for col_name in table.schema.names}
+    data[name] = derived.tolist()
+    roles = {spec.name: spec.role for spec in table.schema}
+    roles[name] = AttributeRole.DIMENSION
+    return Table.from_columns(table.name, data, roles=roles)
+
+
+def add_constant_column(table: Table, name: str, value: str = "only") -> Table:
+    """Extend ``table`` with a constant dimension (variance-pruning bait)."""
+    data = {col_name: table.column(col_name) for col_name in table.schema.names}
+    data[name] = [value] * table.num_rows
+    roles = {spec.name: spec.role for spec in table.schema}
+    roles[name] = AttributeRole.DIMENSION
+    return Table.from_columns(table.name, data, roles=roles)

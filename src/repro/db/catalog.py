@@ -1,0 +1,56 @@
+"""Catalog: the named-table registry of the in-memory DBMS."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.table import Table
+from repro.util.errors import SchemaError
+
+
+class Catalog:
+    """Maps table names to :class:`Table` objects.
+
+    The engine resolves query table references here; the metadata collector
+    walks it to gather statistics.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add ``table`` under its own name. Re-registration requires
+        ``replace=True`` to catch accidental clobbering."""
+        if table.name in self._tables and not replace:
+            raise SchemaError(
+                f"table {table.name!r} already registered (pass replace=True)"
+            )
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table; raises SchemaError with the available names."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table named {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table (e.g. a materialized sample no longer needed)."""
+        if name not in self._tables:
+            raise SchemaError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def tables(self) -> list[Table]:
+        """All registered tables, sorted by name."""
+        return [self._tables[name] for name in sorted(self._tables)]

@@ -1,0 +1,116 @@
+"""CSV import/export with light type inference.
+
+Lets the CLI and examples load real CSV files into the in-memory engine
+(SeeDB's demo loads arbitrary datasets). Inference tries INT, then FLOAT,
+then ISO dates, then BOOL, and falls back to STR; empty cells become NaN in
+float columns and are rejected elsewhere (explicitly, with row numbers).
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import date, datetime
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.util.errors import SchemaError
+
+_TRUE_WORDS = {"true", "t", "yes"}
+_FALSE_WORDS = {"false", "f", "no"}
+
+
+def _parse_cell(text: str) -> Any:
+    """Best-effort typed parse of one CSV cell."""
+    stripped = text.strip()
+    if stripped == "":
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    lowered = stripped.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    try:
+        return datetime.strptime(stripped, "%Y-%m-%d").date()
+    except ValueError:
+        pass
+    return stripped
+
+
+def _unify_column(name: str, values: list[Any]) -> list[Any]:
+    """Resolve mixed int/float columns and reject other mixtures."""
+    kinds = {type(v) for v in values if v is not None}
+    if kinds <= {int, float} and float in kinds:
+        return [float(v) if v is not None else float("nan") for v in values]
+    missing = [i for i, v in enumerate(values) if v is None]
+    if missing:
+        if kinds <= {float} or kinds <= {int, float}:
+            return [float(v) if v is not None else float("nan") for v in values]
+        raise SchemaError(
+            f"column {name!r} has empty cells at rows {missing[:5]} "
+            f"and is not numeric; fill or drop them first"
+        )
+    if len(kinds) > 1:
+        # Mixed types that are not int/float: degrade to strings.
+        return [str(v) for v in values]
+    return values
+
+
+def read_csv(
+    path: "str | Path",
+    table_name: str | None = None,
+    roles: Mapping[str, AttributeRole] | None = None,
+    max_rows: int | None = None,
+) -> Table:
+    """Load ``path`` into a typed :class:`Table`.
+
+    ``roles`` overrides the inferred dimension/measure classification.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        rows = []
+        for i, row in enumerate(reader):
+            if max_rows is not None and i >= max_rows:
+                break
+            rows.append([_parse_cell(cell) for cell in row])
+    if not rows:
+        raise SchemaError(f"{path} has a header but no data rows")
+    columns = {
+        name: _unify_column(name, [row[i] for row in rows])
+        for i, name in enumerate(header)
+    }
+    return Table.from_columns(table_name or path.stem, columns, roles=roles)
+
+
+def write_csv(table: Table, path: "str | Path") -> None:
+    """Write ``table`` to ``path`` (ISO dates, empty string for NaN)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table.iter_rows():
+            rendered = []
+            for value in row:
+                if value is None:
+                    rendered.append("")
+                elif isinstance(value, float) and value != value:  # NaN
+                    rendered.append("")
+                elif isinstance(value, date):
+                    rendered.append(value.isoformat())
+                else:
+                    rendered.append(value)
+            writer.writerow(rendered)

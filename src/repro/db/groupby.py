@@ -1,0 +1,147 @@
+"""Vectorized group-by: factorization and grouped aggregation.
+
+The executor's core primitive. A *factorization* maps each row to a dense
+group code ``0..n_groups-1``; grouped aggregation then reduces measure
+columns by code using the mergeable partial states of
+:mod:`repro.db.aggregates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.aggregates import Aggregate, Partials
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Factorization:
+    """Dense group codes for one or more key columns.
+
+    ``keys`` holds, per key column, the distinct key value of each group
+    (all arrays of length ``n_groups``, aligned with the codes).
+    """
+
+    codes: np.ndarray
+    n_groups: int
+    keys: dict[str, np.ndarray]
+
+    @property
+    def key_names(self) -> tuple[str, ...]:
+        return tuple(self.keys)
+
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map ``values`` to dense codes; return ``(codes, uniques)``.
+
+    Equivalent to pandas' ``factorize`` but ordered by sorted unique value,
+    which makes group order deterministic across engines (SQL ``ORDER BY``
+    and numpy both sort), an invariant the distribution-alignment code in
+    :mod:`repro.metrics.normalize` relies on.
+    """
+    if values.dtype == object:
+        # np.unique on object arrays requires orderable values; dimension
+        # columns are strings by construction so plain unique works.
+        uniques, codes = np.unique(values.astype(str), return_inverse=True)
+        return codes, uniques
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes, uniques
+
+
+def factorize_multi(
+    arrays: dict[str, np.ndarray], n_rows: int
+) -> Factorization:
+    """Factorize the combination of several key columns in one pass.
+
+    Single-column group-by (SeeDB's common case) short-circuits to
+    :func:`factorize`. Multi-column keys are combined via mixed-radix codes
+    then re-compacted, avoiding materializing row tuples.
+    """
+    if not arrays:
+        # GROUP BY () — a single global group (used for table-level stats).
+        return Factorization(
+            codes=np.zeros(n_rows, dtype=np.int64), n_groups=1 if n_rows else 0, keys={}
+        )
+
+    names = list(arrays)
+    if len(names) == 1:
+        name = names[0]
+        codes, uniques = factorize(arrays[name])
+        return Factorization(codes=codes, n_groups=len(uniques), keys={name: uniques})
+
+    per_column: list[tuple[np.ndarray, np.ndarray]] = [
+        factorize(arrays[name]) for name in names
+    ]
+    combined = per_column[0][0].astype(np.int64)
+    for codes, uniques in per_column[1:]:
+        combined = combined * len(uniques) + codes
+    compact_values, first_index, compact_codes = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    keys = {
+        name: arrays[name][first_index] for name in names
+    }
+    return Factorization(
+        codes=compact_codes, n_groups=len(compact_values), keys=keys
+    )
+
+
+def aggregate_by_codes(
+    factorization: Factorization,
+    measure_arrays: dict[str, np.ndarray],
+    aggregates: tuple[Aggregate, ...],
+) -> dict[str, Partials]:
+    """Compute partial states for each aggregate under ``factorization``.
+
+    Returns ``{alias: partials}``. Finalization into user-visible values is
+    a separate step (:func:`finalize_aggregates`) so the optimizer can merge
+    partials across partitions first.
+    """
+    partials_by_alias: dict[str, Partials] = {}
+    for aggregate in aggregates:
+        if aggregate.alias in partials_by_alias:
+            raise QueryError(f"duplicate aggregate alias {aggregate.alias!r}")
+        if aggregate.column is None:
+            values = None
+        else:
+            if aggregate.column not in measure_arrays:
+                raise QueryError(
+                    f"aggregate {aggregate.alias!r} references missing column "
+                    f"{aggregate.column!r}"
+                )
+            values = measure_arrays[aggregate.column]
+        partials_by_alias[aggregate.alias] = aggregate.function.compute_partials(
+            values, factorization.codes, factorization.n_groups
+        )
+    return partials_by_alias
+
+
+def finalize_aggregates(
+    partials_by_alias: dict[str, Partials],
+    aggregates: tuple[Aggregate, ...],
+) -> dict[str, np.ndarray]:
+    """Turn partial states into final per-group values, ``{alias: array}``."""
+    return {
+        aggregate.alias: aggregate.function.finalize(partials_by_alias[aggregate.alias])
+        for aggregate in aggregates
+    }
+
+
+def merge_aggregate_partials(
+    a: dict[str, Partials],
+    b: dict[str, Partials],
+    aggregates: tuple[Aggregate, ...],
+) -> dict[str, Partials]:
+    """Merge two partial-state maps over the *same* group universe.
+
+    Used when recovering the comparison view (all rows) from the flag=0 and
+    flag=1 partitions of a combined query.
+    """
+    return {
+        aggregate.alias: aggregate.function.merge_partials(
+            a[aggregate.alias], b[aggregate.alias]
+        )
+        for aggregate in aggregates
+    }

@@ -1,0 +1,111 @@
+"""Table schemas with SeeDB dimension/measure annotations.
+
+A :class:`Schema` is an ordered collection of :class:`ColumnSpec`. Besides
+the storage type, each column carries its SeeDB :class:`AttributeRole`,
+because the candidate-view space of §2 is the cross product
+``dimensions × measures × aggregate functions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.types import AttributeRole, DataType
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declaration of one column: name, storage type, SeeDB role.
+
+    ``semantic`` optionally tags domain meaning ("geography", "time",
+    "currency", ...) which the visualization layer uses when choosing chart
+    types (paper §3.2: "semantics (e.g. geography vs. time series)").
+    """
+
+    name: str
+    dtype: DataType
+    role: AttributeRole
+    semantic: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.role is AttributeRole.MEASURE and not self.dtype.is_numeric:
+            raise SchemaError(
+                f"column {self.name!r}: measures must be numeric, got {self.dtype.value}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, name-unique collection of column specs."""
+
+    columns: tuple[ColumnSpec, ...]
+    _by_name: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, ColumnSpec] = {}
+        for spec in self.columns:
+            if spec.name in by_name:
+                raise SchemaError(f"duplicate column name {spec.name!r}")
+            by_name[spec.name] = spec
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def of(cls, *columns: ColumnSpec) -> "Schema":
+        """Convenience constructor from varargs."""
+        return cls(tuple(columns))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column named {name!r}; available: {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(spec.name for spec in self.columns)
+
+    @property
+    def dimensions(self) -> tuple[ColumnSpec, ...]:
+        """Columns usable as SeeDB group-by attributes (the set ``A``)."""
+        return tuple(s for s in self.columns if s.role is AttributeRole.DIMENSION)
+
+    @property
+    def measures(self) -> tuple[ColumnSpec, ...]:
+        """Columns usable as SeeDB aggregation attributes (the set ``M``)."""
+        return tuple(s for s in self.columns if s.role is AttributeRole.MEASURE)
+
+    def require(self, name: str, role: AttributeRole | None = None) -> ColumnSpec:
+        """Look up ``name``, optionally asserting its role; raise SchemaError otherwise."""
+        spec = self[name]
+        if role is not None and spec.role is not role:
+            raise SchemaError(
+                f"column {name!r} has role {spec.role.value}, expected {role.value}"
+            )
+        return spec
+
+    def with_roles(self, roles: dict[str, AttributeRole]) -> "Schema":
+        """Return a copy with the given columns' roles replaced."""
+        unknown = set(roles) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns in role override: {sorted(unknown)}")
+        return Schema(
+            tuple(
+                ColumnSpec(s.name, s.dtype, roles.get(s.name, s.role), s.semantic)
+                for s in self.columns
+            )
+        )

@@ -1,0 +1,220 @@
+"""Columnar tables: the storage layer of the in-memory DBMS.
+
+A :class:`Table` stores each column as one numpy array (column-major, like
+an analytics engine), which makes SeeDB's workload — scan, filter, group,
+aggregate — vectorizable. Tables are immutable by convention: operations
+return new tables sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.schema import ColumnSpec, Schema
+from repro.db.types import AttributeRole, DataType, coerce_array, default_role, infer_data_type
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Table:
+    """A named, schema-typed columnar table.
+
+    Invariants (checked at construction): every schema column has exactly one
+    array, all arrays are one-dimensional and of equal length, and each
+    array's dtype matches its declared :class:`DataType`.
+    """
+
+    name: str
+    schema: Schema
+    columns: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        missing = set(self.schema.names) - set(self.columns)
+        extra = set(self.columns) - set(self.schema.names)
+        if missing or extra:
+            raise SchemaError(
+                f"table {self.name!r}: schema/column mismatch "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        lengths = {name: len(array) for name, array in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"table {self.name!r}: ragged columns {lengths}")
+        for spec in self.schema:
+            array = self.columns[spec.name]
+            if array.ndim != 1:
+                raise SchemaError(
+                    f"column {spec.name!r} must be 1-D, got shape {array.shape}"
+                )
+            expected = spec.dtype.numpy_dtype
+            if array.dtype != expected and not (
+                spec.dtype is DataType.DATE and array.dtype.kind == "M"
+            ):
+                raise SchemaError(
+                    f"column {spec.name!r}: dtype {array.dtype} != declared {expected}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        data: Mapping[str, Sequence[Any]],
+        roles: Mapping[str, AttributeRole] | None = None,
+        semantics: Mapping[str, str] | None = None,
+    ) -> "Table":
+        """Build a table from ``{column: values}``, inferring types and roles.
+
+        ``roles`` overrides the heuristic dimension/measure classification
+        (:func:`repro.db.types.default_role`) per column.
+        """
+        roles = dict(roles or {})
+        semantics = dict(semantics or {})
+        specs: list[ColumnSpec] = []
+        arrays: dict[str, np.ndarray] = {}
+        for column_name, values in data.items():
+            dtype = infer_data_type(values)
+            array = coerce_array(values, dtype)
+            n_rows = len(array)
+            if column_name in roles:
+                role = roles[column_name]
+            else:
+                distinct_fraction = (
+                    len(np.unique(array)) / n_rows if n_rows and dtype.is_numeric else 0.0
+                )
+                role = default_role(dtype, distinct_fraction)
+            specs.append(
+                ColumnSpec(column_name, dtype, role, semantics.get(column_name))
+            )
+            arrays[column_name] = array
+        return cls(name, Schema(tuple(specs)), arrays)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        roles: Mapping[str, AttributeRole] | None = None,
+    ) -> "Table":
+        """Build a table from a header and row tuples (row-major input)."""
+        materialized = [list(row) for row in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"row {i} has {len(row)} cells, header has {len(header)}"
+                )
+        data = {
+            column: [row[i] for row in materialized]
+            for i, column in enumerate(header)
+        }
+        return cls.from_columns(name, data, roles=roles)
+
+    @classmethod
+    def empty_like(cls, other: "Table", name: str | None = None) -> "Table":
+        """An empty table with ``other``'s schema."""
+        arrays = {
+            spec.name: np.empty(0, dtype=other.columns[spec.name].dtype)
+            for spec in other.schema
+        }
+        return cls(name or other.name, other.schema, arrays)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Row count."""
+        if not self.schema.columns:
+            return 0
+        return len(self.columns[self.schema.columns[0].name])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The backing array for ``name`` (raises SchemaError if unknown)."""
+        self.schema[name]  # validates
+        return self.columns[name]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Row ``index`` as a ``{column: value}`` dict (for tests/debugging)."""
+        return {name: self.columns[name][index] for name in self.schema.names}
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows as tuples in schema order. O(rows) — debugging only."""
+        arrays = [self.columns[name] for name in self.schema.names]
+        for i in range(self.num_rows):
+            yield tuple(array[i] for array in arrays)
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """All rows as a list of tuples (small tables / tests)."""
+        return list(self.iter_rows())
+
+    # ------------------------------------------------------------------
+    # Relational operations (return new tables)
+    # ------------------------------------------------------------------
+
+    def mask(self, keep: np.ndarray, name: str | None = None) -> "Table":
+        """Select the rows where boolean array ``keep`` is True."""
+        if keep.dtype != np.bool_ or keep.shape != (self.num_rows,):
+            raise SchemaError(
+                f"mask must be a boolean array of length {self.num_rows}"
+            )
+        arrays = {col: array[keep] for col, array in self.columns.items()}
+        return Table(name or self.name, self.schema, arrays)
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """Select rows by integer position (used by samplers)."""
+        arrays = {col: array[indices] for col, array in self.columns.items()}
+        return Table(name or self.name, self.schema, arrays)
+
+    def select_columns(self, names: Sequence[str], name: str | None = None) -> "Table":
+        """Project onto ``names`` preserving their given order."""
+        specs = tuple(self.schema[n] for n in names)
+        arrays = {n: self.columns[n] for n in names}
+        return Table(name or self.name, Schema(specs), arrays)
+
+    def rename(self, name: str) -> "Table":
+        """The same table under a new name."""
+        return Table(name, self.schema, self.columns)
+
+    def head(self, n: int = 5) -> "Table":
+        """The first ``n`` rows (for previews and view metadata)."""
+        arrays = {col: array[:n] for col, array in self.columns.items()}
+        return Table(self.name, self.schema, arrays)
+
+    def concat(self, other: "Table", name: str | None = None) -> "Table":
+        """Rows of ``self`` followed by rows of ``other`` (schemas must match)."""
+        if self.schema.names != other.schema.names:
+            raise SchemaError(
+                f"cannot concat tables with different columns: "
+                f"{self.schema.names} vs {other.schema.names}"
+            )
+        arrays = {
+            col: np.concatenate([self.columns[col], other.columns[col]])
+            for col in self.schema.names
+        }
+        return Table(name or self.name, self.schema, arrays)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the column arrays."""
+        total = 0
+        for array in self.columns.values():
+            if array.dtype == object:
+                total += sum(len(str(v)) for v in array) + 8 * len(array)
+            else:
+                total += array.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"columns={list(self.schema.names)})"
+        )

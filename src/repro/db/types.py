@@ -1,0 +1,132 @@
+"""Column data types and attribute roles.
+
+SeeDB's problem statement (§2) assumes a snowflake schema whose attributes
+are partitioned into *dimension* attributes ``A`` (group-by candidates) and
+*measure* attributes ``M`` (aggregation candidates). The storage type and
+the role are independent: an integer column may be a dimension (e.g. a year)
+or a measure (e.g. a quantity).
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import date
+from typing import Any
+
+import numpy as np
+
+from repro.util.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Storage type of a column, mapped onto a numpy dtype."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store columns of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values support arithmetic (candidates for measures)."""
+        return self in (DataType.INT, DataType.FLOAT)
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether values have a natural total order (for line charts etc.)."""
+        return self in (DataType.INT, DataType.FLOAT, DataType.DATE)
+
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float64),
+    DataType.STR: np.dtype(object),
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.DATE: np.dtype("datetime64[D]"),
+}
+
+
+class AttributeRole(enum.Enum):
+    """SeeDB role of a column (paper §2): group-by key or aggregand."""
+
+    DIMENSION = "dimension"
+    MEASURE = "measure"
+    IGNORED = "ignored"  # e.g. primary keys: neither grouped nor aggregated
+
+
+def infer_data_type(values: Any) -> DataType:
+    """Infer the :class:`DataType` of a sequence of Python/numpy values.
+
+    Inference looks at the first non-``None`` value; mixed-type columns are
+    rejected during coercion (:func:`coerce_array`), not here.
+    """
+    array = np.asarray(values) if not isinstance(values, np.ndarray) else values
+    if array.dtype.kind in ("i", "u"):
+        return DataType.INT
+    if array.dtype.kind == "f":
+        return DataType.FLOAT
+    if array.dtype.kind == "b":
+        return DataType.BOOL
+    if array.dtype.kind == "M":
+        return DataType.DATE
+    if array.dtype.kind in ("U", "S"):
+        return DataType.STR
+    # Object array: inspect the first non-None element.
+    for value in array.ravel():
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return DataType.BOOL
+        if isinstance(value, (int, np.integer)):
+            return DataType.INT
+        if isinstance(value, (float, np.floating)):
+            return DataType.FLOAT
+        if isinstance(value, (date, np.datetime64)):
+            return DataType.DATE
+        if isinstance(value, str):
+            return DataType.STR
+        raise SchemaError(f"cannot infer a column type for value {value!r}")
+    raise SchemaError("cannot infer a column type from all-None values")
+
+
+def coerce_array(values: Any, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` into the canonical numpy array for ``dtype``.
+
+    Raises :class:`SchemaError` when a value does not fit the declared type
+    (e.g. a string in an INT column), so type errors surface at load time
+    rather than mid-query.
+    """
+    try:
+        if dtype is DataType.STR:
+            array = np.empty(len(values), dtype=object)
+            for i, value in enumerate(values):
+                if value is not None and not isinstance(value, str):
+                    raise SchemaError(
+                        f"expected str at index {i}, got {type(value).__name__}"
+                    )
+                array[i] = value
+            return array
+        return np.asarray(values, dtype=dtype.numpy_dtype)
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(f"cannot coerce values to {dtype.value}: {exc}") from exc
+
+
+def default_role(dtype: DataType, distinct_fraction: float = 0.0) -> AttributeRole:
+    """Heuristic role for a column when the user does not declare one.
+
+    Numeric columns default to measures; everything else to dimensions.
+    A numeric column whose distinct-value fraction is very low (a code or
+    category stored as an integer) is classified as a dimension instead —
+    the same heuristic real BI tools apply when profiling a table.
+    """
+    if dtype.is_numeric:
+        if 0.0 < distinct_fraction <= 0.01:
+            return AttributeRole.DIMENSION
+        return AttributeRole.MEASURE
+    return AttributeRole.DIMENSION

@@ -1,0 +1,42 @@
+"""Experiment harness for the demo scenarios (§4).
+
+Scenario 1 (utility): does SeeDB surface the planted-interesting views,
+and how does metric choice change that? Scenario 2 (performance): how do
+latency and accuracy respond to data size, attribute count, distribution,
+and each optimization toggle? The benchmarks under ``benchmarks/`` are
+thin wrappers over these runners, so every table/figure of EXPERIMENTS.md
+can also be regenerated programmatically.
+"""
+
+from repro.experiments.harness import Sweep, measure, sweep_rows
+from repro.experiments.latency import (
+    latency_vs_optimizations,
+    measure_recommendation,
+)
+from repro.experiments.accuracy import (
+    metric_quality_on_planted,
+    precision_at_k,
+    sampling_accuracy_sweep,
+)
+from repro.experiments.figures import (
+    figure_1_spec,
+    figures_2_3_utilities,
+    verify_table_1,
+)
+from repro.experiments.report import render_markdown_table, write_rows_csv
+
+__all__ = [
+    "Sweep",
+    "measure",
+    "sweep_rows",
+    "latency_vs_optimizations",
+    "measure_recommendation",
+    "metric_quality_on_planted",
+    "precision_at_k",
+    "sampling_accuracy_sweep",
+    "figure_1_spec",
+    "figures_2_3_utilities",
+    "verify_table_1",
+    "render_markdown_table",
+    "write_rows_csv",
+]

@@ -1,0 +1,73 @@
+"""Generic sweep/measurement helpers shared by all experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.util.tabulate import format_table
+
+
+def measure(fn: Callable[[], Any], repeats: int = 3) -> dict[str, float]:
+    """Run ``fn`` ``repeats`` times; report best/mean wall-clock seconds.
+
+    Best-of-N is the standard latency estimator for noisy machines; the
+    mean is reported alongside for context.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return {
+        "best_seconds": min(timings),
+        "mean_seconds": sum(timings) / len(timings),
+    }
+
+
+@dataclass
+class Sweep:
+    """A one-parameter experiment sweep producing printable rows.
+
+    ``run`` maps a parameter value to a result dict; rows share the union
+    of keys with the parameter first.
+    """
+
+    parameter: str
+    values: Sequence[Any]
+    run: Callable[[Any], dict[str, Any]]
+
+    def rows(self) -> list[dict[str, Any]]:
+        results = []
+        for value in self.values:
+            row = {self.parameter: value}
+            row.update(self.run(value))
+            results.append(row)
+        return results
+
+    def table(self) -> str:
+        return rows_to_table(self.rows())
+
+
+def sweep_rows(
+    parameter: str, values: Sequence[Any], run: Callable[[Any], dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Functional shorthand for ``Sweep(parameter, values, run).rows()``."""
+    return Sweep(parameter, values, run).rows()
+
+
+def rows_to_table(rows: Iterable[dict[str, Any]]) -> str:
+    """Render dict rows as an aligned text table (union of keys)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    body = [[row.get(key, "") for key in headers] for row in rows]
+    return format_table(body, headers=headers)

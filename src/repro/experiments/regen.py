@@ -1,0 +1,82 @@
+"""Regenerate the EXPERIMENTS.md measured-results appendix from CSVs.
+
+``pytest benchmarks/ --benchmark-only`` writes each experiment's rows to
+``benchmarks/results/<id>.csv``; this module turns that directory back
+into one markdown document so the numbers in the write-up always have a
+regenerable source. Used as::
+
+    python -m repro.experiments.regen benchmarks/results >> appendix.md
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.experiments.report import render_markdown_table
+
+#: Human titles per experiment-id prefix (anything unknown is titled by id).
+TITLES = {
+    "e1_table1": "E1 — Table 1: Laserwave totals by store",
+    "e3_scenario_a_vs_b": "E3 — Figures 2 vs 3: utility per metric",
+    "e6_view_space": "E6 — View-space growth",
+    "e7_combine_target_comparison": "E7 — Target+comparison combining (work counts)",
+    "e8_combine_aggregates": "E8 — Multi-aggregate combining",
+    "e9_combine_groupbys": "E9 — Group-by combining strategies",
+    "e9_rollup_budget": "E9 — Rollup memory-budget knob",
+    "e9b_binpack_ablation": "E9b — Bin-packing: FFD vs exact",
+    "e10_sampling_fractions": "E10 — Sampling: latency vs accuracy",
+    "e10b_sampler_ablation": "E10b — Sampler choice on skewed data",
+    "e11_parallelism": "E11 — Parallel execution",
+    "e12_metric_quality": "E12 — Scenario 1: metric quality",
+    "e13_datasize": "E13 — Scenario 2: data size",
+    "e14_attributes": "E14 — Scenario 2: attribute count",
+    "e15_distribution": "E15 — Scenario 2: data distribution",
+    "e16_optimization_ablation": "E16 — Scenario 2: optimization toggles",
+    "e17_pruning": "E17 — Pruning ablation",
+    "e18_metric_agreement": "E18 — Metric ranking agreement",
+    "e19_incremental": "E19 — Incremental early termination",
+}
+
+
+def load_result_rows(path: Path) -> list[dict]:
+    """Rows of one experiment CSV, numerics converted back."""
+    with path.open(newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    for row in rows:
+        for key, value in row.items():
+            try:
+                row[key] = int(value)
+            except (TypeError, ValueError):
+                try:
+                    row[key] = float(value)
+                except (TypeError, ValueError):
+                    pass
+    return rows
+
+
+def render_results_appendix(results_dir: "str | Path") -> str:
+    """All experiment CSVs under ``results_dir`` as one markdown document."""
+    results_dir = Path(results_dir)
+    paths = sorted(results_dir.glob("*.csv"))
+    if not paths:
+        return f"(no experiment CSVs found under {results_dir})"
+    sections = ["# Measured results (regenerated from benchmark CSVs)"]
+    for path in paths:
+        title = TITLES.get(path.stem, path.stem)
+        sections.append(f"\n## {title}\n")
+        sections.append(render_markdown_table(load_result_rows(path)))
+    return "\n".join(sections)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI: print the appendix for a results directory."""
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = args[0] if args else "benchmarks/results"
+    print(render_results_appendix(results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

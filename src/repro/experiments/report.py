@@ -1,0 +1,51 @@
+"""Report writers: experiment rows as markdown tables and CSV files."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable
+
+
+def render_markdown_table(rows: Iterable[dict[str, Any]]) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(key, "")) for key in headers) + " |"
+        )
+    return "\n".join(lines)
+
+
+def write_rows_csv(rows: Iterable[dict[str, Any]], path: "str | Path") -> Path:
+    """Write dict rows to a CSV file; returns the path."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return format(value, ".4g")
+    return str(value)

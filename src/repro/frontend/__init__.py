@@ -1,0 +1,22 @@
+"""SeeDB frontend (§3.2, Figure 5).
+
+"The SEEDB frontend, designed as a thin client, performs two main
+functions: it allows the analyst to issue a query to SEEDB, and it
+visualizes the results." Three query mechanisms, as in the paper: raw SQL
+(:mod:`repro.sqlparser`), a form-based :class:`QueryBuilder`, and
+pre-defined :mod:`templates <repro.frontend.templates>`. The
+:class:`AnalystSession` ties them to recommendations, drill-downs, and
+view metadata; :mod:`repro.frontend.cli` is the terminal equivalent of the
+demo UI.
+"""
+
+from repro.frontend.query_builder import QueryBuilder
+from repro.frontend.templates import available_templates, build_template
+from repro.frontend.session import AnalystSession
+
+__all__ = [
+    "QueryBuilder",
+    "available_templates",
+    "build_template",
+    "AnalystSession",
+]

@@ -1,0 +1,181 @@
+"""Command-line frontend: the terminal analogue of the demo UI (Figure 5).
+
+Examples::
+
+    seedb --dataset store_orders --sql "SELECT * FROM store_orders \
+          WHERE category = 'Technology'" --k 3
+    seedb --csv sales.csv --sql "SELECT * FROM sales WHERE region = 'west'" \
+          --metric emd --backend sqlite --export charts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.db.csvio import read_csv
+from repro.frontend.templates import available_templates, build_template
+from repro.metrics.registry import available_metrics
+from repro.util.errors import ReproError
+from repro.viz.export import export_recommendations
+from repro.viz.render_text import render_ascii
+from repro.viz.spec import view_to_chart_spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seedb",
+        description="Recommend interesting visualizations for a query "
+        "(SeeDB, VLDB 2014).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", help="load a CSV file as the fact table")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="use a built-in demo dataset",
+    )
+    query_source = parser.add_mutually_exclusive_group(required=True)
+    query_source.add_argument(
+        "--sql",
+        help="analyst query: SELECT * FROM <table> [WHERE ...]",
+    )
+    query_source.add_argument(
+        "--template",
+        choices=available_templates(),
+        help="build the query from a pre-defined template (§3.2 mechanism c)",
+    )
+    parser.add_argument(
+        "--template-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="template parameter, e.g. --template-arg column=profit "
+        "(repeatable; numeric values are auto-converted)",
+    )
+    parser.add_argument("--k", type=int, default=5, help="views to recommend")
+    parser.add_argument(
+        "--metric",
+        default="js",
+        choices=available_metrics(),
+        help="deviation metric",
+    )
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=("memory", "sqlite"),
+        help="DBMS backend to run on",
+    )
+    parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=None,
+        help="run view queries on a sample of this fraction",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel query workers"
+    )
+    parser.add_argument(
+        "--export", metavar="DIR", help="write SVG/Vega/text charts to DIR"
+    )
+    parser.add_argument(
+        "--html", metavar="FILE", help="write a standalone HTML report to FILE"
+    )
+    parser.add_argument(
+        "--show-bad-views",
+        action="store_true",
+        help="also print the lowest-utility views (demo Scenario 1)",
+    )
+    parser.add_argument(
+        "--charts", action="store_true", help="print ASCII charts for the top views"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.csv:
+            table = read_csv(args.csv)
+        else:
+            table = load_dataset(args.dataset)
+        backend = MemoryBackend() if args.backend == "memory" else SqliteBackend()
+        backend.register_table(table)
+
+        if args.template:
+            params = _parse_template_args(args.template_arg)
+            query = build_template(args.template, table, **params)
+        else:
+            query = args.sql
+
+        config = SeeDBConfig(
+            metric=args.metric,
+            k=args.k,
+            sample_fraction=args.sample_fraction,
+            n_workers=args.workers,
+        )
+        seedb = SeeDB(backend, config)
+        result = seedb.recommend(query)
+    except (ReproError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+
+    if args.charts:
+        schema = backend.schema(result.table)
+        for view in result.recommendations:
+            dimension_spec = (
+                schema[view.spec.dimension] if view.spec.dimension in schema else None
+            )
+            print()
+            print(render_ascii(view_to_chart_spec(view, dimension_spec)))
+
+    if args.show_bad_views:
+        print("\nlowest-utility views (not recommended):")
+        for view in result.worst_views():
+            print(f"  {view.spec.label}: utility={view.utility:.4f}")
+
+    if args.export:
+        schema = backend.schema(result.table)
+        paths = export_recommendations(result, args.export, schema)
+        print(f"\nwrote {len(paths)} chart files to {args.export}")
+
+    if args.html:
+        from repro.viz.html_report import write_html_report
+
+        schema = backend.schema(result.table)
+        path = write_html_report(result, args.html, schema)
+        print(f"wrote HTML report to {path}")
+    return 0
+
+
+def _parse_template_args(pairs: "list[str]") -> dict:
+    """Parse repeated KEY=VALUE flags, auto-converting numerics."""
+    params = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                f"--template-arg expects KEY=VALUE, got {pair!r}"
+            )
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        params[key] = value
+    return params
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Form-based query builder (§3.2 mechanism (b)).
+
+"A query builder tool that allows analysts unfamiliar with SQL to
+formulate queries through a form-based interface." Each ``where_*`` call
+adds one condition; conditions combine with AND (the form semantics).
+Validation against a schema happens eagerly when one is supplied, so a
+frontend can reject a bad form field immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.db.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    In,
+    Literal,
+)
+from repro.db.query import RowSelectQuery
+from repro.db.schema import Schema
+from repro.util.errors import QueryError
+
+
+class QueryBuilder:
+    """Builds a :class:`RowSelectQuery` condition by condition.
+
+    >>> query = (
+    ...     QueryBuilder("sales")
+    ...     .where("product", "=", "Laserwave")
+    ...     .where_between("amount", 10, 500)
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self, table: str, schema: "Schema | None" = None):
+        if not table:
+            raise QueryError("table name must be non-empty")
+        self._table = table
+        self._schema = schema
+        self._conditions: list[Expression] = []
+
+    # -- form fields -------------------------------------------------------
+
+    def where(self, column: str, op: str, value: Any) -> "QueryBuilder":
+        """Add ``column <op> value`` (op in =, !=, <, <=, >, >=)."""
+        self._check_column(column)
+        self._conditions.append(Comparison(op, ColumnRef(column), Literal(value)))
+        return self
+
+    def where_in(self, column: str, values: Sequence[Any]) -> "QueryBuilder":
+        """Add ``column IN (values)``."""
+        self._check_column(column)
+        self._conditions.append(In(ColumnRef(column), tuple(values)))
+        return self
+
+    def where_between(self, column: str, low: Any, high: Any) -> "QueryBuilder":
+        """Add ``column BETWEEN low AND high``."""
+        self._check_column(column)
+        self._conditions.append(Between(ColumnRef(column), low, high))
+        return self
+
+    # -- assembly -------------------------------------------------------------
+
+    def build(self) -> RowSelectQuery:
+        """The assembled row-selection query (no conditions = all rows)."""
+        if not self._conditions:
+            return RowSelectQuery(self._table, None)
+        if len(self._conditions) == 1:
+            return RowSelectQuery(self._table, self._conditions[0])
+        return RowSelectQuery(self._table, And(tuple(self._conditions)))
+
+    def clear(self) -> "QueryBuilder":
+        """Drop all conditions (the form's reset button)."""
+        self._conditions = []
+        return self
+
+    @property
+    def n_conditions(self) -> int:
+        return len(self._conditions)
+
+    def _check_column(self, column: str) -> None:
+        if self._schema is not None:
+            self._schema[column]  # raises SchemaError with suggestions

@@ -1,0 +1,152 @@
+"""Analyst sessions: issue queries, inspect views, drill down.
+
+Models the interactive loop of §3.2: "easily examine these 'most
+interesting' views at a glance, explore specific views in detail via
+drill-downs, and study metadata for each view (e.g. size of result, sample
+data, value with maximum change and other statistics)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.backends.base import Backend
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+from repro.core.result import RecommendationResult
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.model.view import ScoredView
+from repro.util.errors import QueryError
+from repro.viz.render_text import render_ascii
+from repro.viz.spec import view_to_chart_spec
+
+
+@dataclass
+class ViewMetadata:
+    """The per-view statistics panel of the frontend (§3.2)."""
+
+    n_groups: int
+    sample_groups: list[tuple[Any, float, float]]  # (group, target, comparison)
+    max_change_group: Any
+    max_change_delta: float
+    utility: float
+    #: Chi-square p-value of the deviation (None when not applicable,
+    #: e.g. negative-valued measures).
+    p_value: "float | None" = None
+
+
+class AnalystSession:
+    """An interactive SeeDB session over one backend.
+
+    Keeps the query history, exposes the latest recommendations, and
+    supports drill-down: restricting the current query to one group of a
+    recommended view and re-running the recommendation.
+    """
+
+    def __init__(self, backend: Backend, config: "SeeDBConfig | None" = None):
+        self.backend = backend
+        self.seedb = SeeDB(backend, config)
+        self.history: list[tuple[RowSelectQuery, RecommendationResult]] = []
+
+    # -- issuing queries ------------------------------------------------
+
+    def issue(
+        self, query: "RowSelectQuery | str", k: "int | None" = None
+    ) -> RecommendationResult:
+        """Run a recommendation and append it to the session history."""
+        result = self.seedb.recommend(query, k=k)
+        resolved = self.seedb._resolve_query(query)
+        self.history.append((resolved, result))
+        return result
+
+    @property
+    def last_query(self) -> RowSelectQuery:
+        self._require_history()
+        return self.history[-1][0]
+
+    @property
+    def last_result(self) -> RecommendationResult:
+        self._require_history()
+        return self.history[-1][1]
+
+    # -- exploring views ---------------------------------------------------
+
+    def view_metadata(self, view: ScoredView, sample_size: int = 5) -> ViewMetadata:
+        """The §3.2 metadata panel for one recommended view."""
+        deltas = [
+            abs(t - c)
+            for t, c in zip(view.target_distribution, view.comparison_distribution)
+        ]
+        max_index = max(range(len(deltas)), key=deltas.__getitem__) if deltas else 0
+        sample = [
+            (group, float(target), float(comparison))
+            for group, target, comparison in zip(
+                view.groups[:sample_size],
+                view.target_values[:sample_size],
+                view.comparison_values[:sample_size],
+            )
+        ]
+        from repro.metrics.significance import view_significance
+        from repro.util.errors import MetricError
+
+        try:
+            p_value = view_significance(view).p_value
+        except MetricError:
+            p_value = None  # negative/empty values: the test does not apply
+        return ViewMetadata(
+            n_groups=len(view.groups),
+            sample_groups=sample,
+            max_change_group=view.groups[max_index] if view.groups else None,
+            max_change_delta=float(deltas[max_index]) if deltas else 0.0,
+            utility=view.utility,
+            p_value=p_value,
+        )
+
+    def show(self, view: ScoredView, width: int = 40) -> str:
+        """ASCII rendering of one view (terminal stand-in for Figure 5)."""
+        schema = self.backend.schema(self.last_query.table)
+        dimension_spec = (
+            schema[view.spec.dimension] if view.spec.dimension in schema else None
+        )
+        return render_ascii(view_to_chart_spec(view, dimension_spec), width=width)
+
+    # -- drill-down ----------------------------------------------------------
+
+    def drill_down(
+        self, view: ScoredView, group: Any, k: "int | None" = None
+    ) -> RecommendationResult:
+        """Restrict the last query to one group of ``view`` and re-recommend.
+
+        E.g. from "sales by region deviates" drill into region='west' to
+        see what deviates *within* that slice.
+        """
+        self._require_history()
+        if group not in view.groups:
+            raise QueryError(
+                f"group {group!r} is not in view {view.spec.label!r}; "
+                f"groups: {view.groups[:10]}"
+            )
+        last = self.last_query
+        refinement = col(view.spec.dimension) == group
+        predicate = (
+            refinement if last.predicate is None else (last.predicate & refinement)
+        )
+        return self.issue(RowSelectQuery(last.table, predicate), k=k)
+
+    def roll_up(self, k: "int | None" = None) -> RecommendationResult:
+        """Undo the most recent drill-down and re-recommend (§1 step 4,
+        "further interact with the displayed views (e.g., by drilling down
+        or rolling up)")."""
+        if len(self.history) < 2:
+            raise QueryError(
+                "nothing to roll up: the session has no earlier query"
+            )
+        self.history.pop()  # discard the drilled-down step
+        previous_query, _previous_result = self.history.pop()
+        return self.issue(previous_query, k=k)
+
+    def _require_history(self) -> None:
+        if not self.history:
+            raise QueryError("no query issued yet in this session")

@@ -1,0 +1,95 @@
+"""Pre-defined query templates (§3.2 mechanism (c)).
+
+"Using pre-defined query templates which encode commonly performed
+operations, e.g., selecting outliers in a particular column." Templates
+turn a small parameter form into a row-selection query, using column
+statistics where the operation needs them (outlier thresholds, most-common
+values, recency windows).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.db.table import Table
+from repro.metadata.stats import compute_column_stats
+from repro.util.errors import ConfigError, QueryError
+
+
+def outliers(table: Table, column: str, side: str = "high", z: float = 3.0) -> RowSelectQuery:
+    """Rows where ``column`` deviates more than ``z`` standard deviations.
+
+    The paper's example template. ``side``: "high", "low", or "both".
+    """
+    if side not in ("high", "low", "both"):
+        raise QueryError(f"side must be high/low/both, got {side!r}")
+    if z <= 0:
+        raise QueryError(f"z must be positive, got {z}")
+    stats = compute_column_stats(table, column)
+    if stats.mean is None:
+        raise QueryError(f"outlier template needs a numeric column, got {column!r}")
+    spread = float(np.sqrt(stats.variance))
+    high_threshold = stats.mean + z * spread
+    low_threshold = stats.mean - z * spread
+    if side == "high":
+        predicate = col(column) > high_threshold
+    elif side == "low":
+        predicate = col(column) < low_threshold
+    else:
+        predicate = (col(column) > high_threshold) | (col(column) < low_threshold)
+    return RowSelectQuery(table.name, predicate)
+
+
+def top_category(table: Table, column: str) -> RowSelectQuery:
+    """Rows belonging to the most frequent value of ``column``."""
+    stats = compute_column_stats(table, column)
+    if not stats.top_values:
+        raise QueryError(f"column {column!r} has no values")
+    most_common, _count = stats.top_values[0]
+    return RowSelectQuery(table.name, col(column) == most_common)
+
+
+def equals(table: Table, column: str, value: Any) -> RowSelectQuery:
+    """Rows where ``column = value`` (the simplest slice template)."""
+    table.schema[column]  # validate early
+    return RowSelectQuery(table.name, col(column) == value)
+
+
+def recent_window(table: Table, date_column: str, days: int = 30) -> RowSelectQuery:
+    """Rows from the trailing ``days``-day window of ``date_column``."""
+    if days < 1:
+        raise QueryError(f"days must be >= 1, got {days}")
+    values = table.column(date_column)
+    if values.dtype.kind != "M":
+        raise QueryError(f"{date_column!r} is not a date column")
+    latest = values.max()
+    cutoff = latest - np.timedelta64(days, "D")
+    return RowSelectQuery(table.name, col(date_column) >= cutoff)
+
+
+_TEMPLATES = {
+    "outliers": outliers,
+    "top_category": top_category,
+    "equals": equals,
+    "recent_window": recent_window,
+}
+
+
+def available_templates() -> list[str]:
+    """Names accepted by :func:`build_template`."""
+    return sorted(_TEMPLATES)
+
+
+def build_template(name: str, table: Table, **params) -> RowSelectQuery:
+    """Instantiate template ``name`` for ``table`` with ``params``."""
+    try:
+        template = _TEMPLATES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown template {name!r}; available: {available_templates()}"
+        ) from None
+    return template(table, **params)

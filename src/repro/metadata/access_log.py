@@ -1,0 +1,135 @@
+"""Access-pattern tracking ("SEEDB tracks access patterns for each table",
+§3.3 access-frequency pruning).
+
+Every query SeeDB sees is recorded: which columns its predicate touched,
+which were grouped, which were aggregated. Frequencies feed the
+access-frequency pruner; an optional exponential decay ages out stale
+history so the tracker adapts as analyst interest shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery, RowSelectQuery
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class AccessLog:
+    """Per-table, per-column access counters.
+
+    ``decay`` ∈ (0, 1]: each recorded query first multiplies existing
+    counts by ``decay`` (1.0 = no forgetting).
+    """
+
+    decay: float = 1.0
+    _counts: dict[str, dict[str, float]] = field(default_factory=dict)
+    _queries_recorded: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.decay <= 1.0):
+            raise ConfigError(f"decay must be in (0, 1], got {self.decay}")
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_query(self, query) -> None:
+        """Record one analyst query (any logical query shape)."""
+        columns: set[str] = set()
+        if isinstance(query, RowSelectQuery):
+            if query.predicate is not None:
+                columns |= query.predicate.referenced_columns()
+        elif isinstance(query, (AggregateQuery, GroupingSetsQuery)):
+            if query.predicate is not None:
+                columns |= query.predicate.referenced_columns()
+            key_sets = (
+                query.sets if isinstance(query, GroupingSetsQuery) else (query.group_by,)
+            )
+            for key_set in key_sets:
+                for key in key_set:
+                    if isinstance(key, FlagColumn):
+                        columns |= key.predicate.referenced_columns()
+                    else:
+                        columns.add(key)
+            for aggregate in query.aggregates:
+                if aggregate.column is not None:
+                    columns.add(aggregate.column)
+        else:
+            raise ConfigError(f"cannot record query type {type(query).__name__}")
+        self.record_columns(query.table, columns)
+
+    def record_columns(self, table: str, columns: "set[str] | list[str]") -> None:
+        """Record a direct column-access event (e.g. from an external log)."""
+        table_counts = self._counts.setdefault(table, {})
+        if self.decay < 1.0:
+            for name in table_counts:
+                table_counts[name] *= self.decay
+        for name in columns:
+            table_counts[name] = table_counts.get(name, 0.0) + 1.0
+        self._queries_recorded += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def queries_recorded(self) -> int:
+        """Total number of recorded access events."""
+        return self._queries_recorded
+
+    def count(self, table: str, column: str) -> float:
+        """(Decayed) access count of one column."""
+        return self._counts.get(table, {}).get(column, 0.0)
+
+    def frequency(self, table: str, column: str) -> float:
+        """Access count normalized by the most-accessed column of ``table``.
+
+        Returns 1.0 for every column when the table has no history at all,
+        so that a cold-start log never causes pruning.
+        """
+        table_counts = self._counts.get(table)
+        if not table_counts:
+            return 1.0
+        peak = max(table_counts.values())
+        if peak <= 0:
+            return 1.0
+        return self.count(table, column) / peak
+
+    def most_accessed(self, table: str, k: int = 10) -> list[tuple[str, float]]:
+        """Top-k (column, count) pairs for ``table``, descending."""
+        table_counts = self._counts.get(table, {})
+        ranked = sorted(table_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    # Persistence — the "SEEDB specific tables" of §3.1: access history
+    # survives across sessions so frequency pruning keeps learning.
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the log as JSON to ``path``."""
+        import json
+        from pathlib import Path
+
+        payload = {
+            "decay": self.decay,
+            "queries_recorded": self._queries_recorded,
+            "counts": self._counts,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "AccessLog":
+        """Read a log previously written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        payload = json.loads(Path(path).read_text())
+        log = cls(decay=payload.get("decay", 1.0))
+        log._counts = {
+            table: dict(columns) for table, columns in payload["counts"].items()
+        }
+        log._queries_recorded = int(payload.get("queries_recorded", 0))
+        return log

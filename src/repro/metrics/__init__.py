@@ -1,0 +1,47 @@
+"""Distance metrics between view distributions (paper §2).
+
+A view's *utility* is the distance between two probability distributions:
+the view evaluated on the query's rows (target) and on the whole table
+(comparison). This package provides the normalization/alignment machinery
+and the metric set the paper names — Earth Mover's Distance, Euclidean
+distance, Kullback-Leibler divergence, Jensen-Shannon distance — plus
+extension metrics (chi-square, total variation, max deviation), behind one
+registry so SeeDB "is not tied to any particular metric" (§1 challenge a).
+"""
+
+from repro.metrics.base import DistanceMetric
+from repro.metrics.normalize import (
+    NormalizationPolicy,
+    align_series,
+    normalize_distribution,
+)
+from repro.metrics.euclidean import EuclideanDistance
+from repro.metrics.emd import EarthMoversDistance
+from repro.metrics.kl import KLDivergence
+from repro.metrics.jensen_shannon import JensenShannonDistance
+from repro.metrics.chisquare import ChiSquareDistance
+from repro.metrics.total_variation import TotalVariationDistance
+from repro.metrics.maxdev import MaxDeviationDistance
+from repro.metrics.hellinger import HellingerDistance
+from repro.metrics.significance import SignificanceResult, view_significance
+from repro.metrics.registry import available_metrics, get_metric, register_metric
+
+__all__ = [
+    "DistanceMetric",
+    "NormalizationPolicy",
+    "align_series",
+    "normalize_distribution",
+    "EuclideanDistance",
+    "EarthMoversDistance",
+    "KLDivergence",
+    "JensenShannonDistance",
+    "ChiSquareDistance",
+    "TotalVariationDistance",
+    "MaxDeviationDistance",
+    "HellingerDistance",
+    "SignificanceResult",
+    "view_significance",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+]

@@ -1,0 +1,62 @@
+"""Distance-metric interface.
+
+Every metric maps two aligned probability vectors to a non-negative float.
+Higher distance = more deviation = more "potentially interesting" (§2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import MetricError
+
+
+class DistanceMetric:
+    """Base class for distances between probability distributions.
+
+    Subclasses implement :meth:`_distance` on validated inputs; the public
+    :meth:`distance` performs shared validation so every metric rejects
+    malformed input identically.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    #: Whether larger support (more groups) systematically inflates the
+    #: metric (relevant when comparing utilities across views — EMD over
+    #: positions does, which is why the default normalizes it).
+    scale_sensitive: bool = False
+
+    def distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Distance between distributions ``p`` and ``q``.
+
+        Both must be 1-D, equal-length, non-negative and ≈sum-to-1; use
+        :func:`repro.metrics.normalize.normalize_distribution` first.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        if p.ndim != 1 or q.ndim != 1:
+            raise MetricError("distributions must be 1-D arrays")
+        if p.shape != q.shape:
+            raise MetricError(
+                f"distributions differ in length: {p.shape[0]} vs {q.shape[0]}; "
+                "align them with align_series() first"
+            )
+        if p.size == 0:
+            raise MetricError("distributions must be non-empty")
+        if np.any(p < 0) or np.any(q < 0):
+            raise MetricError("distributions must be non-negative")
+        for label, vector in (("p", p), ("q", q)):
+            total = vector.sum()
+            if not np.isclose(total, 1.0, atol=1e-6):
+                raise MetricError(
+                    f"{label} sums to {total:.6f}, expected 1; "
+                    "normalize with normalize_distribution() first"
+                )
+        return float(self._distance(p, q))
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,22 @@
+"""Chi-square distance (extension metric beyond the four the paper names)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+
+
+class ChiSquareDistance(DistanceMetric):
+    """Symmetric chi-square: ``0.5 * sum (p-q)^2 / (p+q)``; range [0, 1].
+
+    Bins where both distributions are zero contribute nothing.
+    """
+
+    name = "chisquare"
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        total = p + q
+        mask = total > 0
+        diff = p[mask] - q[mask]
+        return float(0.5 * np.sum(diff * diff / total[mask]))

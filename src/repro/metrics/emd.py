@@ -1,0 +1,37 @@
+"""Earth Mover's Distance (1-D Wasserstein-1) — named in paper §2.
+
+For distributions over ``n`` ordered bins at unit spacing the EMD has the
+closed form ``sum_i |CDF_p(i) - CDF_q(i)|``. View group keys are sorted
+before normalization (see :func:`repro.metrics.normalize.align_series`), so
+bin order is deterministic even for categorical dimensions — the same
+convention the SeeDB prototype used, treating the i-th group as position i.
+
+``normalized=True`` (default) divides by ``n - 1`` so the result lies in
+[0, 1] regardless of group count; otherwise views with more groups would
+dominate the top-k purely by support size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+
+
+class EarthMoversDistance(DistanceMetric):
+    """1-D EMD between distributions over equally spaced ordered bins."""
+
+    name = "emd"
+
+    def __init__(self, normalized: bool = True):
+        self.normalized = normalized
+        self.scale_sensitive = not normalized
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        work = float(np.sum(np.abs(np.cumsum(p) - np.cumsum(q))))
+        if self.normalized and p.size > 1:
+            return work / (p.size - 1)
+        return work
+
+    def __repr__(self) -> str:
+        return f"EarthMoversDistance(normalized={self.normalized})"

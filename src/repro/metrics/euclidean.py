@@ -1,0 +1,16 @@
+"""Euclidean (L2) distance — one of the four metrics the paper names."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+
+
+class EuclideanDistance(DistanceMetric):
+    """``sqrt(sum_i (p_i - q_i)^2)``; range [0, sqrt(2)] on distributions."""
+
+    name = "euclidean"
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        return float(np.sqrt(np.sum((p - q) ** 2)))

@@ -1,0 +1,46 @@
+"""Kullback-Leibler divergence — named in paper §2.
+
+KL(p‖q) is infinite wherever ``q`` has zero mass but ``p`` does not, which
+happens constantly with view distributions (the target view often has
+groups the comparison lacks, and vice versa after alignment fills zeros).
+Additive smoothing with renormalization keeps every score finite while
+preserving the ordering between clearly-different and clearly-similar views;
+the smoothing constant is configurable and its effect is exercised in the
+test suite (an ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+from repro.util.errors import MetricError
+
+
+def smooth(p: np.ndarray, epsilon: float) -> np.ndarray:
+    """Additive (Laplace) smoothing: add ``epsilon`` mass per bin, renormalize."""
+    smoothed = p + epsilon
+    return smoothed / smoothed.sum()
+
+
+class KLDivergence(DistanceMetric):
+    """Smoothed KL divergence KL(target ‖ comparison), in nats.
+
+    Not symmetric and not a true metric; SeeDB only needs a deviation
+    *score*, and the paper lists K-L explicitly.
+    """
+
+    name = "kl"
+
+    def __init__(self, epsilon: float = 1e-9):
+        if epsilon <= 0:
+            raise MetricError(f"smoothing epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        ps = smooth(p, self.epsilon)
+        qs = smooth(q, self.epsilon)
+        return float(np.sum(ps * np.log(ps / qs)))
+
+    def __repr__(self) -> str:
+        return f"KLDivergence(epsilon={self.epsilon})"

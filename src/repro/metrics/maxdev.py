@@ -1,0 +1,25 @@
+"""Maximum per-group deviation (L∞; extension metric).
+
+Directly surfaces the single most deviating group, which the SeeDB frontend
+reports as view metadata ("value with maximum change", §3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+
+
+class MaxDeviationDistance(DistanceMetric):
+    """``max_i |p_i - q_i|``; range [0, 1]."""
+
+    name = "maxdev"
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        return float(np.max(np.abs(p - q)))
+
+    @staticmethod
+    def argmax_group(p: np.ndarray, q: np.ndarray) -> int:
+        """Index of the group with the largest deviation (for metadata)."""
+        return int(np.argmax(np.abs(np.asarray(p) - np.asarray(q))))

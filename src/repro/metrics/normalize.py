@@ -1,0 +1,119 @@
+"""Normalization of view results into aligned probability distributions.
+
+Paper §2: "We normalize each result table into a probability distribution,
+such that the values of f(m) sum to 1." Two practical issues the paper
+glosses over are handled explicitly here:
+
+* **Alignment** — the target view (filtered rows) may be missing groups that
+  exist in the comparison view (all rows). Distances are only meaningful
+  over a common support, so :func:`align_series` takes the union of group
+  keys (sorted for determinism) and fills absent groups with 0.
+* **Negative or NaN aggregates** — ``SUM(profit)`` can be negative and
+  ``AVG`` over an empty group is NaN. :class:`NormalizationPolicy` chooses
+  how to coerce values into valid mass: reject, shift by the minimum, or
+  take absolute values.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.util.errors import MetricError
+
+
+class NormalizationPolicy(enum.Enum):
+    """How to handle values that are not valid probability mass."""
+
+    STRICT = "strict"  # negative values raise MetricError
+    SHIFT = "shift"  # subtract the minimum (if negative) before normalizing
+    ABSOLUTE = "absolute"  # use |value|
+
+
+def normalize_distribution(
+    values: "np.ndarray | Sequence[float]",
+    policy: NormalizationPolicy = NormalizationPolicy.STRICT,
+) -> np.ndarray:
+    """Scale ``values`` into a probability vector summing to 1.
+
+    NaN entries (e.g. AVG of an empty group) contribute zero mass. An
+    all-zero vector normalizes to the uniform distribution — the natural
+    limit that keeps distances finite and makes "no data on either side"
+    compare as identical.
+    """
+    array = np.asarray(values, dtype=np.float64).copy()
+    if array.ndim != 1:
+        raise MetricError(f"expected a 1-D value array, got shape {array.shape}")
+    if array.size == 0:
+        raise MetricError("cannot normalize an empty distribution")
+    nan_mask = np.isnan(array)
+    array[nan_mask] = 0.0
+    if np.any(array < 0):
+        if policy is NormalizationPolicy.STRICT:
+            raise MetricError(
+                "negative values cannot be normalized under the STRICT policy; "
+                "use SHIFT or ABSOLUTE for measures like profit"
+            )
+        if policy is NormalizationPolicy.SHIFT:
+            array = array - array.min()
+        else:
+            array = np.abs(array)
+    total = array.sum()
+    if total <= 0 or not np.isfinite(total):
+        return np.full(array.size, 1.0 / array.size)
+    return array / total
+
+
+def align_series(
+    keys_a: Sequence[Any],
+    values_a: "np.ndarray | Sequence[float]",
+    keys_b: Sequence[Any],
+    values_b: "np.ndarray | Sequence[float]",
+    fill: float = 0.0,
+) -> tuple[list[Any], np.ndarray, np.ndarray]:
+    """Align two keyed series onto the sorted union of their keys.
+
+    Returns ``(union_keys, aligned_a, aligned_b)``. Missing groups are
+    filled with ``fill`` (0 = no mass). Duplicate keys within one series are
+    rejected: a view result must have one row per group.
+    """
+    map_a = _as_map(keys_a, values_a, "first")
+    map_b = _as_map(keys_b, values_b, "second")
+    union = sorted(set(map_a) | set(map_b), key=_sort_key)
+    aligned_a = np.array([map_a.get(key, fill) for key in union], dtype=np.float64)
+    aligned_b = np.array([map_b.get(key, fill) for key in union], dtype=np.float64)
+    return union, aligned_a, aligned_b
+
+
+def _as_map(keys: Sequence[Any], values, label: str) -> dict[Any, float]:
+    values = np.asarray(values, dtype=np.float64)
+    if len(keys) != len(values):
+        raise MetricError(
+            f"{label} series: {len(keys)} keys but {len(values)} values"
+        )
+    mapping: dict[Any, float] = {}
+    for key, value in zip(keys, values):
+        key = canonical_key(key)
+        if key in mapping:
+            raise MetricError(f"{label} series has duplicate group key {key!r}")
+        mapping[key] = float(value)
+    return mapping
+
+
+def canonical_key(key: Any) -> Any:
+    """Make numpy scalar keys hashable/comparable across array dtypes.
+
+    Group keys cross several representations (numpy scalars from the memory
+    engine, Python scalars from sqlite rows); canonicalizing to Python
+    scalars makes dict-based alignment work across backends.
+    """
+    if isinstance(key, np.generic):
+        return key.item()
+    return key
+
+
+def _sort_key(key: Any) -> tuple[str, Any]:
+    """Sort mixed-type key unions deterministically by (type name, value)."""
+    return (type(key).__name__, key)

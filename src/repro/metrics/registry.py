@@ -1,0 +1,64 @@
+"""Metric registry: look distance metrics up by name.
+
+The demo lets attendees "experiment with different distance metrics" (§4);
+the registry is what the frontend/config layer resolves those choices
+through, and it is open for extension via :func:`register_metric`.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.base import DistanceMetric
+from repro.metrics.chisquare import ChiSquareDistance
+from repro.metrics.emd import EarthMoversDistance
+from repro.metrics.euclidean import EuclideanDistance
+from repro.metrics.hellinger import HellingerDistance
+from repro.metrics.jensen_shannon import JensenShannonDistance
+from repro.metrics.kl import KLDivergence
+from repro.metrics.maxdev import MaxDeviationDistance
+from repro.metrics.total_variation import TotalVariationDistance
+from repro.util.errors import MetricError
+
+_REGISTRY: dict[str, DistanceMetric] = {}
+
+
+def register_metric(metric: DistanceMetric, replace: bool = False) -> DistanceMetric:
+    """Add ``metric`` under ``metric.name``; returns it for chaining."""
+    if not metric.name:
+        raise MetricError(f"{type(metric).__name__} has no name; set .name")
+    if metric.name in _REGISTRY and not replace:
+        raise MetricError(
+            f"metric {metric.name!r} already registered (pass replace=True)"
+        )
+    _REGISTRY[metric.name] = metric
+    return metric
+
+
+def get_metric(name: "str | DistanceMetric") -> DistanceMetric:
+    """Resolve a metric by name (or pass an instance through)."""
+    if isinstance(name, DistanceMetric):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MetricError(
+            f"unknown metric {name!r}; available: {available_metrics()}"
+        ) from None
+
+
+def available_metrics() -> list[str]:
+    """Sorted names of all registered metrics."""
+    return sorted(_REGISTRY)
+
+
+# The built-in metric set (paper §2 plus extensions).
+for _metric in (
+    EarthMoversDistance(),
+    EuclideanDistance(),
+    KLDivergence(),
+    JensenShannonDistance(),
+    ChiSquareDistance(),
+    TotalVariationDistance(),
+    MaxDeviationDistance(),
+    HellingerDistance(),
+):
+    register_metric(_metric)

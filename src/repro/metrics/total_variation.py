@@ -1,0 +1,21 @@
+"""Total variation distance (extension metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceMetric
+
+
+class TotalVariationDistance(DistanceMetric):
+    """``0.5 * sum |p_i - q_i|``; range [0, 1].
+
+    Equals the largest possible difference in probability either
+    distribution assigns to any event — an easily explained score for the
+    frontend's "value with maximum change" metadata (§3.2).
+    """
+
+    name = "total_variation"
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        return float(0.5 * np.sum(np.abs(p - q)))

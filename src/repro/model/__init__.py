@@ -1,0 +1,10 @@
+"""Shared data model: view triples and their materialized data.
+
+Lives in its own leaf package (rather than under :mod:`repro.core`) so the
+optimizer, pruning and sampling subsystems can import the vocabulary types
+without pulling in the full recommender stack.
+"""
+
+from repro.model.view import RawViewData, ScoredView, ViewSpec
+
+__all__ = ["RawViewData", "ScoredView", "ViewSpec"]

@@ -1,0 +1,145 @@
+"""View triples and their materialized data.
+
+Paper §2: "We represent V_i as a triple (a, m, f) — the view performs a
+group-by on ``a`` and applies the aggregation function ``f`` on a measure
+attribute ``m``." A :class:`ViewSpec` is that triple; it knows how to
+express its *target view* (over the query's rows D_Q) and *comparison view*
+(over the full table D) as logical queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import Expression
+from repro.db.query import AggregateQuery
+from repro.db.schema import Schema
+from repro.db.types import AttributeRole
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """A candidate view: group-by ``dimension``, aggregate ``func(measure)``.
+
+    ``measure`` is None only for ``count`` (COUNT(*)), a natural member of
+    the view space even though the paper's notation always pairs f with m.
+    Specs order lexicographically by ``(dimension, measure, func)`` with a
+    missing measure sorting first, so rankings stay deterministic.
+    """
+
+    dimension: str
+    measure: str | None
+    func: str
+
+    def __post_init__(self) -> None:
+        if self.measure is None and self.func != "count":
+            raise QueryError(
+                f"view ({self.dimension}, None, {self.func}): only 'count' "
+                "may omit the measure"
+            )
+
+    @property
+    def sort_key(self) -> tuple[str, str, str]:
+        """None-safe lexicographic ordering key."""
+        return (self.dimension, self.measure or "", self.func)
+
+    def __lt__(self, other: "ViewSpec") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "ViewSpec") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "ViewSpec") -> bool:
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "ViewSpec") -> bool:
+        return self.sort_key >= other.sort_key
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """The SELECT-list aggregate ``f(m)`` of this view."""
+        return Aggregate(self.func, self.measure)
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``f(m) by a`` label used in reports and charts."""
+        measure = self.measure if self.measure is not None else "*"
+        return f"{self.func}({measure}) by {self.dimension}"
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check the triple is well-formed for ``schema`` (raises SchemaError)."""
+        schema.require(self.dimension, AttributeRole.DIMENSION)
+        if self.measure is not None:
+            schema.require(self.measure, AttributeRole.MEASURE)
+
+    def target_query(self, table: str, predicate: Expression | None) -> AggregateQuery:
+        """``SELECT a, f(m) FROM D_Q GROUP BY a`` — the target view (§2)."""
+        return AggregateQuery(
+            table=table,
+            group_by=(self.dimension,),
+            aggregates=(self.aggregate,),
+            predicate=predicate,
+        )
+
+    def comparison_query(self, table: str) -> AggregateQuery:
+        """``SELECT a, f(m) FROM D GROUP BY a`` — the comparison view (§2)."""
+        return AggregateQuery(
+            table=table,
+            group_by=(self.dimension,),
+            aggregates=(self.aggregate,),
+            predicate=None,
+        )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass
+class RawViewData:
+    """Un-normalized series for one view, straight from query results.
+
+    Keys are group values of the view's dimension; values are the finalized
+    aggregate per group. Target and comparison may have different key sets —
+    alignment happens during scoring.
+    """
+
+    spec: ViewSpec
+    target_keys: list[Any]
+    target_values: np.ndarray
+    comparison_keys: list[Any]
+    comparison_values: np.ndarray
+
+
+@dataclass
+class ScoredView:
+    """A view with aligned distributions and its utility score.
+
+    ``groups`` / ``target_distribution`` / ``comparison_distribution`` are
+    aligned: entry i of each array refers to ``groups[i]``.
+    """
+
+    spec: ViewSpec
+    utility: float
+    groups: list[Any]
+    target_distribution: np.ndarray
+    comparison_distribution: np.ndarray
+    #: Raw (un-normalized) aggregate values, aligned with ``groups``.
+    target_values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    comparison_values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def max_deviation_group(self) -> Any:
+        """The group whose probability deviates most — frontend metadata
+        ("value with maximum change", §3.2)."""
+        if not self.groups:
+            return None
+        deltas = np.abs(self.target_distribution - self.comparison_distribution)
+        return self.groups[int(np.argmax(deltas))]
+
+    def __repr__(self) -> str:
+        return f"ScoredView({self.spec.label!r}, utility={self.utility:.4f})"

@@ -1,0 +1,61 @@
+"""View-query optimizer (§3.3 "View Query Optimizations" + Figure 4).
+
+Turns a set of candidate views into an :class:`ExecutionPlan` that
+minimizes DBMS work by sharing it:
+
+* **Combine target and comparison** — one query grouped by ``(flag, a)``
+  instead of two; the comparison view is recovered by merging partitions.
+* **Combine multiple aggregates** — views sharing a group-by attribute
+  execute as one multi-aggregate query.
+* **Combine multiple group-bys** — several dimensions per query, either via
+  shared-scan GROUPING SETS or a multi-attribute rollup that is then
+  marginalized; which dimensions may share a rollup is a bin-packing
+  problem over the working-memory budget, solved exactly (branch-and-bound,
+  the ILP of the paper) or by first-fit-decreasing.
+* **Parallel execution** — independent plan steps run on a thread pool.
+"""
+
+from repro.optimizer.combine import MergeSpec, merge_spec, merge_aux_arrays
+from repro.optimizer.binpack import (
+    PackedBins,
+    branch_and_bound_pack,
+    first_fit_decreasing,
+    pack_dimensions,
+)
+from repro.optimizer.plan import (
+    ExecutionPlan,
+    ExecutionStep,
+    FlagStep,
+    GroupByCombining,
+    MultiDimStep,
+    Planner,
+    PlannerConfig,
+    RollupStep,
+    SeparateStep,
+    ViewGroup,
+)
+from repro.optimizer.parallel import ParallelExecutor
+from repro.optimizer.cost import PlanCost, estimate_plan_cost
+
+__all__ = [
+    "MergeSpec",
+    "merge_spec",
+    "merge_aux_arrays",
+    "PackedBins",
+    "branch_and_bound_pack",
+    "first_fit_decreasing",
+    "pack_dimensions",
+    "ExecutionPlan",
+    "ExecutionStep",
+    "FlagStep",
+    "GroupByCombining",
+    "MultiDimStep",
+    "Planner",
+    "PlannerConfig",
+    "RollupStep",
+    "SeparateStep",
+    "ViewGroup",
+    "ParallelExecutor",
+    "PlanCost",
+    "estimate_plan_cost",
+]

@@ -1,0 +1,185 @@
+"""Bin-packing of group-by attributes under a working-memory budget.
+
+Paper §3.3: "the number of views that can be combined depends on the
+correlation between values of grouping attributes and system parameters
+like the working memory. Given a set of candidate views, we model the
+problem of finding the optimal combinations of views as a variant of
+bin-packing and apply ILP techniques to obtain the best solution."
+
+A rollup query grouping by dimensions ``d1..dk`` produces up to
+``∏ card(d_i)`` result groups, which must fit the memory budget. Taking
+logs turns the multiplicative capacity into classic additive bin packing:
+item weight ``log card(d)``, bin capacity ``log budget``. We provide the
+first-fit-decreasing heuristic and an exact branch-and-bound solver
+(equivalent to the paper's ILP formulation — it provably minimizes the
+number of bins, i.e. queries); benchmark E9 compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PackedBins:
+    """Result of a packing: bins of dimension names + solver metadata."""
+
+    bins: tuple[tuple[str, ...], ...]
+    solver: str
+    optimal: bool
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+
+def _validate(weights: dict[str, float], capacity: float) -> None:
+    if capacity <= 0:
+        raise ConfigError(f"capacity must be positive, got {capacity}")
+    for name, weight in weights.items():
+        if weight < 0:
+            raise ConfigError(f"item {name!r} has negative weight {weight}")
+
+
+def first_fit_decreasing(
+    weights: dict[str, float],
+    capacity: float,
+    max_items_per_bin: "int | None" = None,
+) -> PackedBins:
+    """FFD heuristic: sort by weight descending, place in the first bin
+    that fits. Items heavier than the capacity get singleton bins (they
+    cannot share a rollup with anything and execute as plain queries)."""
+    _validate(weights, capacity)
+    order = sorted(weights, key=lambda name: (-weights[name], name))
+    bin_loads: list[float] = []
+    bin_members: list[list[str]] = []
+    for name in order:
+        weight = weights[name]
+        placed = False
+        if weight <= capacity:
+            for index, load in enumerate(bin_loads):
+                if load + weight <= capacity and (
+                    max_items_per_bin is None
+                    or len(bin_members[index]) < max_items_per_bin
+                ):
+                    bin_loads[index] += weight
+                    bin_members[index].append(name)
+                    placed = True
+                    break
+        if not placed:
+            bin_loads.append(weight)
+            bin_members.append([name])
+    return PackedBins(
+        bins=tuple(tuple(members) for members in bin_members),
+        solver="ffd",
+        optimal=False,
+    )
+
+
+def branch_and_bound_pack(
+    weights: dict[str, float],
+    capacity: float,
+    max_items_per_bin: "int | None" = None,
+    node_limit: int = 200_000,
+) -> PackedBins:
+    """Exact minimum-bin packing via branch-and-bound.
+
+    Explores placements in decreasing-weight order with two classic
+    prunings: identical-load bin symmetry breaking, and the fractional
+    lower bound ``ceil(remaining_weight / capacity)``. Falls back to the
+    FFD answer if the node limit trips (and reports ``optimal=False``).
+    """
+    _validate(weights, capacity)
+    oversized = sorted(name for name, weight in weights.items() if weight > capacity)
+    packable = {
+        name: weight for name, weight in weights.items() if weight <= capacity
+    }
+    order = sorted(packable, key=lambda name: (-packable[name], name))
+    suffix_weight = [0.0] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        suffix_weight[i] = suffix_weight[i + 1] + packable[order[i]]
+
+    ffd = first_fit_decreasing(packable, capacity, max_items_per_bin)
+    best = {"bins": [list(members) for members in ffd.bins], "count": ffd.n_bins}
+    state = {"nodes": 0, "exhausted": False}
+    bins_loads: list[float] = []
+    bins_members: list[list[str]] = []
+
+    def recurse(index: int) -> None:
+        if state["nodes"] >= node_limit:
+            state["exhausted"] = True
+            return
+        state["nodes"] += 1
+        if index == len(order):
+            if len(bins_loads) < best["count"]:
+                best["count"] = len(bins_loads)
+                best["bins"] = [list(members) for members in bins_members]
+            return
+        # Fractional lower bound on additional bins needed.
+        remaining = suffix_weight[index]
+        free_space = sum(capacity - load for load in bins_loads)
+        extra_needed = max(0, math.ceil((remaining - free_space) / capacity))
+        if len(bins_loads) + extra_needed >= best["count"]:
+            return
+        name = order[index]
+        weight = packable[name]
+        tried_loads: set[float] = set()
+        for bin_index in range(len(bins_loads)):
+            load = bins_loads[bin_index]
+            if load + weight > capacity:
+                continue
+            if max_items_per_bin is not None and (
+                len(bins_members[bin_index]) >= max_items_per_bin
+            ):
+                continue
+            if load in tried_loads:  # symmetric bin, same subtree
+                continue
+            tried_loads.add(load)
+            bins_loads[bin_index] += weight
+            bins_members[bin_index].append(name)
+            recurse(index + 1)
+            bins_members[bin_index].pop()
+            bins_loads[bin_index] -= weight
+        if len(bins_loads) + 1 < best["count"]:
+            bins_loads.append(weight)
+            bins_members.append([name])
+            recurse(index + 1)
+            bins_members.pop()
+            bins_loads.pop()
+
+    recurse(0)
+    all_bins = [tuple(members) for members in best["bins"]]
+    all_bins.extend((name,) for name in oversized)
+    return PackedBins(
+        bins=tuple(all_bins),
+        solver="branch_and_bound",
+        optimal=not state["exhausted"],
+    )
+
+
+def pack_dimensions(
+    cardinalities: dict[str, int],
+    budget_cells: int,
+    max_dims_per_bin: "int | None" = None,
+    exact_threshold: int = 12,
+) -> PackedBins:
+    """Pack dimensions so each bin's cardinality product fits the budget.
+
+    ``budget_cells`` is the working-memory limit expressed as the maximum
+    number of result groups a rollup query may produce. The exact solver
+    runs up to ``exact_threshold`` dimensions; beyond that FFD is used
+    (bin packing is NP-hard; FFD is within 11/9·OPT + 1).
+    """
+    if budget_cells < 2:
+        raise ConfigError(f"budget_cells must be >= 2, got {budget_cells}")
+    weights = {
+        name: math.log(max(cardinality, 1)) for name, cardinality in cardinalities.items()
+    }
+    # Tiny epsilon headroom absorbs float rounding in the log transform.
+    capacity = math.log(budget_cells) * (1 + 1e-12) + 1e-12
+    if len(weights) <= exact_threshold:
+        return branch_and_bound_pack(weights, capacity, max_dims_per_bin)
+    return first_fit_decreasing(weights, capacity, max_dims_per_bin)

@@ -1,0 +1,72 @@
+"""Plan cost model.
+
+Deterministic work estimates used by tests and benchmarks to check that
+combining really shares work (fewer scans) before any wall-clock timing is
+involved. The unit costs mirror the engine's accounting: a query = one
+scan of its base table; a grouping-sets query = one scan on backends with
+native support, one per set otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import BackendCapabilities
+from repro.db.query import AggregateQuery, GroupingSetsQuery
+from repro.optimizer.plan import ExecutionPlan, RollupStep
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Estimated work of one plan."""
+
+    n_queries: int
+    n_scans: int
+    rows_scanned: int
+    #: Upper bound on result groups materialized across all queries.
+    result_groups: int
+
+
+def estimate_plan_cost(
+    plan: ExecutionPlan,
+    n_rows: int,
+    cardinalities: dict[str, int],
+    capabilities: BackendCapabilities,
+) -> PlanCost:
+    """Estimate queries/scans/rows/groups for ``plan`` on an ``n_rows`` table."""
+    n_queries = 0
+    n_scans = 0
+    result_groups = 0
+    for step in plan.steps:
+        for query in step.queries():
+            n_queries += 1
+            if isinstance(query, GroupingSetsQuery):
+                sets = len(query.sets)
+                n_scans += 1 if capabilities.grouping_sets else sets
+                for key_set in query.sets:
+                    result_groups += _set_groups(key_set, cardinalities)
+            else:
+                assert isinstance(query, AggregateQuery)
+                n_scans += 1
+                result_groups += _set_groups(query.group_by, cardinalities)
+        if isinstance(step, RollupStep):
+            # Marginalization re-reads the rollup result, not the base
+            # table: negligible, not counted as scans.
+            pass
+    return PlanCost(
+        n_queries=n_queries,
+        n_scans=n_scans,
+        rows_scanned=n_scans * n_rows,
+        result_groups=result_groups,
+    )
+
+
+def _set_groups(key_set, cardinalities: dict[str, int]) -> int:
+    """Upper bound on groups for one group-by key set."""
+    groups = 1
+    for key in key_set:
+        if isinstance(key, str):
+            groups *= max(cardinalities.get(key, 1), 1)
+        else:  # a flag column doubles the group count
+            groups *= 2
+    return groups

@@ -1,0 +1,236 @@
+"""Extraction of per-view series from shared query results.
+
+Plan steps produce result tables whose shape depends on the combining
+strategy (flag-partitioned, grouping-set, multi-dimensional rollup). This
+module turns any of them back into per-view :class:`RawViewData` — the
+"post-process results at the backend" the paper mentions — including the
+partition merge that recovers the comparison view and the marginalization
+that recovers single-dimension views from a rollup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.view import RawViewData, ViewSpec
+from repro.db.aggregates import Aggregate
+from repro.db.table import Table
+from repro.metrics.normalize import canonical_key
+from repro.optimizer.combine import (
+    merge_aux_arrays,
+    merge_fill_value,
+    merge_spec,
+)
+from repro.util.errors import QueryError
+
+#: Name of the virtual target/comparison flag column in combined queries.
+FLAG_NAME = "__seedb_flag"
+
+
+def table_series(table: Table, key_column: str, value_column: str):
+    """(keys, values) of a two-column view result, keys canonicalized."""
+    keys = [canonical_key(k) for k in table.column(key_column)]
+    return keys, np.asarray(table.column(value_column), dtype=np.float64)
+
+
+def aux_arrays(table: Table, aggregates: tuple[Aggregate, ...]):
+    """{alias: values} for the auxiliary aggregate columns of a result."""
+    return {
+        aggregate.alias: np.asarray(table.column(aggregate.alias), dtype=np.float64)
+        for aggregate in aggregates
+    }
+
+
+def align_aux(
+    keys_a: list,
+    arrays_a: dict[str, np.ndarray],
+    keys_b: list,
+    arrays_b: dict[str, np.ndarray],
+    aggregates: tuple[Aggregate, ...],
+):
+    """Align two partitions' aux arrays on the union of their group keys.
+
+    Missing groups get each aggregate's neutral fill (0 for sums/counts,
+    NaN for extrema). Returns ``(union_keys, aligned_a, aligned_b)``.
+    """
+    index_a = {key: i for i, key in enumerate(keys_a)}
+    index_b = {key: i for i, key in enumerate(keys_b)}
+    union = sorted(
+        set(index_a) | set(index_b), key=lambda k: (type(k).__name__, k)
+    )
+    aligned_a: dict[str, np.ndarray] = {}
+    aligned_b: dict[str, np.ndarray] = {}
+    for aggregate in aggregates:
+        fill = merge_fill_value(aggregate)
+        values_a = arrays_a[aggregate.alias]
+        values_b = arrays_b[aggregate.alias]
+        aligned_a[aggregate.alias] = np.array(
+            [values_a[index_a[k]] if k in index_a else fill for k in union]
+        )
+        aligned_b[aggregate.alias] = np.array(
+            [values_b[index_b[k]] if k in index_b else fill for k in union]
+        )
+    return union, aligned_a, aligned_b
+
+
+def raw_from_flag_table(
+    result: Table,
+    dimension: str,
+    views: tuple[ViewSpec, ...],
+    flag_name: str = FLAG_NAME,
+) -> dict[ViewSpec, RawViewData]:
+    """Recover target and comparison series from a flag-combined result.
+
+    ``result`` is grouped by ``(flag, dimension)`` with auxiliary
+    aggregates. Target = flag=1 partition; comparison = merge of both
+    partitions (the comparison view covers the entire table, §2).
+    """
+    flags = np.asarray(result.column(flag_name))
+    target_part = result.mask(flags == 1)
+    rest_part = result.mask(flags == 0)
+
+    all_aux = _all_aux(views)
+    target_keys = [canonical_key(k) for k in target_part.column(dimension)]
+    target_aux = aux_arrays(target_part, all_aux)
+    rest_keys = [canonical_key(k) for k in rest_part.column(dimension)]
+    rest_aux = aux_arrays(rest_part, all_aux)
+
+    union, aligned_target, aligned_rest = align_aux(
+        target_keys, target_aux, rest_keys, rest_aux, all_aux
+    )
+    merged = {
+        aggregate.alias: merge_aux_arrays(
+            aggregate, aligned_target[aggregate.alias], aligned_rest[aggregate.alias]
+        )
+        for aggregate in all_aux
+    }
+
+    extracted: dict[ViewSpec, RawViewData] = {}
+    for view in views:
+        spec = merge_spec(view.aggregate)
+        extracted[view] = RawViewData(
+            spec=view,
+            target_keys=list(target_keys),
+            target_values=spec.reconstruct(target_aux),
+            comparison_keys=list(union),
+            comparison_values=spec.reconstruct(merged),
+        )
+    return extracted
+
+
+def raw_from_separate_tables(
+    target_result: Table,
+    comparison_result: Table,
+    dimension: str,
+    views: tuple[ViewSpec, ...],
+    use_aux: bool = False,
+) -> dict[ViewSpec, RawViewData]:
+    """Per-view series from separate target and comparison results.
+
+    ``use_aux=True`` when the queries carried decomposed auxiliary
+    aggregates (rollup plans); otherwise each view's own aggregate column
+    is read directly.
+    """
+    extracted: dict[ViewSpec, RawViewData] = {}
+    if use_aux:
+        all_aux = _all_aux(views)
+        target_keys = [canonical_key(k) for k in target_result.column(dimension)]
+        comparison_keys = [
+            canonical_key(k) for k in comparison_result.column(dimension)
+        ]
+        target_aux = aux_arrays(target_result, all_aux)
+        comparison_aux = aux_arrays(comparison_result, all_aux)
+        for view in views:
+            spec = merge_spec(view.aggregate)
+            extracted[view] = RawViewData(
+                spec=view,
+                target_keys=list(target_keys),
+                target_values=spec.reconstruct(target_aux),
+                comparison_keys=list(comparison_keys),
+                comparison_values=spec.reconstruct(comparison_aux),
+            )
+        return extracted
+    for view in views:
+        target_keys, target_values = table_series(
+            target_result, dimension, view.aggregate.alias
+        )
+        comparison_keys, comparison_values = table_series(
+            comparison_result, dimension, view.aggregate.alias
+        )
+        extracted[view] = RawViewData(
+            spec=view,
+            target_keys=target_keys,
+            target_values=target_values,
+            comparison_keys=comparison_keys,
+            comparison_values=comparison_values,
+        )
+    return extracted
+
+
+def marginalize(
+    result: Table,
+    dimension: str,
+    aggregates: tuple[Aggregate, ...],
+    flag_name: "str | None" = None,
+) -> Table:
+    """Project a multi-dimensional rollup result onto one dimension.
+
+    Groups the (small) result rows by ``dimension`` (and the flag, when
+    present) and merges each auxiliary aggregate across the collapsed
+    dimensions — additive aggregates sum, extrema take fmin/fmax. This is
+    the backend post-processing step of the "Combine Multiple Group-bys"
+    optimization.
+    """
+    from repro.db.groupby import factorize  # local import to avoid cycles
+    from repro.db.schema import Schema
+
+    group_columns = [dimension] if flag_name is None else [flag_name, dimension]
+    code_parts = []
+    cards = []
+    for name in group_columns:
+        codes, uniques = factorize(result.column(name))
+        code_parts.append((codes, uniques))
+        cards.append(len(uniques))
+    combined = code_parts[0][0].astype(np.int64)
+    for codes, uniques in code_parts[1:]:
+        combined = combined * len(uniques) + codes
+    unique_codes, first_index, compact = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    n_groups = len(unique_codes)
+
+    arrays: dict[str, np.ndarray] = {
+        name: result.column(name)[first_index] for name in group_columns
+    }
+    for aggregate in aggregates:
+        values = np.asarray(result.column(aggregate.alias), dtype=np.float64)
+        if aggregate.func in ("sum", "count", "countv", "sumsq"):
+            mask = ~np.isnan(values)
+            # bincount returns int64 for empty input; results are FLOAT.
+            merged = np.bincount(
+                compact[mask], weights=values[mask], minlength=n_groups
+            ).astype(np.float64)
+        elif aggregate.func in ("min", "max"):
+            merged = np.full(n_groups, np.nan)
+            ufunc = np.fmin if aggregate.func == "min" else np.fmax
+            ufunc.at(merged, compact, values)
+        else:
+            raise QueryError(
+                f"cannot marginalize non-distributive aggregate {aggregate.func!r}"
+            )
+        arrays[aggregate.alias] = merged
+
+    specs = tuple(
+        result.schema[name] for name in group_columns
+    ) + tuple(result.schema[aggregate.alias] for aggregate in aggregates)
+    return Table(f"{result.name}_marg_{dimension}", Schema(specs), arrays)
+
+
+def _all_aux(views: tuple[ViewSpec, ...]) -> tuple[Aggregate, ...]:
+    """Deduped auxiliary aggregates needed by ``views``."""
+    from repro.optimizer.combine import dedup_aggregates
+
+    collected: list[Aggregate] = []
+    for view in views:
+        collected.extend(merge_spec(view.aggregate).aux)
+    return dedup_aggregates(collected)

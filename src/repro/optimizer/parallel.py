@@ -1,0 +1,89 @@
+"""Parallel plan execution (§3.3 "Parallel Query Execution").
+
+"We observe that as the number of queries executed in parallel increases,
+the total latency decreases at the cost of increased per query execution
+time." Plan steps are independent by construction, so they map naturally
+onto a thread pool. Per-step wall-clock latencies are recorded so
+benchmark E11 can report exactly that total-vs-per-query trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.backends.base import Backend
+from repro.model.view import RawViewData, ViewSpec
+from repro.optimizer.plan import ExecutionPlan, ExecutionStep
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class ParallelRunReport:
+    """Timing evidence from one parallel plan run."""
+
+    n_workers: int
+    total_seconds: float
+    step_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_step_seconds(self) -> float:
+        if not self.step_seconds:
+            return 0.0
+        return sum(self.step_seconds) / len(self.step_seconds)
+
+    @property
+    def max_step_seconds(self) -> float:
+        return max(self.step_seconds, default=0.0)
+
+
+class ParallelExecutor:
+    """Runs plan steps concurrently on a thread pool.
+
+    ``n_workers=1`` degenerates to sequential execution (the baseline the
+    parallelism benchmark compares against).
+    """
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def run(
+        self, plan: ExecutionPlan, backend: Backend
+    ) -> tuple[dict[ViewSpec, RawViewData], ParallelRunReport]:
+        """Execute ``plan``; returns extracted data and a timing report."""
+        start = time.perf_counter()
+        extracted: dict[ViewSpec, RawViewData] = {}
+        step_seconds: list[float] = []
+
+        if self.n_workers == 1 or len(plan.steps) <= 1:
+            for step in plan.steps:
+                result, elapsed = _timed_run(step, backend)
+                extracted.update(result)
+                step_seconds.append(elapsed)
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = [
+                    pool.submit(_timed_run, step, backend) for step in plan.steps
+                ]
+                for future in futures:
+                    result, elapsed = future.result()
+                    extracted.update(result)
+                    step_seconds.append(elapsed)
+
+        report = ParallelRunReport(
+            n_workers=self.n_workers,
+            total_seconds=time.perf_counter() - start,
+            step_seconds=step_seconds,
+        )
+        return extracted, report
+
+
+def _timed_run(
+    step: ExecutionStep, backend: Backend
+) -> tuple[dict[ViewSpec, RawViewData], float]:
+    start = time.perf_counter()
+    result = step.run(backend)
+    return result, time.perf_counter() - start

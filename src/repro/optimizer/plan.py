@@ -1,0 +1,471 @@
+"""Execution plans: how view queries are combined and executed.
+
+The Planner maps candidate views + optimizer toggles onto a list of
+:class:`ExecutionStep` objects. Each step knows its logical queries and how
+to extract per-view raw series from their results. Step types, from no
+sharing to maximal sharing:
+
+* :class:`SeparateStep` — target and comparison as two queries (basic
+  framework; with aggregate-combining the group still shares one pair).
+* :class:`FlagStep` — one query ``GROUP BY (flag, a)`` serving both sides.
+* :class:`MultiDimStep` — several dimensions in one GROUPING SETS query
+  (shared scan where the backend supports it).
+* :class:`RollupStep` — several dimensions in one multi-attribute group-by,
+  marginalized in post-processing; dimension sets chosen by bin-packing
+  under the working-memory budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.backends.base import Backend, BackendCapabilities
+from repro.model.view import RawViewData, ViewSpec
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import Expression, TruePredicate
+from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery
+from repro.optimizer.binpack import pack_dimensions
+from repro.optimizer.combine import dedup_aggregates, merge_spec
+from repro.optimizer.extract import (
+    FLAG_NAME,
+    marginalize,
+    raw_from_flag_table,
+    raw_from_separate_tables,
+)
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ViewGroup:
+    """Views sharing one group-by dimension (the unit of aggregate combining)."""
+
+    dimension: str
+    views: tuple[ViewSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.views:
+            raise ConfigError("a view group needs at least one view")
+        for view in self.views:
+            if view.dimension != self.dimension:
+                raise ConfigError(
+                    f"view {view.label!r} does not group by {self.dimension!r}"
+                )
+
+    @property
+    def direct_aggregates(self) -> tuple[Aggregate, ...]:
+        """The views' own aggregates, deduped (for separate-query plans)."""
+        return dedup_aggregates([view.aggregate for view in self.views])
+
+    @property
+    def aux_aggregates(self) -> tuple[Aggregate, ...]:
+        """Decomposed mergeable aggregates, deduped (for shared plans)."""
+        collected: list[Aggregate] = []
+        for view in self.views:
+            collected.extend(merge_spec(view.aggregate).aux)
+        return dedup_aggregates(collected)
+
+
+class ExecutionStep:
+    """One unit of plan execution (independent of any other step)."""
+
+    table: str
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        raise NotImplementedError
+
+    def queries(self) -> list:
+        """The logical queries this step will issue (for costing/tests)."""
+        raise NotImplementedError
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        """Execute against ``backend`` and extract per-view raw series."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class SeparateStep(ExecutionStep):
+    """Target and comparison view queries executed independently."""
+
+    table: str
+    predicate: "Expression | None"
+    group: ViewGroup
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        return self.group.views
+
+    def queries(self) -> list:
+        aggregates = self.group.direct_aggregates
+        return [
+            AggregateQuery(
+                self.table, (self.group.dimension,), aggregates, self.predicate
+            ),
+            AggregateQuery(self.table, (self.group.dimension,), aggregates, None),
+        ]
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        target_query, comparison_query = self.queries()
+        target_result = backend.execute(target_query)
+        comparison_result = backend.execute(comparison_query)
+        return raw_from_separate_tables(
+            target_result, comparison_result, self.group.dimension, self.group.views
+        )
+
+    def describe(self) -> str:
+        return (
+            f"separate[{self.group.dimension}: "
+            f"{len(self.group.views)} view(s), 2 queries]"
+        )
+
+
+@dataclass
+class FlagStep(ExecutionStep):
+    """One combined query ``GROUP BY (flag, a)`` for target + comparison."""
+
+    table: str
+    predicate: "Expression | None"
+    group: ViewGroup
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        return self.group.views
+
+    def _flag(self) -> FlagColumn:
+        predicate = self.predicate if self.predicate is not None else TruePredicate()
+        return FlagColumn(FLAG_NAME, predicate)
+
+    def queries(self) -> list:
+        return [
+            AggregateQuery(
+                self.table,
+                (self._flag(), self.group.dimension),
+                self.group.aux_aggregates,
+                None,
+            )
+        ]
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        (query,) = self.queries()
+        result = backend.execute(query)
+        return raw_from_flag_table(result, self.group.dimension, self.group.views)
+
+    def describe(self) -> str:
+        return (
+            f"flag[{self.group.dimension}: "
+            f"{len(self.group.views)} view(s), 1 query]"
+        )
+
+
+@dataclass
+class MultiDimStep(ExecutionStep):
+    """Several dimensions per query via GROUPING SETS."""
+
+    table: str
+    predicate: "Expression | None"
+    groups: tuple[ViewGroup, ...]
+    combine_flag: bool
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        return tuple(view for group in self.groups for view in group.views)
+
+    def _flag(self) -> FlagColumn:
+        predicate = self.predicate if self.predicate is not None else TruePredicate()
+        return FlagColumn(FLAG_NAME, predicate)
+
+    def _aggregates(self) -> tuple[Aggregate, ...]:
+        collected: list[Aggregate] = []
+        for group in self.groups:
+            collected.extend(
+                group.aux_aggregates if self.combine_flag else group.direct_aggregates
+            )
+        return dedup_aggregates(collected)
+
+    def queries(self) -> list:
+        aggregates = self._aggregates()
+        if self.combine_flag:
+            flag = self._flag()
+            sets = tuple((flag, group.dimension) for group in self.groups)
+            return [GroupingSetsQuery(self.table, sets, aggregates, None)]
+        sets = tuple((group.dimension,) for group in self.groups)
+        return [
+            GroupingSetsQuery(self.table, sets, aggregates, self.predicate),
+            GroupingSetsQuery(self.table, sets, aggregates, None),
+        ]
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        extracted: dict[ViewSpec, RawViewData] = {}
+        if self.combine_flag:
+            (query,) = self.queries()
+            results = backend.execute_grouping_sets(query)
+            for group, result in zip(self.groups, results):
+                extracted.update(
+                    raw_from_flag_table(result, group.dimension, group.views)
+                )
+            return extracted
+        target_query, comparison_query = self.queries()
+        target_results = backend.execute_grouping_sets(target_query)
+        comparison_results = backend.execute_grouping_sets(comparison_query)
+        for group, target_result, comparison_result in zip(
+            self.groups, target_results, comparison_results
+        ):
+            extracted.update(
+                raw_from_separate_tables(
+                    target_result, comparison_result, group.dimension, group.views
+                )
+            )
+        return extracted
+
+    def describe(self) -> str:
+        dimensions = [group.dimension for group in self.groups]
+        n_queries = 1 if self.combine_flag else 2
+        return f"grouping_sets[{dimensions}, {n_queries} query(ies)]"
+
+
+@dataclass
+class RollupStep(ExecutionStep):
+    """One multi-attribute group-by, marginalized per dimension afterwards."""
+
+    table: str
+    predicate: "Expression | None"
+    groups: tuple[ViewGroup, ...]
+    combine_flag: bool
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        return tuple(view for group in self.groups for view in group.views)
+
+    def _flag(self) -> FlagColumn:
+        predicate = self.predicate if self.predicate is not None else TruePredicate()
+        return FlagColumn(FLAG_NAME, predicate)
+
+    def _aggregates(self) -> tuple[Aggregate, ...]:
+        collected: list[Aggregate] = []
+        for group in self.groups:
+            collected.extend(group.aux_aggregates)
+        return dedup_aggregates(collected)
+
+    def _dimensions(self) -> tuple[str, ...]:
+        return tuple(group.dimension for group in self.groups)
+
+    def queries(self) -> list:
+        aggregates = self._aggregates()
+        if self.combine_flag:
+            group_by = (self._flag(),) + self._dimensions()
+            return [AggregateQuery(self.table, group_by, aggregates, None)]
+        return [
+            AggregateQuery(self.table, self._dimensions(), aggregates, self.predicate),
+            AggregateQuery(self.table, self._dimensions(), aggregates, None),
+        ]
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        aggregates = self._aggregates()
+        extracted: dict[ViewSpec, RawViewData] = {}
+        if self.combine_flag:
+            (query,) = self.queries()
+            rollup = backend.execute(query)
+            for group in self.groups:
+                marginal = marginalize(
+                    rollup, group.dimension, aggregates, flag_name=FLAG_NAME
+                )
+                extracted.update(
+                    raw_from_flag_table(marginal, group.dimension, group.views)
+                )
+            return extracted
+        target_query, comparison_query = self.queries()
+        target_rollup = backend.execute(target_query)
+        comparison_rollup = backend.execute(comparison_query)
+        for group in self.groups:
+            target_marginal = marginalize(target_rollup, group.dimension, aggregates)
+            comparison_marginal = marginalize(
+                comparison_rollup, group.dimension, aggregates
+            )
+            extracted.update(
+                raw_from_separate_tables(
+                    target_marginal,
+                    comparison_marginal,
+                    group.dimension,
+                    group.views,
+                    use_aux=True,
+                )
+            )
+        return extracted
+
+    def describe(self) -> str:
+        n_queries = 1 if self.combine_flag else 2
+        return f"rollup[{list(self._dimensions())}, {n_queries} query(ies)]"
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered list of independent steps covering every candidate view."""
+
+    steps: list[ExecutionStep]
+
+    @property
+    def views(self) -> tuple[ViewSpec, ...]:
+        return tuple(view for step in self.steps for view in step.views)
+
+    def total_queries(self) -> int:
+        """DBMS round trips the plan will issue (grouping-sets fallback on
+        backends without native support may add more — see cost model)."""
+        return sum(len(step.queries()) for step in self.steps)
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        """Execute all steps sequentially."""
+        extracted: dict[ViewSpec, RawViewData] = {}
+        for step in self.steps:
+            extracted.update(step.run(backend))
+        return extracted
+
+    def describe(self) -> str:
+        lines = [f"plan: {len(self.steps)} step(s), {self.total_queries()} query(ies)"]
+        lines.extend(f"  {step.describe()}" for step in self.steps)
+        return "\n".join(lines)
+
+
+class GroupByCombining(enum.Enum):
+    """Strategy for the "Combine Multiple Group-bys" optimization."""
+
+    NONE = "none"
+    GROUPING_SETS = "grouping_sets"
+    ROLLUP = "rollup"
+    AUTO = "auto"  # grouping sets if the backend supports them, else rollup
+
+
+@dataclass
+class PlannerConfig:
+    """Optimizer toggles — the demo Scenario 2 "knobs" (§4)."""
+
+    combine_target_comparison: bool = True
+    combine_aggregates: bool = True
+    groupby_combining: GroupByCombining = GroupByCombining.NONE
+    #: Rollup working-memory budget: max result groups per rollup query.
+    memory_budget_cells: int = 100_000
+    #: Upper bound on dimensions per combined query (keeps post-processing
+    #: and GROUPING SETS statements manageable).
+    max_dims_per_query: int = 8
+    #: Use the exact bin-packing solver up to this many dimensions.
+    binpack_exact_threshold: int = 12
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_cells < 2:
+            raise ConfigError("memory_budget_cells must be >= 2")
+        if self.max_dims_per_query < 1:
+            raise ConfigError("max_dims_per_query must be >= 1")
+
+
+class Planner:
+    """Builds an :class:`ExecutionPlan` from views and optimizer toggles."""
+
+    def __init__(self, config: "PlannerConfig | None" = None):
+        self.config = config if config is not None else PlannerConfig()
+
+    def plan(
+        self,
+        views: list[ViewSpec],
+        table: str,
+        predicate: "Expression | None",
+        cardinalities: dict[str, int],
+        capabilities: BackendCapabilities,
+    ) -> ExecutionPlan:
+        """Plan execution of ``views`` against ``table``.
+
+        ``cardinalities`` (dimension -> distinct count) comes from the
+        metadata collector and drives bin-packing; a dimension missing from
+        it is conservatively treated as too large to share a rollup.
+        """
+        if not views:
+            return ExecutionPlan(steps=[])
+        config = self.config
+        mode = config.groupby_combining
+        if mode is GroupByCombining.AUTO:
+            mode = (
+                GroupByCombining.GROUPING_SETS
+                if capabilities.grouping_sets
+                else GroupByCombining.ROLLUP
+            )
+
+        # Group-by combining subsumes aggregate combining within its merged
+        # queries (a shared query necessarily carries all the aggregates).
+        by_dimension = config.combine_aggregates or mode is not GroupByCombining.NONE
+        groups = self._group_views(views, by_dimension)
+
+        if mode is GroupByCombining.NONE:
+            return ExecutionPlan(steps=[self._single_group_step(g, table, predicate) for g in groups])
+
+        if mode is GroupByCombining.GROUPING_SETS:
+            steps: list[ExecutionStep] = []
+            for chunk in _chunks(groups, config.max_dims_per_query):
+                if len(chunk) == 1:
+                    steps.append(self._single_group_step(chunk[0], table, predicate))
+                else:
+                    steps.append(
+                        MultiDimStep(
+                            table=table,
+                            predicate=predicate,
+                            groups=tuple(chunk),
+                            combine_flag=config.combine_target_comparison,
+                        )
+                    )
+            return ExecutionPlan(steps=steps)
+
+        # ROLLUP: bin-pack dimensions under the memory budget. The flag
+        # column doubles the group count, so halve the budget when combined.
+        budget = config.memory_budget_cells
+        if config.combine_target_comparison:
+            budget = max(budget // 2, 2)
+        group_by_dimension = {group.dimension: group for group in groups}
+        packing_cards = {
+            dimension: cardinalities.get(dimension, budget + 1)
+            for dimension in group_by_dimension
+        }
+        packed = pack_dimensions(
+            packing_cards,
+            budget_cells=budget,
+            max_dims_per_bin=config.max_dims_per_query,
+            exact_threshold=config.binpack_exact_threshold,
+        )
+        steps = []
+        for bin_members in packed.bins:
+            bin_groups = tuple(group_by_dimension[name] for name in bin_members)
+            if len(bin_groups) == 1:
+                steps.append(self._single_group_step(bin_groups[0], table, predicate))
+            else:
+                steps.append(
+                    RollupStep(
+                        table=table,
+                        predicate=predicate,
+                        groups=bin_groups,
+                        combine_flag=config.combine_target_comparison,
+                    )
+                )
+        return ExecutionPlan(steps=steps)
+
+    def _single_group_step(
+        self, group: ViewGroup, table: str, predicate: "Expression | None"
+    ) -> ExecutionStep:
+        if self.config.combine_target_comparison:
+            return FlagStep(table=table, predicate=predicate, group=group)
+        return SeparateStep(table=table, predicate=predicate, group=group)
+
+    @staticmethod
+    def _group_views(views: list[ViewSpec], by_dimension: bool) -> list[ViewGroup]:
+        if not by_dimension:
+            return [ViewGroup(view.dimension, (view,)) for view in views]
+        grouped: dict[str, list[ViewSpec]] = {}
+        for view in views:
+            grouped.setdefault(view.dimension, []).append(view)
+        return [
+            ViewGroup(dimension, tuple(members))
+            for dimension, members in grouped.items()
+        ]
+
+
+def _chunks(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]

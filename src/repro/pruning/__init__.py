@@ -1,0 +1,26 @@
+"""View-space pruning (§3.3 "View Space Pruning").
+
+"In practice, most views for any query Q have low utility ... SEEDB uses
+this property to aggressively prune view queries that are unlikely to have
+high utility," based purely on table metadata — no view query is executed.
+Rules are composable via :class:`PruningPipeline` and each emits a
+:class:`PruneReport` recording what it removed and why (surfaced to the
+demo frontend as the "bad views" explanation).
+"""
+
+from repro.pruning.base import PruneReport, PruningRule
+from repro.pruning.variance import VariancePruner, CardinalityPruner
+from repro.pruning.correlation import CorrelationPruner, cluster_dimensions
+from repro.pruning.access_frequency import AccessFrequencyPruner
+from repro.pruning.pipeline import PruningPipeline
+
+__all__ = [
+    "PruneReport",
+    "PruningRule",
+    "VariancePruner",
+    "CardinalityPruner",
+    "CorrelationPruner",
+    "cluster_dimensions",
+    "AccessFrequencyPruner",
+    "PruningPipeline",
+]

@@ -1,0 +1,40 @@
+"""Composable pruning pipeline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model.view import ViewSpec
+from repro.metadata.collector import TableMetadata
+from repro.pruning.base import PruneReport, PruningRule
+
+
+class PruningPipeline:
+    """Applies pruning rules in sequence, accumulating reports.
+
+    Order matters and mirrors cost: cheap statistic checks (variance,
+    cardinality) run before clustering; access-frequency runs last so its
+    frequency cutoff sees only still-viable views.
+    """
+
+    def __init__(self, rules: Sequence[PruningRule]):
+        self.rules = list(rules)
+
+    def apply(
+        self, views: list[ViewSpec], metadata: TableMetadata
+    ) -> tuple[list[ViewSpec], list[PruneReport]]:
+        """Run every rule; return surviving views and one report per rule."""
+        reports: list[PruneReport] = []
+        surviving = list(views)
+        for rule in self.rules:
+            surviving, report = rule.apply(surviving, metadata)
+            reports.append(report)
+        return surviving, reports
+
+    @staticmethod
+    def total_pruned(reports: Sequence[PruneReport]) -> int:
+        """Total views removed across all reports."""
+        return sum(report.n_pruned for report in reports)
+
+    def __repr__(self) -> str:
+        return f"PruningPipeline({[rule.name for rule in self.rules]})"

@@ -1,0 +1,33 @@
+"""Sampling (§3.3 "Sampling").
+
+"For datasets of large size ... we construct a sample of the dataset that
+can fit in memory and run all view queries against the sample. However, the
+sampling technique and size of the sample both affect view accuracy."
+
+Three samplers (Bernoulli, reservoir, stratified) and the accuracy toolkit
+that quantifies exactly that trade-off (top-k precision, Kendall's tau,
+per-view utility error) — used by benchmark E10.
+"""
+
+from repro.sampling.base import Sampler
+from repro.sampling.bernoulli import BernoulliSampler
+from repro.sampling.reservoir import ReservoirSampler, reservoir_indices
+from repro.sampling.stratified import StratifiedSampler
+from repro.sampling.accuracy import (
+    kendall_tau,
+    ranking_from_utilities,
+    topk_precision,
+    utility_errors,
+)
+
+__all__ = [
+    "Sampler",
+    "BernoulliSampler",
+    "ReservoirSampler",
+    "reservoir_indices",
+    "StratifiedSampler",
+    "kendall_tau",
+    "ranking_from_utilities",
+    "topk_precision",
+    "utility_errors",
+]

@@ -1,0 +1,92 @@
+"""Accuracy of sample-based recommendations vs. ground truth.
+
+The demo's Scenario 2 lets attendees "observe the effect on response times
+and accuracy" of the sampling optimization. These are the accuracy
+measures: per-view utility error, precision of the top-k set, and rank
+correlation (Kendall's tau) over the whole view space.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.model.view import ViewSpec
+from repro.util.errors import SamplingError
+
+
+def ranking_from_utilities(utilities: Mapping[ViewSpec, float]) -> list[ViewSpec]:
+    """Views sorted by descending utility (ties broken by the spec's
+    natural order so rankings are deterministic)."""
+    return [
+        spec
+        for spec, _utility in sorted(
+            utilities.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+
+
+def topk_precision(
+    true_utilities: Mapping[ViewSpec, float],
+    estimated_utilities: Mapping[ViewSpec, float],
+    k: int,
+) -> float:
+    """|top-k(true) ∩ top-k(estimated)| / k.
+
+    The metric SeeDB cares most about: does the sampled run surface the
+    same recommended views as the exact run?
+    """
+    if k <= 0:
+        raise SamplingError(f"k must be positive, got {k}")
+    true_top = set(ranking_from_utilities(true_utilities)[:k])
+    estimated_top = set(ranking_from_utilities(estimated_utilities)[:k])
+    if not true_top:
+        return 1.0
+    return len(true_top & estimated_top) / min(k, len(true_top))
+
+
+def kendall_tau(
+    true_utilities: Mapping[ViewSpec, float],
+    estimated_utilities: Mapping[ViewSpec, float],
+) -> float:
+    """Kendall's tau-b between the two utility orderings over common views."""
+    common = sorted(set(true_utilities) & set(estimated_utilities))
+    if len(common) < 2:
+        return 1.0
+    true_values = [true_utilities[spec] for spec in common]
+    estimated_values = [estimated_utilities[spec] for spec in common]
+    tau, _p_value = scipy_stats.kendalltau(true_values, estimated_values)
+    if np.isnan(tau):  # constant rankings
+        return 1.0
+    return float(tau)
+
+
+def utility_errors(
+    true_utilities: Mapping[ViewSpec, float],
+    estimated_utilities: Mapping[ViewSpec, float],
+) -> dict[str, float]:
+    """Mean / max absolute utility error over common views."""
+    common = sorted(set(true_utilities) & set(estimated_utilities))
+    if not common:
+        return {"mean_abs_error": 0.0, "max_abs_error": 0.0}
+    errors = np.array(
+        [abs(true_utilities[spec] - estimated_utilities[spec]) for spec in common]
+    )
+    return {
+        "mean_abs_error": float(errors.mean()),
+        "max_abs_error": float(errors.max()),
+    }
+
+
+def views_ranked_overlap(
+    ranking_a: Sequence[ViewSpec], ranking_b: Sequence[ViewSpec], k: int
+) -> float:
+    """Overlap fraction of two precomputed rankings' top-k prefixes."""
+    if k <= 0:
+        raise SamplingError(f"k must be positive, got {k}")
+    top_a, top_b = set(ranking_a[:k]), set(ranking_b[:k])
+    if not top_a:
+        return 1.0
+    return len(top_a & top_b) / len(top_a)

@@ -1,0 +1,30 @@
+"""Sampler interface."""
+
+from __future__ import annotations
+
+from repro.db.table import Table
+from repro.util.rng import derive_rng
+
+
+class Sampler:
+    """Base class: produce a row sample of a table.
+
+    Samplers are deterministic given a seed, so experiments are repeatable
+    and the memory/sqlite backends produce comparable samples.
+    """
+
+    name: str = ""
+
+    def sample(self, table: Table, seed: "int | None" = None) -> Table:
+        """Return a sampled copy of ``table`` (named ``<table>_sample``)."""
+        rng = derive_rng(seed)
+        indices = self.sample_indices(table, rng)
+        return table.take(indices, name=f"{table.name}_sample")
+
+    def sample_indices(self, table: Table, rng):
+        """Sorted row indices to keep (subclasses implement)."""
+        raise NotImplementedError
+
+    def expected_rows(self, n_rows: int) -> float:
+        """Expected sample size for an ``n_rows`` table."""
+        raise NotImplementedError

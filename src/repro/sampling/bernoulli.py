@@ -1,0 +1,37 @@
+"""Bernoulli (uniform row) sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.sampling.base import Sampler
+from repro.util.errors import SamplingError
+
+
+class BernoulliSampler(Sampler):
+    """Keep each row independently with probability ``fraction``.
+
+    The simplest sampler and the one whose group-level counts are unbiased
+    estimators of the full-data counts scaled by 1/fraction — utilities on
+    normalized distributions need no rescaling at all.
+    """
+
+    name = "bernoulli"
+
+    def __init__(self, fraction: float):
+        if not (0.0 < fraction <= 1.0):
+            raise SamplingError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def sample_indices(self, table: Table, rng) -> np.ndarray:
+        if self.fraction >= 1.0:
+            return np.arange(table.num_rows)
+        keep = rng.random(table.num_rows) < self.fraction
+        return np.flatnonzero(keep)
+
+    def expected_rows(self, n_rows: int) -> float:
+        return n_rows * self.fraction
+
+    def __repr__(self) -> str:
+        return f"BernoulliSampler(fraction={self.fraction})"

@@ -1,0 +1,69 @@
+"""Reservoir sampling: fixed-size uniform samples.
+
+Matches the paper's "construct a sample of the dataset that can fit in
+memory": the sample size is an absolute budget, not a fraction. Two
+implementations:
+
+* :func:`reservoir_indices` — the classic streaming Algorithm R over an
+  iterator of unknown length (exercised by property tests; this is what a
+  wrapper would run against a DBMS cursor).
+* :class:`ReservoirSampler` — vectorized equivalent when the row count is
+  known (draw-without-replacement), used on in-memory tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.sampling.base import Sampler
+from repro.util.errors import SamplingError
+from repro.util.rng import derive_rng
+
+
+def reservoir_indices(
+    stream: Iterable, capacity: int, seed: "int | None" = None
+) -> list[int]:
+    """Indices of a uniform ``capacity``-subset of ``stream`` (Algorithm R).
+
+    Single pass, O(capacity) memory, works when the stream length is
+    unknown upfront — the property every streaming sampler needs.
+    """
+    if capacity <= 0:
+        raise SamplingError(f"capacity must be positive, got {capacity}")
+    rng = derive_rng(seed)
+    reservoir: list[int] = []
+    for index, _item in enumerate(stream):
+        if index < capacity:
+            reservoir.append(index)
+        else:
+            slot = int(rng.integers(0, index + 1))
+            if slot < capacity:
+                reservoir[slot] = index
+    return sorted(reservoir)
+
+
+class ReservoirSampler(Sampler):
+    """Uniform sample of exactly ``min(capacity, n_rows)`` rows."""
+
+    name = "reservoir"
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise SamplingError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+
+    def sample_indices(self, table: Table, rng) -> np.ndarray:
+        n_rows = table.num_rows
+        if n_rows <= self.capacity:
+            return np.arange(n_rows)
+        chosen = rng.choice(n_rows, size=self.capacity, replace=False)
+        return np.sort(chosen)
+
+    def expected_rows(self, n_rows: int) -> float:
+        return float(min(self.capacity, n_rows))
+
+    def __repr__(self) -> str:
+        return f"ReservoirSampler(capacity={self.capacity})"

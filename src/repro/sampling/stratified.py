@@ -1,0 +1,58 @@
+"""Stratified sampling by a dimension column.
+
+Uniform sampling under-represents rare groups, which distorts exactly the
+distribution tails deviation metrics react to. Stratifying by a dimension
+guarantees every group at least ``min_per_stratum`` rows while keeping the
+overall rate close to ``fraction`` — the sampler-choice ablation of
+benchmark E10/E15 compares this against Bernoulli on skewed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.groupby import factorize
+from repro.db.table import Table
+from repro.sampling.base import Sampler
+from repro.util.errors import SamplingError
+
+
+class StratifiedSampler(Sampler):
+    """Proportional allocation per group of ``column`` with a floor."""
+
+    name = "stratified"
+
+    def __init__(self, column: str, fraction: float, min_per_stratum: int = 1):
+        if not (0.0 < fraction <= 1.0):
+            raise SamplingError(f"fraction must be in (0, 1], got {fraction}")
+        if min_per_stratum < 0:
+            raise SamplingError("min_per_stratum must be >= 0")
+        self.column = column
+        self.fraction = fraction
+        self.min_per_stratum = min_per_stratum
+
+    def sample_indices(self, table: Table, rng) -> np.ndarray:
+        codes, uniques = factorize(table.column(self.column))
+        chosen: list[np.ndarray] = []
+        for group in range(len(uniques)):
+            members = np.flatnonzero(codes == group)
+            target = max(
+                int(round(len(members) * self.fraction)),
+                min(self.min_per_stratum, len(members)),
+            )
+            if target >= len(members):
+                chosen.append(members)
+            elif target > 0:
+                chosen.append(rng.choice(members, size=target, replace=False))
+        if not chosen:
+            return np.arange(0)
+        return np.sort(np.concatenate(chosen))
+
+    def expected_rows(self, n_rows: int) -> float:
+        return n_rows * self.fraction  # floor effects make this a lower bound
+
+    def __repr__(self) -> str:
+        return (
+            f"StratifiedSampler(column={self.column!r}, fraction={self.fraction}, "
+            f"min_per_stratum={self.min_per_stratum})"
+        )

@@ -1,0 +1,21 @@
+"""SQL parser for SeeDB's input-query subset.
+
+The frontend lets analysts "directly fill in SQL into a text box" (§3.2).
+The accepted subset matches the problem statement (§2): row selections over
+one table — ``SELECT * FROM t [WHERE <predicate>]`` — plus, for
+completeness and tests, aggregate view queries
+(``SELECT a, f(m) FROM t [WHERE ...] GROUP BY a``). Hand-written lexer and
+recursive-descent parser; no dependencies.
+"""
+
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+from repro.sqlparser.parser import parse_query, parse_row_select, parse_predicate
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "parse_row_select",
+    "parse_predicate",
+]

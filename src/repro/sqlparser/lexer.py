@@ -1,0 +1,183 @@
+"""SQL lexer: text → token stream.
+
+Recognizes the token classes the SeeDB SQL subset needs: keywords (case
+insensitive), identifiers (bare or double-quoted), string literals (single
+quotes, '' escaping), numbers (int/float, scientific notation), operators,
+and punctuation. Positions are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "and",
+    "or",
+    "not",
+    "in",
+    "between",
+    "as",
+    "null",
+    "true",
+    "false",
+    "limit",
+}
+
+_OPERATOR_STARTS = "=!<>"
+_PUNCTUATION = {",": "COMMA", "(": "LPAREN", ")": "RPAREN", "*": "STAR", ";": "SEMI"}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMI = "semi"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens (EOF token appended)."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text[index : index + 2] == "--":  # line comment
+            newline = text.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType[_PUNCTUATION[char]], char, index))
+            index += 1
+            continue
+        if char in _OPERATOR_STARTS:
+            operator, index = _lex_operator(text, index)
+            tokens.append(Token(TokenType.OPERATOR, operator, index - len(operator)))
+            continue
+        if char == "'":
+            value, index = _lex_string(text, index)
+            tokens.append(Token(TokenType.STRING, value, index))
+            continue
+        if char == '"':
+            value, index = _lex_quoted_identifier(text, index)
+            tokens.append(Token(TokenType.IDENTIFIER, value, index))
+            continue
+        if char.isdigit() or (
+            char in "+-." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            value, index = _lex_number(text, index)
+            tokens.append(Token(TokenType.NUMBER, value, index))
+            continue
+        if char.isalpha() or char == "_":
+            value, index = _lex_word(text, index)
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, index - len(value)))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, value, index - len(value)))
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", position=index)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _lex_operator(text: str, index: int) -> tuple[str, int]:
+    two = text[index : index + 2]
+    if two in ("<=", ">=", "!=", "<>"):
+        return ("!=" if two == "<>" else two), index + 2
+    one = text[index]
+    if one in "=<>":
+        return one, index + 1
+    raise SqlSyntaxError(f"unexpected operator start {one!r}", position=index)
+
+
+def _lex_string(text: str, index: int) -> tuple[str, int]:
+    start = index
+    index += 1  # opening quote
+    parts: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if text[index : index + 2] == "''":  # escaped quote
+                parts.append("'")
+                index += 2
+                continue
+            return "".join(parts), index + 1
+        parts.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", position=start)
+
+
+def _lex_quoted_identifier(text: str, index: int) -> tuple[str, int]:
+    start = index
+    index += 1
+    parts: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == '"':
+            if text[index : index + 2] == '""':
+                parts.append('"')
+                index += 2
+                continue
+            return "".join(parts), index + 1
+        parts.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated quoted identifier", position=start)
+
+
+def _lex_number(text: str, index: int) -> tuple[str, int]:
+    start = index
+    if text[index] in "+-":
+        index += 1
+    seen_dot = seen_exponent = False
+    while index < len(text):
+        char = text[index]
+        if char.isdigit():
+            index += 1
+        elif char == "." and not seen_dot and not seen_exponent:
+            seen_dot = True
+            index += 1
+        elif char in "eE" and not seen_exponent and index > start:
+            seen_exponent = True
+            index += 1
+            if index < len(text) and text[index] in "+-":
+                index += 1
+        else:
+            break
+    return text[start:index], index
+
+
+def _lex_word(text: str, index: int) -> tuple[str, int]:
+    start = index
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    return text[start:index], index

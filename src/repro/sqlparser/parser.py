@@ -1,0 +1,292 @@
+"""Recursive-descent parser for the SeeDB SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query       := select_star | select_aggregate
+    select_star := SELECT '*' FROM identifier [WHERE predicate] [';']
+    select_aggregate
+                := SELECT identifier (',' agg_item)+ FROM identifier
+                   [WHERE predicate] GROUP BY identifier [';']
+    agg_item    := func '(' (identifier | '*') ')'
+    predicate   := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := unary (AND unary)*
+    unary       := NOT unary | '(' predicate ')' | condition
+    condition   := identifier (op literal | IN '(' literals ')'
+                   | [NOT] BETWEEN literal AND literal)
+
+Produces the same logical query objects the rest of the system uses, so a
+parsed query is indistinguishable from one built with the fluent API.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Union
+
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    In,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.query import AggregateQuery, RowSelectQuery
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+from repro.util.errors import SqlSyntaxError
+
+ParsedQuery = Union[RowSelectQuery, AggregateQuery]
+
+
+def parse_query(sql: str) -> ParsedQuery:
+    """Parse either query shape of the supported subset."""
+    return _Parser(sql).parse_query()
+
+
+def parse_row_select(sql: str) -> RowSelectQuery:
+    """Parse an analyst input query; rejects aggregate queries."""
+    parsed = parse_query(sql)
+    if not isinstance(parsed, RowSelectQuery):
+        raise SqlSyntaxError(
+            "expected a row-selection query (SELECT * FROM ...); "
+            "got an aggregate query"
+        )
+    return parsed
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a bare predicate (the WHERE-clause fragment)."""
+    parser = _Parser(text)
+    predicate = parser._parse_predicate()
+    parser._expect_end()
+    return predicate
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._tokens = tokenize(sql)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.matches_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()!r}, got {token.value!r}",
+                position=token.position,
+            )
+        return token
+
+    def _expect_type(self, token_type: TokenType, what: str) -> Token:
+        token = self._advance()
+        if token.type is not token_type:
+            raise SqlSyntaxError(
+                f"expected {what}, got {token.value!r}", position=token.position
+            )
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_end(self) -> None:
+        if self._peek().type is TokenType.SEMI:
+            self._advance()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {token.value!r}", position=token.position
+            )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            return self._parse_select_star_tail()
+        return self._parse_aggregate_tail()
+
+    def _parse_select_star_tail(self) -> RowSelectQuery:
+        self._expect_keyword("from")
+        table = self._expect_type(TokenType.IDENTIFIER, "a table name").value
+        predicate = None
+        if self._accept_keyword("where"):
+            predicate = self._parse_predicate()
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._expect_type(TokenType.NUMBER, "a row count")
+            try:
+                limit = int(token.value)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"LIMIT needs an integer, got {token.value!r}",
+                    position=token.position,
+                ) from None
+            if limit < 0:
+                raise SqlSyntaxError(
+                    f"LIMIT must be non-negative, got {limit}",
+                    position=token.position,
+                )
+        self._expect_end()
+        return RowSelectQuery(table=table, predicate=predicate, limit=limit)
+
+    def _parse_aggregate_tail(self) -> AggregateQuery:
+        group_column = self._expect_type(TokenType.IDENTIFIER, "a group-by column").value
+        aggregates: list[Aggregate] = []
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            aggregates.append(self._parse_aggregate_item())
+        if not aggregates:
+            raise SqlSyntaxError(
+                "aggregate query needs at least one aggregate after the "
+                "group-by column", position=self._peek().position
+            )
+        self._expect_keyword("from")
+        table = self._expect_type(TokenType.IDENTIFIER, "a table name").value
+        predicate = None
+        if self._accept_keyword("where"):
+            predicate = self._parse_predicate()
+        self._expect_keyword("group")
+        self._expect_keyword("by")
+        grouped = self._expect_type(TokenType.IDENTIFIER, "the group-by column").value
+        if grouped != group_column:
+            raise SqlSyntaxError(
+                f"GROUP BY column {grouped!r} must match the selected "
+                f"column {group_column!r}"
+            )
+        self._expect_end()
+        return AggregateQuery(
+            table=table,
+            group_by=(group_column,),
+            aggregates=tuple(aggregates),
+            predicate=predicate,
+        )
+
+    def _parse_aggregate_item(self) -> Aggregate:
+        func_token = self._expect_type(TokenType.IDENTIFIER, "an aggregate function")
+        func = func_token.value.lower()
+        self._expect_type(TokenType.LPAREN, "'('")
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            column = None
+        else:
+            column = self._expect_type(TokenType.IDENTIFIER, "a column name").value
+        self._expect_type(TokenType.RPAREN, "')'")
+        alias = ""
+        if self._accept_keyword("as"):
+            alias = self._expect_type(TokenType.IDENTIFIER, "an alias").value
+        return Aggregate(func, column, alias)
+
+    # -- predicates ---------------------------------------------------------
+
+    def _parse_predicate(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_keyword("or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_unary()]
+        while self._accept_keyword("and"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_keyword("not"):
+            return Not(self._parse_unary())
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_predicate()
+            self._expect_type(TokenType.RPAREN, "')'")
+            return inner
+        return self._parse_condition()
+
+    def _parse_condition(self) -> Expression:
+        column_token = self._expect_type(TokenType.IDENTIFIER, "a column name")
+        column = ColumnRef(column_token.value)
+        token = self._peek()
+        if token.type is TokenType.OPERATOR:
+            operator = self._advance().value
+            value = self._parse_literal()
+            op = "=" if operator == "==" else operator
+            return Comparison(op, column, Literal(value))
+        if token.matches_keyword("in"):
+            self._advance()
+            self._expect_type(TokenType.LPAREN, "'('")
+            values = [self._parse_literal()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                values.append(self._parse_literal())
+            self._expect_type(TokenType.RPAREN, "')'")
+            return In(column, tuple(values))
+        if token.matches_keyword("not"):
+            self._advance()
+            self._expect_keyword("between")
+            low = self._parse_literal()
+            self._expect_keyword("and")
+            high = self._parse_literal()
+            return Not(Between(column, low, high))
+        if token.matches_keyword("between"):
+            self._advance()
+            low = self._parse_literal()
+            self._expect_keyword("and")
+            high = self._parse_literal()
+            return Between(column, low, high)
+        raise SqlSyntaxError(
+            f"expected a comparison after column {column.name!r}, "
+            f"got {token.value!r}",
+            position=token.position,
+        )
+
+    def _parse_literal(self) -> Any:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            text = token.value
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        if token.type is TokenType.STRING:
+            return _maybe_date(token.value)
+        if token.matches_keyword("true"):
+            return True
+        if token.matches_keyword("false"):
+            return False
+        if token.matches_keyword("null"):
+            return None
+        raise SqlSyntaxError(
+            f"expected a literal, got {token.value!r}", position=token.position
+        )
+
+
+def _maybe_date(text: str) -> Any:
+    """Interpret ISO-date strings as dates so date columns compare correctly."""
+    if len(text) == 10 and text[4] == "-" and text[7] == "-":
+        try:
+            return datetime.strptime(text, "%Y-%m-%d").date()
+        except ValueError:
+            return text
+    return text

@@ -1,0 +1,28 @@
+"""Shared utilities: error types, deterministic RNG, timing, text tables."""
+
+from repro.util.errors import (
+    ReproError,
+    SchemaError,
+    QueryError,
+    BackendError,
+    MetricError,
+    ConfigError,
+)
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.timing import Stopwatch, Timer, format_duration
+from repro.util.tabulate import format_table
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "BackendError",
+    "MetricError",
+    "ConfigError",
+    "derive_rng",
+    "spawn_seeds",
+    "Stopwatch",
+    "Timer",
+    "format_duration",
+    "format_table",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SeeDB reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or an attribute reference is invalid."""
+
+
+class QueryError(ReproError):
+    """A logical query is malformed or cannot be executed."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text handed to the parser is not in the supported subset.
+
+    Carries the offending position so frontends can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class BackendError(ReproError):
+    """The underlying DBMS backend failed or lacks a required capability."""
+
+
+class MetricError(ReproError):
+    """A distance metric was misused (e.g. mismatched distributions)."""
+
+
+class ConfigError(ReproError):
+    """A SeeDB configuration value is out of its legal range."""
+
+
+class PruningError(ReproError):
+    """A pruning rule was configured with invalid thresholds."""
+
+
+class SamplingError(ReproError):
+    """A sampler was configured with an invalid rate or size."""

@@ -1,0 +1,39 @@
+"""Deterministic random-number helpers.
+
+All stochastic components (dataset generators, samplers, experiment sweeps)
+accept either an integer seed or a ready ``numpy.random.Generator``. These
+helpers centralise that convention so every module resolves seeds the same
+way, and so independent subsystems can derive non-overlapping streams from a
+single experiment seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def derive_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` yields a
+    deterministic one; an existing generator is passed through unchanged so
+    callers can thread one stream through nested calls.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from a master ``seed``.
+
+    Uses ``numpy``'s ``SeedSequence`` spawning so child streams are
+    statistically independent — important when e.g. each synthetic column
+    gets its own stream but the whole dataset must be reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1)[0]) for child in sequence.spawn(count)]

@@ -1,0 +1,80 @@
+"""Minimal plain-text table formatter (no external dependency).
+
+Used by the experiment harness and benchmark scripts to print the rows the
+paper's demo scenarios report. Handles alignment by column type: numbers are
+right-aligned, everything else left-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _render_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[Any]],
+    headers: Sequence[str] | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Format ``rows`` (sequences of cells) into an aligned text table.
+
+    >>> print(format_table([["a", 1.0]], headers=["name", "value"]))
+    name  value
+    ----  -----
+    a         1
+    """
+    materialized = [list(row) for row in rows]
+    if headers is not None:
+        n_columns = len(headers)
+    elif materialized:
+        n_columns = len(materialized[0])
+    else:
+        return "(empty table)"
+    for row in materialized:
+        if len(row) != n_columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {n_columns}"
+            )
+
+    rendered = [[_render_cell(cell, float_format) for cell in row] for row in materialized]
+    numeric = [
+        all(
+            isinstance(row[i], (int, float)) and not isinstance(row[i], bool)
+            for row in materialized
+        )
+        and bool(materialized)
+        for i in range(n_columns)
+    ]
+
+    header_cells = [str(h) for h in headers] if headers is not None else []
+    widths = [
+        max(
+            ([len(header_cells[i])] if headers is not None else [])
+            + [len(row[i]) for row in rendered]
+            + [1]
+        )
+        for i in range(n_columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if headers is not None:
+        lines.append(render_row(header_cells))
+        lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)

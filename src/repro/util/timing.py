@@ -1,0 +1,102 @@
+"""Wall-clock timing utilities used by the optimizer and experiment harness.
+
+SeeDB's evaluation is largely about *latency* (demo Scenario 2), so timing
+is a first-class concern: the recommender reports a per-phase breakdown and
+the benchmarks aggregate repeated measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most readable unit (ns/µs/ms/s)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.1f}µs"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+class Timer:
+    """Context manager measuring one wall-clock interval.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def __repr__(self) -> str:
+        return f"Timer(elapsed={format_duration(self.elapsed)})"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing phases (e.g. prune/execute/score/select).
+
+    The SeeDB recommender threads one stopwatch through its pipeline and
+    returns it with the recommendations so callers can see where time went.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def time(self, phase: str) -> "_PhaseContext":
+        """Return a context manager that adds its interval to ``phase``."""
+        return _PhaseContext(self, phase)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``phase``."""
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self.phases.values())
+
+    def breakdown(self) -> str:
+        """Human-readable one-line-per-phase report, longest first."""
+        if not self.phases:
+            return "(no phases recorded)"
+        width = max(len(name) for name in self.phases)
+        lines = [
+            f"{name.ljust(width)}  {format_duration(elapsed)}"
+            for name, elapsed in sorted(
+                self.phases.items(), key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        lines.append(f"{'total'.ljust(width)}  {format_duration(self.total)}")
+        return "\n".join(lines)
+
+
+class _PhaseContext:
+    """Context manager produced by :meth:`Stopwatch.time`."""
+
+    def __init__(self, stopwatch: Stopwatch, phase: str) -> None:
+        self._stopwatch = stopwatch
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stopwatch.add(self._phase, time.perf_counter() - self._start)

@@ -1,0 +1,32 @@
+"""Visualization generation.
+
+"For each view delivered by the backend, the frontend creates a
+visualization based on parameters such as the data type (e.g. ordinal,
+numeric), number of distinct values, and semantics (e.g. geography vs.
+time series)" (§3.2). This package is that translation layer: views become
+:class:`ChartSpec` objects via rule-based chart selection, and specs render
+to ASCII (terminal), SVG (files; matplotlib is unavailable offline), or
+Vega-Lite JSON (browsers).
+"""
+
+from repro.viz.spec import ChartSpec, ChartType, Series, view_to_chart_spec
+from repro.viz.chart_select import select_chart_type
+from repro.viz.render_text import render_ascii
+from repro.viz.svg import render_svg
+from repro.viz.vega import to_vega_lite
+from repro.viz.export import export_recommendations
+from repro.viz.html_report import render_html_report, write_html_report
+
+__all__ = [
+    "ChartSpec",
+    "ChartType",
+    "Series",
+    "view_to_chart_spec",
+    "select_chart_type",
+    "render_ascii",
+    "render_svg",
+    "to_vega_lite",
+    "export_recommendations",
+    "render_html_report",
+    "write_html_report",
+]

@@ -1,0 +1,49 @@
+"""Rule-based chart-type selection (§3.2).
+
+The frontend picks the visualization from the dimension's data type, its
+distinct-value count, and its semantic tag — the three signals the paper
+names. The rules are deliberately simple and transparent:
+
+====================  ======================  ==================
+dimension              condition               chart type
+====================  ======================  ==================
+semantic "geography"   —                       MAP
+semantic "time"        —                       LINE
+DATE dtype             —                       LINE
+numeric dtype          > 12 distinct values    LINE
+any                    <= 5 groups, 1 series   PIE-eligible (BAR by default)
+otherwise              —                       GROUPED_BAR
+====================  ======================  ==================
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import ColumnSpec
+from repro.db.types import DataType
+from repro.viz.spec import ChartType
+
+#: Above this many distinct ordered values, bars become unreadable and a
+#: line chart communicates the trend better.
+LINE_THRESHOLD = 12
+
+
+def select_chart_type(
+    dimension_spec: "ColumnSpec | None",
+    n_groups: int,
+) -> ChartType:
+    """Pick a chart type for a view grouped by ``dimension_spec``.
+
+    ``dimension_spec`` may be None when the caller lost schema context
+    (e.g. charts built from bare tables); the fallback is a grouped bar.
+    """
+    if dimension_spec is None:
+        return ChartType.GROUPED_BAR
+    if dimension_spec.semantic == "geography":
+        return ChartType.MAP
+    if dimension_spec.semantic == "time":
+        return ChartType.LINE
+    if dimension_spec.dtype is DataType.DATE:
+        return ChartType.LINE
+    if dimension_spec.dtype.is_numeric and n_groups > LINE_THRESHOLD:
+        return ChartType.LINE
+    return ChartType.GROUPED_BAR

@@ -1,0 +1,129 @@
+"""Self-contained HTML reports: the shareable artifact of a session.
+
+"Once the analyst has identified interesting views, the analyst may then
+either share these views with others ..." (§1 step 4). This renders a
+:class:`RecommendationResult` as one standalone HTML file: the query, the
+recommendation table, an embedded SVG chart per view, per-view metadata,
+the pruning report, and the phase-timing breakdown. No external assets,
+so the file mails/uploads as-is.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.core.result import RecommendationResult
+from repro.db.schema import Schema
+from repro.util.timing import format_duration
+from repro.viz.spec import view_to_chart_spec
+from repro.viz.svg import render_svg
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 960px; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #d0d4dd; padding: 0.35rem 0.7rem; font-size: 0.9rem;
+         text-align: left; }
+th { background: #eef0f5; }
+.utility { font-variant-numeric: tabular-nums; }
+.chart { margin: 1rem 0 2rem; border: 1px solid #e2e5ec; border-radius: 6px;
+         padding: 0.5rem; }
+.meta { color: #555; font-size: 0.85rem; }
+.pruned { color: #8a5a00; font-size: 0.85rem; }
+""".strip()
+
+
+def render_html_report(
+    result: RecommendationResult,
+    schema: "Schema | None" = None,
+    title: "str | None" = None,
+    max_pruned_listed: int = 20,
+) -> str:
+    """Render ``result`` to a standalone HTML document string."""
+    heading = title or f"SeeDB recommendations — {result.table}"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(heading)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escape(heading)}</h1>",
+        (
+            f'<p class="meta">query: <code>{escape(result.predicate_description)}'
+            f"</code> &middot; metric: {escape(result.metric)} &middot; "
+            f"k={result.k}</p>"
+        ),
+    ]
+
+    # Summary table.
+    parts.append("<h2>Recommended views</h2>")
+    parts.append("<table><tr><th>rank</th><th>view</th><th>utility</th>"
+                 "<th>groups</th><th>max deviation at</th></tr>")
+    for rank, view in enumerate(result.recommendations, start=1):
+        parts.append(
+            "<tr>"
+            f"<td>{rank}</td>"
+            f"<td>{escape(view.spec.label)}</td>"
+            f'<td class="utility">{view.utility:.4f}</td>'
+            f"<td>{len(view.groups)}</td>"
+            f"<td>{escape(repr(view.max_deviation_group))}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+
+    # One embedded chart per recommendation.
+    for rank, view in enumerate(result.recommendations, start=1):
+        dimension_spec = None
+        if schema is not None and view.spec.dimension in schema:
+            dimension_spec = schema[view.spec.dimension]
+        spec = view_to_chart_spec(view, dimension_spec)
+        parts.append(f"<h2>#{rank} — {escape(view.spec.label)}</h2>")
+        parts.append(f'<div class="chart">{render_svg(spec)}</div>')
+
+    # Work accounting.
+    parts.append("<h2>Work</h2>")
+    parts.append(
+        f'<p class="meta">{result.n_candidate_views} candidate views, '
+        f"{result.n_executed_views} executed, "
+        f"{len(result.pruned_views())} pruned; "
+        f"{result.n_queries} DBMS queries; "
+        f"total {format_duration(result.total_seconds)}</p>"
+    )
+    if result.stopwatch.phases:
+        parts.append("<table><tr><th>phase</th><th>time</th></tr>")
+        for phase, seconds in sorted(
+            result.stopwatch.phases.items(), key=lambda kv: -kv[1]
+        ):
+            parts.append(
+                f"<tr><td>{escape(phase)}</td>"
+                f"<td>{format_duration(seconds)}</td></tr>"
+            )
+        parts.append("</table>")
+
+    pruned = result.pruned_views()
+    if pruned:
+        parts.append("<h2>Pruned views</h2>")
+        parts.append('<ul class="pruned">')
+        for view, reason in pruned[:max_pruned_listed]:
+            parts.append(f"<li><b>{escape(view.label)}</b>: {escape(reason)}</li>")
+        if len(pruned) > max_pruned_listed:
+            parts.append(f"<li>… and {len(pruned) - max_pruned_listed} more</li>")
+        parts.append("</ul>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(
+    result: RecommendationResult,
+    path: "str | Path",
+    schema: "Schema | None" = None,
+    title: "str | None" = None,
+) -> Path:
+    """Write the HTML report to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html_report(result, schema, title))
+    return path

@@ -1,0 +1,47 @@
+"""ASCII chart rendering for terminal frontends.
+
+Horizontal bars scaled to a character budget; two series render as paired
+bars per category (target vs comparison), which is how the CLI shows
+recommended views without any graphics stack.
+"""
+
+from __future__ import annotations
+
+from repro.viz.spec import ChartSpec
+
+_BAR_CHARS = {0: "█", 1: "░"}  # series index -> fill character
+
+
+def render_ascii(spec: ChartSpec, width: int = 48) -> str:
+    """Render ``spec`` as an ASCII chart, one bar row per (category, series)."""
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    lines: list[str] = [spec.title, "=" * len(spec.title)]
+    peak = max(
+        (abs(value) for series in spec.series for value in series.values),
+        default=0.0,
+    )
+    label_width = max((len(str(c)) for c in spec.categories), default=0)
+    label_width = max(label_width, 4)
+    name_width = max(len(s.name) for s in spec.series)
+
+    for category_index, category in enumerate(spec.categories):
+        for series_index, series in enumerate(spec.series):
+            value = series.values[category_index]
+            bar_length = 0 if peak == 0 else int(round(abs(value) / peak * width))
+            fill = _BAR_CHARS.get(series_index, "▒")
+            bar = fill * bar_length
+            label = str(category) if series_index == 0 else ""
+            lines.append(
+                f"{label.ljust(label_width)} | "
+                f"{series.name.ljust(name_width)} {bar} {value:g}"
+            )
+        if len(spec.series) > 1:
+            lines.append("")
+
+    legend = "   ".join(
+        f"{_BAR_CHARS.get(i, '▒')} {series.name}" for i, series in enumerate(spec.series)
+    )
+    lines.append(legend)
+    lines.extend(spec.notes)
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,191 @@
+"""Pure-Python SVG rendering (no matplotlib in the offline environment).
+
+Supports the chart families the selector emits: (grouped) bar charts and
+line charts; MAP and PIE fall back to grouped bars with a note, keeping
+every recommended view renderable. Output is a standalone ``<svg>``
+document string.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.viz.spec import ChartSpec, ChartType
+
+_SERIES_COLORS = ("#4c78a8", "#f58518", "#54a24b", "#e45756")
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 50
+_MARGIN_BOTTOM = 90
+
+
+def render_svg(spec: ChartSpec) -> str:
+    """Render ``spec`` to an SVG document string."""
+    if spec.chart_type is ChartType.LINE:
+        body = _line_body(spec)
+    else:
+        body = _bar_body(spec)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="16" font-weight="bold">{escape(spec.title)}</text>',
+    ]
+    if spec.chart_type in (ChartType.MAP, ChartType.PIE):
+        parts.append(
+            f'<text x="{_WIDTH / 2}" y="40" text-anchor="middle" '
+            f'font-size="10" fill="#888">({spec.chart_type.value} rendered '
+            f"as bars)</text>"
+        )
+    parts.extend(body)
+    parts.extend(_legend(spec))
+    parts.extend(_notes(spec))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _plot_area() -> tuple[float, float, float, float]:
+    """(x0, y0, plot_width, plot_height) of the data region."""
+    return (
+        _MARGIN_LEFT,
+        _MARGIN_TOP,
+        _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT,
+        _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM,
+    )
+
+
+def _value_range(spec: ChartSpec) -> tuple[float, float]:
+    values = [v for series in spec.series for v in series.values]
+    low = min(values + [0.0])
+    high = max(values + [0.0])
+    if low == high:
+        high = low + 1.0
+    return low, high
+
+
+def _y_position(value: float, low: float, high: float) -> float:
+    x0, y0, _w, height = _plot_area()
+    fraction = (value - low) / (high - low)
+    return y0 + height * (1.0 - fraction)
+
+
+def _axes(spec: ChartSpec, low: float, high: float) -> list[str]:
+    x0, y0, width, height = _plot_area()
+    parts = [
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y0 + height}" '
+        f'stroke="#333"/>',
+        f'<line x1="{x0}" y1="{y0 + height}" x2="{x0 + width}" '
+        f'y2="{y0 + height}" stroke="#333"/>',
+        f'<text x="16" y="{y0 + height / 2}" font-size="11" '
+        f'text-anchor="middle" transform="rotate(-90 16 {y0 + height / 2})">'
+        f"{escape(spec.y_label)}</text>",
+        f'<text x="{x0 + width / 2}" y="{_HEIGHT - 8}" font-size="11" '
+        f'text-anchor="middle">{escape(spec.x_label)}</text>',
+    ]
+    for i in range(5):
+        value = low + (high - low) * i / 4
+        y = _y_position(value, low, high)
+        parts.append(
+            f'<line x1="{x0 - 4}" y1="{y}" x2="{x0}" y2="{y}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{y + 4}" font-size="10" '
+            f'text-anchor="end">{value:.3g}</text>'
+        )
+    return parts
+
+
+def _category_labels(spec: ChartSpec) -> list[str]:
+    x0, y0, width, height = _plot_area()
+    n = len(spec.categories)
+    parts = []
+    for i, category in enumerate(spec.categories):
+        x = x0 + width * (i + 0.5) / max(n, 1)
+        y = y0 + height + 14
+        parts.append(
+            f'<text x="{x}" y="{y}" font-size="10" text-anchor="end" '
+            f'transform="rotate(-35 {x} {y})">{escape(str(category))}</text>'
+        )
+    return parts
+
+
+def _bar_body(spec: ChartSpec) -> list[str]:
+    x0, y0, width, height = _plot_area()
+    low, high = _value_range(spec)
+    parts = _axes(spec, low, high)
+    n_categories = len(spec.categories)
+    n_series = len(spec.series)
+    slot = width / max(n_categories, 1)
+    bar_width = slot * 0.8 / max(n_series, 1)
+    zero_y = _y_position(0.0, low, high)
+    for series_index, series in enumerate(spec.series):
+        color = _SERIES_COLORS[series_index % len(_SERIES_COLORS)]
+        for category_index, value in enumerate(series.values):
+            x = (
+                x0
+                + slot * category_index
+                + slot * 0.1
+                + bar_width * series_index
+            )
+            y = _y_position(value, low, high)
+            top, bar_height = (y, zero_y - y) if value >= 0 else (zero_y, y - zero_y)
+            parts.append(
+                f'<rect x="{x:.2f}" y="{top:.2f}" width="{bar_width:.2f}" '
+                f'height="{max(bar_height, 0):.2f}" fill="{color}"/>'
+            )
+    parts.extend(_category_labels(spec))
+    return parts
+
+
+def _line_body(spec: ChartSpec) -> list[str]:
+    x0, y0, width, height = _plot_area()
+    low, high = _value_range(spec)
+    parts = _axes(spec, low, high)
+    n = len(spec.categories)
+    for series_index, series in enumerate(spec.series):
+        color = _SERIES_COLORS[series_index % len(_SERIES_COLORS)]
+        points = []
+        for i, value in enumerate(series.values):
+            x = x0 + width * (i + 0.5) / max(n, 1)
+            y = _y_position(value, low, high)
+            points.append(f"{x:.2f},{y:.2f}")
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        for point in points:
+            x, y = point.split(",")
+            parts.append(f'<circle cx="{x}" cy="{y}" r="2.5" fill="{color}"/>')
+    parts.extend(_category_labels(spec))
+    return parts
+
+
+def _legend(spec: ChartSpec) -> list[str]:
+    parts = []
+    x = _MARGIN_LEFT
+    y = 36
+    for series_index, series in enumerate(spec.series):
+        color = _SERIES_COLORS[series_index % len(_SERIES_COLORS)]
+        parts.append(f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{x + 14}" y="{y}" font-size="11">{escape(series.name)}</text>'
+        )
+        x += 14 + 7 * len(series.name) + 20
+    return parts
+
+
+def _notes(spec: ChartSpec) -> list[str]:
+    parts = []
+    y = _HEIGHT - 46
+    for note in spec.notes:
+        parts.append(
+            f'<text x="{_WIDTH - _MARGIN_RIGHT}" y="{y}" font-size="9" '
+            f'fill="#666" text-anchor="end">{escape(note)}</text>'
+        )
+        y += 12
+    return parts

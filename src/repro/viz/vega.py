@@ -1,0 +1,49 @@
+"""Vega-Lite emission: chart specs as JSON for browser frontends.
+
+The real SeeDB demo rendered charts in a web frontend; emitting Vega-Lite
+gives this reproduction the same path without bundling a renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.viz.spec import ChartSpec, ChartType
+
+_SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+def to_vega_lite(spec: ChartSpec) -> dict[str, Any]:
+    """A Vega-Lite v5 specification dict for ``spec``."""
+    rows = [
+        {
+            "category": str(category),
+            "series": series.name,
+            "value": float(series.values[i]),
+        }
+        for i, category in enumerate(spec.categories)
+        for series in spec.series
+    ]
+    mark = "line" if spec.chart_type is ChartType.LINE else "bar"
+    encoding: dict[str, Any] = {
+        "x": {"field": "category", "type": "nominal", "title": spec.x_label,
+              "sort": None},
+        "y": {"field": "value", "type": "quantitative", "title": spec.y_label},
+        "color": {"field": "series", "type": "nominal", "title": None},
+    }
+    if mark == "bar" and len(spec.series) > 1:
+        encoding["xOffset"] = {"field": "series"}
+    return {
+        "$schema": _SCHEMA_URL,
+        "title": spec.title,
+        "description": "; ".join(spec.notes),
+        "data": {"values": rows},
+        "mark": mark,
+        "encoding": encoding,
+    }
+
+
+def to_vega_lite_json(spec: ChartSpec, indent: int = 2) -> str:
+    """The Vega-Lite spec serialized to a JSON string."""
+    return json.dumps(to_vega_lite(spec), indent=indent)

@@ -1,0 +1,120 @@
+"""Shared fixtures: small canonical tables and backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.db.expressions import col
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+
+
+@pytest.fixture
+def sales_table() -> Table:
+    """A small deterministic sales table (the paper's running example shape).
+
+    12 rows; 4 Laserwave rows with the Table 1 amounts, 8 "Other" rows of
+    10.0 each spread over the same stores.
+    """
+    stores = [
+        "Cambridge, MA",
+        "Seattle, WA",
+        "New York, NY",
+        "San Francisco, CA",
+    ]
+    return Table.from_columns(
+        "sales",
+        {
+            "store": stores * 3,
+            "product": ["Laserwave"] * 4 + ["Other"] * 8,
+            "month": [1, 2, 3, 4] * 3,
+            "amount": [180.55, 145.50, 122.00, 90.13] + [10.0] * 8,
+            "profit": [18.0, 14.0, 12.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        },
+        roles={
+            "store": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "month": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+            "profit": AttributeRole.MEASURE,
+        },
+        semantics={"store": "geography", "month": "time"},
+    )
+
+
+@pytest.fixture
+def laserwave_predicate():
+    return col("product") == "Laserwave"
+
+
+@pytest.fixture
+def memory_backend(sales_table) -> MemoryBackend:
+    backend = MemoryBackend()
+    backend.register_table(sales_table)
+    return backend
+
+
+@pytest.fixture
+def sqlite_backend(sales_table):
+    backend = SqliteBackend()
+    backend.register_table(sales_table)
+    yield backend
+    backend.close()
+
+
+def make_medium_table() -> Table:
+    """A deterministic ~3k-row table with a planted deviation.
+
+    Products p0..p4 over regions r0..r5; rows of product p0 concentrate in
+    region r0, everything else is spread uniformly (deterministically, via
+    modular arithmetic — no RNG, so failures are reproducible by eye).
+    """
+    n = 3_000
+    regions = [f"r{i % 6}" for i in range(n)]
+    products = [f"p{(i // 6) % 5}" for i in range(n)]
+    for i in range(n):
+        if products[i] == "p0" and i % 3 != 0:
+            regions[i] = "r0"
+    amounts = [float(10 + (i * 7) % 90) for i in range(n)]
+    quantity = [1 + (i % 5) for i in range(n)]
+    return Table.from_columns(
+        "orders",
+        {
+            "region": regions,
+            "product": products,
+            "quantity_band": [f"q{q}" for q in quantity],
+            "amount": amounts,
+            "units": [float(q) for q in quantity],
+        },
+        roles={
+            "region": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "quantity_band": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+            "units": AttributeRole.MEASURE,
+        },
+    )
+
+
+@pytest.fixture
+def medium_table() -> Table:
+    return make_medium_table()
+
+
+@pytest.fixture
+def nan_table() -> Table:
+    """A table whose float measure contains NaN (SQL NULL semantics)."""
+    return Table.from_columns(
+        "readings",
+        {
+            "sensor": ["a", "a", "b", "b", "c"],
+            "value": [1.0, float("nan"), 3.0, 5.0, float("nan")],
+        },
+        roles={
+            "sensor": AttributeRole.DIMENSION,
+            "value": AttributeRole.MEASURE,
+        },
+    )

@@ -1,0 +1,81 @@
+"""Property tests: bin-packing invariants for both solvers."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.binpack import (
+    branch_and_bound_pack,
+    first_fit_decreasing,
+    pack_dimensions,
+)
+
+
+@st.composite
+def packing_instances(draw):
+    n = draw(st.integers(1, 10))
+    weights = {
+        f"item{i}": draw(st.floats(0.1, 20.0, allow_nan=False)) for i in range(n)
+    }
+    capacity = draw(st.floats(1.0, 25.0, allow_nan=False))
+    return weights, capacity
+
+
+def assert_packing_valid(packed, weights, capacity):
+    flattened = [name for members in packed.bins for name in members]
+    assert sorted(flattened) == sorted(weights)  # exactly once each
+    for members in packed.bins:
+        load = sum(weights[name] for name in members)
+        if len(members) > 1:
+            assert load <= capacity + 1e-9
+        else:
+            # Single items may legitimately exceed capacity (oversized).
+            pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(instance=packing_instances())
+def test_ffd_valid(instance):
+    weights, capacity = instance
+    packed = first_fit_decreasing(weights, capacity)
+    assert_packing_valid(packed, weights, capacity)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instance=packing_instances())
+def test_exact_valid_and_never_worse_than_ffd(instance):
+    weights, capacity = instance
+    ffd = first_fit_decreasing(weights, capacity)
+    exact = branch_and_bound_pack(weights, capacity)
+    assert_packing_valid(exact, weights, capacity)
+    assert exact.n_bins <= ffd.n_bins
+
+
+@settings(max_examples=80, deadline=None)
+@given(instance=packing_instances())
+def test_exact_respects_lower_bound(instance):
+    weights, capacity = instance
+    exact = branch_and_bound_pack(weights, capacity)
+    packable_total = sum(w for w in weights.values() if w <= capacity)
+    oversized = sum(1 for w in weights.values() if w > capacity)
+    lower_bound = math.ceil(packable_total / capacity - 1e-9) + oversized
+    assert exact.n_bins >= max(lower_bound, 1 if weights else 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cardinalities=st.dictionaries(
+        st.sampled_from([f"d{i}" for i in range(8)]),
+        st.integers(2, 5000),
+        min_size=1,
+        max_size=8,
+    ),
+    budget=st.integers(4, 100_000),
+)
+def test_pack_dimensions_products_fit_budget(cardinalities, budget):
+    packed = pack_dimensions(cardinalities, budget_cells=budget)
+    for members in packed.bins:
+        if len(members) > 1:
+            product = math.prod(cardinalities[name] for name in members)
+            assert product <= budget * (1 + 1e-9)

@@ -1,0 +1,73 @@
+"""Property tests: CSV write/read roundtrip preserves tables."""
+
+import string
+from datetime import date, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.csvio import read_csv, write_csv
+from repro.db.table import Table
+
+# Text that survives the type-inference roundtrip unchanged: non-empty,
+# no leading/trailing whitespace, and not parseable as another type
+# (read_csv treats true/t/yes/false/f/no as booleans by design).
+_SAFE_ALPHABET = string.ascii_lowercase + "_:;!@#()[] "
+_BOOL_WORDS = {"true", "t", "yes", "false", "f", "no"}
+
+
+def _safe_text(value: str) -> bool:
+    return (
+        bool(value)
+        and value == value.strip()
+        and value.lower() not in _BOOL_WORDS
+    )
+
+
+safe_strings = st.text(_SAFE_ALPHABET, min_size=1, max_size=12).filter(_safe_text)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(1, 40))
+
+    def column_of(strategy):
+        return draw(st.lists(strategy, min_size=n, max_size=n))
+
+    data = {
+        "label": column_of(safe_strings),
+        "count": column_of(st.integers(-10**9, 10**9)),
+        "ratio": column_of(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False).map(
+                lambda v: round(v, 6)
+            )
+        ),
+        "flag": column_of(st.booleans()),
+        "day": column_of(
+            st.integers(0, 3000).map(lambda d: date(2018, 1, 1) + timedelta(days=d))
+        ),
+    }
+    return Table.from_columns("t", data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables())
+def test_roundtrip_preserves_rows_and_types(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded.schema.names == table.schema.names
+    for name in table.schema.names:
+        original = table.schema[name].dtype
+        roundtripped = loaded.schema[name].dtype
+        assert roundtripped is original, name
+    original_rows = table.to_rows()
+    loaded_rows = loaded.to_rows()
+    assert len(original_rows) == len(loaded_rows)
+    for row_a, row_b in zip(original_rows, loaded_rows):
+        for cell_a, cell_b in zip(row_a, row_b):
+            if isinstance(cell_a, float):
+                assert cell_b == pytest.approx(cell_a, rel=1e-12)
+            else:
+                assert str(cell_a) == str(cell_b)

@@ -1,0 +1,147 @@
+"""Property tests: the engine agrees with brute-force Python aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.aggregates import Aggregate
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.expressions import col
+from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+
+
+@st.composite
+def random_tables(draw):
+    n_rows = draw(st.integers(1, 60))
+    keys = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    second = draw(
+        st.lists(st.sampled_from(["x", "y"]), min_size=n_rows, max_size=n_rows)
+    )
+    values = draw(
+        st.lists(
+            st.one_of(
+                st.floats(-1000, 1000, allow_nan=False, allow_infinity=False),
+                st.just(float("nan")),
+            ),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    return Table.from_columns(
+        "t",
+        {"k": keys, "j": second, "v": values},
+        roles={
+            "k": AttributeRole.DIMENSION,
+            "j": AttributeRole.DIMENSION,
+            "v": AttributeRole.MEASURE,
+        },
+    )
+
+
+def brute_force(table, func):
+    """Reference group-by via plain Python dicts (NaN = NULL)."""
+    groups = {}
+    for key, value in zip(table.column("k"), table.column("v")):
+        groups.setdefault(str(key), []).append(float(value))
+    result = {}
+    for key, values in groups.items():
+        valid = [v for v in values if not math.isnan(v)]
+        if func == "count":
+            result[key] = float(len(values))
+        elif func == "sum":
+            result[key] = float(sum(valid))
+        elif func == "countv":
+            result[key] = float(len(valid))
+        elif func == "avg":
+            result[key] = sum(valid) / len(valid) if valid else float("nan")
+        elif func == "min":
+            result[key] = min(valid) if valid else float("nan")
+        elif func == "max":
+            result[key] = max(valid) if valid else float("nan")
+    return result
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=random_tables(), func=st.sampled_from(["count", "sum", "avg", "min", "max", "countv"]))
+def test_groupby_matches_brute_force(table, func):
+    catalog = Catalog()
+    catalog.register(table)
+    engine = Engine(catalog)
+    aggregate = Aggregate(func) if func == "count" else Aggregate(func, "v")
+    result = engine.execute(AggregateQuery("t", ("k",), (aggregate,)))
+    expected = brute_force(table, func)
+    assert result.num_rows == len(expected)
+    for key, value in zip(result.column("k"), result.column(aggregate.alias)):
+        reference = expected[str(key)]
+        if math.isnan(reference):
+            assert math.isnan(value)
+        else:
+            assert value == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_tables())
+def test_grouping_sets_equal_independent_queries(table):
+    catalog = Catalog()
+    catalog.register(table)
+    engine = Engine(catalog)
+    query = GroupingSetsQuery(
+        "t",
+        (("k",), ("j",), ("k", "j")),
+        (Aggregate("sum", "v"), Aggregate("count")),
+    )
+    shared = engine.execute_grouping_sets(query)
+    for single, shared_result in zip(query.as_single_queries(), shared):
+        independent = engine.execute(single)
+        assert independent.num_rows == shared_result.num_rows
+        for column in independent.schema.names:
+            a = independent.column(column)
+            b = shared_result.column(column)
+            if a.dtype.kind == "f":
+                np.testing.assert_allclose(a, b, equal_nan=True)
+            else:
+                assert list(a) == list(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_tables())
+def test_flag_partitions_cover_table(table):
+    """flag=1 rows + flag=0 rows must account for every row exactly once."""
+    catalog = Catalog()
+    catalog.register(table)
+    engine = Engine(catalog)
+    flag = FlagColumn("f", col("j") == "x")
+    result = engine.execute(
+        AggregateQuery("t", (flag, "k"), (Aggregate("count"),))
+    )
+    assert float(np.sum(result.column("count(*)"))) == table.num_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_tables())
+def test_filter_then_group_consistent(table):
+    """Predicate + group-by == group-by over a pre-filtered table."""
+    catalog = Catalog()
+    catalog.register(table)
+    engine = Engine(catalog)
+    predicate = col("j") == "x"
+    direct = engine.execute(
+        AggregateQuery("t", ("k",), (Aggregate("count"),), predicate)
+    )
+    mask = predicate.evaluate(table)
+    filtered = table.mask(mask, name="t2")
+    catalog.register(filtered)
+    indirect = engine.execute(AggregateQuery("t2", ("k",), (Aggregate("count"),)))
+    assert direct.to_rows() == indirect.to_rows()

@@ -1,0 +1,128 @@
+"""Property tests: metric axioms on random probability distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.normalize import normalize_distribution
+from repro.metrics.registry import available_metrics, get_metric
+
+SYMMETRIC_METRICS = ("euclidean", "js", "total_variation", "chisquare", "maxdev", "emd")
+BOUNDED_BY_ONE = ("js", "total_variation", "chisquare", "maxdev")
+
+
+@st.composite
+def distribution_pairs(draw, min_size=2, max_size=12):
+    size = draw(st.integers(min_size, max_size))
+    positive = st.floats(0.0, 100.0, allow_nan=False)
+    raw_p = draw(
+        st.lists(positive, min_size=size, max_size=size).filter(
+            lambda values: sum(values) > 0
+        )
+    )
+    raw_q = draw(
+        st.lists(positive, min_size=size, max_size=size).filter(
+            lambda values: sum(values) > 0
+        )
+    )
+    return (
+        normalize_distribution(np.array(raw_p)),
+        normalize_distribution(np.array(raw_q)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=distribution_pairs())
+def test_non_negative_and_finite(pair):
+    p, q = pair
+    for name in available_metrics():
+        value = get_metric(name).distance(p, q)
+        assert value >= 0.0, name
+        assert np.isfinite(value), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=distribution_pairs())
+def test_identity_of_indiscernibles(pair):
+    p, _q = pair
+    for name in available_metrics():
+        assert get_metric(name).distance(p, p.copy()) == pytest.approx(
+            0.0, abs=1e-9
+        ), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=distribution_pairs())
+def test_symmetry(pair):
+    p, q = pair
+    for name in SYMMETRIC_METRICS:
+        metric = get_metric(name)
+        assert metric.distance(p, q) == pytest.approx(
+            metric.distance(q, p), rel=1e-9, abs=1e-12
+        ), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=distribution_pairs())
+def test_bounded_metrics_stay_in_unit_interval(pair):
+    p, q = pair
+    for name in BOUNDED_BY_ONE:
+        assert get_metric(name).distance(p, q) <= 1.0 + 1e-9, name
+
+
+@st.composite
+def distribution_triples(draw):
+    size = draw(st.integers(2, 8))
+    positive = st.floats(0.0, 100.0, allow_nan=False)
+
+    def one():
+        raw = draw(
+            st.lists(positive, min_size=size, max_size=size).filter(
+                lambda values: sum(values) > 0
+            )
+        )
+        return normalize_distribution(np.array(raw))
+
+    return one(), one(), one()
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=distribution_triples())
+def test_triangle_inequality_for_true_metrics(triple):
+    p, q, r = triple
+    for name in ("euclidean", "js", "total_variation", "maxdev"):
+        metric = get_metric(name)
+        assert metric.distance(p, r) <= (
+            metric.distance(p, q) + metric.distance(q, r) + 1e-9
+        ), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    raw=st.lists(
+        st.floats(-50.0, 100.0, allow_nan=False), min_size=1, max_size=20
+    )
+)
+def test_normalize_always_valid_under_shift(raw):
+    from repro.metrics.normalize import NormalizationPolicy
+
+    result = normalize_distribution(np.array(raw), NormalizationPolicy.SHIFT)
+    assert result.sum() == pytest.approx(1.0)
+    assert (result >= 0).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=distribution_pairs(min_size=2, max_size=6))
+def test_kl_smoothing_monotone_in_epsilon_limit(pair):
+    """Smaller epsilon keeps KL closer to the unsmoothed value when the
+    support matches (no zeros in q)."""
+    from repro.metrics.kl import KLDivergence
+
+    p, q = pair
+    if (q <= 1e-12).any() or (p <= 1e-12).any():
+        return  # unsmoothed KL undefined; skip
+    exact = float(np.sum(p * np.log(p / q)))
+    error_small = abs(KLDivergence(1e-12).distance(p, q) - exact)
+    error_large = abs(KLDivergence(1e-2).distance(p, q) - exact)
+    assert error_small <= error_large + 1e-9

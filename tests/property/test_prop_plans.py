@@ -1,0 +1,141 @@
+"""Property tests: every plan shape extracts identical view data.
+
+The optimizer's central contract — combining strategies change *work*, not
+*answers* — verified on randomized tables (random group structures, NaN
+measures, random predicates) against the two-independent-queries baseline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.memory import MemoryBackend
+from repro.db.expressions import col
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.model.view import ViewSpec
+from repro.optimizer.plan import (
+    ExecutionPlan,
+    FlagStep,
+    MultiDimStep,
+    RollupStep,
+    SeparateStep,
+    ViewGroup,
+)
+
+FUNCS = ["sum", "avg", "min", "max", "count", "var"]
+
+
+@st.composite
+def workloads(draw):
+    n_rows = draw(st.integers(2, 80))
+    d1 = draw(st.lists(st.sampled_from(["a", "b", "c"]), min_size=n_rows, max_size=n_rows))
+    d2 = draw(st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=n_rows, max_size=n_rows))
+    measures = draw(
+        st.lists(
+            st.one_of(
+                st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+                st.just(float("nan")),
+            ),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    table = Table.from_columns(
+        "t",
+        {"d1": d1, "d2": d2, "m": measures},
+        roles={
+            "d1": AttributeRole.DIMENSION,
+            "d2": AttributeRole.DIMENSION,
+            "m": AttributeRole.MEASURE,
+        },
+    )
+    predicate_value = draw(st.sampled_from(["x", "y", "z", "w"]))
+    funcs = draw(
+        st.lists(st.sampled_from(FUNCS), min_size=1, max_size=3, unique=True)
+    )
+    views = []
+    for func in funcs:
+        measure = None if func == "count" else "m"
+        views.append(ViewSpec("d1", measure, func))
+    return table, (col("d2") == predicate_value), views
+
+
+def baseline(backend, predicate, views):
+    plan = ExecutionPlan(
+        [SeparateStep("t", predicate, ViewGroup(v.dimension, (v,))) for v in views]
+    )
+    return plan.run(backend)
+
+
+def assert_matches(actual, expected):
+    assert set(actual) == set(expected)
+    for spec in expected:
+        a, e = actual[spec], expected[spec]
+        assert a.target_keys == e.target_keys, spec.label
+        assert a.comparison_keys == e.comparison_keys, spec.label
+        np.testing.assert_allclose(
+            a.target_values, e.target_values, equal_nan=True, atol=1e-9,
+            err_msg=spec.label,
+        )
+        np.testing.assert_allclose(
+            a.comparison_values, e.comparison_values, equal_nan=True, atol=1e-9,
+            err_msg=spec.label,
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads())
+def test_flag_step_equals_baseline(workload):
+    table, predicate, views = workload
+    backend = MemoryBackend()
+    backend.register_table(table)
+    expected = baseline(backend, predicate, views)
+    plan = ExecutionPlan([FlagStep("t", predicate, ViewGroup("d1", tuple(views)))])
+    assert_matches(plan.run(backend), expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), combine_flag=st.booleans())
+def test_multidim_step_equals_baseline(workload, combine_flag):
+    table, predicate, views = workload
+    backend = MemoryBackend()
+    backend.register_table(table)
+    expected = baseline(backend, predicate, views)
+    # Add a second dimension group to force real grouping-sets execution.
+    extra = ViewSpec("d2", "m", "sum")
+    expected.update(baseline(backend, predicate, [extra]))
+    plan = ExecutionPlan(
+        [
+            MultiDimStep(
+                "t",
+                predicate,
+                (ViewGroup("d1", tuple(views)), ViewGroup("d2", (extra,))),
+                combine_flag=combine_flag,
+            )
+        ]
+    )
+    assert_matches(plan.run(backend), expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), combine_flag=st.booleans())
+def test_rollup_step_equals_baseline(workload, combine_flag):
+    table, predicate, views = workload
+    backend = MemoryBackend()
+    backend.register_table(table)
+    expected = baseline(backend, predicate, views)
+    extra = ViewSpec("d2", "m", "avg")
+    expected.update(baseline(backend, predicate, [extra]))
+    plan = ExecutionPlan(
+        [
+            RollupStep(
+                "t",
+                predicate,
+                (ViewGroup("d1", tuple(views)), ViewGroup("d2", (extra,))),
+                combine_flag=combine_flag,
+            )
+        ]
+    )
+    assert_matches(plan.run(backend), expected)

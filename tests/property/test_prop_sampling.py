@@ -1,0 +1,86 @@
+"""Property tests: sampler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.table import Table
+from repro.sampling import BernoulliSampler, ReservoirSampler, StratifiedSampler
+from repro.sampling.reservoir import reservoir_indices
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(1, 300))
+    keys = draw(
+        st.lists(st.sampled_from(["g1", "g2", "g3"]), min_size=n, max_size=n)
+    )
+    return Table.from_columns(
+        "t", {"k": keys, "v": [float(i) for i in range(n)]}
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=tables(), fraction=st.floats(0.05, 1.0), seed=st.integers(0, 1000))
+def test_bernoulli_rows_are_subset_without_duplicates(table, fraction, seed):
+    sample = BernoulliSampler(fraction).sample(table, seed=seed)
+    assert sample.num_rows <= table.num_rows
+    values = list(sample.column("v"))
+    assert len(set(values)) == len(values)  # row indices unique
+    assert set(values) <= set(table.column("v"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=tables(), capacity=st.integers(1, 400), seed=st.integers(0, 1000))
+def test_reservoir_exact_size(table, capacity, seed):
+    sample = ReservoirSampler(capacity).sample(table, seed=seed)
+    assert sample.num_rows == min(capacity, table.num_rows)
+    values = list(sample.column("v"))
+    assert len(set(values)) == len(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    stream_length=st.integers(0, 500),
+    capacity=st.integers(1, 50),
+    seed=st.integers(0, 10_000),
+)
+def test_streaming_reservoir_invariants(stream_length, capacity, seed):
+    indices = reservoir_indices(range(stream_length), capacity, seed=seed)
+    assert len(indices) == min(capacity, stream_length)
+    assert indices == sorted(set(indices))
+    assert all(0 <= i < stream_length for i in indices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    table=tables(),
+    fraction=st.floats(0.05, 1.0),
+    floor=st.integers(0, 5),
+    seed=st.integers(0, 1000),
+)
+def test_stratified_floor_guaranteed(table, fraction, floor, seed):
+    sample = StratifiedSampler("k", fraction, min_per_stratum=floor).sample(
+        table, seed=seed
+    )
+    original_counts = {}
+    for key in table.column("k"):
+        original_counts[str(key)] = original_counts.get(str(key), 0) + 1
+    sample_counts = {}
+    for key in sample.column("k"):
+        sample_counts[str(key)] = sample_counts.get(str(key), 0) + 1
+    for group, available in original_counts.items():
+        assert sample_counts.get(group, 0) >= min(floor, available)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table=tables(), seed=st.integers(0, 100))
+def test_samplers_deterministic(table, seed):
+    for sampler in (
+        BernoulliSampler(0.4),
+        ReservoirSampler(17),
+        StratifiedSampler("k", 0.4),
+    ):
+        first = sampler.sample(table, seed=seed)
+        second = sampler.sample(table, seed=seed)
+        assert first.to_rows() == second.to_rows()

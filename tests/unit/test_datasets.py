@@ -1,0 +1,197 @@
+"""Unit tests: dataset generators and planted ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticConfig,
+    generate_elections,
+    generate_medical,
+    generate_store_orders,
+    generate_synthetic,
+    laserwave_sales_history,
+    laserwave_table_1,
+    load_dataset,
+    scenario_a_comparison,
+    scenario_b_comparison,
+)
+from repro.datasets.laserwave import TABLE_1_ROWS
+from repro.datasets.registry import available_datasets
+from repro.db.types import AttributeRole
+from repro.model.view import ViewSpec
+from repro.util.errors import ConfigError
+
+
+class TestLaserwave:
+    def test_table_1_verbatim(self):
+        table = laserwave_table_1()
+        assert table.to_rows() == list(TABLE_1_ROWS)
+
+    def test_scenarios_have_same_stores(self):
+        a = scenario_a_comparison()
+        b = scenario_b_comparison()
+        assert set(a.column("store")) == set(b.column("store"))
+
+    def test_history_reproduces_table_1_totals(self):
+        table = laserwave_sales_history(n_rows=5000, seed=1)
+        mask = np.array([p == "Laserwave" for p in table.column("product")])
+        laser = table.mask(mask)
+        for store, expected in TABLE_1_ROWS:
+            store_mask = np.array([s == store for s in laser.column("store")])
+            total = laser.column("amount")[store_mask].sum()
+            assert total == pytest.approx(expected, abs=0.01)
+
+    def test_history_row_count_and_scenario_validation(self):
+        assert laserwave_sales_history(n_rows=1000).num_rows == 1000
+        with pytest.raises(ValueError):
+            laserwave_sales_history(scenario="c")
+
+    def test_deterministic(self):
+        a = laserwave_sales_history(n_rows=500, seed=9)
+        b = laserwave_sales_history(n_rows=500, seed=9)
+        assert a.to_rows() == b.to_rows()
+
+
+class TestSynthetic:
+    def test_shape_matches_config(self):
+        config = SyntheticConfig(
+            n_rows=1000, n_dimensions=4, n_measures=3, cardinality=8
+        )
+        dataset = generate_synthetic(config, seed=5)
+        table = dataset.table
+        assert table.num_rows == 1000
+        assert len(table.schema.dimensions) == 5  # 4 + segment
+        assert len(table.schema.measures) == 3
+
+    def test_planted_dimension_deviates(self):
+        config = SyntheticConfig(
+            n_rows=20_000, n_dimensions=3, planted_dimensions=(0,), cardinality=10
+        )
+        dataset = generate_synthetic(config, seed=3)
+        table = dataset.table
+        in_target = dataset.predicate.evaluate(table)
+        planted = dataset.planted_dimensions[0]
+        values = table.column(planted)
+
+        def top_share(mask):
+            uniques, counts = np.unique(values[mask].astype(str), return_counts=True)
+            return counts.max() / counts.sum()
+
+        # Target segment concentrates; rest is near-uniform over 10 values.
+        assert top_share(in_target) > 0.3
+        assert top_share(~in_target) < 0.2
+
+    def test_is_planted(self):
+        dataset = generate_synthetic(SyntheticConfig(n_rows=100), seed=0)
+        assert dataset.is_planted(ViewSpec("d0", "m0", "sum"))
+        assert not dataset.is_planted(ViewSpec("d1", "m0", "sum"))
+
+    def test_distribution_knobs(self):
+        for distribution in ("uniform", "zipf", "normal"):
+            config = SyntheticConfig(
+                n_rows=500, dimension_distribution=distribution
+            )
+            dataset = generate_synthetic(config, seed=1)
+            assert dataset.table.num_rows == 500
+
+    def test_zipf_skews(self):
+        uniform = generate_synthetic(
+            SyntheticConfig(n_rows=20_000, dimension_distribution="uniform",
+                            planted_dimensions=()),
+            seed=2,
+        )
+        zipf = generate_synthetic(
+            SyntheticConfig(n_rows=20_000, dimension_distribution="zipf",
+                            zipf_exponent=2.0, planted_dimensions=()),
+            seed=2,
+        )
+
+        def top_share(table):
+            values = table.column("d0").astype(str)
+            _u, counts = np.unique(values, return_counts=True)
+            return counts.max() / counts.sum()
+
+        assert top_share(zipf.table) > 2 * top_share(uniform.table)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(n_rows=0)
+        with pytest.raises(ConfigError):
+            SyntheticConfig(cardinality=1)
+        with pytest.raises(ConfigError):
+            SyntheticConfig(dimension_distribution="cauchy")
+        with pytest.raises(ConfigError):
+            SyntheticConfig(planted_dimensions=(99,))
+        with pytest.raises(ConfigError):
+            SyntheticConfig(target_fraction=1.0)
+
+    def test_deterministic(self):
+        a = generate_synthetic(SyntheticConfig(n_rows=200), seed=11)
+        b = generate_synthetic(SyntheticConfig(n_rows=200), seed=11)
+        assert a.table.to_rows() == b.table.to_rows()
+
+
+class TestDomainDatasets:
+    @pytest.mark.parametrize(
+        "generator,expected_dims",
+        [
+            (generate_store_orders, {"region", "category", "sub_category"}),
+            (generate_elections, {"candidate", "party", "contributor_state"}),
+            (generate_medical, {"diagnosis", "icu_unit", "admission_type"}),
+        ],
+    )
+    def test_schema_shape(self, generator, expected_dims):
+        table = generator(n_rows=500, seed=1)
+        dimension_names = {s.name for s in table.schema.dimensions}
+        assert expected_dims <= dimension_names
+        assert len(table.schema.measures) >= 1
+        assert table.num_rows == 500
+
+    def test_store_orders_planted_trend(self):
+        table = generate_store_orders(n_rows=8000, seed=2)
+        regions = np.asarray([str(r) for r in table.column("region")])
+        categories = np.asarray([str(c) for c in table.column("category")])
+        west_tech = (
+            (categories == "Technology") & (regions == "West")
+        ).sum() / (regions == "West").sum()
+        south_tech = (
+            (categories == "Technology") & (regions == "South")
+        ).sum() / (regions == "South").sum()
+        assert west_tech > 1.8 * south_tech
+
+    def test_elections_amount_pattern(self):
+        table = generate_elections(n_rows=8000, seed=2)
+        candidates = np.asarray([str(c) for c in table.column("candidate")])
+        amounts = np.asarray(table.column("amount"), dtype=float)
+        assert np.median(amounts[candidates == "Stone"]) > 5 * np.median(
+            amounts[candidates == "Rivera"]
+        )
+
+    def test_medical_mortality_pattern(self):
+        table = generate_medical(n_rows=10_000, seed=2)
+        admission = np.asarray([str(a) for a in table.column("admission_type")])
+        mortality = np.asarray(table.column("mortality"), dtype=float)
+        assert mortality[admission == "Emergency"].mean() > mortality[
+            admission == "Elective"
+        ].mean()
+
+    def test_sub_category_refines_category(self):
+        from repro.metadata.stats import cramers_v
+
+        table = generate_store_orders(n_rows=3000, seed=3)
+        value = cramers_v(table.column("category"), table.column("sub_category"))
+        assert value > 0.9  # planted for correlation pruning
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_datasets()
+        assert {"laserwave", "store_orders", "elections", "medical"} <= set(names)
+
+    def test_load_with_kwargs(self):
+        table = load_dataset("medical", n_rows=100, seed=0)
+        assert table.num_rows == 100
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError, match="available"):
+            load_dataset("imaginary")

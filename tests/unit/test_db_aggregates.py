@@ -1,0 +1,140 @@
+"""Unit tests: aggregate functions, partial states, and merging."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregates import AGGREGATE_FUNCTIONS, Aggregate
+from repro.util.errors import QueryError
+
+CODES = np.array([0, 0, 1, 1, 1, 2])
+VALUES = np.array([1.0, 3.0, 2.0, 4.0, 6.0, 5.0])
+N_GROUPS = 3
+
+
+def finalize(func_name, values=VALUES, codes=CODES, n_groups=N_GROUPS):
+    function = AGGREGATE_FUNCTIONS[func_name]
+    return function.finalize(function.compute_partials(values, codes, n_groups))
+
+
+class TestBasicValues:
+    def test_count_star(self):
+        function = AGGREGATE_FUNCTIONS["count"]
+        result = function.finalize(function.compute_partials(None, CODES, N_GROUPS))
+        assert list(result) == [2, 3, 1]
+
+    def test_sum(self):
+        assert list(finalize("sum")) == [4.0, 12.0, 5.0]
+
+    def test_avg(self):
+        assert list(finalize("avg")) == [2.0, 4.0, 5.0]
+
+    def test_min_max(self):
+        assert list(finalize("min")) == [1.0, 2.0, 5.0]
+        assert list(finalize("max")) == [3.0, 6.0, 5.0]
+
+    def test_var(self):
+        result = finalize("var")
+        assert result[0] == pytest.approx(1.0)  # var of (1,3)
+        assert result[2] == pytest.approx(0.0)
+
+    def test_std_is_sqrt_var(self):
+        assert finalize("std")[0] == pytest.approx(1.0)
+
+    def test_countv_equals_count_without_nan(self):
+        assert list(finalize("countv")) == [2, 3, 1]
+
+    def test_sumsq(self):
+        assert list(finalize("sumsq")) == [10.0, 56.0, 25.0]
+
+
+class TestNaNHandling:
+    """NaN behaves like SQL NULL: ignored by value aggregates."""
+
+    NAN_VALUES = np.array([1.0, np.nan, np.nan, 4.0, 6.0, np.nan])
+
+    def test_sum_skips_nan(self):
+        assert list(finalize("sum", self.NAN_VALUES)) == [1.0, 10.0, 0.0]
+
+    def test_count_star_includes_nan_rows(self):
+        function = AGGREGATE_FUNCTIONS["count"]
+        result = function.finalize(function.compute_partials(None, CODES, N_GROUPS))
+        assert list(result) == [2, 3, 1]
+
+    def test_countv_skips_nan(self):
+        assert list(finalize("countv", self.NAN_VALUES)) == [1, 2, 0]
+
+    def test_avg_of_all_nan_group_is_nan(self):
+        result = finalize("avg", self.NAN_VALUES)
+        assert result[0] == pytest.approx(1.0)
+        assert result[1] == pytest.approx(5.0)
+        assert np.isnan(result[2])
+
+    def test_min_of_all_nan_group_is_nan(self):
+        result = finalize("min", self.NAN_VALUES)
+        assert result[0] == 1.0
+        assert np.isnan(result[2])
+
+
+class TestEmptyGroups:
+    """Groups with no rows at all (minlength padding)."""
+
+    def test_sum_empty_group_is_zero(self):
+        result = finalize("sum", VALUES, CODES, n_groups=5)
+        assert list(result[3:]) == [0.0, 0.0]
+
+    def test_avg_empty_group_is_nan(self):
+        result = finalize("avg", VALUES, CODES, n_groups=4)
+        assert np.isnan(result[3])
+
+    def test_max_empty_group_is_nan(self):
+        result = finalize("max", VALUES, CODES, n_groups=4)
+        assert np.isnan(result[3])
+
+
+class TestMerging:
+    """merge_partials(a, b) must equal computing over the union of rows."""
+
+    @pytest.mark.parametrize(
+        "func", ["count", "sum", "avg", "min", "max", "var", "std", "countv", "sumsq"]
+    )
+    def test_merge_equals_union(self, func):
+        function = AGGREGATE_FUNCTIONS[func]
+        codes_a, values_a = CODES[:3], VALUES[:3]
+        codes_b, values_b = CODES[3:], VALUES[3:]
+        part_a = function.compute_partials(
+            None if func == "count" else values_a, codes_a, N_GROUPS
+        )
+        part_b = function.compute_partials(
+            None if func == "count" else values_b, codes_b, N_GROUPS
+        )
+        merged = function.finalize(function.merge_partials(part_a, part_b))
+        expected = function.finalize(
+            function.compute_partials(
+                None if func == "count" else VALUES, CODES, N_GROUPS
+            )
+        )
+        np.testing.assert_allclose(merged, expected, equal_nan=True)
+
+
+class TestAggregateDataclass:
+    def test_default_alias(self):
+        assert Aggregate("sum", "price").alias == "sum(price)"
+        assert Aggregate("count").alias == "count(*)"
+
+    def test_custom_alias(self):
+        assert Aggregate("sum", "price", "total").alias == "total"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            Aggregate("median", "price")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(QueryError, match="requires a column"):
+            Aggregate("sum")
+
+    def test_var_never_negative_under_cancellation(self):
+        # Large offset + tiny variance: naive E[x^2]-E[x]^2 can go negative.
+        values = np.full(100, 1e9) + np.linspace(0, 1e-3, 100)
+        codes = np.zeros(100, dtype=np.int64)
+        result = finalize("var", values, codes, 1)
+        assert result[0] >= 0.0

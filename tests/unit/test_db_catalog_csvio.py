@@ -1,0 +1,117 @@
+"""Unit tests: catalog registry and CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.csvio import read_csv, write_csv
+from repro.db.table import Table
+from repro.db.types import AttributeRole, DataType
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns("t", {"k": ["a", "b"], "v": [1.0, 2.0]})
+
+
+class TestCatalog:
+    def test_register_and_get(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        assert catalog.get("t") is table
+        assert "t" in catalog and len(catalog) == 1
+
+    def test_double_register_rejected(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        with pytest.raises(SchemaError, match="already registered"):
+            catalog.register(table)
+        catalog.register(table, replace=True)  # explicit replace allowed
+
+    def test_drop(self, table):
+        catalog = Catalog()
+        catalog.register(table)
+        catalog.drop("t")
+        assert "t" not in catalog
+        with pytest.raises(SchemaError):
+            catalog.drop("t")
+
+    def test_iteration_sorted(self, table):
+        catalog = Catalog()
+        catalog.register(table.rename("zz"))
+        catalog.register(table.rename("aa"))
+        assert list(catalog) == ["aa", "zz"]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_types(self, tmp_path):
+        source = Table.from_columns(
+            "data",
+            {
+                "name": ["x", "y"],
+                "count": [1, 2],
+                "price": [1.5, 2.5],
+                "flag": [True, False],
+            },
+        )
+        path = tmp_path / "data.csv"
+        write_csv(source, path)
+        loaded = read_csv(path)
+        assert loaded.schema["count"].dtype is DataType.INT
+        assert loaded.schema["price"].dtype is DataType.FLOAT
+        assert loaded.schema["flag"].dtype is DataType.BOOL
+        assert loaded.to_rows() == source.to_rows()
+
+    def test_dates_parsed(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("day,v\n2024-01-02,1\n2024-02-03,2\n")
+        loaded = read_csv(path)
+        assert loaded.schema["day"].dtype is DataType.DATE
+
+    def test_empty_numeric_cells_become_nan(self, tmp_path):
+        path = tmp_path / "n.csv"
+        path.write_text("k,v\na,1.5\nb,\n")
+        loaded = read_csv(path)
+        assert np.isnan(loaded.column("v")[1])
+
+    def test_empty_string_cells_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("k,v\n,1\nb,2\n")
+        with pytest.raises(SchemaError, match="empty cells"):
+            read_csv(path)
+
+    def test_mixed_int_float_unifies_to_float(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("v\n1\n2.5\n")
+        loaded = read_csv(path)
+        assert loaded.schema["v"].dtype is DataType.FLOAT
+
+    def test_role_override(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("year,v\n2020,1\n2021,2\n")
+        loaded = read_csv(path, roles={"year": AttributeRole.DIMENSION})
+        assert loaded.schema["year"].role is AttributeRole.DIMENSION
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("v\n" + "\n".join(str(i) for i in range(100)))
+        loaded = read_csv(path, max_rows=10)
+        assert loaded.num_rows == 10
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SchemaError, match="no data rows"):
+            read_csv(path)
+
+    def test_table_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "orders.csv"
+        path.write_text("v\n1\n")
+        assert read_csv(path).name == "orders"

@@ -1,0 +1,215 @@
+"""Unit tests: the execution engine (queries, grouping sets, accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregates import Aggregate
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.expressions import col
+from repro.db.query import (
+    AggregateQuery,
+    FlagColumn,
+    GroupingSetsQuery,
+    RowSelectQuery,
+)
+from repro.util.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def engine(sales_table):
+    catalog = Catalog()
+    catalog.register(sales_table)
+    return Engine(catalog)
+
+
+class TestRowSelect:
+    def test_no_predicate_returns_all(self, engine, sales_table):
+        result = engine.execute(RowSelectQuery("sales"))
+        assert result.num_rows == sales_table.num_rows
+
+    def test_predicate_filters(self, engine):
+        result = engine.execute(RowSelectQuery("sales", col("product") == "Laserwave"))
+        assert result.num_rows == 4
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SchemaError, match="registered"):
+            engine.execute(RowSelectQuery("nope"))
+
+
+class TestAggregateQueries:
+    def test_paper_query(self, engine):
+        """The exact Q' of §1: total sales by store for the Laserwave."""
+        result = engine.execute(
+            AggregateQuery(
+                "sales",
+                ("store",),
+                (Aggregate("sum", "amount"),),
+                col("product") == "Laserwave",
+            )
+        )
+        totals = dict(zip(result.column("store"), result.column("sum(amount)")))
+        assert totals["Cambridge, MA"] == pytest.approx(180.55)
+        assert totals["San Francisco, CA"] == pytest.approx(90.13)
+
+    def test_groups_sorted(self, engine):
+        result = engine.execute(
+            AggregateQuery("sales", ("store",), (Aggregate("count"),))
+        )
+        stores = list(result.column("store"))
+        assert stores == sorted(stores)
+
+    def test_multiple_aggregates_in_one_query(self, engine):
+        result = engine.execute(
+            AggregateQuery(
+                "sales",
+                ("product",),
+                (Aggregate("sum", "amount"), Aggregate("avg", "amount"),
+                 Aggregate("count")),
+            )
+        )
+        assert result.schema.names == ("product", "sum(amount)", "avg(amount)", "count(*)")
+
+    def test_multi_key_group_by(self, engine):
+        result = engine.execute(
+            AggregateQuery("sales", ("product", "store"), (Aggregate("count"),))
+        )
+        assert result.num_rows == 8  # 2 products x 4 stores
+
+    def test_flag_column_grouping(self, engine):
+        flag = FlagColumn("is_laser", col("product") == "Laserwave")
+        result = engine.execute(
+            AggregateQuery("sales", (flag, "store"), (Aggregate("count"),))
+        )
+        flags = set(result.column("is_laser"))
+        assert flags == {0, 1}
+        laser_rows = result.mask(np.asarray(result.column("is_laser")) == 1)
+        assert list(laser_rows.column("count(*)")) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_empty_selection_yields_empty_result(self, engine):
+        result = engine.execute(
+            AggregateQuery(
+                "sales",
+                ("store",),
+                (Aggregate("sum", "amount"),),
+                col("product") == "DoesNotExist",
+            )
+        )
+        assert result.num_rows == 0
+
+    def test_aggregate_on_missing_column(self, engine):
+        with pytest.raises((QueryError, SchemaError)):
+            engine.execute(
+                AggregateQuery("sales", ("store",), (Aggregate("sum", "nope"),))
+            )
+
+    def test_empty_group_by_is_global_aggregate(self, engine):
+        result = engine.execute(
+            AggregateQuery("sales", (), (Aggregate("count"),))
+        )
+        assert result.num_rows == 1
+        assert result.column("count(*)")[0] == 12.0
+
+
+class TestGroupingSets:
+    def test_matches_independent_queries(self, engine):
+        aggregates = (Aggregate("sum", "amount"), Aggregate("avg", "profit"))
+        gs_query = GroupingSetsQuery(
+            "sales", (("store",), ("product",), ("month",)), aggregates
+        )
+        shared = engine.execute_grouping_sets(gs_query)
+        for single_query, shared_result in zip(gs_query.as_single_queries(), shared):
+            independent = engine.execute(single_query)
+            assert independent.to_rows() == shared_result.to_rows()
+
+    def test_single_scan_accounting(self, engine):
+        engine.stats.reset()
+        gs_query = GroupingSetsQuery(
+            "sales", (("store",), ("product",)), (Aggregate("count"),)
+        )
+        engine.execute_grouping_sets(gs_query)
+        assert engine.stats.table_scans == 1
+        assert engine.stats.rows_scanned == 12
+
+    def test_flag_in_sets(self, engine):
+        flag = FlagColumn("f", col("product") == "Laserwave")
+        gs_query = GroupingSetsQuery(
+            "sales", ((flag, "store"), (flag, "month")), (Aggregate("count"),)
+        )
+        results = engine.execute_grouping_sets(gs_query)
+        assert len(results) == 2
+        assert "f" in results[0].schema
+
+
+class TestStatsAccounting:
+    def test_each_query_one_scan(self, engine):
+        engine.stats.reset()
+        engine.execute(AggregateQuery("sales", ("store",), (Aggregate("count"),)))
+        engine.execute(AggregateQuery("sales", ("month",), (Aggregate("count"),)))
+        assert engine.stats.queries == 2
+        assert engine.stats.table_scans == 2
+        assert engine.stats.rows_scanned == 24
+
+    def test_snapshot_delta(self, engine):
+        engine.stats.reset()
+        before = engine.stats.snapshot()
+        engine.execute(AggregateQuery("sales", ("store",), (Aggregate("count"),)))
+        delta = engine.stats.delta(before)
+        assert delta.queries == 1
+        assert delta.table_scans == 1
+
+    def test_reset(self, engine):
+        engine.execute(AggregateQuery("sales", ("store",), (Aggregate("count"),)))
+        engine.stats.reset()
+        assert engine.stats.queries == 0
+
+
+class TestQueryValidation:
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("t", ("a",), ())
+
+    def test_duplicate_group_keys_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            AggregateQuery("t", ("a", "a"), (Aggregate("count"),))
+
+    def test_alias_key_collision_rejected(self):
+        with pytest.raises(QueryError, match="share names"):
+            AggregateQuery("t", ("a",), (Aggregate("count", alias="a"),))
+
+    def test_grouping_sets_need_sets(self):
+        with pytest.raises(QueryError):
+            GroupingSetsQuery("t", (), (Aggregate("count"),))
+
+    def test_nan_measure_aggregation(self, nan_table):
+        catalog = Catalog()
+        catalog.register(nan_table)
+        engine = Engine(catalog)
+        result = engine.execute(
+            AggregateQuery(
+                "readings", ("sensor",), (Aggregate("avg", "value"),)
+            )
+        )
+        values = dict(zip(result.column("sensor"), result.column("avg(value)")))
+        assert values["a"] == pytest.approx(1.0)  # NaN skipped
+        assert values["b"] == pytest.approx(4.0)
+        assert np.isnan(values["c"])
+
+
+class TestRowSelectLimit:
+    def test_limit_truncates(self, engine):
+        result = engine.execute(RowSelectQuery("sales", limit=3))
+        assert result.num_rows == 3
+
+    def test_limit_after_predicate(self, engine):
+        result = engine.execute(
+            RowSelectQuery("sales", col("product") == "Laserwave", limit=2)
+        )
+        assert result.num_rows == 2
+
+    def test_limit_zero(self, engine):
+        assert engine.execute(RowSelectQuery("sales", limit=0)).num_rows == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            RowSelectQuery("sales", limit=-1)

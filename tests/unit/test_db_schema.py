@@ -1,0 +1,80 @@
+"""Unit tests: schemas and column specs."""
+
+import pytest
+
+from repro.db.schema import ColumnSpec, Schema
+from repro.db.types import AttributeRole, DataType
+from repro.util.errors import SchemaError
+
+
+def spec(name, dtype=DataType.STR, role=AttributeRole.DIMENSION, semantic=None):
+    return ColumnSpec(name, dtype, role, semantic)
+
+
+class TestColumnSpec:
+    def test_basic(self):
+        column = spec("region", semantic="geography")
+        assert column.semantic == "geography"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            ColumnSpec("", DataType.STR, AttributeRole.DIMENSION)
+
+    def test_non_numeric_measure_rejected(self):
+        with pytest.raises(SchemaError, match="must be numeric"):
+            ColumnSpec("name", DataType.STR, AttributeRole.MEASURE)
+
+    def test_numeric_measure_accepted(self):
+        ColumnSpec("price", DataType.FLOAT, AttributeRole.MEASURE)
+
+
+class TestSchema:
+    def test_lookup_and_contains(self):
+        schema = Schema.of(spec("a"), spec("b"))
+        assert "a" in schema and "missing" not in schema
+        assert schema["b"].name == "b"
+
+    def test_unknown_column_lists_available(self):
+        schema = Schema.of(spec("a"))
+        with pytest.raises(SchemaError, match="available"):
+            schema["zzz"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(spec("a"), spec("a"))
+
+    def test_dimension_and_measure_partitions(self):
+        schema = Schema.of(
+            spec("region"),
+            spec("price", DataType.FLOAT, AttributeRole.MEASURE),
+            spec("id", DataType.INT, AttributeRole.IGNORED),
+        )
+        assert [s.name for s in schema.dimensions] == ["region"]
+        assert [s.name for s in schema.measures] == ["price"]
+
+    def test_names_preserve_order(self):
+        schema = Schema.of(spec("z"), spec("a"), spec("m"))
+        assert schema.names == ("z", "a", "m")
+
+    def test_len_and_iter(self):
+        schema = Schema.of(spec("a"), spec("b"))
+        assert len(schema) == 2
+        assert [s.name for s in schema] == ["a", "b"]
+
+    def test_require_role(self):
+        schema = Schema.of(spec("price", DataType.FLOAT, AttributeRole.MEASURE))
+        schema.require("price", AttributeRole.MEASURE)
+        with pytest.raises(SchemaError, match="role"):
+            schema.require("price", AttributeRole.DIMENSION)
+
+    def test_with_roles_override(self):
+        schema = Schema.of(spec("year", DataType.INT, AttributeRole.MEASURE))
+        updated = schema.with_roles({"year": AttributeRole.DIMENSION})
+        assert updated["year"].role is AttributeRole.DIMENSION
+        # Original unchanged (schemas are immutable values).
+        assert schema["year"].role is AttributeRole.MEASURE
+
+    def test_with_roles_unknown_column(self):
+        schema = Schema.of(spec("a"))
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.with_roles({"nope": AttributeRole.DIMENSION})

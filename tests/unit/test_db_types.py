@@ -1,0 +1,113 @@
+"""Unit tests: data types, inference, coercion, default roles."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.db.types import (
+    AttributeRole,
+    DataType,
+    coerce_array,
+    default_role,
+    infer_data_type,
+)
+from repro.util.errors import SchemaError
+
+
+class TestInference:
+    def test_infer_int(self):
+        assert infer_data_type([1, 2, 3]) is DataType.INT
+
+    def test_infer_float(self):
+        assert infer_data_type([1.5, 2.0]) is DataType.FLOAT
+
+    def test_infer_str(self):
+        assert infer_data_type(["a", "b"]) is DataType.STR
+
+    def test_infer_bool(self):
+        assert infer_data_type([True, False]) is DataType.BOOL
+
+    def test_infer_date(self):
+        assert infer_data_type([date(2024, 1, 1)]) is DataType.DATE
+
+    def test_infer_numpy_datetime(self):
+        array = np.array(["2024-01-01"], dtype="datetime64[D]")
+        assert infer_data_type(array) is DataType.DATE
+
+    def test_infer_numpy_arrays(self):
+        assert infer_data_type(np.array([1, 2])) is DataType.INT
+        assert infer_data_type(np.array([1.0])) is DataType.FLOAT
+        assert infer_data_type(np.array(["x"])) is DataType.STR
+
+    def test_bool_before_int(self):
+        # Python bools are ints; inference must prefer BOOL.
+        assert infer_data_type([True, False, True]) is DataType.BOOL
+
+    def test_skips_leading_none(self):
+        assert infer_data_type(np.array([None, "x"], dtype=object)) is DataType.STR
+
+    def test_all_none_rejected(self):
+        with pytest.raises(SchemaError, match="all-None"):
+            infer_data_type(np.array([None, None], dtype=object))
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(SchemaError, match="cannot infer"):
+            infer_data_type(np.array([object()], dtype=object))
+
+
+class TestCoercion:
+    def test_coerce_int(self):
+        array = coerce_array([1, 2], DataType.INT)
+        assert array.dtype == np.int64
+
+    def test_coerce_float_accepts_ints(self):
+        array = coerce_array([1, 2.5], DataType.FLOAT)
+        assert array.dtype == np.float64
+
+    def test_coerce_str_array_is_object(self):
+        array = coerce_array(["a", "b"], DataType.STR)
+        assert array.dtype == object
+        assert list(array) == ["a", "b"]
+
+    def test_coerce_str_rejects_numbers(self):
+        with pytest.raises(SchemaError, match="expected str"):
+            coerce_array(["a", 1], DataType.STR)
+
+    def test_coerce_int_rejects_strings(self):
+        with pytest.raises(SchemaError):
+            coerce_array(["a"], DataType.INT)
+
+    def test_coerce_date(self):
+        array = coerce_array([date(2024, 3, 1)], DataType.DATE)
+        assert array.dtype.kind == "M"
+
+
+class TestProperties:
+    def test_numeric_flags(self):
+        assert DataType.INT.is_numeric and DataType.FLOAT.is_numeric
+        assert not DataType.STR.is_numeric
+        assert not DataType.DATE.is_numeric
+
+    def test_orderable_flags(self):
+        assert DataType.DATE.is_orderable
+        assert not DataType.STR.is_orderable
+
+    def test_numpy_dtype_mapping(self):
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+        assert DataType.STR.numpy_dtype == np.dtype(object)
+
+
+class TestDefaultRole:
+    def test_numeric_defaults_to_measure(self):
+        assert default_role(DataType.FLOAT, 0.5) is AttributeRole.MEASURE
+
+    def test_low_distinct_numeric_is_dimension(self):
+        # An int column with 0.1% distinct values is a code, not a measure.
+        assert default_role(DataType.INT, 0.001) is AttributeRole.DIMENSION
+
+    def test_strings_are_dimensions(self):
+        assert default_role(DataType.STR) is AttributeRole.DIMENSION
+
+    def test_dates_are_dimensions(self):
+        assert default_role(DataType.DATE) is AttributeRole.DIMENSION

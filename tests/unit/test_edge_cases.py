@@ -1,0 +1,134 @@
+"""Edge-case unit tests for paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import col
+from repro.db.grouping_sets import ColumnFactorizationCache
+from repro.db.query import FlagColumn
+from repro.db.table import Table
+from repro.util.errors import QueryError
+from repro.util.tabulate import format_table
+from repro.viz.spec import ChartType, single_series_spec
+from repro.viz.svg import render_svg
+
+
+class TestGroupingSetsCache:
+    def test_unmaterialized_flag_rejected(self, sales_table):
+        cache = ColumnFactorizationCache(sales_table, flag_arrays={})
+        flag = FlagColumn("missing_flag", col("product") == "Laserwave")
+        with pytest.raises(QueryError, match="materialized"):
+            cache.key_array(flag)
+
+    def test_factorization_cached_per_column(self, sales_table):
+        cache = ColumnFactorizationCache(sales_table, flag_arrays={})
+        first = cache.factorized("store")
+        second = cache.factorized("store")
+        assert first[0] is second[0]  # same codes array object: cached
+
+    def test_empty_key_set(self, sales_table):
+        cache = ColumnFactorizationCache(sales_table, flag_arrays={})
+        fact = cache.factorize_set(())
+        assert fact.n_groups == 1
+        assert fact.keys == {}
+
+
+class TestSvgEdgeCases:
+    def test_constant_series_has_valid_range(self):
+        spec = single_series_spec(
+            "flat", "x", "y", ["a", "b"], [5.0, 5.0], ChartType.LINE
+        )
+        svg = render_svg(spec)
+        assert "<polyline" in svg
+        assert "nan" not in svg.lower()
+
+    def test_all_zero_series(self):
+        spec = single_series_spec("zeros", "x", "y", ["a"], [0.0])
+        svg = render_svg(spec)
+        assert "<rect" in svg
+
+    def test_single_category(self):
+        spec = single_series_spec("one", "x", "y", ["only"], [3.5])
+        assert "only" in render_svg(spec)
+
+
+class TestTabulateFormats:
+    def test_float_format_parameter(self):
+        text = format_table([[3.14159]], headers=["pi"], float_format=".2f")
+        assert "3.14" in text and "3.1416" not in text
+
+    def test_mixed_column_not_right_aligned(self):
+        # A column with both str and numbers is treated as text.
+        text = format_table([["x"], [1]], headers=["col"])
+        assert text.splitlines()[2].startswith("x")
+
+
+class TestAggregateEdges:
+    def test_min_max_on_int_column(self, sales_table):
+        from repro.db.catalog import Catalog
+        from repro.db.engine import Engine
+        from repro.db.query import AggregateQuery
+
+        catalog = Catalog()
+        catalog.register(sales_table)
+        engine = Engine(catalog)
+        result = engine.execute(
+            AggregateQuery(
+                "sales", ("product",),
+                (Aggregate("min", "profit"), Aggregate("max", "profit")),
+            )
+        )
+        assert isinstance(result, Table)
+        values = np.asarray(result.column("min(profit)"))
+        assert np.isfinite(values).all()
+
+    def test_var_single_value_group_zero(self):
+        from repro.db.aggregates import AGGREGATE_FUNCTIONS
+
+        function = AGGREGATE_FUNCTIONS["var"]
+        partials = function.compute_partials(
+            np.array([7.0]), np.array([0]), 1
+        )
+        assert function.finalize(partials)[0] == pytest.approx(0.0)
+
+
+class TestIncrementalWithHellinger:
+    def test_full_run(self, sales_table):
+        from repro.core.incremental import IncrementalRecommender
+        from repro.model.view import ViewSpec
+
+        recommender = IncrementalRecommender(sales_table, metric="hellinger")
+        views = [ViewSpec("store", "amount", "sum"), ViewSpec("month", None, "count")]
+        result = recommender.recommend(
+            col("product") == "Laserwave", views, k=1, n_phases=2
+        )
+        assert len(result.recommendations) == 1
+        assert all(np.isfinite(u) for u in result.utilities.values())
+
+
+class TestMultiViewCountOnly:
+    def test_count_views_without_measures(self):
+        from repro.backends.memory import MemoryBackend
+        from repro.core.multiview import MultiViewRecommender
+        from repro.db.query import RowSelectQuery
+        from repro.db.types import AttributeRole
+
+        table = Table.from_columns(
+            "d3",
+            {"a": ["x", "y"] * 6, "b": ["p", "p", "q"] * 4, "c": ["u"] * 12},
+            roles={
+                "a": AttributeRole.DIMENSION,
+                "b": AttributeRole.DIMENSION,
+                "c": AttributeRole.DIMENSION,
+            },
+        )
+        backend = MemoryBackend()
+        backend.register_table(table)
+        recommender = MultiViewRecommender(backend)
+        top = recommender.recommend(
+            RowSelectQuery("d3", col("a") == "x"), k=2, n_dimensions=2,
+            functions=(),
+        )
+        assert top
+        assert all(v.spec.func == "count" for v in top)

@@ -1,0 +1,223 @@
+"""Unit tests: distance metrics, normalization, and alignment."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.metrics import (
+    ChiSquareDistance,
+    EarthMoversDistance,
+    EuclideanDistance,
+    JensenShannonDistance,
+    KLDivergence,
+    MaxDeviationDistance,
+    NormalizationPolicy,
+    TotalVariationDistance,
+    align_series,
+    available_metrics,
+    get_metric,
+    normalize_distribution,
+    register_metric,
+)
+from repro.metrics.base import DistanceMetric
+from repro.util.errors import MetricError
+
+UNIFORM4 = np.full(4, 0.25)
+POINT4 = np.array([1.0, 0.0, 0.0, 0.0])
+
+
+class TestNormalization:
+    def test_sums_to_one(self):
+        result = normalize_distribution([1.0, 2.0, 7.0])
+        assert result.sum() == pytest.approx(1.0)
+        assert result[2] == pytest.approx(0.7)
+
+    def test_nan_becomes_zero_mass(self):
+        result = normalize_distribution([1.0, np.nan, 1.0])
+        assert result[1] == 0.0
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_all_zero_gives_uniform(self):
+        result = normalize_distribution([0.0, 0.0])
+        assert list(result) == [0.5, 0.5]
+
+    def test_negative_strict_raises(self):
+        with pytest.raises(MetricError, match="negative"):
+            normalize_distribution([-1.0, 2.0], NormalizationPolicy.STRICT)
+
+    def test_negative_shift(self):
+        result = normalize_distribution([-1.0, 1.0], NormalizationPolicy.SHIFT)
+        assert list(result) == [0.0, 1.0]
+
+    def test_negative_absolute(self):
+        result = normalize_distribution([-1.0, 1.0], NormalizationPolicy.ABSOLUTE)
+        assert list(result) == [0.5, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError, match="empty"):
+            normalize_distribution([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(MetricError, match="1-D"):
+            normalize_distribution(np.ones((2, 2)))
+
+
+class TestAlignment:
+    def test_union_and_fill(self):
+        keys, a, b = align_series(["x", "y"], [1.0, 2.0], ["y", "z"], [5.0, 7.0])
+        assert keys == ["x", "y", "z"]
+        assert list(a) == [1.0, 2.0, 0.0]
+        assert list(b) == [0.0, 5.0, 7.0]
+
+    def test_custom_fill(self):
+        _keys, a, _b = align_series(["x"], [1.0], ["y"], [2.0], fill=np.nan)
+        assert np.isnan(a[1])
+
+    def test_numpy_scalar_keys_canonicalized(self):
+        keys, a, b = align_series(
+            list(np.array(["x", "y"], dtype=object)),
+            [1.0, 2.0],
+            ["y"],
+            [3.0],
+        )
+        assert keys == ["x", "y"]
+        assert list(b) == [0.0, 3.0]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(MetricError, match="duplicate"):
+            align_series(["x", "x"], [1.0, 2.0], ["y"], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MetricError, match="keys but"):
+            align_series(["x"], [1.0, 2.0], ["y"], [1.0])
+
+    def test_mixed_type_keys_sort_deterministically(self):
+        keys, _a, _b = align_series([1, "a"], [1.0, 1.0], [2], [1.0])
+        assert keys == sorted(keys, key=lambda k: (type(k).__name__, k))
+
+
+class TestSharedValidation:
+    @pytest.fixture
+    def metric(self):
+        return EuclideanDistance()
+
+    def test_length_mismatch(self, metric):
+        with pytest.raises(MetricError, match="length"):
+            metric.distance(UNIFORM4, np.full(3, 1 / 3))
+
+    def test_not_normalized(self, metric):
+        with pytest.raises(MetricError, match="sums to"):
+            metric.distance(np.array([1.0, 1.0]), np.array([0.5, 0.5]))
+
+    def test_negative_mass(self, metric):
+        with pytest.raises(MetricError, match="non-negative"):
+            metric.distance(np.array([-0.5, 1.5]), np.array([0.5, 0.5]))
+
+    def test_empty(self, metric):
+        with pytest.raises(MetricError, match="non-empty"):
+            metric.distance(np.array([]), np.array([]))
+
+
+class TestMetricValues:
+    def test_euclidean_known_value(self):
+        assert EuclideanDistance().distance(POINT4, UNIFORM4) == pytest.approx(
+            np.sqrt(0.75**2 + 3 * 0.25**2)
+        )
+
+    def test_emd_matches_scipy_wasserstein(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            p = rng.dirichlet(np.ones(6))
+            q = rng.dirichlet(np.ones(6))
+            ours = EarthMoversDistance(normalized=False).distance(p, q)
+            positions = np.arange(6)
+            reference = scipy_stats.wasserstein_distance(
+                positions, positions, p, q
+            )
+            assert ours == pytest.approx(reference, rel=1e-9)
+
+    def test_emd_normalized_bounded(self):
+        extreme_p = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        extreme_q = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        assert EarthMoversDistance().distance(extreme_p, extreme_q) == pytest.approx(1.0)
+
+    def test_kl_zero_for_identical(self):
+        assert KLDivergence().distance(UNIFORM4, UNIFORM4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_finite_on_disjoint_support(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        value = KLDivergence().distance(p, q)
+        assert np.isfinite(value) and value > 0
+
+    def test_kl_smoothing_preserves_order(self):
+        near = np.array([0.3, 0.7])
+        far = np.array([0.9, 0.1])
+        reference = np.array([0.35, 0.65])
+        for epsilon in (1e-12, 1e-9, 1e-6, 1e-3):
+            metric = KLDivergence(epsilon=epsilon)
+            assert metric.distance(far, reference) > metric.distance(near, reference)
+
+    def test_kl_epsilon_must_be_positive(self):
+        with pytest.raises(MetricError):
+            KLDivergence(epsilon=0.0)
+
+    def test_js_bounded_zero_one(self):
+        assert JensenShannonDistance().distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+        assert JensenShannonDistance().distance(UNIFORM4, UNIFORM4) == pytest.approx(0.0)
+
+    def test_js_symmetric(self):
+        metric = JensenShannonDistance()
+        assert metric.distance(POINT4, UNIFORM4) == pytest.approx(
+            metric.distance(UNIFORM4, POINT4)
+        )
+
+    def test_total_variation_half_l1(self):
+        metric = TotalVariationDistance()
+        assert metric.distance(POINT4, UNIFORM4) == pytest.approx(0.75)
+
+    def test_chisquare_bounded(self):
+        value = ChiSquareDistance().distance(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert value == pytest.approx(1.0)
+
+    def test_maxdev_and_argmax(self):
+        metric = MaxDeviationDistance()
+        assert metric.distance(POINT4, UNIFORM4) == pytest.approx(0.75)
+        assert MaxDeviationDistance.argmax_group(POINT4, UNIFORM4) == 0
+
+
+class TestRegistry:
+    def test_paper_metrics_present(self):
+        names = available_metrics()
+        for required in ("emd", "euclidean", "kl", "js"):
+            assert required in names
+
+    def test_get_by_name_and_instance(self):
+        metric = get_metric("js")
+        assert isinstance(metric, JensenShannonDistance)
+        assert get_metric(metric) is metric
+
+    def test_unknown_name(self):
+        with pytest.raises(MetricError, match="available"):
+            get_metric("manhattan_project")
+
+    def test_register_custom_metric(self):
+        class Half(DistanceMetric):
+            name = "half_tv_test_only"
+
+            def _distance(self, p, q):
+                return 0.25 * float(np.sum(np.abs(p - q)))
+
+        register_metric(Half())
+        assert get_metric("half_tv_test_only").distance(POINT4, UNIFORM4) > 0
+        with pytest.raises(MetricError, match="already registered"):
+            register_metric(Half())
+
+    def test_register_unnamed_rejected(self):
+        class NoName(DistanceMetric):
+            pass
+
+        with pytest.raises(MetricError, match="no name"):
+            register_metric(NoName())

@@ -1,0 +1,131 @@
+"""Unit tests: bin-packing of group-by dimensions."""
+
+import math
+
+import pytest
+
+from repro.optimizer.binpack import (
+    branch_and_bound_pack,
+    first_fit_decreasing,
+    pack_dimensions,
+)
+from repro.util.errors import ConfigError
+
+
+def assert_valid_packing(packed, weights, capacity):
+    """Every item exactly once; no bin over capacity (oversized = alone)."""
+    seen = [name for bin_members in packed.bins for name in bin_members]
+    assert sorted(seen) == sorted(weights)
+    for bin_members in packed.bins:
+        load = sum(weights[name] for name in bin_members)
+        if len(bin_members) > 1:
+            assert load <= capacity + 1e-9
+
+
+class TestFFD:
+    def test_simple_fit(self):
+        weights = {"a": 4.0, "b": 4.0, "c": 2.0}
+        packed = first_fit_decreasing(weights, capacity=6.0)
+        assert_valid_packing(packed, weights, 6.0)
+        assert packed.n_bins == 2  # (4,2) + (4)
+
+    def test_oversized_gets_own_bin(self):
+        weights = {"huge": 100.0, "small": 1.0}
+        packed = first_fit_decreasing(weights, capacity=10.0)
+        assert ("huge",) in packed.bins
+
+    def test_max_items_per_bin(self):
+        weights = {f"i{k}": 1.0 for k in range(6)}
+        packed = first_fit_decreasing(weights, capacity=100.0, max_items_per_bin=2)
+        assert packed.n_bins == 3
+        assert all(len(b) <= 2 for b in packed.bins)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            first_fit_decreasing({"a": 1.0}, capacity=0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            first_fit_decreasing({"a": -1.0}, capacity=5.0)
+
+    def test_empty_input(self):
+        packed = first_fit_decreasing({}, capacity=5.0)
+        assert packed.bins == ()
+
+
+class TestBranchAndBound:
+    def test_finds_optimum_where_ffd_fails(self):
+        # Classic FFD-suboptimal instance: capacity 10,
+        # items 6,5,5,4 -> FFD: (6,4), (5,5) = 2 bins. Make a harder one:
+        # capacity 12, items 7,6,5,5,4,3 -> optimal 3: (7,5),(6,3)+? ...
+        # Use a known instance: capacity 10, items 7,6,4,3 ->
+        # FFD: (7,3),(6,4) = 2 which is optimal. Use asymmetric:
+        weights = {"a": 5.0, "b": 5.0, "c": 4.0, "d": 3.0, "e": 3.0}
+        capacity = 10.0
+        exact = branch_and_bound_pack(weights, capacity)
+        assert_valid_packing(exact, weights, capacity)
+        assert exact.n_bins == 2  # (5,5), (4,3,3)
+        assert exact.optimal
+
+    def test_never_worse_than_ffd(self):
+        weights = {f"i{k}": float(1 + (k * 7) % 9) for k in range(10)}
+        capacity = 12.0
+        ffd = first_fit_decreasing(weights, capacity)
+        exact = branch_and_bound_pack(weights, capacity)
+        assert exact.n_bins <= ffd.n_bins
+        assert_valid_packing(exact, weights, capacity)
+
+    def test_lower_bound_respected(self):
+        weights = {f"i{k}": 3.0 for k in range(7)}
+        exact = branch_and_bound_pack(weights, capacity=9.0)
+        assert exact.n_bins == math.ceil(21.0 / 9.0)
+
+    def test_oversized_isolated(self):
+        weights = {"big": 50.0, "a": 2.0, "b": 2.0}
+        exact = branch_and_bound_pack(weights, capacity=5.0)
+        assert ("big",) in exact.bins
+
+    def test_node_limit_falls_back_gracefully(self):
+        # 12 items of weight 6, capacity 10: fractional bound says 8 bins
+        # but only one item fits per bin (12 needed), so the bound never
+        # proves optimality and the search must exhaust -- guaranteeing the
+        # tiny node limit trips.
+        weights = {f"i{k}": 6.0 for k in range(12)}
+        packed = branch_and_bound_pack(weights, capacity=10.0, node_limit=10)
+        assert_valid_packing(packed, weights, 10.0)
+        assert not packed.optimal
+
+
+class TestPackDimensions:
+    def test_log_transform(self):
+        # Budget 1000 cells: 10*10*10 fits exactly; 10*10*10*10 does not.
+        cardinalities = {f"d{k}": 10 for k in range(4)}
+        packed = pack_dimensions(cardinalities, budget_cells=1000)
+        assert packed.n_bins == 2
+        for bin_members in packed.bins:
+            product = math.prod(cardinalities[name] for name in bin_members)
+            assert product <= 1000
+
+    def test_exact_solver_below_threshold(self):
+        packed = pack_dimensions({"a": 10, "b": 10}, budget_cells=200)
+        assert packed.solver == "branch_and_bound"
+
+    def test_ffd_above_threshold(self):
+        cardinalities = {f"d{k}": 10 for k in range(20)}
+        packed = pack_dimensions(cardinalities, budget_cells=1000, exact_threshold=5)
+        assert packed.solver == "ffd"
+
+    def test_dimension_larger_than_budget_isolated(self):
+        packed = pack_dimensions({"huge": 10_000, "small": 4}, budget_cells=100)
+        assert ("huge",) in packed.bins
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigError):
+            pack_dimensions({"a": 2}, budget_cells=1)
+
+    def test_max_dims_per_bin(self):
+        cardinalities = {f"d{k}": 2 for k in range(8)}
+        packed = pack_dimensions(
+            cardinalities, budget_cells=10**9, max_dims_per_bin=3
+        )
+        assert all(len(b) <= 3 for b in packed.bins)

@@ -1,0 +1,114 @@
+"""Unit tests: aggregate decomposition and partition merging."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregates import Aggregate
+from repro.optimizer.combine import (
+    dedup_aggregates,
+    merge_aux_arrays,
+    merge_fill_value,
+    merge_spec,
+)
+from repro.util.errors import QueryError
+
+
+class TestMergeSpec:
+    def test_sum_passthrough(self):
+        spec = merge_spec(Aggregate("sum", "x"))
+        assert [a.alias for a in spec.aux] == ["sum(x)"]
+        values = {"sum(x)": np.array([1.0, 2.0])}
+        assert list(spec.reconstruct(values)) == [1.0, 2.0]
+
+    def test_avg_decomposition(self):
+        spec = merge_spec(Aggregate("avg", "x"))
+        aliases = [a.alias for a in spec.aux]
+        assert aliases == ["sum(x)", "countv(x)"]
+        values = {
+            "sum(x)": np.array([10.0, 0.0]),
+            "countv(x)": np.array([4.0, 0.0]),
+        }
+        reconstructed = spec.reconstruct(values)
+        assert reconstructed[0] == pytest.approx(2.5)
+        assert np.isnan(reconstructed[1])  # empty group -> NaN like SQL AVG
+
+    def test_var_decomposition(self):
+        spec = merge_spec(Aggregate("var", "x"))
+        aliases = {a.alias for a in spec.aux}
+        assert aliases == {"sum(x)", "sumsq(x)", "countv(x)"}
+        # values 1, 3 -> var 1.0
+        values = {
+            "sum(x)": np.array([4.0]),
+            "sumsq(x)": np.array([10.0]),
+            "countv(x)": np.array([2.0]),
+        }
+        assert spec.reconstruct(values)[0] == pytest.approx(1.0)
+
+    def test_std_is_sqrt(self):
+        spec = merge_spec(Aggregate("std", "x"))
+        values = {
+            "sum(x)": np.array([4.0]),
+            "sumsq(x)": np.array([10.0]),
+            "countv(x)": np.array([2.0]),
+        }
+        assert spec.reconstruct(values)[0] == pytest.approx(1.0)
+
+    def test_var_cancellation_clamped(self):
+        spec = merge_spec(Aggregate("var", "x"))
+        values = {
+            "sum(x)": np.array([2e9]),
+            "sumsq(x)": np.array([2e18]),
+            "countv(x)": np.array([2.0]),
+        }
+        assert spec.reconstruct(values)[0] >= 0.0
+
+    def test_count_star(self):
+        spec = merge_spec(Aggregate("count"))
+        assert spec.aux[0].alias == "count(*)"
+
+
+class TestMergeOperations:
+    def test_additive_merge(self):
+        aggregate = Aggregate("sum", "x")
+        merged = merge_aux_arrays(
+            aggregate, np.array([1.0, 2.0]), np.array([10.0, 20.0])
+        )
+        assert list(merged) == [11.0, 22.0]
+        assert merge_fill_value(aggregate) == 0.0
+
+    def test_min_merge_ignores_nan_fill(self):
+        aggregate = Aggregate("min", "x")
+        merged = merge_aux_arrays(
+            aggregate, np.array([np.nan, 5.0]), np.array([3.0, np.nan])
+        )
+        assert merged[0] == 3.0 and merged[1] == 5.0
+        assert np.isnan(merge_fill_value(aggregate))
+
+    def test_max_merge(self):
+        aggregate = Aggregate("max", "x")
+        merged = merge_aux_arrays(aggregate, np.array([1.0]), np.array([9.0]))
+        assert merged[0] == 9.0
+
+    def test_non_mergeable_rejected(self):
+        with pytest.raises(QueryError, match="not mergeable"):
+            merge_aux_arrays(Aggregate("avg", "x"), np.array([1.0]), np.array([1.0]))
+        with pytest.raises(QueryError, match="not mergeable"):
+            merge_fill_value(Aggregate("var", "x"))
+
+
+class TestDedup:
+    def test_shared_aux_deduped(self):
+        # avg(x) and var(x) share sum(x) and countv(x).
+        collected = []
+        for func in ("avg", "var"):
+            collected.extend(merge_spec(Aggregate(func, "x")).aux)
+        unique = dedup_aggregates(collected)
+        aliases = [a.alias for a in unique]
+        assert aliases == ["sum(x)", "countv(x)", "sumsq(x)"]
+
+    def test_order_preserved(self):
+        aggregates = [Aggregate("sum", "b"), Aggregate("sum", "a"), Aggregate("sum", "b")]
+        assert [a.alias for a in dedup_aggregates(aggregates)] == [
+            "sum(b)",
+            "sum(a)",
+        ]

@@ -1,0 +1,294 @@
+"""Unit tests: the planner, execution steps, extraction, and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import BackendCapabilities
+from repro.db.expressions import col
+from repro.db.query import AggregateQuery, GroupingSetsQuery
+from repro.model.view import ViewSpec
+from repro.optimizer.cost import estimate_plan_cost
+from repro.optimizer.extract import FLAG_NAME, marginalize
+from repro.optimizer.plan import (
+    FlagStep,
+    GroupByCombining,
+    MultiDimStep,
+    Planner,
+    PlannerConfig,
+    RollupStep,
+    SeparateStep,
+    ViewGroup,
+)
+from repro.util.errors import ConfigError
+
+CAPS_GS = BackendCapabilities(grouping_sets=True, parallel_queries=True, native_var_std=True)
+CAPS_NO_GS = BackendCapabilities(grouping_sets=False, parallel_queries=True, native_var_std=False)
+
+VIEWS = [
+    ViewSpec("store", "amount", "sum"),
+    ViewSpec("store", "amount", "avg"),
+    ViewSpec("product", "amount", "sum"),
+    ViewSpec("month", None, "count"),
+]
+CARDINALITIES = {"store": 4, "product": 2, "month": 4}
+
+
+def plan_with(**config_overrides):
+    config = PlannerConfig(**config_overrides)
+    return Planner(config).plan(
+        VIEWS, "sales", col("product") == "Laserwave", CARDINALITIES, CAPS_GS
+    )
+
+
+class TestViewGroup:
+    def test_aux_aggregates_deduped(self):
+        group = ViewGroup(
+            "store",
+            (ViewSpec("store", "amount", "sum"), ViewSpec("store", "amount", "avg")),
+        )
+        aliases = [a.alias for a in group.aux_aggregates]
+        assert aliases == ["sum(amount)", "countv(amount)"]
+
+    def test_direct_aggregates(self):
+        group = ViewGroup(
+            "store",
+            (ViewSpec("store", "amount", "sum"), ViewSpec("store", "amount", "avg")),
+        )
+        assert [a.alias for a in group.direct_aggregates] == [
+            "sum(amount)",
+            "avg(amount)",
+        ]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="does not group by"):
+            ViewGroup("store", (ViewSpec("month", None, "count"),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ViewGroup("store", ())
+
+
+class TestPlannerShapes:
+    def test_basic_no_combining(self):
+        plan = plan_with(
+            combine_target_comparison=False,
+            combine_aggregates=False,
+            groupby_combining=GroupByCombining.NONE,
+        )
+        assert all(isinstance(s, SeparateStep) for s in plan.steps)
+        assert len(plan.steps) == len(VIEWS)  # one step per view
+        assert plan.total_queries() == 2 * len(VIEWS)
+
+    def test_flag_combining_halves_queries(self):
+        plan = plan_with(
+            combine_target_comparison=True,
+            combine_aggregates=False,
+            groupby_combining=GroupByCombining.NONE,
+        )
+        assert all(isinstance(s, FlagStep) for s in plan.steps)
+        assert plan.total_queries() == len(VIEWS)
+
+    def test_aggregate_combining_groups_by_dimension(self):
+        plan = plan_with(
+            combine_target_comparison=True,
+            combine_aggregates=True,
+            groupby_combining=GroupByCombining.NONE,
+        )
+        assert len(plan.steps) == 3  # store, product, month
+        assert plan.total_queries() == 3
+
+    def test_grouping_sets_single_query(self):
+        plan = plan_with(
+            combine_target_comparison=True,
+            combine_aggregates=True,
+            groupby_combining=GroupByCombining.GROUPING_SETS,
+        )
+        assert len(plan.steps) == 1
+        assert isinstance(plan.steps[0], MultiDimStep)
+        assert plan.total_queries() == 1
+
+    def test_grouping_sets_without_flag_two_queries(self):
+        plan = plan_with(
+            combine_target_comparison=False,
+            groupby_combining=GroupByCombining.GROUPING_SETS,
+        )
+        assert plan.total_queries() == 2
+
+    def test_rollup_respects_budget(self):
+        plan = plan_with(
+            combine_target_comparison=True,
+            groupby_combining=GroupByCombining.ROLLUP,
+            memory_budget_cells=1000,
+        )
+        # All three dims (4*2*4=32 cells * 2 flag = 64) fit one rollup.
+        assert len(plan.steps) == 1
+        assert isinstance(plan.steps[0], RollupStep)
+
+    def test_rollup_splits_when_budget_tight(self):
+        plan = plan_with(
+            combine_target_comparison=True,
+            groupby_combining=GroupByCombining.ROLLUP,
+            memory_budget_cells=20,  # /2 for flag = 10 cells per query
+        )
+        # 4*2=8 fits; 4*4=16 does not; expect >= 2 steps.
+        assert len(plan.steps) >= 2
+        for step in plan.steps:
+            if isinstance(step, RollupStep):
+                product = 1
+                for group in step.groups:
+                    product *= CARDINALITIES[group.dimension]
+                assert 2 * product <= 20
+
+    def test_auto_resolves_by_capability(self):
+        config = PlannerConfig(groupby_combining=GroupByCombining.AUTO)
+        plan_gs = Planner(config).plan(VIEWS, "s", None, CARDINALITIES, CAPS_GS)
+        plan_rollup = Planner(config).plan(VIEWS, "s", None, CARDINALITIES, CAPS_NO_GS)
+        assert any(isinstance(s, MultiDimStep) for s in plan_gs.steps)
+        assert any(
+            isinstance(s, (RollupStep, FlagStep)) for s in plan_rollup.steps
+        )
+
+    def test_max_dims_per_query_chunks(self):
+        plan = plan_with(
+            groupby_combining=GroupByCombining.GROUPING_SETS,
+            max_dims_per_query=2,
+        )
+        assert len(plan.steps) == 2  # 3 dims in chunks of 2
+
+    def test_unknown_cardinality_treated_oversized(self):
+        views = [ViewSpec("mystery", "amount", "sum")] + VIEWS
+        config = PlannerConfig(groupby_combining=GroupByCombining.ROLLUP)
+        plan = Planner(config).plan(views, "s", None, CARDINALITIES, CAPS_GS)
+        mystery_steps = [
+            s for s in plan.steps
+            if isinstance(s, (FlagStep, SeparateStep))
+            and s.views[0].dimension == "mystery"
+        ]
+        assert len(mystery_steps) == 1
+
+    def test_empty_views_empty_plan(self):
+        plan = Planner().plan([], "s", None, {}, CAPS_GS)
+        assert plan.steps == [] and plan.total_queries() == 0
+
+    def test_describe_mentions_steps(self):
+        plan = plan_with()
+        description = plan.describe()
+        assert "step" in description
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PlannerConfig(memory_budget_cells=1)
+        with pytest.raises(ConfigError):
+            PlannerConfig(max_dims_per_query=0)
+
+
+class TestStepQueries:
+    def test_flag_step_query_shape(self):
+        group = ViewGroup("store", (ViewSpec("store", "amount", "avg"),))
+        step = FlagStep("sales", col("x") == 1, group)
+        (query,) = step.queries()
+        assert isinstance(query, AggregateQuery)
+        assert query.predicate is None  # flag carries the predicate
+        assert query.key_names == (FLAG_NAME, "store")
+        aliases = [a.alias for a in query.aggregates]
+        assert aliases == ["sum(amount)", "countv(amount)"]
+
+    def test_separate_step_queries(self):
+        group = ViewGroup("store", (ViewSpec("store", "amount", "sum"),))
+        step = SeparateStep("sales", col("x") == 1, group)
+        target, comparison = step.queries()
+        assert target.predicate is not None
+        assert comparison.predicate is None
+
+    def test_multidim_step_sets(self):
+        groups = (
+            ViewGroup("a", (ViewSpec("a", "m", "sum"),)),
+            ViewGroup("b", (ViewSpec("b", "m", "sum"),)),
+        )
+        step = MultiDimStep("t", None, groups, combine_flag=True)
+        (query,) = step.queries()
+        assert isinstance(query, GroupingSetsQuery)
+        assert len(query.sets) == 2
+
+    def test_rollup_step_group_by(self):
+        groups = (
+            ViewGroup("a", (ViewSpec("a", "m", "sum"),)),
+            ViewGroup("b", (ViewSpec("b", "m", "avg"),)),
+        )
+        step = RollupStep("t", col("x") == 1, groups, combine_flag=True)
+        (query,) = step.queries()
+        assert query.key_names == (FLAG_NAME, "a", "b")
+
+
+class TestMarginalize:
+    def test_marginalize_sums(self, memory_backend):
+        from repro.db.aggregates import Aggregate
+
+        rollup = memory_backend.execute(
+            AggregateQuery(
+                "sales",
+                ("store", "product"),
+                (Aggregate("sum", "amount"), Aggregate("countv", "amount")),
+            )
+        )
+        marginal = marginalize(
+            rollup, "store", (Aggregate("sum", "amount"), Aggregate("countv", "amount"))
+        )
+        direct = memory_backend.execute(
+            AggregateQuery(
+                "sales",
+                ("store",),
+                (Aggregate("sum", "amount"), Aggregate("countv", "amount")),
+            )
+        )
+        assert marginal.num_rows == direct.num_rows
+        np.testing.assert_allclose(
+            np.asarray(marginal.column("sum(amount)"), dtype=float),
+            np.asarray(direct.column("sum(amount)"), dtype=float),
+        )
+
+    def test_marginalize_rejects_algebraic(self, memory_backend):
+        from repro.db.aggregates import Aggregate
+        from repro.util.errors import QueryError
+
+        rollup = memory_backend.execute(
+            AggregateQuery("sales", ("store", "product"), (Aggregate("avg", "amount"),))
+        )
+        with pytest.raises(QueryError, match="marginalize"):
+            marginalize(rollup, "store", (Aggregate("avg", "amount"),))
+
+
+class TestCostModel:
+    def test_basic_vs_combined_scans(self):
+        basic = Planner(
+            PlannerConfig(
+                combine_target_comparison=False,
+                combine_aggregates=False,
+                groupby_combining=GroupByCombining.NONE,
+            )
+        ).plan(VIEWS, "s", None, CARDINALITIES, CAPS_GS)
+        combined = Planner(
+            PlannerConfig(groupby_combining=GroupByCombining.GROUPING_SETS)
+        ).plan(VIEWS, "s", None, CARDINALITIES, CAPS_GS)
+        basic_cost = estimate_plan_cost(basic, 1000, CARDINALITIES, CAPS_GS)
+        combined_cost = estimate_plan_cost(combined, 1000, CARDINALITIES, CAPS_GS)
+        assert basic_cost.n_scans == 8
+        assert combined_cost.n_scans == 1
+        assert combined_cost.rows_scanned < basic_cost.rows_scanned
+
+    def test_grouping_sets_fallback_scans(self):
+        plan = Planner(
+            PlannerConfig(groupby_combining=GroupByCombining.GROUPING_SETS)
+        ).plan(VIEWS, "s", None, CARDINALITIES, CAPS_GS)
+        cost_native = estimate_plan_cost(plan, 1000, CARDINALITIES, CAPS_GS)
+        cost_fallback = estimate_plan_cost(plan, 1000, CARDINALITIES, CAPS_NO_GS)
+        assert cost_fallback.n_scans > cost_native.n_scans
+
+    def test_result_groups_flag_doubling(self):
+        group = ViewGroup("store", (ViewSpec("store", "amount", "sum"),))
+        flag_plan = Planner(PlannerConfig()).plan(
+            [ViewSpec("store", "amount", "sum")], "s", col("x") == 1,
+            CARDINALITIES, CAPS_GS,
+        )
+        cost = estimate_plan_cost(flag_plan, 100, CARDINALITIES, CAPS_GS)
+        assert cost.result_groups == 8  # 4 stores x 2 flag values

@@ -1,0 +1,42 @@
+"""Unit tests: the EXPERIMENTS appendix regenerator."""
+
+from pathlib import Path
+
+from repro.experiments.regen import (
+    load_result_rows,
+    main,
+    render_results_appendix,
+)
+from repro.experiments.report import write_rows_csv
+
+
+class TestLoadRows:
+    def test_numeric_conversion(self, tmp_path):
+        path = write_rows_csv(
+            [{"name": "a", "count": 3, "ratio": 0.5}], tmp_path / "r.csv"
+        )
+        rows = load_result_rows(Path(path))
+        assert rows == [{"name": "a", "count": 3, "ratio": 0.5}]
+        assert isinstance(rows[0]["count"], int)
+        assert isinstance(rows[0]["ratio"], float)
+
+
+class TestRenderAppendix:
+    def test_titles_and_tables(self, tmp_path):
+        write_rows_csv(
+            [{"attributes": 10, "views": 50}], tmp_path / "e6_view_space.csv"
+        )
+        write_rows_csv([{"x": 1}], tmp_path / "unknown_experiment.csv")
+        text = render_results_appendix(tmp_path)
+        assert "E6 — View-space growth" in text
+        assert "unknown_experiment" in text  # falls back to the stem
+        assert "| attributes | views |" in text
+
+    def test_empty_directory(self, tmp_path):
+        assert "no experiment CSVs" in render_results_appendix(tmp_path)
+
+    def test_cli_main(self, tmp_path, capsys):
+        write_rows_csv([{"a": 1}], tmp_path / "e6_view_space.csv")
+        assert main([str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Measured results" in captured.out

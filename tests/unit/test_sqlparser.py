@@ -1,0 +1,192 @@
+"""Unit tests: SQL lexer and parser."""
+
+from datetime import date
+
+import pytest
+
+from repro.db.expressions import And, Between, Comparison, In, Not, Or
+from repro.db.query import AggregateQuery, RowSelectQuery
+from repro.sqlparser import parse_predicate, parse_query, parse_row_select, tokenize
+from repro.sqlparser.lexer import TokenType
+from repro.util.errors import SqlSyntaxError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "weird name"
+
+    def test_numbers(self):
+        tokens = tokenize("42 4.5 1e3 -7")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["42", "4.5", "1e3", "-7"]
+
+    def test_operators(self):
+        tokens = tokenize("= != <> <= >= < >")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["=", "!=", "!=", "<=", ">=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n *")
+        assert tokens[1].type is TokenType.STAR
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected"):
+            tokenize("SELECT %")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestRowSelect:
+    def test_minimal(self):
+        query = parse_row_select("SELECT * FROM sales")
+        assert query == RowSelectQuery("sales", None)
+
+    def test_with_predicate(self):
+        query = parse_row_select(
+            "SELECT * FROM sales WHERE product = 'Laserwave'"
+        )
+        assert isinstance(query.predicate, Comparison)
+        assert query.predicate.literal.value == "Laserwave"
+
+    def test_trailing_semicolon(self):
+        assert parse_row_select("SELECT * FROM t;").table == "t"
+
+    def test_aggregate_rejected_by_row_select(self):
+        with pytest.raises(SqlSyntaxError, match="row-selection"):
+            parse_row_select("SELECT a, sum(m) FROM t GROUP BY a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_row_select("SELECT * FROM t nonsense")
+
+
+class TestAggregateQueries:
+    def test_paper_view_query(self):
+        query = parse_query(
+            "SELECT store, SUM(amount) FROM Sales "
+            "WHERE Product = 'Laserwave' GROUP BY store"
+        )
+        assert isinstance(query, AggregateQuery)
+        assert query.group_by == ("store",)
+        assert query.aggregates[0].func == "sum"
+        assert query.aggregates[0].column == "amount"
+
+    def test_count_star(self):
+        query = parse_query("SELECT a, count(*) FROM t GROUP BY a")
+        assert query.aggregates[0].column is None
+
+    def test_multiple_aggregates_with_alias(self):
+        query = parse_query(
+            "SELECT a, sum(x) AS total, avg(y) FROM t GROUP BY a"
+        )
+        assert query.aggregates[0].alias == "total"
+        assert query.aggregates[1].alias == "avg(y)"
+
+    def test_group_by_mismatch_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="must match"):
+            parse_query("SELECT a, sum(x) FROM t GROUP BY b")
+
+    def test_missing_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t GROUP BY a")
+
+
+class TestPredicates:
+    def test_and_or_precedence(self):
+        predicate = parse_predicate("a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: Or(a=1, And(b=2, c=3))
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.operands[1], And)
+
+    def test_parentheses_override(self):
+        predicate = parse_predicate("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(predicate, And)
+        assert isinstance(predicate.operands[0], Or)
+
+    def test_not(self):
+        predicate = parse_predicate("NOT a = 1")
+        assert isinstance(predicate, Not)
+
+    def test_in_list(self):
+        predicate = parse_predicate("region IN ('west', 'east')")
+        assert isinstance(predicate, In)
+        assert predicate.values == ("west", "east")
+
+    def test_between(self):
+        predicate = parse_predicate("price BETWEEN 10 AND 20")
+        assert isinstance(predicate, Between)
+        assert (predicate.low, predicate.high) == (10, 20)
+
+    def test_not_between(self):
+        predicate = parse_predicate("price NOT BETWEEN 1 AND 2")
+        assert isinstance(predicate, Not)
+        assert isinstance(predicate.operand, Between)
+
+    def test_iso_date_literal(self):
+        predicate = parse_predicate("day >= '2024-03-01'")
+        assert predicate.literal.value == date(2024, 3, 1)
+
+    def test_non_date_string_stays_string(self):
+        predicate = parse_predicate("code = '2024-13-99'")
+        assert predicate.literal.value == "2024-13-99"
+
+    def test_boolean_literals(self):
+        assert parse_predicate("active = true").literal.value is True
+        assert parse_predicate("active = false").literal.value is False
+
+    def test_numeric_literals(self):
+        assert parse_predicate("x = 1.5").literal.value == 1.5
+        assert parse_predicate("x = 3").literal.value == 3
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="comparison"):
+            parse_predicate("region")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT @")
+        except SqlSyntaxError as error:
+            assert error.position == 7
+        else:
+            pytest.fail("expected SqlSyntaxError")
+
+
+class TestEvaluationRoundtrip:
+    def test_parsed_predicate_evaluates(self, sales_table):
+        predicate = parse_predicate(
+            "product = 'Laserwave' AND amount BETWEEN 100 AND 200"
+        )
+        mask = predicate.evaluate(sales_table)
+        assert mask.sum() == 3  # 180.55, 145.50, 122.00
+
+
+class TestLimit:
+    def test_limit_parsed(self):
+        query = parse_row_select("SELECT * FROM t LIMIT 10")
+        assert query.limit == 10
+
+    def test_limit_with_predicate(self):
+        query = parse_row_select("SELECT * FROM t WHERE a = 1 LIMIT 5")
+        assert query.limit == 5 and query.predicate is not None
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlSyntaxError, match="row count"):
+            parse_row_select("SELECT * FROM t LIMIT many")
+
+    def test_no_limit_is_none(self):
+        assert parse_row_select("SELECT * FROM t").limit is None

@@ -1,0 +1,112 @@
+"""Unit tests: timing, tabulation, RNG helpers, error hierarchy."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    BackendError,
+    ConfigError,
+    MetricError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    Stopwatch,
+    Timer,
+    derive_rng,
+    format_duration,
+    format_table,
+    spawn_seeds,
+)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_format_duration_units(self):
+        assert format_duration(2.5) == "2.500s"
+        assert format_duration(0.0025).endswith("ms")
+        assert format_duration(2.5e-6).endswith("µs")
+        assert format_duration(5e-9).endswith("ns")
+        assert format_duration(-1.0).startswith("-")
+
+    def test_stopwatch_accumulates(self):
+        stopwatch = Stopwatch()
+        with stopwatch.time("phase_a"):
+            pass
+        with stopwatch.time("phase_a"):
+            pass
+        stopwatch.add("phase_b", 1.0)
+        assert stopwatch.phases["phase_b"] == 1.0
+        assert stopwatch.total >= 1.0
+        assert "phase_b" in stopwatch.breakdown()
+
+    def test_empty_stopwatch_breakdown(self):
+        assert "no phases" in Stopwatch().breakdown()
+
+
+class TestTabulate:
+    def test_alignment(self):
+        text = format_table(
+            [["ab", 1.0], ["c", 22.5]], headers=["name", "value"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        # Numeric column right-aligned: both rows end at the same column.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table([[1, 2], [3]], headers=["a", "b"])
+
+    def test_empty(self):
+        assert format_table([], headers=None) == "(empty table)"
+
+    def test_no_headers(self):
+        assert "x" in format_table([["x"]])
+
+    def test_bools_render_as_words(self):
+        assert "True" in format_table([[True]], headers=["flag"])
+
+
+class TestRng:
+    def test_derive_from_int_deterministic(self):
+        assert derive_rng(5).random() == derive_rng(5).random()
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert derive_rng(generator) is generator
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(42, 5)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+        assert spawn_seeds(42, 5) == seeds  # deterministic
+
+    def test_spawn_seeds_validation(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error_type in (
+            SchemaError,
+            QueryError,
+            BackendError,
+            MetricError,
+            ConfigError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_sql_syntax_error_position(self):
+        from repro.util.errors import SqlSyntaxError
+
+        error = SqlSyntaxError("bad", position=7)
+        assert error.position == 7
+        assert issubclass(SqlSyntaxError, QueryError)
