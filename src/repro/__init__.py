@@ -39,6 +39,7 @@ from repro.db import (
     col,
     read_csv,
 )
+from repro.engine import ExecutionContext, ExecutionEngine, SessionCache
 from repro.frontend import AnalystSession, QueryBuilder
 from repro.metrics import available_metrics, get_metric
 
@@ -59,6 +60,9 @@ __all__ = [
     "Table",
     "col",
     "read_csv",
+    "ExecutionEngine",
+    "ExecutionContext",
+    "SessionCache",
     "AnalystSession",
     "QueryBuilder",
     "available_metrics",

@@ -36,6 +36,10 @@ class Backend:
 
     name: str = ""
     capabilities: BackendCapabilities
+    #: Monotonic counter of data-changing operations (register/drop).
+    #: Session caches key their entries on it: an unchanged counter means
+    #: schema, metadata, and materialized samples are still valid.
+    _data_version: int = 0
 
     # -- data management -------------------------------------------------
 
@@ -89,6 +93,20 @@ class Backend:
 
     def reset_counters(self) -> None:
         raise NotImplementedError
+
+    @property
+    def data_version(self) -> int:
+        """Data-generation counter; changes whenever registered data does.
+
+        Implementations bump it on :meth:`register_table` and
+        :meth:`drop_table`. Derived artifacts (materialized samples created
+        through :meth:`create_sample`) do not bump it — they are owned by
+        the cache layer that keys on this counter.
+        """
+        return self._data_version
+
+    def _bump_data_version(self) -> None:
+        self._data_version += 1
 
     # -- shared helpers ----------------------------------------------------
 

@@ -32,9 +32,11 @@ class MemoryBackend(Backend):
 
     def register_table(self, table: Table, replace: bool = False) -> None:
         self.catalog.register(table, replace=replace)
+        self._bump_data_version()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
+        self._bump_data_version()
 
     def has_table(self, name: str) -> bool:
         return name in self.catalog

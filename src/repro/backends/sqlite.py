@@ -117,12 +117,14 @@ class SqliteBackend(Backend):
                 (_encode_row(row) for row in table.iter_rows()),
             )
         self._schemas[table.name] = table.schema
+        self._bump_data_version()
 
     def drop_table(self, name: str) -> None:
         self._require_table(name)
         with self._connection() as connection:
             connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
         del self._schemas[name]
+        self._bump_data_version()
 
     def has_table(self, name: str) -> bool:
         return name in self._schemas

@@ -20,6 +20,7 @@ from repro.core.topk import top_k_views
 from repro.core.view import RawViewData
 from repro.core.view_processor import ViewProcessor
 from repro.db.query import RowSelectQuery
+from repro.engine.context import describe_predicate
 from repro.metrics.normalize import NormalizationPolicy
 from repro.metrics.registry import get_metric
 from repro.optimizer.extract import table_series
@@ -93,7 +94,7 @@ class BasicFramework:
 
         return RecommendationResult(
             table=query.table,
-            predicate_description=_describe_predicate(query),
+            predicate_description=describe_predicate(query),
             k=k,
             metric=self.metric_name,
             recommendations=recommendations,
@@ -105,12 +106,6 @@ class BasicFramework:
             n_queries=self.backend.queries_executed - queries_before,
             plan_description=f"basic framework: {2 * len(views)} independent queries",
         )
-
-
-def _describe_predicate(query: RowSelectQuery) -> str:
-    if query.predicate is None:
-        return "all rows"
-    return repr(query.predicate)
 
 
 # Re-export for discoverability alongside SeeDBConfig.BASIC_FRAMEWORK.

@@ -8,59 +8,39 @@ view queries run one partition at a time, running utility estimates are
 maintained, and views whose optimistic utility bound cannot reach the
 current top-k are dropped before they consume further work.
 
-This module reproduces that scheme on top of the same aggregation
-machinery as the main recommender:
-
-* partitions are interleaved row slices (row ``i`` belongs to phase
-  ``i mod n_phases``), so each phase is an unbiased sample of the table;
-* per-view state is the accumulated *distributive auxiliary aggregates*
-  (the same mergeable decomposition the optimizer uses), so estimates
-  after phase ``m`` equal the exact computation over the first ``m``
-  partitions;
-* pruning uses Hoeffding-style confidence intervals on the utility
-  estimate: view ``V`` is dropped after phase ``m`` when
-  ``u_m(V) + ε_m < L`` where ``L`` is the k-th largest lower bound
-  ``u_m(·) − ε_m`` and ``ε_m = sqrt(ln(2/δ) / (2m))`` — valid for metrics
-  bounded in [0, 1] (js, total_variation, maxdev, chisquare, normalized
-  emd).
+The machinery lives in :mod:`repro.engine.incremental` as an alternative
+Execute/Score phase pair on the shared
+:class:`~repro.engine.ExecutionEngine` — partitioning, Hoeffding pruning,
+and mergeable-aggregate accumulation there; alignment, normalization,
+scoring, and top-k through the same View Processor and selection phases as
+the batch path. This module keeps the stable user-facing API.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.topk import top_k_views
-from repro.db.aggregates import Aggregate
-from repro.db.catalog import Catalog
-from repro.db.engine import Engine
-from repro.db.expressions import Expression, TruePredicate
-from repro.db.query import AggregateQuery, FlagColumn
+from repro.backends.memory import MemoryBackend
+from repro.core.config import SeeDBConfig
+from repro.db.expressions import Expression
+from repro.db.query import RowSelectQuery
 from repro.db.table import Table
-from repro.metrics.base import DistanceMetric
-from repro.metrics.normalize import (
-    NormalizationPolicy,
-    align_series,
-    canonical_key,
-    normalize_distribution,
+from repro.engine.engine import ExecutionEngine
+from repro.engine.incremental import (
+    BOUNDED_METRICS,
+    IncrementalScorePhase,
+    IncrementalTrace,
+    PhasedExecutePhase,
+    TRACE_KEY,
 )
+from repro.engine.phases import SelectPhase
+from repro.metrics.base import DistanceMetric
+from repro.metrics.normalize import NormalizationPolicy
 from repro.metrics.registry import get_metric
 from repro.model.view import ScoredView, ViewSpec
-from repro.optimizer.combine import dedup_aggregates, merge_spec
-from repro.optimizer.extract import FLAG_NAME
 from repro.util.errors import ConfigError
 
-#: Metrics whose values are bounded in [0, 1], the precondition for the
-#: Hoeffding-style pruning bound.
-BOUNDED_METRICS = frozenset(
-    {"js", "total_variation", "maxdev", "chisquare", "emd", "hellinger"}
-)
-
-#: Accumulation mode per auxiliary aggregate function.
-_ACCUMULATE_ADD = frozenset({"sum", "count", "countv", "sumsq"})
+__all__ = ["IncrementalRecommender", "IncrementalResult", "BOUNDED_METRICS"]
 
 
 @dataclass
@@ -87,98 +67,6 @@ class IncrementalResult:
         return 1.0 - self.work_done / self.work_possible
 
 
-@dataclass
-class _DimensionState:
-    """Accumulated per-(flag, group) aux values for one dimension."""
-
-    aux: tuple[Aggregate, ...]
-    #: (flag, group_key) -> {alias: value}
-    cells: dict[tuple[int, Any], dict[str, float]] = field(default_factory=dict)
-
-    def absorb(self, result: Table, dimension: str) -> None:
-        """Merge one phase's flag-combined result into the running state."""
-        flags = np.asarray(result.column(FLAG_NAME))
-        keys = result.column(dimension)
-        columns = {a.alias: result.column(a.alias) for a in self.aux}
-        for i in range(result.num_rows):
-            cell_key = (int(flags[i]), canonical_key(keys[i]))
-            cell = self.cells.get(cell_key)
-            if cell is None:
-                self.cells[cell_key] = {
-                    a.alias: float(columns[a.alias][i]) for a in self.aux
-                }
-                continue
-            for aggregate in self.aux:
-                value = float(columns[aggregate.alias][i])
-                if aggregate.func in _ACCUMULATE_ADD:
-                    if not math.isnan(value):
-                        cell[aggregate.alias] += value
-                elif aggregate.func == "min":
-                    cell[aggregate.alias] = _fmin(cell[aggregate.alias], value)
-                else:  # max
-                    cell[aggregate.alias] = _fmax(cell[aggregate.alias], value)
-
-    def series(self, view: ViewSpec) -> tuple[list, np.ndarray, list, np.ndarray]:
-        """(target_keys, target_values, comparison_keys, comparison_values)
-        reconstructed from the accumulated state."""
-        spec = merge_spec(view.aggregate)
-        target_keys = sorted(
-            {key for flag, key in self.cells if flag == 1},
-            key=lambda k: (type(k).__name__, k),
-        )
-        all_keys = sorted(
-            {key for _flag, key in self.cells},
-            key=lambda k: (type(k).__name__, k),
-        )
-
-        def values_for(keys, flags):
-            arrays = {}
-            for aggregate in self.aux:
-                fill = 0.0 if aggregate.func in _ACCUMULATE_ADD else float("nan")
-                column = []
-                for key in keys:
-                    merged = None
-                    for flag in flags:
-                        cell = self.cells.get((flag, key))
-                        if cell is None:
-                            continue
-                        value = cell[aggregate.alias]
-                        if merged is None:
-                            merged = value
-                        elif aggregate.func in _ACCUMULATE_ADD:
-                            merged += value
-                        elif aggregate.func == "min":
-                            merged = _fmin(merged, value)
-                        else:
-                            merged = _fmax(merged, value)
-                    column.append(fill if merged is None else merged)
-                arrays[aggregate.alias] = np.array(column, dtype=np.float64)
-            return spec.reconstruct(arrays)
-
-        return (
-            target_keys,
-            values_for(target_keys, (1,)),
-            all_keys,
-            values_for(all_keys, (0, 1)),
-        )
-
-
-def _fmin(a: float, b: float) -> float:
-    if math.isnan(a):
-        return b
-    if math.isnan(b):
-        return a
-    return min(a, b)
-
-
-def _fmax(a: float, b: float) -> float:
-    if math.isnan(a):
-        return b
-    if math.isnan(b):
-        return a
-    return max(a, b)
-
-
 class IncrementalRecommender:
     """Phase-at-a-time recommendation with early view pruning.
 
@@ -202,6 +90,12 @@ class IncrementalRecommender:
                 f"{sorted(BOUNDED_METRICS)})"
             )
         self.normalization = normalization
+        # One session engine, like the other facades. The backend exists
+        # only to anchor the ExecutionContext — phased execution reads the
+        # in-memory table directly and issues no backend queries.
+        backend = MemoryBackend()
+        backend.register_table(table)
+        self.engine = ExecutionEngine(backend)
 
     def recommend(
         self,
@@ -235,134 +129,36 @@ class IncrementalRecommender:
         if not views:
             return IncrementalResult([], {}, {}, 0, n_phases, 0, 0)
 
-        flag_predicate = predicate if predicate is not None else TruePredicate()
-        groups: dict[str, list[ViewSpec]] = {}
-        for view in views:
-            groups.setdefault(view.dimension, []).append(view)
-        states = {
-            dimension: _DimensionState(
-                aux=dedup_aggregates(
-                    [a for v in members for a in merge_spec(v.aggregate).aux]
-                )
-            )
-            for dimension, members in groups.items()
-        }
-
-        alive: set[ViewSpec] = set(views)
-        pruned_at: dict[ViewSpec, int] = {}
-        utilities: dict[ViewSpec, float] = {}
-        work_done = 0
-        phases_executed = 0
-
-        phase_indices = self._phase_slices(n_phases)
-        for phase, indices in enumerate(phase_indices):
-            active_dimensions = {v.dimension for v in alive}
-            if not active_dimensions:
-                break
-            partition = self.table.take(indices, name="__phase")
-            catalog = Catalog()
-            catalog.register(partition)
-            engine = Engine(catalog)
-            flag = FlagColumn(FLAG_NAME, flag_predicate)
-            for dimension in sorted(active_dimensions):
-                state = states[dimension]
-                result = engine.execute(
-                    AggregateQuery("__phase", (flag, dimension), state.aux, None)
-                )
-                assert isinstance(result, Table)
-                state.absorb(result, dimension)
-                work_done += sum(
-                    1 for v in groups[dimension] if v in alive
-                )
-            phases_executed = phase + 1
-
-            # Re-estimate utilities for alive views.
-            for view in list(alive):
-                utilities[view] = self._estimate(states[view.dimension], view)
-
-            # Hoeffding-style pruning once enough phases accumulated.
-            if (
-                phases_executed >= min_phases_before_pruning
-                and phases_executed < n_phases
-                and len(alive) > k
-            ):
-                epsilon = epsilon_scale * math.sqrt(
-                    math.log(2.0 / delta) / (2.0 * phases_executed)
-                )
-                lower_bounds = sorted(
-                    (utilities[view] - epsilon for view in alive), reverse=True
-                )
-                threshold = lower_bounds[k - 1] if len(lower_bounds) >= k else -1.0
-                for view in list(alive):
-                    if utilities[view] + epsilon < threshold:
-                        alive.discard(view)
-                        pruned_at[view] = phases_executed
-            if len(alive) <= k:
-                # Only k candidates left: finish their exact answer by
-                # continuing phases, but no pruning decisions remain.
-                continue
-
-        scored = [
-            self._scored(states[view.dimension], view, utilities[view])
-            for view in alive
-        ]
-        return IncrementalResult(
-            recommendations=top_k_views(scored, k),
-            utilities=utilities,
-            pruned_at_phase=pruned_at,
-            phases_executed=phases_executed,
-            n_phases=n_phases,
-            work_done=work_done,
-            work_possible=len(views) * n_phases,
+        config = SeeDBConfig(normalization=self.normalization, k=k)
+        ctx = self.engine.new_context(
+            RowSelectQuery(self.table.name, predicate), config, k
         )
-
-    # ------------------------------------------------------------------
-
-    def _phase_slices(self, n_phases: int) -> list[np.ndarray]:
-        """Interleaved row partitions (row i -> phase i mod n_phases)."""
-        indices = np.arange(self.table.num_rows)
-        return [indices[phase::n_phases] for phase in range(n_phases)]
-
-    def _estimate(self, state: _DimensionState, view: ViewSpec) -> float:
-        target_keys, target_values, comparison_keys, comparison_values = (
-            state.series(view)
-        )
-        if not comparison_keys:
-            return 0.0
-        groups, aligned_t, aligned_c = align_series(
-            target_keys, target_values, comparison_keys, comparison_values
-        )
-        if not groups:
-            return 0.0
-        p = normalize_distribution(aligned_t, self.normalization)
-        q = normalize_distribution(aligned_c, self.normalization)
-        return self.metric.distance(p, q)
-
-    def _scored(
-        self, state: _DimensionState, view: ViewSpec, utility: float
-    ) -> ScoredView:
-        target_keys, target_values, comparison_keys, comparison_values = (
-            state.series(view)
-        )
-        groups, aligned_t, aligned_c = align_series(
-            target_keys, target_values, comparison_keys, comparison_values
-        )
-        if not groups:
-            return ScoredView(
-                spec=view,
-                utility=0.0,
-                groups=[],
-                target_distribution=np.empty(0),
-                comparison_distribution=np.empty(0),
-            )
-        return ScoredView(
-            spec=view,
-            utility=utility,
-            groups=groups,
-            target_distribution=normalize_distribution(aligned_t, self.normalization),
-            comparison_distribution=normalize_distribution(
-                aligned_c, self.normalization
+        ctx.surviving = list(views)
+        # The metric is handed to the phases as an *instance* so custom
+        # DistanceMetric objects survive the trip (no registry round trip).
+        phases = [
+            PhasedExecutePhase(
+                table=self.table,
+                n_phases=n_phases,
+                delta=delta,
+                min_phases_before_pruning=min_phases_before_pruning,
+                epsilon_scale=epsilon_scale,
+                metric=self.metric,
+                normalization=self.normalization,
             ),
-            target_values=aligned_t,
-            comparison_values=aligned_c,
+            IncrementalScorePhase(
+                metric=self.metric, normalization=self.normalization
+            ),
+            SelectPhase(),
+        ]
+        self.engine.run(phases, ctx)
+        trace: IncrementalTrace = ctx.extras[TRACE_KEY]
+        return IncrementalResult(
+            recommendations=ctx.recommendations,
+            utilities=dict(trace.utilities),
+            pruned_at_phase=dict(trace.pruned_at_phase),
+            phases_executed=trace.phases_executed,
+            n_phases=trace.n_phases,
+            work_done=trace.work_done,
+            work_possible=trace.work_possible,
         )

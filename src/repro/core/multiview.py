@@ -6,7 +6,11 @@ grouping and aggregation." A :class:`MultiViewSpec` groups by a *tuple* of
 dimensions; its distribution ranges over existing attribute-value
 combinations. Everything else — the flag-combined execution, partition
 merging, normalization, distance scoring, top-k — is exactly the
-single-attribute machinery, which is the point the sentence makes.
+single-attribute machinery, which is the point the sentence makes: the
+recommender below is a phase list over the shared
+:class:`~repro.engine.ExecutionEngine` (tuple-dimension enumeration and
+planning from :mod:`repro.engine.multiview`, then the standard
+Execute/Score/Select phases).
 """
 
 from __future__ import annotations
@@ -15,30 +19,16 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Sequence
 
-import numpy as np
-
 from repro.backends.base import Backend
-from repro.core.topk import top_k_views
+from repro.core.config import SeeDBConfig
 from repro.db.aggregates import Aggregate
-from repro.db.expressions import Expression, TruePredicate
-from repro.db.query import AggregateQuery, FlagColumn, RowSelectQuery
+from repro.db.query import RowSelectQuery
 from repro.db.schema import Schema
 from repro.db.types import AttributeRole
 from repro.metrics.base import DistanceMetric
-from repro.metrics.normalize import (
-    NormalizationPolicy,
-    align_series,
-    canonical_key,
-    normalize_distribution,
-)
+from repro.metrics.normalize import NormalizationPolicy
 from repro.metrics.registry import get_metric
 from repro.model.view import ScoredView
-from repro.optimizer.combine import (
-    dedup_aggregates,
-    merge_aux_arrays,
-    merge_spec,
-)
-from repro.optimizer.extract import FLAG_NAME, align_aux, aux_arrays
 from repro.util.errors import ConfigError, QueryError
 
 
@@ -118,7 +108,8 @@ class MultiViewRecommender:
 
     Executes one flag-combined query per dimension *combination* (all
     aggregates shared), reconstructs target/comparison distributions over
-    attribute-value tuples, and scores them with the configured metric.
+    attribute-value tuples, and scores them with the configured metric —
+    all through the shared engine phases.
     """
 
     def __init__(
@@ -126,10 +117,21 @@ class MultiViewRecommender:
         backend: Backend,
         metric: "str | DistanceMetric" = "js",
         normalization: NormalizationPolicy = NormalizationPolicy.SHIFT,
+        engine=None,
     ):
+        # Imported here (not at module top) because the engine's multiview
+        # phases import MultiViewSpec from this module.
+        from repro.engine.engine import ExecutionEngine
+
+        if engine is not None and engine.backend is not backend:
+            raise QueryError(
+                "the provided engine is bound to a different backend"
+            )
         self.backend = backend
         self.metric = get_metric(metric)
         self.normalization = normalization
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else ExecutionEngine(backend)
 
     def recommend(
         self,
@@ -140,91 +142,37 @@ class MultiViewRecommender:
         include_count: bool = True,
     ) -> list[ScoredView]:
         """The k most deviating ``n_dimensions``-attribute views."""
-        schema = self.backend.schema(query.table)
-        views = enumerate_multi_views(
-            schema, n_dimensions, functions, include_count
+        from repro.engine.multiview import (
+            DropEmptyViewsPhase,
+            MultiViewEnumeratePhase,
+            MultiViewPlanPhase,
+            MultiViewPrunePhase,
         )
-        if query.predicate is not None:
-            constrained = query.predicate.referenced_columns()
-            views = [
-                view
-                for view in views
-                if not (set(view.dimensions) & constrained)
-            ]
-        scored: list[ScoredView] = []
-        by_dims: dict[tuple[str, ...], list[MultiViewSpec]] = {}
-        for view in views:
-            by_dims.setdefault(view.dimensions, []).append(view)
-        for dims, group in by_dims.items():
-            scored.extend(self._score_group(query, dims, group))
-        return top_k_views(scored, k)
+        from repro.engine.phases import ExecutePhase, ScorePhase, SelectPhase
 
-    # ------------------------------------------------------------------
+        config = SeeDBConfig(normalization=self.normalization, k=k)
+        phases = [
+            MultiViewEnumeratePhase(n_dimensions, functions, include_count),
+            MultiViewPrunePhase(),
+            MultiViewPlanPhase(),
+            ExecutePhase(),
+            # Metric passed as an instance: custom DistanceMetric objects
+            # need no registry entry.
+            ScorePhase(metric=self.metric, normalization=self.normalization),
+            DropEmptyViewsPhase(),
+            SelectPhase(),
+        ]
+        ctx = self.engine.recommend(query, config, k, phases=phases)
+        return ctx.recommendations
 
-    def _score_group(
-        self,
-        query: RowSelectQuery,
-        dims: tuple[str, ...],
-        group: list[MultiViewSpec],
-    ) -> list[ScoredView]:
-        predicate: Expression = (
-            query.predicate if query.predicate is not None else TruePredicate()
-        )
-        aux = dedup_aggregates(
-            [a for view in group for a in merge_spec(view.aggregate).aux]
-        )
-        flag = FlagColumn(FLAG_NAME, predicate)
-        result = self.backend.execute(
-            AggregateQuery(query.table, (flag,) + dims, aux, None)
-        )
-        flags = np.asarray(result.column(FLAG_NAME))
-        target_part = result.mask(flags == 1)
-        rest_part = result.mask(flags == 0)
+    def close(self) -> None:
+        """Release the engine's session resources (self-built engines only;
+        a caller-injected engine may be shared and stays up)."""
+        if self._owns_engine:
+            self.engine.close()
 
-        def tuple_keys(part):
-            columns = [part.column(d) for d in dims]
-            return [
-                tuple(canonical_key(column[i]) for column in columns)
-                for i in range(part.num_rows)
-            ]
+    def __enter__(self) -> "MultiViewRecommender":
+        return self
 
-        target_keys = tuple_keys(target_part)
-        rest_keys = tuple_keys(rest_part)
-        target_aux = aux_arrays(target_part, aux)
-        rest_aux = aux_arrays(rest_part, aux)
-        union, aligned_target, aligned_rest = align_aux(
-            target_keys, target_aux, rest_keys, rest_aux, aux
-        )
-        merged = {
-            aggregate.alias: merge_aux_arrays(
-                aggregate,
-                aligned_target[aggregate.alias],
-                aligned_rest[aggregate.alias],
-            )
-            for aggregate in aux
-        }
-
-        scored = []
-        for view in group:
-            spec = merge_spec(view.aggregate)
-            target_values = spec.reconstruct(target_aux)
-            comparison_values = spec.reconstruct(merged)
-            groups, aligned_t, aligned_c = align_series(
-                target_keys, target_values, union, comparison_values
-            )
-            if not groups:
-                continue
-            p = normalize_distribution(aligned_t, self.normalization)
-            q = normalize_distribution(aligned_c, self.normalization)
-            scored.append(
-                ScoredView(
-                    spec=view,  # type: ignore[arg-type]  # duck-typed spec
-                    utility=self.metric.distance(p, q),
-                    groups=groups,
-                    target_distribution=p,
-                    comparison_distribution=q,
-                    target_values=aligned_t,
-                    comparison_values=aligned_c,
-                )
-            )
-        return scored
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

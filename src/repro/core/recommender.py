@@ -1,8 +1,12 @@
-"""The SeeDB recommender: the full optimized pipeline of Figure 4.
+"""The SeeDB recommender: a facade over the shared ExecutionEngine.
 
-Orchestrates Metadata Collector → Query Generator (enumeration + pruning)
-→ Optimizer (combining / sampling / parallelism) → DBMS → View Processor
-(normalize + score) → top-k selection, with per-phase timing.
+The full optimized pipeline of Figure 4 — Metadata Collector → Query
+Generator (enumeration + pruning) → Optimizer (combining / sampling /
+parallelism) → DBMS → View Processor (normalize + score) → top-k — runs as
+the engine's default phase list (:func:`repro.engine.phases.default_phases`).
+This class only resolves the query, holds session-scoped state (one engine
+= one metadata collector + session cache + persistent worker pool), and
+packages the finished context as a :class:`RecommendationResult`.
 """
 
 from __future__ import annotations
@@ -10,16 +14,10 @@ from __future__ import annotations
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
 from repro.core.result import RecommendationResult
-from repro.core.space import enumerate_views, split_predicate_dimensions
-from repro.core.topk import top_k_views
-from repro.pruning.base import PruneReport
-from repro.core.view_processor import ViewProcessor
 from repro.db.query import RowSelectQuery
+from repro.engine.engine import ExecutionEngine
 from repro.metadata.collector import MetadataCollector
-from repro.optimizer.parallel import ParallelExecutor
-from repro.optimizer.plan import Planner
 from repro.util.errors import QueryError
-from repro.util.timing import Stopwatch
 
 
 class SeeDB:
@@ -31,8 +29,13 @@ class SeeDB:
     >>> result = seedb.recommend(RowSelectQuery("sales", col("product") == "Laserwave"))
     ... # doctest: +SKIP
 
-    One instance holds a metadata collector (with its access log) across
-    queries, so access-frequency pruning learns from session history.
+    One instance holds an :class:`~repro.engine.ExecutionEngine` across
+    queries: its metadata collector (with the access log) lets
+    access-frequency pruning learn from session history, its cache lets
+    repeated calls skip redundant backend round trips, and its worker pool
+    is reused instead of rebuilt per call. Use the instance as a context
+    manager (or call :meth:`close`) to release cached sample tables and
+    pool threads at session end.
     """
 
     def __init__(
@@ -40,12 +43,27 @@ class SeeDB:
         backend: Backend,
         config: "SeeDBConfig | None" = None,
         metadata_collector: "MetadataCollector | None" = None,
+        engine: "ExecutionEngine | None" = None,
     ):
+        if engine is not None:
+            if metadata_collector is not None:
+                raise QueryError(
+                    "pass either engine or metadata_collector, not both: "
+                    "a provided engine already owns its collector"
+                )
+            if engine.backend is not backend:
+                raise QueryError(
+                    "the provided engine is bound to a different backend"
+                )
         self.backend = backend
         self.config = config if config is not None else SeeDBConfig()
-        self.metadata = (
-            metadata_collector if metadata_collector is not None else MetadataCollector()
+        self._owns_engine = engine is None
+        self.engine = (
+            engine
+            if engine is not None
+            else ExecutionEngine(backend, metadata_collector)
         )
+        self.metadata = self.engine.metadata
 
     # ------------------------------------------------------------------
 
@@ -64,90 +82,25 @@ class SeeDB:
         config = config if config is not None else self.config
         k = k if k is not None else config.k
         query = self._resolve_query(query)
-        stopwatch = Stopwatch()
+        ctx = self.engine.recommend(query, config, k)
+        return ctx.to_result()
 
-        # Access tracking: the analyst's query itself is history the
-        # access-frequency pruner learns from (§3.3).
-        self.metadata.access_log.record_query(query)
+    # ------------------------------------------------------------------
 
-        with stopwatch.time("metadata"):
-            base_table = self.backend.fetch_table(
-                query.table, max_rows=config.metadata_max_rows
-            )
-            metadata = self.metadata.collect(base_table)
+    def close(self) -> None:
+        """Release session resources (cached samples, worker pool).
 
-        # Count view-query round trips only (metadata fetches excluded).
-        queries_before = self.backend.queries_executed
+        A caller-injected engine is the caller's to close — it may be
+        shared with other facades; only a self-built engine is torn down.
+        """
+        if self._owns_engine:
+            self.engine.close()
 
-        with stopwatch.time("enumerate"):
-            schema = self.backend.schema(query.table)
-            candidates = enumerate_views(
-                schema,
-                functions=config.aggregate_functions,
-                include_count=config.include_count_views,
-            )
+    def __enter__(self) -> "SeeDB":
+        return self
 
-        with stopwatch.time("prune"):
-            prune_reports = []
-            surviving = candidates
-            if config.exclude_predicate_dimensions:
-                surviving, excluded = split_predicate_dimensions(
-                    surviving, query.predicate
-                )
-                report = PruneReport(
-                    rule="predicate_dimensions", examined=len(candidates)
-                )
-                report.pruned.extend(excluded)
-                prune_reports.append(report)
-            pipeline = config.pruning_pipeline()
-            surviving, rule_reports = pipeline.apply(surviving, metadata)
-            prune_reports.extend(rule_reports)
-
-        execution_table, sample_fraction = self._resolve_execution_table(query, config)
-
-        with stopwatch.time("plan"):
-            cardinalities = {
-                spec.name: metadata.stats[spec.name].n_distinct
-                for spec in schema.dimensions
-            }
-            planner = Planner(config.planner_config())
-            plan = planner.plan(
-                surviving,
-                execution_table,
-                query.predicate,
-                cardinalities,
-                self.backend.capabilities,
-            )
-
-        with stopwatch.time("execute"):
-            if config.n_workers > 1:
-                executor = ParallelExecutor(n_workers=config.n_workers)
-                raw_views, _report = executor.run(plan, self.backend)
-            else:
-                raw_views = plan.run(self.backend)
-
-        with stopwatch.time("score"):
-            processor = ViewProcessor(config.resolve_metric(), config.normalization)
-            scored = processor.score_all(raw_views)
-
-        with stopwatch.time("select"):
-            recommendations = top_k_views(scored.values(), k)
-
-        return RecommendationResult(
-            table=query.table,
-            predicate_description=self._describe_predicate(query),
-            k=k,
-            metric=config.metric,
-            recommendations=recommendations,
-            all_scored=scored,
-            prune_reports=prune_reports,
-            stopwatch=stopwatch,
-            n_candidate_views=len(candidates),
-            n_executed_views=len(surviving),
-            n_queries=self.backend.queries_executed - queries_before,
-            sample_fraction=sample_fraction,
-            plan_description=plan.describe(),
-        )
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -163,25 +116,3 @@ class SeeDB:
         raise QueryError(
             f"query must be a RowSelectQuery or SQL string, got {type(query).__name__}"
         )
-
-    def _resolve_execution_table(
-        self, query: RowSelectQuery, config: SeeDBConfig
-    ) -> tuple[str, "float | None"]:
-        """Materialize a sample when the sampling optimization applies."""
-        if config.sample_fraction is None or config.sample_fraction >= 1.0:
-            return query.table, None
-        if self.backend.row_count(query.table) < config.min_rows_for_sampling:
-            return query.table, None
-        sample_name = f"{query.table}__seedb_sample"
-        self.backend.create_sample(
-            query.table, sample_name, config.sample_fraction, seed=config.sample_seed
-        )
-        return sample_name, config.sample_fraction
-
-    @staticmethod
-    def _describe_predicate(query: RowSelectQuery) -> str:
-        if query.predicate is None:
-            return "all rows"
-        from repro.backends.sqlgen import render_expression
-
-        return render_expression(query.predicate)

@@ -1,0 +1,69 @@
+"""Phase-based execution engine: the one pipeline behind every strategy.
+
+Figure 4 names the stages — Metadata Collector, Query Generator,
+Optimizer, DBMS, View Processor, top-k — and this package makes each an
+explicit, independently timed, swappable :class:`Phase`. The batch
+recommender, incremental (phased + Hoeffding-pruned) execution, and
+multi-attribute views are all phase lists over the same
+:class:`ExecutionEngine`, which owns the session cache and the persistent
+worker pool.
+"""
+
+from repro.engine.cache import SAMPLE_SUFFIX, CacheStats, SessionCache
+from repro.engine.context import ExecutionContext, describe_predicate
+from repro.engine.engine import ExecutionEngine
+from repro.engine.incremental import (
+    BOUNDED_METRICS,
+    DimensionState,
+    IncrementalScorePhase,
+    IncrementalTrace,
+    PhasedExecutePhase,
+    TRACE_KEY,
+)
+from repro.engine.multiview import (
+    DropEmptyViewsPhase,
+    MultiViewEnumeratePhase,
+    MultiViewPlanPhase,
+    MultiViewPrunePhase,
+)
+from repro.engine.phases import (
+    EnumeratePhase,
+    ExecutePhase,
+    MetadataPhase,
+    Phase,
+    PlanPhase,
+    PrunePhase,
+    SamplePhase,
+    ScorePhase,
+    SelectPhase,
+    default_phases,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionContext",
+    "SessionCache",
+    "CacheStats",
+    "SAMPLE_SUFFIX",
+    "describe_predicate",
+    "Phase",
+    "MetadataPhase",
+    "EnumeratePhase",
+    "PrunePhase",
+    "SamplePhase",
+    "PlanPhase",
+    "ExecutePhase",
+    "ScorePhase",
+    "SelectPhase",
+    "default_phases",
+    "PhasedExecutePhase",
+    "IncrementalScorePhase",
+    "IncrementalTrace",
+    "DimensionState",
+    "BOUNDED_METRICS",
+    "TRACE_KEY",
+    "MultiViewEnumeratePhase",
+    "MultiViewPrunePhase",
+    "MultiViewPlanPhase",
+    "DropEmptyViewsPhase",
+]

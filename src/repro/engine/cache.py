@@ -1,0 +1,225 @@
+"""Session-scoped cache over one backend, keyed on its data version.
+
+Repeated ``recommend()`` calls in an analyst session hit the same table
+with different predicates; the schema, the metadata statistics, the base
+table materialization, and any sampled execution table are all invariant
+until the data changes. The cache keys every entry on the backend's
+``data_version`` counter (bumped by ``register_table``/``drop_table``):
+an unchanged counter means cache hits and strictly fewer DBMS round trips,
+a changed counter evicts everything — including materialized
+``__seedb_sample`` tables, which the cache owns and drops (the sample-leak
+fix: samples never outlive the data they were drawn from, and
+:meth:`SessionCache.close` removes them at session end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends.base import Backend
+from repro.db.table import Table
+from repro.metadata.collector import MetadataCollector, TableMetadata
+
+#: Suffix of cache-owned sampled execution tables.
+SAMPLE_SUFFIX = "__seedb_sample"
+
+
+def sample_table_name(source: str, fraction: float, seed: int) -> str:
+    """Deterministic sample-table name encoding its knobs.
+
+    Encoding fraction and seed keeps two sessions sharing one backend from
+    clobbering each other's samples: equal names imply equal content (both
+    samplers are seed-deterministic), different knobs get different tables.
+    """
+    return f"{source}{SAMPLE_SUFFIX}_{int(round(fraction * 1_000_000))}_{seed}"
+
+
+@dataclass
+class CacheStats:
+    """Observability counters (asserted on by the cache tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    samples_dropped: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.samples_dropped = 0
+
+
+@dataclass
+class _SampleEntry:
+    """One materialized sample: its name plus the knobs that produced it."""
+
+    name: str
+    fraction: float
+    seed: int
+
+
+class SessionCache:
+    """Caches schema / base-table / metadata / row-count / sample lookups.
+
+    Not thread-safe by itself; the engine calls :meth:`sync` once per run
+    before any phase executes, and phases only read.
+    """
+
+    def __init__(self, backend: Backend):
+        self.backend = backend
+        self.stats = CacheStats()
+        self._version: "int | None" = None
+        self._schemas: dict = {}
+        self._tables: dict = {}  # (name, max_rows) -> Table
+        self._metadata: dict[tuple, TableMetadata] = {}  # (name, max_rows)
+        self._row_counts: dict[str, int] = {}
+        self._samples: dict[str, _SampleEntry] = {}  # source -> entry
+
+    # -- lifecycle -------------------------------------------------------
+
+    def sync(self) -> None:
+        """Validate the cache against the backend's current data version.
+
+        On mismatch every entry is evicted and cache-owned sample tables
+        are dropped; the version is re-read *after* the drops so the
+        cache's own maintenance does not invalidate the next run.
+        """
+        version = self.backend.data_version
+        if self._version is not None and version != self._version:
+            self.invalidate()
+        self._version = self.backend.data_version
+
+    def invalidate(self) -> None:
+        """Evict everything and drop owned sample tables."""
+        self.drop_samples()
+        self._schemas.clear()
+        self._tables.clear()
+        self._metadata.clear()
+        self._row_counts.clear()
+        self.stats.invalidations += 1
+
+    def drop_samples(self) -> None:
+        """Drop every cache-owned materialized sample table."""
+        for entry in list(self._samples.values()):
+            self._drop_owned(entry.name)
+        self._samples.clear()
+
+    def _drop_owned(self, name: str) -> None:
+        """Drop a cache-owned table without self-invalidating.
+
+        ``drop_table`` bumps the backend's data version; re-reading it here
+        keeps the cache's own maintenance from looking like an external
+        data change on the next :meth:`sync`.
+        """
+        if self.backend.has_table(name):
+            self.backend.drop_table(name)
+            self.stats.samples_dropped += 1
+        if self._version is not None:
+            self._version = self.backend.data_version
+
+    def close(self) -> None:
+        """End-of-session cleanup: evict and drop samples."""
+        self.invalidate()
+        self._version = None
+
+    # -- cached lookups ---------------------------------------------------
+
+    def schema(self, table: str):
+        if table not in self._schemas:
+            self.stats.misses += 1
+            self._schemas[table] = self.backend.schema(table)
+        else:
+            self.stats.hits += 1
+        return self._schemas[table]
+
+    def base_table(self, table: str, max_rows: "int | None" = None) -> Table:
+        """A (possibly row-capped) materialization of ``table``.
+
+        Bounded memory: a full materialization serves every capped request
+        by slicing, and fetching the full table evicts any capped copies —
+        at most one stored materialization per table once the full one
+        exists.
+        """
+        full = self._tables.get((table, None))
+        if full is not None:
+            self.stats.hits += 1
+            if max_rows is not None and full.num_rows > max_rows:
+                return full.head(max_rows)
+            return full
+        key = (table, max_rows)
+        if key not in self._tables:
+            self.stats.misses += 1
+            fetched = self.backend.fetch_table(table, max_rows=max_rows)
+            if max_rows is None:
+                for stale in [k for k in self._tables if k[0] == table]:
+                    del self._tables[stale]
+            self._tables[key] = fetched
+        else:
+            self.stats.hits += 1
+        return self._tables[key]
+
+    def metadata(
+        self,
+        collector: MetadataCollector,
+        table: str,
+        max_rows: "int | None" = None,
+    ) -> TableMetadata:
+        """Table metadata computed once per (data version, row cap).
+
+        Keyed on ``max_rows`` too: statistics from a capped materialization
+        must not serve a call with a different cap. ``refresh=True``
+        bypasses the collector's own per-name cache so a data change
+        genuinely recomputes statistics.
+        """
+        key = (table, max_rows)
+        if key not in self._metadata:
+            self.stats.misses += 1
+            base = self.base_table(table, max_rows=max_rows)
+            self._metadata[key] = collector.collect(base, refresh=True)
+        else:
+            self.stats.hits += 1
+        return self._metadata[key]
+
+    def row_count(self, table: str) -> int:
+        if table not in self._row_counts:
+            self.stats.misses += 1
+            self._row_counts[table] = self.backend.row_count(table)
+        else:
+            self.stats.hits += 1
+        return self._row_counts[table]
+
+    def sample(self, source: str, fraction: float, seed: int) -> str:
+        """Name of a materialized sample of ``source``, creating on miss.
+
+        The sample is reused while (fraction, seed, data version) hold; a
+        request with different knobs re-materializes in place.
+        """
+        entry = self._samples.get(source)
+        name = sample_table_name(source, fraction, seed)
+        if (
+            entry is not None
+            and entry.fraction == fraction
+            and entry.seed == seed
+            and self.backend.has_table(entry.name)
+        ):
+            self.stats.hits += 1
+            return entry.name
+        self.stats.misses += 1
+        if entry is not None:
+            # Knobs changed: retire the old sample before materializing.
+            self._drop_owned(entry.name)
+        self.backend.create_sample(source, name, fraction, seed=seed)
+        self._samples[source] = _SampleEntry(name=name, fraction=fraction, seed=seed)
+        return name
+
+    @property
+    def live_samples(self) -> list[str]:
+        """Names of sample tables the cache currently owns."""
+        return [entry.name for entry in self._samples.values()]
+
+    def __enter__(self) -> "SessionCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

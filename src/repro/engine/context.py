@@ -1,0 +1,146 @@
+"""The state that flows through the execution pipeline.
+
+One :class:`ExecutionContext` is created per recommendation request and
+threaded through an ordered list of :class:`~repro.engine.phases.Phase`
+objects. Each phase reads the fields earlier phases produced and writes
+its own — the dataclass makes the hand-offs of Figure 4 explicit and
+independently testable (a phase can be exercised on a hand-built context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.backends.base import Backend
+from repro.core.config import SeeDBConfig
+from repro.db.query import RowSelectQuery
+from repro.util.timing import Stopwatch
+
+if TYPE_CHECKING:
+    from repro.core.result import RecommendationResult
+    from repro.db.schema import Schema
+    from repro.db.table import Table
+    from repro.engine.cache import SessionCache
+    from repro.metadata.collector import MetadataCollector, TableMetadata
+    from repro.model.view import RawViewData, ScoredView
+    from repro.optimizer.parallel import ParallelExecutor
+    from repro.optimizer.plan import ExecutionPlan
+    from repro.pruning.base import PruneReport
+
+
+@dataclass
+class ExecutionContext:
+    """Everything one recommendation run reads and produces.
+
+    The first block is the request; the second is session-scoped machinery
+    the engine injects; the rest is filled in by phases as the pipeline
+    advances (field comments name the phase that owns each).
+    """
+
+    # -- request ---------------------------------------------------------
+    backend: Backend
+    query: RowSelectQuery
+    config: SeeDBConfig
+    k: int
+
+    # -- injected by the engine ------------------------------------------
+    cache: "SessionCache | None" = None
+    executor: "ParallelExecutor | None" = None
+    metadata_collector: "MetadataCollector | None" = None
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+
+    # -- MetadataPhase ----------------------------------------------------
+    base_table: "Table | None" = None
+    metadata: "TableMetadata | None" = None
+
+    # -- EnumeratePhase ---------------------------------------------------
+    schema: "Schema | None" = None
+    candidates: list = field(default_factory=list)
+
+    # -- PrunePhase -------------------------------------------------------
+    surviving: list = field(default_factory=list)
+    prune_reports: "list[PruneReport]" = field(default_factory=list)
+
+    # -- SamplePhase ------------------------------------------------------
+    execution_table: "str | None" = None
+    sample_fraction: "float | None" = None
+
+    # -- PlanPhase --------------------------------------------------------
+    plan: "ExecutionPlan | None" = None
+    plan_description: str = ""
+
+    # -- ExecutePhase -----------------------------------------------------
+    raw_views: "dict[Any, RawViewData]" = field(default_factory=dict)
+
+    # -- ScorePhase -------------------------------------------------------
+    scored: "dict[Any, ScoredView]" = field(default_factory=dict)
+
+    # -- SelectPhase ------------------------------------------------------
+    recommendations: "list[ScoredView]" = field(default_factory=list)
+
+    # -- accounting / extension point --------------------------------------
+    #: Backend query counter at the start of view-query execution; metadata
+    #: round trips are deliberately excluded from ``n_queries``.
+    queries_before: "int | None" = None
+    #: Phase-specific side outputs (parallel reports, incremental pruning
+    #: traces, ...) keyed by a phase-chosen name.
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def mark_query_baseline(self) -> None:
+        """Record the view-query counting baseline (first caller wins)."""
+        if self.queries_before is None:
+            self.queries_before = self.backend.queries_executed
+
+    @property
+    def n_queries(self) -> int:
+        """View-query round trips issued since the baseline."""
+        if self.queries_before is None:
+            return 0
+        return self.backend.queries_executed - self.queries_before
+
+    def resolve_execution_table(self) -> str:
+        """Where view queries run: the sample if one was materialized."""
+        return (
+            self.execution_table
+            if self.execution_table is not None
+            else self.query.table
+        )
+
+    def to_result(self) -> "RecommendationResult":
+        """Package the finished context as a :class:`RecommendationResult`."""
+        from repro.core.result import RecommendationResult
+
+        return RecommendationResult(
+            table=self.query.table,
+            predicate_description=describe_predicate(self.query),
+            k=self.k,
+            metric=self.config.metric,
+            recommendations=self.recommendations,
+            all_scored=self.scored,
+            prune_reports=self.prune_reports,
+            stopwatch=self.stopwatch,
+            n_candidate_views=len(self.candidates),
+            n_executed_views=len(self.surviving),
+            n_queries=self.n_queries,
+            sample_fraction=self.sample_fraction,
+            plan_description=self.plan_description,
+        )
+
+
+def describe_predicate(query: RowSelectQuery) -> str:
+    """Human-readable rendering of the analyst's predicate.
+
+    Falls back to ``repr`` for Expression subclasses the SQL renderer does
+    not know — custom predicates execute fine on the in-memory path and
+    must not crash result packaging.
+    """
+    if query.predicate is None:
+        return "all rows"
+    from repro.backends.sqlgen import render_expression
+    from repro.util.errors import QueryError
+
+    try:
+        return render_expression(query.predicate)
+    except QueryError:
+        return repr(query.predicate)

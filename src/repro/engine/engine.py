@@ -1,0 +1,120 @@
+"""The ExecutionEngine: one pipeline, three strategies, shared services.
+
+The engine owns the session-scoped machinery the per-call monolith could
+not support:
+
+* a :class:`~repro.engine.cache.SessionCache` keyed on the backend's
+  ``data_version`` — repeated ``recommend()`` calls in one session skip
+  redundant schema/metadata/sample round trips;
+* a persistent :class:`~repro.optimizer.parallel.ParallelExecutor` reused
+  across calls instead of constructing a fresh thread pool per plan;
+* one :class:`~repro.metadata.collector.MetadataCollector` whose access
+  log accumulates session history for access-frequency pruning.
+
+``run()`` drives any ordered list of phases over an
+:class:`~repro.engine.context.ExecutionContext`, timing each phase under
+its name. The default phase list reproduces Figure 4; the incremental and
+multiview strategies swap individual phases (see
+:mod:`repro.engine.incremental` / :mod:`repro.engine.multiview`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.backends.base import Backend
+from repro.core.config import SeeDBConfig
+from repro.db.query import RowSelectQuery
+from repro.engine.cache import SessionCache
+from repro.engine.context import ExecutionContext
+from repro.engine.phases import Phase, default_phases
+from repro.metadata.collector import MetadataCollector
+from repro.optimizer.parallel import ParallelExecutor
+
+
+class ExecutionEngine:
+    """Runs phase pipelines over one backend with session-scoped reuse."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        metadata_collector: "MetadataCollector | None" = None,
+        cache: "SessionCache | None" = None,
+    ):
+        self.backend = backend
+        self.metadata = (
+            metadata_collector if metadata_collector is not None else MetadataCollector()
+        )
+        self.cache = cache if cache is not None else SessionCache(backend)
+        self._executor: "ParallelExecutor | None" = None
+
+    # -- running pipelines ------------------------------------------------
+
+    def new_context(
+        self, query: RowSelectQuery, config: SeeDBConfig, k: int
+    ) -> ExecutionContext:
+        """A context wired to this engine's session services."""
+        return ExecutionContext(
+            backend=self.backend,
+            query=query,
+            config=config,
+            k=k,
+            cache=self.cache,
+            executor=self.executor_for(config.n_workers),
+            metadata_collector=self.metadata,
+        )
+
+    def run(
+        self, phases: Iterable[Phase], ctx: ExecutionContext
+    ) -> ExecutionContext:
+        """Execute ``phases`` in order, timing each under its name."""
+        self.cache.sync()
+        for phase in phases:
+            with ctx.stopwatch.time(phase.name):
+                phase.run(ctx)
+        return ctx
+
+    def recommend(
+        self,
+        query: RowSelectQuery,
+        config: SeeDBConfig,
+        k: int,
+        phases: "Iterable[Phase] | None" = None,
+    ) -> ExecutionContext:
+        """Convenience: new context + default (or given) phases + run."""
+        ctx = self.new_context(query, config, k)
+        return self.run(phases if phases is not None else default_phases(), ctx)
+
+    # -- session services ---------------------------------------------------
+
+    def executor_for(self, n_workers: int) -> "ParallelExecutor | None":
+        """The persistent worker pool sized to ``n_workers`` (None if 1).
+
+        The pool survives across calls; it is only rebuilt when the
+        requested worker count changes.
+        """
+        if n_workers <= 1:
+            return None
+        if self._executor is None or self._executor.n_workers != n_workers:
+            if self._executor is not None:
+                self._executor.close()
+            self._executor = ParallelExecutor(n_workers=n_workers, persistent=True)
+        return self._executor
+
+    @property
+    def executor(self) -> "ParallelExecutor | None":
+        """The currently held persistent executor, if any."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release session resources: worker pool and cached samples."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self.cache.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,300 @@
+"""Incremental execution as swappable Execute/Score phases.
+
+The phased-execution scheme of §1 challenge (d) — interleaved row
+partitions, running mergeable-aggregate state per view, Hoeffding-style
+confidence pruning between phases — re-hosted on the shared engine.
+:class:`PhasedExecutePhase` replaces the batch ``ExecutePhase`` and leaves
+ordinary :class:`~repro.model.view.RawViewData` in the context, so the
+standard View Processor / top-k phases finish the run: the incremental
+path no longer carries private copies of align/normalize/score/top-k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.view_processor import ViewProcessor
+from repro.db.aggregates import Aggregate
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.expressions import TruePredicate
+from repro.db.query import AggregateQuery, FlagColumn
+from repro.db.table import Table
+from repro.engine.context import ExecutionContext
+from repro.engine.phases import Phase, ScorePhase
+from repro.metrics.normalize import canonical_key
+from repro.model.view import RawViewData, ViewSpec
+from repro.optimizer.combine import dedup_aggregates, merge_spec
+from repro.optimizer.extract import FLAG_NAME
+
+#: Metrics whose values are bounded in [0, 1], the precondition for the
+#: Hoeffding-style pruning bound.
+BOUNDED_METRICS = frozenset(
+    {"js", "total_variation", "maxdev", "chisquare", "emd", "hellinger"}
+)
+
+#: Accumulation mode per auxiliary aggregate function.
+_ACCUMULATE_ADD = frozenset({"sum", "count", "countv", "sumsq"})
+
+
+@dataclass
+class DimensionState:
+    """Accumulated per-(flag, group) aux values for one dimension."""
+
+    aux: tuple[Aggregate, ...]
+    #: (flag, group_key) -> {alias: value}
+    cells: dict[tuple[int, Any], dict[str, float]] = field(default_factory=dict)
+
+    def absorb(self, result: Table, dimension: str) -> None:
+        """Merge one phase's flag-combined result into the running state."""
+        flags = np.asarray(result.column(FLAG_NAME))
+        keys = result.column(dimension)
+        columns = {a.alias: result.column(a.alias) for a in self.aux}
+        for i in range(result.num_rows):
+            cell_key = (int(flags[i]), canonical_key(keys[i]))
+            cell = self.cells.get(cell_key)
+            if cell is None:
+                self.cells[cell_key] = {
+                    a.alias: float(columns[a.alias][i]) for a in self.aux
+                }
+                continue
+            for aggregate in self.aux:
+                value = float(columns[aggregate.alias][i])
+                if aggregate.func in _ACCUMULATE_ADD:
+                    if not math.isnan(value):
+                        cell[aggregate.alias] += value
+                elif aggregate.func == "min":
+                    cell[aggregate.alias] = _fmin(cell[aggregate.alias], value)
+                else:  # max
+                    cell[aggregate.alias] = _fmax(cell[aggregate.alias], value)
+
+    def raw_view(self, view: ViewSpec) -> RawViewData:
+        """The view's target/comparison series reconstructed from state.
+
+        Returning :class:`RawViewData` is what lets the shared View
+        Processor score incremental estimates exactly like batch results.
+        """
+        spec = merge_spec(view.aggregate)
+        target_keys = sorted(
+            {key for flag, key in self.cells if flag == 1},
+            key=lambda k: (type(k).__name__, k),
+        )
+        all_keys = sorted(
+            {key for _flag, key in self.cells},
+            key=lambda k: (type(k).__name__, k),
+        )
+
+        def values_for(keys, flags):
+            arrays = {}
+            for aggregate in self.aux:
+                fill = 0.0 if aggregate.func in _ACCUMULATE_ADD else float("nan")
+                column = []
+                for key in keys:
+                    merged = None
+                    for flag in flags:
+                        cell = self.cells.get((flag, key))
+                        if cell is None:
+                            continue
+                        value = cell[aggregate.alias]
+                        if merged is None:
+                            merged = value
+                        elif aggregate.func in _ACCUMULATE_ADD:
+                            merged += value
+                        elif aggregate.func == "min":
+                            merged = _fmin(merged, value)
+                        else:
+                            merged = _fmax(merged, value)
+                    column.append(fill if merged is None else merged)
+                arrays[aggregate.alias] = np.array(column, dtype=np.float64)
+            return spec.reconstruct(arrays)
+
+        return RawViewData(
+            spec=view,
+            target_keys=target_keys,
+            target_values=values_for(target_keys, (1,)),
+            comparison_keys=all_keys,
+            comparison_values=values_for(all_keys, (0, 1)),
+        )
+
+
+def _fmin(a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return min(a, b)
+
+
+def _fmax(a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return max(a, b)
+
+
+@dataclass
+class IncrementalTrace:
+    """Side outputs of a phased run, stored in ``ctx.extras``."""
+
+    #: Last utility estimate of every view, pruned ones included.
+    utilities: dict[ViewSpec, float] = field(default_factory=dict)
+    #: Views dropped early: spec -> phase index at which they were pruned.
+    pruned_at_phase: dict[ViewSpec, int] = field(default_factory=dict)
+    phases_executed: int = 0
+    n_phases: int = 0
+    work_done: int = 0
+    work_possible: int = 0
+
+
+#: ``ctx.extras`` key under which the trace is published.
+TRACE_KEY = "incremental"
+
+
+class PhasedExecutePhase(Phase):
+    """Execute view queries one partition at a time with early pruning.
+
+    Partitions are interleaved row slices (row ``i`` belongs to phase
+    ``i mod n_phases``), so each phase is an unbiased sample. Pruning uses
+    Hoeffding-style confidence intervals: view ``V`` is dropped after phase
+    ``m`` when ``u_m(V) + ε_m < L`` where ``L`` is the k-th largest lower
+    bound and ``ε_m = epsilon_scale * sqrt(ln(2/δ) / (2m))`` — valid for
+    metrics bounded in [0, 1].
+    """
+
+    name = "execute"
+
+    def __init__(
+        self,
+        table: "Table | None" = None,
+        n_phases: int = 10,
+        delta: float = 0.05,
+        min_phases_before_pruning: int = 2,
+        epsilon_scale: float = 0.25,
+        metric=None,
+        normalization=None,
+    ):
+        self.table = table
+        self.n_phases = n_phases
+        self.delta = delta
+        self.min_phases_before_pruning = min_phases_before_pruning
+        self.epsilon_scale = epsilon_scale
+        self.metric = metric
+        self.normalization = normalization
+
+    def run(self, ctx: ExecutionContext) -> None:
+        views = list(ctx.surviving)
+        trace = IncrementalTrace(
+            n_phases=self.n_phases, work_possible=len(views) * self.n_phases
+        )
+        ctx.extras[TRACE_KEY] = trace
+        if not views:
+            return
+        table = self.table if self.table is not None else self._fetch(ctx)
+        predicate = (
+            ctx.query.predicate
+            if ctx.query.predicate is not None
+            else TruePredicate()
+        )
+        metric = (
+            self.metric if self.metric is not None else ctx.config.resolve_metric()
+        )
+        normalization = (
+            self.normalization
+            if self.normalization is not None
+            else ctx.config.normalization
+        )
+        processor = ViewProcessor(metric, normalization)
+
+        groups: dict[str, list[ViewSpec]] = {}
+        for view in views:
+            groups.setdefault(view.dimension, []).append(view)
+        states = {
+            dimension: DimensionState(
+                aux=dedup_aggregates(
+                    [a for v in members for a in merge_spec(v.aggregate).aux]
+                )
+            )
+            for dimension, members in groups.items()
+        }
+
+        alive: set[ViewSpec] = set(views)
+        k = ctx.k
+        indices = np.arange(table.num_rows)
+        for phase in range(self.n_phases):
+            active_dimensions = {v.dimension for v in alive}
+            if not active_dimensions:
+                break
+            partition = table.take(indices[phase :: self.n_phases], name="__phase")
+            catalog = Catalog()
+            catalog.register(partition)
+            engine = Engine(catalog)
+            flag = FlagColumn(FLAG_NAME, predicate)
+            for dimension in sorted(active_dimensions):
+                state = states[dimension]
+                result = engine.execute(
+                    AggregateQuery("__phase", (flag, dimension), state.aux, None)
+                )
+                assert isinstance(result, Table)
+                state.absorb(result, dimension)
+                trace.work_done += sum(1 for v in groups[dimension] if v in alive)
+            trace.phases_executed = phase + 1
+
+            # Re-estimate utilities for alive views via the shared scorer.
+            for view in list(alive):
+                raw = states[view.dimension].raw_view(view)
+                trace.utilities[view] = processor.score(raw).utility
+
+            # Hoeffding-style pruning once enough phases accumulated.
+            if (
+                trace.phases_executed >= self.min_phases_before_pruning
+                and trace.phases_executed < self.n_phases
+                and len(alive) > k
+            ):
+                epsilon = self.epsilon_scale * math.sqrt(
+                    math.log(2.0 / self.delta) / (2.0 * trace.phases_executed)
+                )
+                lower_bounds = sorted(
+                    (trace.utilities[view] - epsilon for view in alive), reverse=True
+                )
+                threshold = lower_bounds[k - 1] if len(lower_bounds) >= k else -1.0
+                for view in list(alive):
+                    if trace.utilities[view] + epsilon < threshold:
+                        alive.discard(view)
+                        trace.pruned_at_phase[view] = trace.phases_executed
+
+        ctx.raw_views = {
+            view: states[view.dimension].raw_view(view)
+            for view in views
+            if view in alive
+        }
+
+    @staticmethod
+    def _fetch(ctx: ExecutionContext) -> Table:
+        # Deliberately NOT ctx.base_table: MetadataPhase materializes that
+        # capped at config.metadata_max_rows (a row *prefix*, fine for
+        # statistics, biased for execution). Phased execution needs the
+        # full table.
+        if ctx.cache is not None:
+            return ctx.cache.base_table(ctx.query.table, max_rows=None)
+        return ctx.backend.fetch_table(ctx.query.table)
+
+
+class IncrementalScorePhase(ScorePhase):
+    """Standard scoring, plus folding final utilities back into the trace.
+
+    Scored utilities equal the last running estimates by construction
+    (both come from the same accumulated state through the same View
+    Processor); the fold keeps the published trace exact.
+    """
+
+    def run(self, ctx: ExecutionContext) -> None:
+        super().run(ctx)
+        trace = ctx.extras.get(TRACE_KEY)
+        if isinstance(trace, IncrementalTrace):
+            for spec, scored in ctx.scored.items():
+                trace.utilities[spec] = scored.utility

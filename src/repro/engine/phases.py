@@ -1,0 +1,230 @@
+"""The default phase set: Figure 4 as composable pipeline stages.
+
+Metadata Collector → Query Generator (enumerate + prune) → Optimizer
+(sample + plan) → DBMS (execute) → View Processor (score) → top-k
+(select). Each phase is an object with a ``name`` (its stopwatch key) and
+a ``run(ctx)`` that reads/writes :class:`~repro.engine.context.ExecutionContext`
+fields. Alternative strategies swap individual phases: incremental
+execution replaces Execute/Score (:mod:`repro.engine.incremental`),
+multi-attribute views replace Enumerate/Prune/Plan
+(:mod:`repro.engine.multiview`).
+"""
+
+from __future__ import annotations
+
+from repro.core.space import enumerate_views, split_predicate_dimensions
+from repro.core.topk import top_k_views
+from repro.core.view_processor import ViewProcessor
+from repro.engine.context import ExecutionContext
+from repro.optimizer.plan import Planner
+from repro.pruning.base import PruneReport
+
+
+class Phase:
+    """One pipeline stage; ``name`` doubles as the stopwatch key."""
+
+    name: str = ""
+
+    def run(self, ctx: ExecutionContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MetadataPhase(Phase):
+    """Collect table metadata (cached per data version) and log the query."""
+
+    name = "metadata"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        collector = ctx.metadata_collector
+        if collector is not None:
+            # The analyst's query itself is history the access-frequency
+            # pruner learns from (§3.3).
+            collector.access_log.record_query(ctx.query)
+        max_rows = ctx.config.metadata_max_rows
+        if ctx.cache is not None:
+            ctx.base_table = ctx.cache.base_table(ctx.query.table, max_rows=max_rows)
+            if collector is not None:
+                ctx.metadata = ctx.cache.metadata(
+                    collector, ctx.query.table, max_rows=max_rows
+                )
+        else:
+            ctx.base_table = ctx.backend.fetch_table(
+                ctx.query.table, max_rows=max_rows
+            )
+            if collector is not None:
+                ctx.metadata = collector.collect(ctx.base_table)
+        # Count view-query round trips only (metadata fetches excluded).
+        ctx.mark_query_baseline()
+
+
+class EnumeratePhase(Phase):
+    """Enumerate the candidate view space A x M x F."""
+
+    name = "enumerate"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        ctx.mark_query_baseline()
+        ctx.schema = (
+            ctx.cache.schema(ctx.query.table)
+            if ctx.cache is not None
+            else ctx.backend.schema(ctx.query.table)
+        )
+        ctx.candidates = enumerate_views(
+            ctx.schema,
+            functions=ctx.config.aggregate_functions,
+            include_count=ctx.config.include_count_views,
+        )
+        ctx.surviving = list(ctx.candidates)
+
+
+class PrunePhase(Phase):
+    """Drop predicate-constrained dimensions, then run the pruning rules."""
+
+    name = "prune"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        surviving = list(ctx.surviving)
+        if ctx.config.exclude_predicate_dimensions:
+            surviving, excluded = split_predicate_dimensions(
+                surviving, ctx.query.predicate
+            )
+            report = PruneReport(
+                rule="predicate_dimensions", examined=len(ctx.candidates)
+            )
+            report.pruned.extend(excluded)
+            ctx.prune_reports.append(report)
+        if ctx.metadata is not None:
+            pipeline = ctx.config.pruning_pipeline()
+            surviving, rule_reports = pipeline.apply(surviving, ctx.metadata)
+            ctx.prune_reports.extend(rule_reports)
+        ctx.surviving = surviving
+
+
+class SamplePhase(Phase):
+    """Materialize a sampled execution table when the optimization applies."""
+
+    name = "sample"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        config = ctx.config
+        ctx.execution_table = ctx.query.table
+        ctx.sample_fraction = None
+        if config.sample_fraction is None or config.sample_fraction >= 1.0:
+            return
+        rows = (
+            ctx.cache.row_count(ctx.query.table)
+            if ctx.cache is not None
+            else ctx.backend.row_count(ctx.query.table)
+        )
+        if rows < config.min_rows_for_sampling:
+            return
+        if ctx.cache is not None:
+            ctx.execution_table = ctx.cache.sample(
+                ctx.query.table, config.sample_fraction, config.sample_seed
+            )
+        else:
+            # No cache owner: the sample is the caller's to drop — its name
+            # is published under extras["unmanaged_sample"].
+            from repro.engine.cache import sample_table_name
+
+            ctx.execution_table = sample_table_name(
+                ctx.query.table, config.sample_fraction, config.sample_seed
+            )
+            ctx.backend.create_sample(
+                ctx.query.table,
+                ctx.execution_table,
+                config.sample_fraction,
+                seed=config.sample_seed,
+            )
+            ctx.extras["unmanaged_sample"] = ctx.execution_table
+        ctx.sample_fraction = config.sample_fraction
+
+
+class PlanPhase(Phase):
+    """Map surviving views onto an execution plan (the Optimizer proper)."""
+
+    name = "plan"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        cardinalities: dict[str, int] = {}
+        if ctx.metadata is not None and ctx.schema is not None:
+            cardinalities = {
+                spec.name: ctx.metadata.stats[spec.name].n_distinct
+                for spec in ctx.schema.dimensions
+            }
+        planner = Planner(ctx.config.planner_config())
+        ctx.plan = planner.plan(
+            ctx.surviving,
+            ctx.resolve_execution_table(),
+            ctx.query.predicate,
+            cardinalities,
+            ctx.backend.capabilities,
+        )
+        ctx.plan_description = ctx.plan.describe()
+
+
+class ExecutePhase(Phase):
+    """Run the plan against the DBMS, parallel when a pool is available."""
+
+    name = "execute"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        if ctx.plan is None:
+            return
+        if ctx.executor is not None:
+            ctx.raw_views, report = ctx.executor.run(ctx.plan, ctx.backend)
+            ctx.extras["parallel_report"] = report
+        else:
+            ctx.raw_views = ctx.plan.run(ctx.backend)
+
+
+class ScorePhase(Phase):
+    """View Processor: align, normalize, and score every raw view.
+
+    ``metric``/``normalization`` override the context config — the hook
+    through which facades holding a custom :class:`DistanceMetric`
+    *instance* (not just a registry name) keep it across the pipeline.
+    """
+
+    name = "score"
+
+    def __init__(self, metric=None, normalization=None):
+        self.metric = metric
+        self.normalization = normalization
+
+    def run(self, ctx: ExecutionContext) -> None:
+        metric = (
+            self.metric if self.metric is not None else ctx.config.resolve_metric()
+        )
+        normalization = (
+            self.normalization
+            if self.normalization is not None
+            else ctx.config.normalization
+        )
+        ctx.scored = ViewProcessor(metric, normalization).score_all(ctx.raw_views)
+
+
+class SelectPhase(Phase):
+    """Pick the top-k by utility (Problem 2.1)."""
+
+    name = "select"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        ctx.recommendations = top_k_views(ctx.scored.values(), ctx.k)
+
+
+def default_phases() -> list[Phase]:
+    """The standard batch pipeline, in Figure-4 order."""
+    return [
+        MetadataPhase(),
+        EnumeratePhase(),
+        PrunePhase(),
+        SamplePhase(),
+        PlanPhase(),
+        ExecutePhase(),
+        ScorePhase(),
+        SelectPhase(),
+    ]

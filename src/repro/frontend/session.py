@@ -48,7 +48,22 @@ class AnalystSession:
     def __init__(self, backend: Backend, config: "SeeDBConfig | None" = None):
         self.backend = backend
         self.seedb = SeeDB(backend, config)
+        #: The session's execution engine: one cache + worker pool + access
+        #: log shared by every query issued here.
+        self.engine = self.seedb.engine
         self.history: list[tuple[RowSelectQuery, RecommendationResult]] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """End the session: drop cached sample tables, stop pool workers."""
+        self.seedb.close()
+
+    def __enter__(self) -> "AnalystSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- issuing queries ------------------------------------------------
 

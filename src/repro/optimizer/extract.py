@@ -73,9 +73,25 @@ def align_aux(
     return union, aligned_a, aligned_b
 
 
+def dimension_keys(part: Table, dimension: "str | tuple[str, ...]") -> list:
+    """Canonicalized group keys of a result partition.
+
+    A single dimension yields scalar keys; a tuple of dimensions yields
+    tuple keys over the attribute-value combinations (the multi-attribute
+    generalization of §2).
+    """
+    if isinstance(dimension, tuple):
+        columns = [part.column(name) for name in dimension]
+        return [
+            tuple(canonical_key(column[i]) for column in columns)
+            for i in range(part.num_rows)
+        ]
+    return [canonical_key(k) for k in part.column(dimension)]
+
+
 def raw_from_flag_table(
     result: Table,
-    dimension: str,
+    dimension: "str | tuple[str, ...]",
     views: tuple[ViewSpec, ...],
     flag_name: str = FLAG_NAME,
 ) -> dict[ViewSpec, RawViewData]:
@@ -84,15 +100,17 @@ def raw_from_flag_table(
     ``result`` is grouped by ``(flag, dimension)`` with auxiliary
     aggregates. Target = flag=1 partition; comparison = merge of both
     partitions (the comparison view covers the entire table, §2).
+    ``dimension`` may be a tuple of attribute names, in which case group
+    keys are attribute-value tuples (multi-attribute views).
     """
     flags = np.asarray(result.column(flag_name))
     target_part = result.mask(flags == 1)
     rest_part = result.mask(flags == 0)
 
     all_aux = _all_aux(views)
-    target_keys = [canonical_key(k) for k in target_part.column(dimension)]
+    target_keys = dimension_keys(target_part, dimension)
     target_aux = aux_arrays(target_part, all_aux)
-    rest_keys = [canonical_key(k) for k in rest_part.column(dimension)]
+    rest_keys = dimension_keys(rest_part, dimension)
     rest_aux = aux_arrays(rest_part, all_aux)
 
     union, aligned_target, aligned_rest = align_aux(

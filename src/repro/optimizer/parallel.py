@@ -43,12 +43,23 @@ class ParallelExecutor:
 
     ``n_workers=1`` degenerates to sequential execution (the baseline the
     parallelism benchmark compares against).
+
+    ``persistent=True`` keeps one thread pool alive across :meth:`run`
+    calls instead of constructing and tearing one down per plan — the mode
+    the :class:`~repro.engine.ExecutionEngine` uses so repeated
+    recommendations in a session never pay pool startup cost. Call
+    :meth:`close` (or use the executor as a context manager) to release
+    the workers.
     """
 
-    def __init__(self, n_workers: int = 4):
+    def __init__(self, n_workers: int = 4, persistent: bool = False):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.persistent = persistent
+        self._pool: "ThreadPoolExecutor | None" = None
+        #: run() invocations served by an already-warm persistent pool.
+        self.pool_reuses = 0
 
     def run(
         self, plan: ExecutionPlan, backend: Backend
@@ -63,6 +74,21 @@ class ParallelExecutor:
                 result, elapsed = _timed_run(step, backend)
                 extracted.update(result)
                 step_seconds.append(elapsed)
+        elif self.persistent:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_timed_run, step, backend) for step in plan.steps]
+            try:
+                for future in futures:
+                    result, elapsed = future.result()
+                    extracted.update(result)
+                    step_seconds.append(elapsed)
+            except BaseException:
+                # Match the per-run pool's guarantee (its `with` block joins
+                # every worker before the exception escapes): no step may
+                # still be touching the backend when the caller regains
+                # control and possibly mutates tables.
+                _drain(futures)
+                raise
         else:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
@@ -80,6 +106,25 @@ class ParallelExecutor:
         )
         return extracted, report
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        else:
+            self.pool_reuses += 1
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op for per-run pools)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 def _timed_run(
     step: ExecutionStep, backend: Backend
@@ -87,3 +132,15 @@ def _timed_run(
     start = time.perf_counter()
     result = step.run(backend)
     return result, time.perf_counter() - start
+
+
+def _drain(futures) -> None:
+    """Cancel what hasn't started and wait out what has, ignoring errors."""
+    for future in futures:
+        future.cancel()
+    for future in futures:
+        if not future.cancelled():
+            try:
+                future.exception()
+            except Exception:
+                pass

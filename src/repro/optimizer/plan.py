@@ -162,6 +162,62 @@ class FlagStep(ExecutionStep):
 
 
 @dataclass
+class MultiFlagStep(ExecutionStep):
+    """One flag-combined query grouped by a *tuple* of dimensions.
+
+    The execution unit of the multi-attribute generalization (§2): all
+    views sharing one dimension combination run as a single
+    ``GROUP BY (flag, a1, ..., ak)`` query whose result is post-processed
+    into per-view tuple-keyed series. Views are duck-typed — any spec with
+    ``aggregate`` and a matching ``dimensions`` tuple works.
+    """
+
+    table: str
+    predicate: "Expression | None"
+    dimensions: tuple[str, ...]
+    view_specs: tuple
+
+    def __post_init__(self) -> None:
+        if not self.view_specs:
+            raise ConfigError("a multi-dimension step needs at least one view")
+        for view in self.view_specs:
+            if tuple(view.dimensions) != self.dimensions:
+                raise ConfigError(
+                    f"view {view.label!r} does not group by {self.dimensions!r}"
+                )
+
+    @property
+    def views(self) -> tuple:
+        return self.view_specs
+
+    def _aggregates(self) -> tuple[Aggregate, ...]:
+        collected: list[Aggregate] = []
+        for view in self.view_specs:
+            collected.extend(merge_spec(view.aggregate).aux)
+        return dedup_aggregates(collected)
+
+    def queries(self) -> list:
+        predicate = self.predicate if self.predicate is not None else TruePredicate()
+        flag = FlagColumn(FLAG_NAME, predicate)
+        return [
+            AggregateQuery(
+                self.table, (flag,) + self.dimensions, self._aggregates(), None
+            )
+        ]
+
+    def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
+        (query,) = self.queries()
+        result = backend.execute(query)
+        return raw_from_flag_table(result, self.dimensions, self.view_specs)
+
+    def describe(self) -> str:
+        return (
+            f"multi_flag[{list(self.dimensions)}: "
+            f"{len(self.view_specs)} view(s), 1 query]"
+        )
+
+
+@dataclass
 class MultiDimStep(ExecutionStep):
     """Several dimensions per query via GROUPING SETS."""
 

