@@ -28,7 +28,9 @@ from repro.db.query import (
     AggregateQuery,
     FlagColumn,
     GroupingKey,
+    GroupingSetsQuery,
     RowSelectQuery,
+    grouping_key_name,
 )
 from repro.util.errors import QueryError
 
@@ -149,6 +151,60 @@ def render_aggregate_query(
         ordinals = ", ".join(str(i + 1) for i in range(len(group_expressions)))
         sql += f" GROUP BY {ordinals} ORDER BY {ordinals}"
     return sql
+
+
+def render_grouping_sets_union(
+    query: GroupingSetsQuery,
+    native_var_std: bool = False,
+    set_column: str = "__seedb_set",
+) -> str:
+    """One UNION ALL statement emulating GROUPING SETS on dialects without it.
+
+    Every grouping set becomes one SELECT arm sharing the table scan plan's
+    round trip: the arm carries its set ordinal in ``set_column``, its own
+    grouping keys in their union-wide columns, and NULL for keys belonging
+    to other sets (the same row layout native GROUPING SETS produces).
+    Rows are ordered by set then key so each set's slice is contiguous.
+    """
+    union_keys: list[GroupingKey] = []
+    seen: set[str] = set()
+    for key_set in query.sets:
+        for key in key_set:
+            name = grouping_key_name(key)
+            if name not in seen:
+                seen.add(name)
+                union_keys.append(key)
+
+    arms: list[str] = []
+    for set_index, key_set in enumerate(query.sets):
+        own = {grouping_key_name(key): key for key in key_set}
+        select_items = [f"{set_index} AS {quote_identifier(set_column)}"]
+        group_ordinals: list[int] = []
+        for union_position, union_key in enumerate(union_keys):
+            name = grouping_key_name(union_key)
+            key = own.get(name)
+            if key is None:
+                select_items.append(f"NULL AS {quote_identifier(name)}")
+            else:
+                select_item, _group_expression = render_grouping_key(key)
+                select_items.append(select_item)
+                # Ordinal references (1-based; position 1 is the set column)
+                # avoid re-evaluating flag CASE expressions per clause.
+                group_ordinals.append(union_position + 2)
+        for aggregate in query.aggregates:
+            select_items.append(render_aggregate(aggregate, native_var_std))
+        sql = (
+            f"SELECT {', '.join(select_items)} "
+            f"FROM {quote_identifier(query.table)}"
+        )
+        if query.predicate is not None:
+            sql += f" WHERE {render_expression(query.predicate)}"
+        if group_ordinals:
+            sql += " GROUP BY " + ", ".join(str(o) for o in group_ordinals)
+        arms.append(sql)
+
+    order = ", ".join(str(i + 1) for i in range(1 + len(union_keys)))
+    return " UNION ALL ".join(arms) + f" ORDER BY {order}"
 
 
 def render_row_select(query: RowSelectQuery) -> str:

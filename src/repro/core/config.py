@@ -42,6 +42,10 @@ class SeeDBConfig:
     exclude_predicate_dimensions: bool = True
     #: Handling of negative/NaN aggregate values during normalization.
     normalization: NormalizationPolicy = NormalizationPolicy.SHIFT
+    #: Score views through the columnar batch path (dense per-attribute
+    #: blocks + vectorized metrics). Produces bit-for-bit the same scores
+    #: as the per-view loop; disable only to benchmark the scalar path.
+    batch_scoring: bool = True
 
     # -- view-space pruning (§3.3) ---------------------------------------
     prune_low_variance: bool = True

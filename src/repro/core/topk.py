@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterable
+
+import numpy as np
 
 from repro.model.view import ScoredView
 from repro.util.errors import ConfigError
@@ -12,26 +13,29 @@ from repro.util.errors import ConfigError
 def top_k_views(scored: Iterable[ScoredView], k: int) -> list[ScoredView]:
     """The ``k`` views with the largest utility, descending.
 
-    Ties break by the view spec's natural (lexicographic) order so the
-    recommendation list is deterministic across runs and backends. Works
-    for any spec exposing a ``sort_key`` of (possibly nested) strings —
-    both single-attribute :class:`~repro.model.view.ViewSpec` and the
-    multi-attribute extension.
+    Selection is a linear-time ``np.argpartition`` over the utility vector
+    (only the k boundary candidates are fully sorted) rather than a heap of
+    Python-level comparisons. Ties break by the view spec's natural
+    (lexicographic) order so the recommendation list is deterministic
+    across runs and backends. Works for any spec exposing a ``sort_key``
+    of (possibly nested) strings — both single-attribute
+    :class:`~repro.model.view.ViewSpec` and the multi-attribute extension.
     """
     if k < 1:
         raise ConfigError(f"k must be >= 1, got {k}")
-    return heapq.nlargest(
-        k,
-        scored,
-        key=lambda view: (view.utility, _inverted(view.spec.sort_key)),
-    )
-
-
-def _inverted(value):
-    """Order-inverting transform: nlargest on the result prefers the
-    lexicographically *smallest* original value."""
-    if isinstance(value, str):
-        return tuple(-ord(char) for char in value)
-    if isinstance(value, tuple):
-        return tuple(_inverted(item) for item in value)
-    raise TypeError(f"cannot invert sort key component {value!r}")
+    views = list(scored)
+    if not views:
+        return []
+    candidates = views
+    if k < len(views):
+        utilities = np.fromiter(
+            (view.utility for view in views), dtype=np.float64, count=len(views)
+        )
+        if not np.isnan(utilities).any():
+            # The k-th largest utility; every view at or above it is a
+            # candidate (>= keeps utility ties for deterministic breaking).
+            boundary = len(views) - k
+            kth = utilities[np.argpartition(utilities, boundary)[boundary]]
+            candidates = [views[i] for i in np.flatnonzero(utilities >= kth)]
+    candidates.sort(key=lambda view: (-view.utility, view.spec.sort_key))
+    return candidates[:k]

@@ -4,6 +4,6 @@ The definitions live in :mod:`repro.model.view` (a leaf package) to keep
 import graphs acyclic; the public API treats ``repro.core.view`` as home.
 """
 
-from repro.model.view import RawViewData, ScoredView, ViewSpec
+from repro.model.view import RawViewData, ScoredView, ViewBlock, ViewSpec
 
-__all__ = ["RawViewData", "ScoredView", "ViewSpec"]
+__all__ = ["RawViewData", "ScoredView", "ViewBlock", "ViewSpec"]

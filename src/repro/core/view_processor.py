@@ -5,6 +5,19 @@ streaming fashion to produce results for individual views. Individual view
 results are then normalized and the utility of each view is computed"
 (§3.1). Raw per-view series come in from plan extraction; aligned
 distributions and utilities come out.
+
+Two scoring paths share one semantics:
+
+* :meth:`ViewProcessor.score` / :meth:`ViewProcessor.score_all` — the
+  classic per-view loop (align one series pair, normalize, one scalar
+  metric call).
+* :meth:`ViewProcessor.score_batch` / :meth:`ViewProcessor.score_blocks` —
+  the columnar path: views are regrouped into dense per-attribute
+  :class:`~repro.model.view.ViewBlock` matrices, normalized row-wise in
+  one pass, and scored with one vectorized ``distance_batch`` call per
+  block. Utilities and distributions are bit-for-bit identical to the
+  per-view path (the property suite asserts this); only the constant
+  factor changes.
 """
 
 from __future__ import annotations
@@ -18,8 +31,11 @@ from repro.metrics.base import DistanceMetric
 from repro.metrics.normalize import (
     NormalizationPolicy,
     align_series,
+    normalize_batch,
     normalize_distribution,
 )
+from repro.model.view import ViewBlock
+from repro.optimizer.extract import blocks_from_raw
 
 
 class ViewProcessor:
@@ -69,7 +85,49 @@ class ViewProcessor:
     def score_all(
         self, raw_views: "Mapping[ViewSpec, RawViewData] | Iterable[RawViewData]"
     ) -> dict[ViewSpec, ScoredView]:
-        """Score every raw view; returns ``{spec: scored}``."""
+        """Score every raw view with the per-view loop; returns ``{spec: scored}``."""
         if isinstance(raw_views, Mapping):
             raw_views = raw_views.values()
         return {raw.spec: self.score(raw) for raw in raw_views}
+
+    def score_batch(
+        self, raw_views: "Mapping[ViewSpec, RawViewData] | Iterable[RawViewData]"
+    ) -> dict[ViewSpec, ScoredView]:
+        """Columnar :meth:`score_all`: regroup into per-attribute blocks,
+        then normalize and score each block in whole-matrix operations."""
+        return self.score_blocks(blocks_from_raw(raw_views))
+
+    def score_blocks(
+        self, blocks: Iterable[ViewBlock]
+    ) -> dict[ViewSpec, ScoredView]:
+        """Score dense view blocks; returns ``{spec: scored}``."""
+        scored: dict[ViewSpec, ScoredView] = {}
+        for block in blocks:
+            if block.n_groups == 0:
+                for spec in block.specs:
+                    scored[spec] = ScoredView(
+                        spec=spec,
+                        utility=0.0,
+                        groups=[],
+                        target_distribution=np.empty(0),
+                        comparison_distribution=np.empty(0),
+                    )
+                continue
+            target_distributions = normalize_batch(block.target, self.normalization)
+            comparison_distributions = normalize_batch(
+                block.comparison, self.normalization
+            )
+            utilities = self.metric.distance_batch(
+                target_distributions, comparison_distributions
+            )
+            for row, spec in enumerate(block.specs):
+                scored[spec] = ScoredView(
+                    spec=spec,
+                    utility=float(utilities[row]),
+                    groups=block.groups,
+                    target_distribution=target_distributions[row],
+                    comparison_distribution=comparison_distributions[row],
+                    target_values=block.target[row],
+                    comparison_values=block.comparison[row],
+                )
+        return scored

@@ -7,6 +7,12 @@ confidence pruning between phases — re-hosted on the shared engine.
 ordinary :class:`~repro.model.view.RawViewData` in the context, so the
 standard View Processor / top-k phases finish the run: the incremental
 path no longer carries private copies of align/normalize/score/top-k.
+
+State is columnar: each :class:`DimensionState` keeps one dense
+``(2 flags, n_groups)`` array per auxiliary aggregate, merged per phase
+with vectorized scatter updates (one dict lookup per result row for the
+key→column mapping; everything else is whole-array arithmetic), and the
+per-phase utility re-estimates run through the shared batch scorer.
 """
 
 from __future__ import annotations
@@ -43,34 +49,90 @@ _ACCUMULATE_ADD = frozenset({"sum", "count", "countv", "sumsq"})
 
 @dataclass
 class DimensionState:
-    """Accumulated per-(flag, group) aux values for one dimension."""
+    """Accumulated per-(flag, group) aux values for one dimension.
+
+    Running partial distributions live in dense 2-D arrays: per auxiliary
+    aggregate one ``(2, n_groups)`` value matrix (row = flag partition),
+    plus one shared presence mask distinguishing "group never seen under
+    this flag" from a genuine accumulated value. Columns are assigned in
+    first-seen order and the sorted view of the key universe is cached
+    between phases.
+    """
 
     aux: tuple[Aggregate, ...]
-    #: (flag, group_key) -> {alias: value}
-    cells: dict[tuple[int, Any], dict[str, float]] = field(default_factory=dict)
+    #: key -> column, in first-seen order.
+    index: dict[Any, int] = field(default_factory=dict)
+    #: Column's key, aligned with ``index`` values.
+    keys: list[Any] = field(default_factory=list)
+    #: alias -> (2, n_groups) accumulated values.
+    data: dict[str, np.ndarray] = field(default_factory=dict)
+    #: (2, n_groups) — whether a (flag, group) cell has been absorbed.
+    present: np.ndarray = field(default_factory=lambda: np.zeros((2, 0), dtype=bool))
+    _sorted_columns: "np.ndarray | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for aggregate in self.aux:
+            self.data.setdefault(aggregate.alias, np.zeros((2, 0), dtype=np.float64))
 
     def absorb(self, result: Table, dimension: str) -> None:
         """Merge one phase's flag-combined result into the running state."""
-        flags = np.asarray(result.column(FLAG_NAME))
-        keys = result.column(dimension)
-        columns = {a.alias: result.column(a.alias) for a in self.aux}
-        for i in range(result.num_rows):
-            cell_key = (int(flags[i]), canonical_key(keys[i]))
-            cell = self.cells.get(cell_key)
-            if cell is None:
-                self.cells[cell_key] = {
-                    a.alias: float(columns[a.alias][i]) for a in self.aux
-                }
-                continue
-            for aggregate in self.aux:
-                value = float(columns[aggregate.alias][i])
-                if aggregate.func in _ACCUMULATE_ADD:
-                    if not math.isnan(value):
-                        cell[aggregate.alias] += value
-                elif aggregate.func == "min":
-                    cell[aggregate.alias] = _fmin(cell[aggregate.alias], value)
-                else:  # max
-                    cell[aggregate.alias] = _fmax(cell[aggregate.alias], value)
+        n_rows = result.num_rows
+        if n_rows == 0:
+            return
+        flags = np.asarray(result.column(FLAG_NAME)).astype(np.int64)
+        raw_keys = result.column(dimension)
+        index = self.index
+        columns = np.empty(n_rows, dtype=np.int64)
+        for i in range(n_rows):
+            key = canonical_key(raw_keys[i])
+            column = index.get(key)
+            if column is None:
+                column = len(index)
+                index[key] = column
+                self.keys.append(key)
+                self._sorted_columns = None
+            columns[i] = column
+        self._grow(len(index))
+
+        existing = self.present[flags, columns]
+        new = ~existing
+        for aggregate in self.aux:
+            values = np.asarray(result.column(aggregate.alias), dtype=np.float64)
+            data = self.data[aggregate.alias]
+            if aggregate.func in _ACCUMULATE_ADD:
+                # NaN partial sums never overwrite accumulated mass; a NaN
+                # *first* value is kept verbatim (matching scalar merge).
+                add = existing & ~np.isnan(values)
+                data[flags[add], columns[add]] += values[add]
+            else:
+                merge = np.fmin if aggregate.func == "min" else np.fmax
+                data[flags[existing], columns[existing]] = merge(
+                    data[flags[existing], columns[existing]], values[existing]
+                )
+            data[flags[new], columns[new]] = values[new]
+        self.present[flags, columns] = True
+
+    def _grow(self, n_columns: int) -> None:
+        current = self.present.shape[1]
+        if n_columns <= current:
+            return
+        pad = n_columns - current
+        self.present = np.pad(self.present, ((0, 0), (0, pad)))
+        for alias, data in self.data.items():
+            self.data[alias] = np.pad(data, ((0, 0), (0, pad)))
+
+    def _ordered_columns(self) -> np.ndarray:
+        """Column indices in sorted-key order (cached between phases)."""
+        if self._sorted_columns is None:
+            order = sorted(
+                range(len(self.keys)),
+                key=lambda column: (
+                    type(self.keys[column]).__name__,
+                    self.keys[column],
+                ),
+            )
+            self._sorted_columns = np.asarray(order, dtype=np.int64)
+        return self._sorted_columns
 
     def raw_view(self, view: ViewSpec) -> RawViewData:
         """The view's target/comparison series reconstructed from state.
@@ -79,62 +141,44 @@ class DimensionState:
         Processor score incremental estimates exactly like batch results.
         """
         spec = merge_spec(view.aggregate)
-        target_keys = sorted(
-            {key for flag, key in self.cells if flag == 1},
-            key=lambda k: (type(k).__name__, k),
-        )
-        all_keys = sorted(
-            {key for _flag, key in self.cells},
-            key=lambda k: (type(k).__name__, k),
-        )
-
-        def values_for(keys, flags):
-            arrays = {}
-            for aggregate in self.aux:
-                fill = 0.0 if aggregate.func in _ACCUMULATE_ADD else float("nan")
-                column = []
-                for key in keys:
-                    merged = None
-                    for flag in flags:
-                        cell = self.cells.get((flag, key))
-                        if cell is None:
-                            continue
-                        value = cell[aggregate.alias]
-                        if merged is None:
-                            merged = value
-                        elif aggregate.func in _ACCUMULATE_ADD:
-                            merged += value
-                        elif aggregate.func == "min":
-                            merged = _fmin(merged, value)
-                        else:
-                            merged = _fmax(merged, value)
-                    column.append(fill if merged is None else merged)
-                arrays[aggregate.alias] = np.array(column, dtype=np.float64)
-            return spec.reconstruct(arrays)
-
+        ordered = self._ordered_columns()
+        if ordered.size:
+            target_columns = ordered[self.present[1, ordered]]
+            all_columns = ordered[self.present[:, ordered].any(axis=0)]
+        else:
+            target_columns = all_columns = ordered
+        target_keys = [self.keys[column] for column in target_columns]
+        all_keys = [self.keys[column] for column in all_columns]
         return RawViewData(
             spec=view,
             target_keys=target_keys,
-            target_values=values_for(target_keys, (1,)),
+            target_values=spec.reconstruct(self._merged(target_columns, (1,))),
             comparison_keys=all_keys,
-            comparison_values=values_for(all_keys, (0, 1)),
+            comparison_values=spec.reconstruct(self._merged(all_columns, (0, 1))),
         )
 
+    def _merged(
+        self, columns: np.ndarray, flags: tuple[int, ...]
+    ) -> dict[str, np.ndarray]:
+        """{alias: values} over ``columns``, merged across ``flags``.
 
-def _fmin(a: float, b: float) -> float:
-    if math.isnan(a):
-        return b
-    if math.isnan(b):
-        return a
-    return min(a, b)
-
-
-def _fmax(a: float, b: float) -> float:
-    if math.isnan(a):
-        return b
-    if math.isnan(b):
-        return a
-    return max(a, b)
+        Additive aggregates sum present cells (absent = neutral 0); extrema
+        take the NaN-ignoring min/max with NaN as the absent fill — the
+        vectorized form of the scalar per-cell merge.
+        """
+        rows = list(flags)
+        arrays: dict[str, np.ndarray] = {}
+        for aggregate in self.aux:
+            data = self.data[aggregate.alias][rows][:, columns]
+            present = self.present[rows][:, columns]
+            if aggregate.func in _ACCUMULATE_ADD:
+                merged = np.where(present, data, 0.0).sum(axis=0)
+            else:
+                stacked = np.where(present, data, np.nan)
+                merge = np.fmin if aggregate.func == "min" else np.fmax
+                merged = merge.reduce(stacked, axis=0)
+            arrays[aggregate.alias] = np.asarray(merged, dtype=np.float64)
+        return arrays
 
 
 @dataclass
@@ -244,10 +288,13 @@ class PhasedExecutePhase(Phase):
                 trace.work_done += sum(1 for v in groups[dimension] if v in alive)
             trace.phases_executed = phase + 1
 
-            # Re-estimate utilities for alive views via the shared scorer.
-            for view in list(alive):
-                raw = states[view.dimension].raw_view(view)
-                trace.utilities[view] = processor.score(raw).utility
+            # Re-estimate utilities for alive views via the shared batch
+            # scorer (one dense block per dimension, not one call per view).
+            estimates = processor.score_batch(
+                [states[view.dimension].raw_view(view) for view in alive]
+            )
+            for view, scored in estimates.items():
+                trace.utilities[view] = scored.utility
 
             # Hoeffding-style pruning once enough phases accumulated.
             if (

@@ -184,6 +184,10 @@ class ExecutePhase(Phase):
 class ScorePhase(Phase):
     """View Processor: align, normalize, and score every raw view.
 
+    Scores through the columnar batch path by default (dense per-attribute
+    blocks, vectorized metrics — bit-for-bit identical utilities); set
+    ``config.batch_scoring = False`` to fall back to the per-view loop.
+
     ``metric``/``normalization`` override the context config — the hook
     through which facades holding a custom :class:`DistanceMetric`
     *instance* (not just a registry name) keep it across the pipeline.
@@ -195,7 +199,8 @@ class ScorePhase(Phase):
         self.metric = metric
         self.normalization = normalization
 
-    def run(self, ctx: ExecutionContext) -> None:
+    def processor(self, ctx: ExecutionContext) -> ViewProcessor:
+        """The View Processor configured for this run."""
         metric = (
             self.metric if self.metric is not None else ctx.config.resolve_metric()
         )
@@ -204,7 +209,14 @@ class ScorePhase(Phase):
             if self.normalization is not None
             else ctx.config.normalization
         )
-        ctx.scored = ViewProcessor(metric, normalization).score_all(ctx.raw_views)
+        return ViewProcessor(metric, normalization)
+
+    def run(self, ctx: ExecutionContext) -> None:
+        processor = self.processor(ctx)
+        if getattr(ctx.config, "batch_scoring", True):
+            ctx.scored = processor.score_batch(ctx.raw_views)
+        else:
+            ctx.scored = processor.score_all(ctx.raw_views)
 
 
 class SelectPhase(Phase):

@@ -12,7 +12,9 @@ registry so SeeDB "is not tied to any particular metric" (§1 challenge a).
 from repro.metrics.base import DistanceMetric
 from repro.metrics.normalize import (
     NormalizationPolicy,
+    align_batch,
     align_series,
+    normalize_batch,
     normalize_distribution,
 )
 from repro.metrics.euclidean import EuclideanDistance
@@ -29,7 +31,9 @@ from repro.metrics.registry import available_metrics, get_metric, register_metri
 __all__ = [
     "DistanceMetric",
     "NormalizationPolicy",
+    "align_batch",
     "align_series",
+    "normalize_batch",
     "normalize_distribution",
     "EuclideanDistance",
     "EarthMoversDistance",

@@ -2,6 +2,22 @@
 
 Every metric maps two aligned probability vectors to a non-negative float.
 Higher distance = more deviation = more "potentially interesting" (§2).
+
+Metrics expose two entry points sharing one implementation:
+
+* :meth:`DistanceMetric.distance` — one ``(p, q)`` pair, scalar result.
+* :meth:`DistanceMetric.distance_batch` — a whole block of aligned views at
+  once: ``P`` and ``Q`` are ``(n_views, n_groups)`` matrices whose rows are
+  distributions, and the result is the ``(n_views,)`` utility vector. This
+  is the View Processor's hot path (§3.1 "shared processing of view
+  results"): one vectorized pass over a dense matrix instead of a Python
+  loop over views.
+
+Built-in metrics implement the row-wise :meth:`_distance_batch`; the scalar
+path delegates to it on a one-row matrix, which guarantees the two paths
+agree bit-for-bit. Custom metrics may instead implement only the classic
+:meth:`_distance`, in which case the batch path falls back to a per-row
+loop — slower, but drop-in compatible.
 """
 
 from __future__ import annotations
@@ -14,9 +30,10 @@ from repro.util.errors import MetricError
 class DistanceMetric:
     """Base class for distances between probability distributions.
 
-    Subclasses implement :meth:`_distance` on validated inputs; the public
-    :meth:`distance` performs shared validation so every metric rejects
-    malformed input identically.
+    Subclasses implement :meth:`_distance_batch` (vectorized, preferred) or
+    :meth:`_distance` (scalar) on validated inputs; the public
+    :meth:`distance` / :meth:`distance_batch` perform shared validation so
+    every metric rejects malformed input identically.
     """
 
     #: Registry key; subclasses must override.
@@ -55,8 +72,87 @@ class DistanceMetric:
                 )
         return float(self._distance(p, q))
 
+    def distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        """Row-wise distances between aligned distribution matrices.
+
+        ``P`` and ``Q`` are ``(n_views, n_groups)``; row ``i`` of each must
+        be a valid probability vector (use
+        :func:`repro.metrics.normalize.normalize_batch` first). Returns the
+        ``(n_views,)`` array of distances — bit-for-bit identical to
+        calling :meth:`distance` on each row pair.
+        """
+        P = np.asarray(P, dtype=np.float64)
+        Q = np.asarray(Q, dtype=np.float64)
+        if P.ndim != 2 or Q.ndim != 2:
+            raise MetricError("distribution batches must be 2-D arrays")
+        if P.shape != Q.shape:
+            raise MetricError(
+                f"distribution batches differ in shape: {P.shape} vs {Q.shape}; "
+                "align them with align_batch() first"
+            )
+        if P.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        if P.shape[1] == 0:
+            raise MetricError("distributions must be non-empty")
+        if np.any(P < 0) or np.any(Q < 0):
+            raise MetricError("distributions must be non-negative")
+        for label, matrix in (("p", P), ("q", Q)):
+            totals = matrix.sum(axis=1)
+            bad = ~np.isclose(totals, 1.0, atol=1e-6)
+            if np.any(bad):
+                row = int(np.flatnonzero(bad)[0])
+                raise MetricError(
+                    f"{label} row {row} sums to {totals[row]:.6f}, expected 1; "
+                    "normalize with normalize_batch() first"
+                )
+        if self._prefers_batch_kernel():
+            return np.asarray(self._distance_batch(P, Q), dtype=np.float64)
+        # A subclass whose most-derived override is the scalar _distance
+        # (e.g. wrapping a built-in metric) must win over any inherited
+        # vectorized kernel: fall back to the per-row loop.
+        return np.array(
+            [self._distance(P[i], Q[i]) for i in range(P.shape[0])],
+            dtype=np.float64,
+        )
+
+    def _prefers_batch_kernel(self) -> bool:
+        """Whether the most-derived override is the vectorized kernel."""
+        for klass in type(self).__mro__:
+            if klass is DistanceMetric:
+                break
+            if "_distance_batch" in klass.__dict__:
+                return True
+            if "_distance" in klass.__dict__:
+                return False
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _distance nor "
+            "_distance_batch"
+        )
+
     def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        raise NotImplementedError
+        # Scalar scoring of a vectorized metric runs through the same batch
+        # kernel on a one-row matrix — the equivalence that makes per-view
+        # and batch scoring agree bit-for-bit.
+        if type(self)._distance_batch is not DistanceMetric._distance_batch:
+            return float(
+                self._distance_batch(p[np.newaxis, :], q[np.newaxis, :])[0]
+            )
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _distance nor "
+            "_distance_batch"
+        )
+
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        # Loop fallback for custom metrics that only define _distance.
+        if type(self)._distance is DistanceMetric._distance:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither _distance nor "
+                "_distance_batch"
+            )
+        return np.array(
+            [self._distance(P[i], Q[i]) for i in range(P.shape[0])],
+            dtype=np.float64,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -15,8 +15,10 @@ class ChiSquareDistance(DistanceMetric):
 
     name = "chisquare"
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        total = p + q
-        mask = total > 0
-        diff = p[mask] - q[mask]
-        return float(0.5 * np.sum(diff * diff / total[mask]))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        total = P + Q
+        diff = P - Q
+        contributions = np.divide(
+            diff * diff, total, out=np.zeros_like(total), where=total > 0
+        )
+        return 0.5 * np.sum(contributions, axis=1)

@@ -27,10 +27,10 @@ class EarthMoversDistance(DistanceMetric):
         self.normalized = normalized
         self.scale_sensitive = not normalized
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        work = float(np.sum(np.abs(np.cumsum(p) - np.cumsum(q))))
-        if self.normalized and p.size > 1:
-            return work / (p.size - 1)
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        work = np.sum(np.abs(np.cumsum(P, axis=1) - np.cumsum(Q, axis=1)), axis=1)
+        if self.normalized and P.shape[1] > 1:
+            return work / (P.shape[1] - 1)
         return work
 
     def __repr__(self) -> str:

@@ -12,5 +12,6 @@ class EuclideanDistance(DistanceMetric):
 
     name = "euclidean"
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        return float(np.sqrt(np.sum((p - q) ** 2)))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        difference = P - Q
+        return np.sqrt(np.sum(difference * difference, axis=1))

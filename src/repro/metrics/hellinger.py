@@ -24,6 +24,6 @@ class HellingerDistance(DistanceMetric):
 
     name = "hellinger"
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        difference = np.sqrt(p) - np.sqrt(q)
-        return float(np.sqrt(0.5 * np.sum(difference * difference)))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        difference = np.sqrt(P) - np.sqrt(Q)
+        return np.sqrt(0.5 * np.sum(difference * difference, axis=1))

@@ -37,10 +37,14 @@ class KLDivergence(DistanceMetric):
             raise MetricError(f"smoothing epsilon must be positive, got {epsilon}")
         self.epsilon = epsilon
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        ps = smooth(p, self.epsilon)
-        qs = smooth(q, self.epsilon)
-        return float(np.sum(ps * np.log(ps / qs)))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        Ps = P + self.epsilon
+        Ps = Ps / Ps.sum(axis=1, keepdims=True)
+        Qs = Q + self.epsilon
+        Qs = Qs / Qs.sum(axis=1, keepdims=True)
+        # Floating-point noise on near-identical inputs can sum a hair
+        # negative; KL is non-negative by Gibbs' inequality.
+        return np.maximum(np.sum(Ps * np.log(Ps / Qs), axis=1), 0.0)
 
     def __repr__(self) -> str:
         return f"KLDivergence(epsilon={self.epsilon})"

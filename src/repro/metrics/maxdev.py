@@ -16,8 +16,8 @@ class MaxDeviationDistance(DistanceMetric):
 
     name = "maxdev"
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        return float(np.max(np.abs(p - q)))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        return np.max(np.abs(P - Q), axis=1)
 
     @staticmethod
     def argmax_group(p: np.ndarray, q: np.ndarray) -> int:

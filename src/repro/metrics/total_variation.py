@@ -17,5 +17,5 @@ class TotalVariationDistance(DistanceMetric):
 
     name = "total_variation"
 
-    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        return float(0.5 * np.sum(np.abs(p - q)))
+    def _distance_batch(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        return 0.5 * np.sum(np.abs(P - Q), axis=1)

@@ -116,6 +116,41 @@ class RawViewData:
 
 
 @dataclass
+class ViewBlock:
+    """Columnar batch of views sharing one dimension and key universe.
+
+    The Score-path representation the View Processor operates on: instead
+    of one ``RawViewData`` per view, all views grouping by the same
+    ``dimension`` (and extracted from the same query results, hence sharing
+    group-key lists) are materialized as two dense ``(n_views, n_groups)``
+    matrices over the aligned union key universe. Row ``i`` of ``target`` /
+    ``comparison`` holds the raw aggregate series of ``specs[i]``; absent
+    groups are already filled with 0 (no mass).
+    """
+
+    dimension: "str | tuple[str, ...]"
+    specs: tuple
+    #: Union group keys, sorted — the shared support of every row.
+    groups: list[Any]
+    target: np.ndarray
+    comparison: np.ndarray
+
+    @property
+    def n_views(self) -> int:
+        return len(self.specs)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewBlock(dimension={self.dimension!r}, "
+            f"views={self.n_views}, groups={self.n_groups})"
+        )
+
+
+@dataclass
 class ScoredView:
     """A view with aligned distributions and its utility score.
 

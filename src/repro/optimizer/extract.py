@@ -6,22 +6,31 @@ module turns any of them back into per-view :class:`RawViewData` — the
 "post-process results at the backend" the paper mentions — including the
 partition merge that recovers the comparison view and the marginalization
 that recovers single-dimension views from a rollup.
+
+It also hosts the columnar side of the Execute→Score data plane:
+:func:`blocks_from_raw` regroups extracted views by dimension attribute and
+materializes one dense ``(views, groups)`` :class:`ViewBlock` per
+attribute, computing each attribute's union key universe **once** instead
+of re-deriving it per view — the representation
+:meth:`repro.core.view_processor.ViewProcessor.score_batch` consumes.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping
+
 import numpy as np
 
-from repro.model.view import RawViewData, ViewSpec
+from repro.model.view import RawViewData, ViewBlock, ViewSpec
 from repro.db.aggregates import Aggregate
 from repro.db.table import Table
-from repro.metrics.normalize import canonical_key
+from repro.metrics.normalize import align_batch, canonical_key
 from repro.optimizer.combine import (
     merge_aux_arrays,
     merge_fill_value,
     merge_spec,
 )
-from repro.util.errors import QueryError
+from repro.util.errors import MetricError, QueryError
 
 #: Name of the virtual target/comparison flag column in combined queries.
 FLAG_NAME = "__seedb_flag"
@@ -124,13 +133,18 @@ def raw_from_flag_table(
     }
 
     extracted: dict[ViewSpec, RawViewData] = {}
+    # One shared key-list object per side: views of one step alias the same
+    # lists, which lets blocks_from_raw recognize the shared universe by
+    # identity instead of re-canonicalizing keys per view.
+    shared_target_keys = list(target_keys)
+    shared_comparison_keys = list(union)
     for view in views:
         spec = merge_spec(view.aggregate)
         extracted[view] = RawViewData(
             spec=view,
-            target_keys=list(target_keys),
+            target_keys=shared_target_keys,
             target_values=spec.reconstruct(target_aux),
-            comparison_keys=list(union),
+            comparison_keys=shared_comparison_keys,
             comparison_values=spec.reconstruct(merged),
         )
     return extracted
@@ -162,25 +176,25 @@ def raw_from_separate_tables(
             spec = merge_spec(view.aggregate)
             extracted[view] = RawViewData(
                 spec=view,
-                target_keys=list(target_keys),
+                target_keys=target_keys,
                 target_values=spec.reconstruct(target_aux),
-                comparison_keys=list(comparison_keys),
+                comparison_keys=comparison_keys,
                 comparison_values=spec.reconstruct(comparison_aux),
             )
         return extracted
+    target_keys = [canonical_key(k) for k in target_result.column(dimension)]
+    comparison_keys = [canonical_key(k) for k in comparison_result.column(dimension)]
     for view in views:
-        target_keys, target_values = table_series(
-            target_result, dimension, view.aggregate.alias
-        )
-        comparison_keys, comparison_values = table_series(
-            comparison_result, dimension, view.aggregate.alias
-        )
         extracted[view] = RawViewData(
             spec=view,
             target_keys=target_keys,
-            target_values=target_values,
+            target_values=np.asarray(
+                target_result.column(view.aggregate.alias), dtype=np.float64
+            ),
             comparison_keys=comparison_keys,
-            comparison_values=comparison_values,
+            comparison_values=np.asarray(
+                comparison_result.column(view.aggregate.alias), dtype=np.float64
+            ),
         )
     return extracted
 
@@ -242,6 +256,90 @@ def marginalize(
         result.schema[name] for name in group_columns
     ) + tuple(result.schema[aggregate.alias] for aggregate in aggregates)
     return Table(f"{result.name}_marg_{dimension}", Schema(specs), arrays)
+
+
+def blocks_from_raw(
+    raw_views: "Mapping[ViewSpec, RawViewData] | Iterable[RawViewData]",
+) -> list[ViewBlock]:
+    """Regroup per-view series into dense per-attribute :class:`ViewBlock`\\ s.
+
+    Views are bucketed by ``(dimension, target keys, comparison keys)`` —
+    views extracted from the same shared query alias the same key-list
+    objects, so the bucket key is usually resolved by identity without
+    touching the keys at all. Each bucket's union key universe and
+    key→column mapping are then computed once (:func:`align_batch`) and
+    every member view's values are scattered into the block matrices in
+    bulk, replacing the per-view dict merge + sorted-union work the scalar
+    path performs ``n_views`` times.
+
+    Scoring a block row-by-row yields bit-for-bit the same distributions
+    and utilities as scoring each member's :class:`RawViewData` alone,
+    because a bucket's key universe *is* each member's own key union.
+    """
+    if isinstance(raw_views, Mapping):
+        raw_views = raw_views.values()
+    key_memo: dict[int, tuple] = {}
+    referents: list = []  # keep memoized key-list objects alive (id reuse)
+
+    def canonical_tuple(keys) -> tuple:
+        cached = key_memo.get(id(keys))
+        if cached is None:
+            cached = tuple(canonical_key(key) for key in keys)
+            key_memo[id(keys)] = cached
+            referents.append(keys)
+        return cached
+
+    buckets: dict[tuple, list[RawViewData]] = {}
+    for raw in raw_views:
+        dimension = getattr(raw.spec, "dimension", None)
+        if dimension is None:
+            dimension = tuple(raw.spec.dimensions)
+        bucket_key = (
+            dimension,
+            canonical_tuple(raw.target_keys),
+            canonical_tuple(raw.comparison_keys),
+        )
+        buckets.setdefault(bucket_key, []).append(raw)
+
+    blocks: list[ViewBlock] = []
+    for (dimension, target_keys, comparison_keys), members in buckets.items():
+        target_matrix = _stack_values(members, "target", len(target_keys))
+        comparison_matrix = _stack_values(
+            members, "comparison", len(comparison_keys)
+        )
+        union, aligned_target, aligned_comparison = align_batch(
+            target_keys, target_matrix, comparison_keys, comparison_matrix
+        )
+        blocks.append(
+            ViewBlock(
+                dimension=dimension,
+                specs=tuple(raw.spec for raw in members),
+                groups=union,
+                target=aligned_target,
+                comparison=aligned_comparison,
+            )
+        )
+    return blocks
+
+
+def _stack_values(
+    members: list[RawViewData], side: str, n_keys: int
+) -> np.ndarray:
+    """Stack one side's value arrays into a ``(n_views, n_keys)`` matrix."""
+    label = "first" if side == "target" else "second"
+    matrix = np.empty((len(members), n_keys), dtype=np.float64)
+    for row, raw in enumerate(members):
+        values = np.asarray(getattr(raw, f"{side}_values"), dtype=np.float64)
+        if values.ndim != 1:
+            raise MetricError(
+                f"{label} series values must be 1-D, got shape {values.shape}"
+            )
+        if values.shape[0] != n_keys:
+            raise MetricError(
+                f"{label} series: {n_keys} keys but {values.shape[0]} values"
+            )
+        matrix[row] = values
+    return matrix
 
 
 def _all_aux(views: tuple[ViewSpec, ...]) -> tuple[Aggregate, ...]:
