@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
@@ -32,14 +33,24 @@ class Backend:
     All view queries SeeDB generates go through :meth:`execute` /
     :meth:`execute_grouping_sets`. ``queries_executed`` counts round trips
     to the DBMS — the unit the paper's combining optimizations minimize.
+
+    Backends are shared by every session of a service process, so the two
+    accounting counters — ``queries_executed`` and ``data_version`` — are
+    kept exact under concurrency by a single lock (:attr:`_accounting_lock`)
+    that every subclass mutation goes through. Subclasses must call
+    ``super().__init__()``.
     """
 
     name: str = ""
     capabilities: BackendCapabilities
-    #: Monotonic counter of data-changing operations (register/drop).
-    #: Session caches key their entries on it: an unchanged counter means
-    #: schema, metadata, and materialized samples are still valid.
-    _data_version: int = 0
+
+    def __init__(self) -> None:
+        #: One lock guards both counters (and is reused by subclasses for
+        #: their table-registry mutations): stats reads and cache
+        #: invalidation see a single consistent accounting state.
+        self._accounting_lock = threading.RLock()
+        self._data_version = 0
+        self._queries_executed = 0
 
     # -- data management -------------------------------------------------
 
@@ -89,10 +100,16 @@ class Backend:
     @property
     def queries_executed(self) -> int:
         """DBMS round trips since construction/reset."""
-        raise NotImplementedError
+        return self._queries_executed
 
     def reset_counters(self) -> None:
-        raise NotImplementedError
+        with self._accounting_lock:
+            self._queries_executed = 0
+
+    def _record_queries(self, n: int = 1) -> None:
+        """Atomically count ``n`` logical DBMS round trips."""
+        with self._accounting_lock:
+            self._queries_executed += n
 
     @property
     def data_version(self) -> int:
@@ -106,7 +123,8 @@ class Backend:
         return self._data_version
 
     def _bump_data_version(self) -> None:
-        self._data_version += 1
+        with self._accounting_lock:
+            self._data_version += 1
 
     # -- shared helpers ----------------------------------------------------
 

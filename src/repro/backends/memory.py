@@ -25,18 +25,21 @@ class MemoryBackend(Backend):
     )
 
     def __init__(self) -> None:
+        super().__init__()
         self.catalog = Catalog()
         self.engine = Engine(self.catalog)
 
     # -- data management -------------------------------------------------
 
     def register_table(self, table: Table, replace: bool = False) -> None:
-        self.catalog.register(table, replace=replace)
-        self._bump_data_version()
+        with self._accounting_lock:
+            self.catalog.register(table, replace=replace)
+            self._bump_data_version()
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop(name)
-        self._bump_data_version()
+        with self._accounting_lock:
+            self.catalog.drop(name)
+            self._bump_data_version()
 
     def has_table(self, name: str) -> bool:
         return name in self.catalog
@@ -80,6 +83,8 @@ class MemoryBackend(Backend):
 
     @property
     def queries_executed(self) -> int:
+        # Counted inside the query engine (under its stats lock) rather
+        # than through Backend._record_queries — same exactness guarantee.
         return self.engine.stats.queries
 
     def reset_counters(self) -> None:

@@ -64,6 +64,7 @@ class SqliteBackend(Backend):
     )
 
     def __init__(self, path: "str | None" = None):
+        super().__init__()
         if path is None:
             handle, path = tempfile.mkstemp(prefix="seedb_", suffix=".sqlite")
             os.close(handle)
@@ -73,15 +74,21 @@ class SqliteBackend(Backend):
         self._path = path
         self._local = threading.local()
         self._schemas: dict[str, Schema] = {}
-        self._queries_executed = 0
-        self._counter_lock = threading.Lock()
+        #: Every connection ever opened, regardless of owning thread.
+        #: Short-lived service worker threads abandon their thread-local
+        #: connection when they exit; tracking them here is what lets
+        #: :meth:`close` release every file handle (connections are opened
+        #: with ``check_same_thread=False`` purely so close() may finalize
+        #: them cross-thread — each is still *used* by one thread only).
+        self._connections: list[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
 
     # -- connection management ---------------------------------------------
 
     def _connection(self) -> sqlite3.Connection:
         connection = getattr(self._local, "connection", None)
         if connection is None:
-            connection = sqlite3.connect(self._path)
+            connection = sqlite3.connect(self._path, check_same_thread=False)
             connection.create_function("sqrt", 1, _safe_sqrt)
             # Analytics-session pragmas: SeeDB view queries are bulk loads
             # followed by read-heavy aggregate scans, so durability can be
@@ -94,15 +101,33 @@ class SqliteBackend(Backend):
             connection.execute("PRAGMA synchronous=OFF")
             connection.execute("PRAGMA cache_size=-65536")
             connection.execute("PRAGMA temp_store=MEMORY")
+            with self._connections_lock:
+                self._connections.append(connection)
             self._local.connection = connection
         return connection
 
+    @property
+    def open_connections(self) -> int:
+        """Connections opened and not yet closed (leak observability)."""
+        with self._connections_lock:
+            return len(self._connections)
+
     def close(self) -> None:
-        """Close this thread's connection and delete an owned temp file."""
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
-            connection.close()
-            self._local.connection = None
+        """Close every live connection and delete an owned temp file.
+
+        Connections opened by worker threads that have since exited are
+        closed here too — the WAL checkpoint on the final close is what
+        keeps the ``-wal``/``-shm`` sidecar cleanup below correct under
+        concurrent use.
+        """
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - already-dead handle
+                pass
+        self._local.connection = None
         if self._owns_file and os.path.exists(self._path):
             os.unlink(self._path)
             # WAL mode leaves sidecar files next to the database.
@@ -133,15 +158,17 @@ class SqliteBackend(Backend):
                 f"INSERT INTO {quoted} VALUES ({placeholders})",
                 (_encode_row(row) for row in table.iter_rows()),
             )
-        self._schemas[table.name] = table.schema
-        self._bump_data_version()
+        with self._accounting_lock:
+            self._schemas[table.name] = table.schema
+            self._bump_data_version()
 
     def drop_table(self, name: str) -> None:
         self._require_table(name)
         with self._connection() as connection:
             connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
-        del self._schemas[name]
-        self._bump_data_version()
+        with self._accounting_lock:
+            del self._schemas[name]
+            self._bump_data_version()
 
     def has_table(self, name: str) -> bool:
         return name in self._schemas
@@ -238,24 +265,13 @@ class SqliteBackend(Backend):
         self._schemas[sample_name] = self._schemas[source]
         return sample_name
 
-    # -- accounting ------------------------------------------------------------------
-
-    @property
-    def queries_executed(self) -> int:
-        return self._queries_executed
-
-    def reset_counters(self) -> None:
-        with self._counter_lock:
-            self._queries_executed = 0
-
     # -- internals --------------------------------------------------------------------
 
     def _run(self, sql: str, logical_queries: int = 1) -> list[tuple]:
         # A UNION ALL batch is one round trip but several logical view
         # queries; the counter tracks the latter (the unit the paper's
         # combining optimizations minimize).
-        with self._counter_lock:
-            self._queries_executed += logical_queries
+        self._record_queries(logical_queries)
         try:
             cursor = self._connection().execute(sql)
         except sqlite3.Error as exc:

@@ -104,7 +104,8 @@ class SeeDB:
 
     # ------------------------------------------------------------------
 
-    def _resolve_query(self, query: "RowSelectQuery | str") -> RowSelectQuery:
+    def resolve_query(self, query: "RowSelectQuery | str") -> RowSelectQuery:
+        """Normalize ``query`` to a :class:`RowSelectQuery` (parsing SQL)."""
         if isinstance(query, RowSelectQuery):
             return query
         if isinstance(query, str):
@@ -116,3 +117,6 @@ class SeeDB:
         raise QueryError(
             f"query must be a RowSelectQuery or SQL string, got {type(query).__name__}"
         )
+
+    # Backwards-compatible alias (pre-service callers used the private name).
+    _resolve_query = resolve_query

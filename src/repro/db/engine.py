@@ -11,6 +11,7 @@ exploits.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,13 +47,31 @@ class ExecutionStats:
     table_scans: int = 0
     rows_scanned: int = 0
     groups_produced: int = 0
+    #: One engine serves every session of a service process; the lock keeps
+    #: the counters exact when queries run on concurrent worker threads.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.queries = 0
-        self.table_scans = 0
-        self.rows_scanned = 0
-        self.groups_produced = 0
+        with self._lock:
+            self.queries = 0
+            self.table_scans = 0
+            self.rows_scanned = 0
+            self.groups_produced = 0
+
+    def count_scan(self, rows: int) -> None:
+        """Atomically record one query executing one scan over ``rows``."""
+        with self._lock:
+            self.queries += 1
+            self.table_scans += 1
+            self.rows_scanned += rows
+
+    def count_groups(self, n: int) -> None:
+        """Atomically record ``n`` output groups."""
+        with self._lock:
+            self.groups_produced += n
 
     def snapshot(self) -> "ExecutionStats":
         """An independent copy (for before/after diffs in benchmarks)."""
@@ -117,7 +136,7 @@ class Engine:
         }
         partials = aggregate_by_codes(factorization, measure_arrays, query.aggregates)
         finalized = finalize_aggregates(partials, query.aggregates)
-        self.stats.groups_produced += factorization.n_groups
+        self.stats.count_groups(factorization.n_groups)
         return self._build_result(
             table, query.group_by, factorization, finalized, query.aggregates
         )
@@ -133,7 +152,7 @@ class Engine:
         flag_arrays = self._materialize_flags(filtered, all_keys)
 
         def build(factorization: Factorization, finalized, key_set):
-            self.stats.groups_produced += factorization.n_groups
+            self.stats.count_groups(factorization.n_groups)
             return self._build_result(
                 table, key_set, factorization, finalized, query.aggregates
             )
@@ -147,9 +166,7 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _count_scan(self, table: Table) -> None:
-        self.stats.queries += 1
-        self.stats.table_scans += 1
-        self.stats.rows_scanned += table.num_rows
+        self.stats.count_scan(table.num_rows)
 
     @staticmethod
     def _apply_predicate(table: Table, predicate) -> Table:

@@ -9,7 +9,7 @@ multi-attribute views are all phase lists over the same
 worker pool.
 """
 
-from repro.engine.cache import SAMPLE_SUFFIX, CacheStats, SessionCache
+from repro.engine.cache import SAMPLE_SUFFIX, CacheStats, EngineCache, SessionCache
 from repro.engine.context import ExecutionContext, describe_predicate
 from repro.engine.engine import ExecutionEngine
 from repro.engine.incremental import (
@@ -43,6 +43,7 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionContext",
     "SessionCache",
+    "EngineCache",
     "CacheStats",
     "SAMPLE_SUFFIX",
     "describe_predicate",

@@ -1,4 +1,4 @@
-"""Session-scoped cache over one backend, keyed on its data version.
+"""Caches over one backend, keyed on its data version.
 
 Repeated ``recommend()`` calls in an analyst session hit the same table
 with different predicates; the schema, the metadata statistics, the base
@@ -10,10 +10,22 @@ a changed counter evicts everything — including materialized
 ``__seedb_sample`` tables, which the cache owns and drops (the sample-leak
 fix: samples never outlive the data they were drawn from, and
 :meth:`SessionCache.close` removes them at session end).
+
+Two layers share the implementation:
+
+* :class:`SessionCache` — one cache instance, now internally synchronized
+  (every lookup/eviction runs under one re-entrant lock, so eviction can
+  never race a ``data_version`` bump observed by ``sync``);
+* :class:`EngineCache` — the shared, refcounted per-backend promotion of
+  the same cache: every engine on one backend gets the *same* instance
+  via :meth:`EngineCache.acquire`, so concurrent sessions reuse schema,
+  metadata, and materialized samples. The last release closes it.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 from repro.backends.base import Backend
@@ -62,13 +74,17 @@ class _SampleEntry:
 class SessionCache:
     """Caches schema / base-table / metadata / row-count / sample lookups.
 
-    Not thread-safe by itself; the engine calls :meth:`sync` once per run
-    before any phase executes, and phases only read.
+    Internally synchronized: every lookup, eviction, and :meth:`sync` runs
+    under one re-entrant lock, so concurrent ``recommend()`` calls may
+    share an instance. Holding the lock across the miss path doubles as
+    request coalescing — two sessions asking for the same metadata compute
+    it once, not twice.
     """
 
     def __init__(self, backend: Backend):
         self.backend = backend
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._version: "int | None" = None
         self._schemas: dict = {}
         self._tables: dict = {}  # (name, max_rows) -> Table
@@ -83,27 +99,32 @@ class SessionCache:
 
         On mismatch every entry is evicted and cache-owned sample tables
         are dropped; the version is re-read *after* the drops so the
-        cache's own maintenance does not invalidate the next run.
+        cache's own maintenance does not invalidate the next run. Runs
+        entirely under the cache lock, so an eviction can never interleave
+        with another session's lookup of a half-cleared cache.
         """
-        version = self.backend.data_version
-        if self._version is not None and version != self._version:
-            self.invalidate()
-        self._version = self.backend.data_version
+        with self._lock:
+            version = self.backend.data_version
+            if self._version is not None and version != self._version:
+                self.invalidate()
+            self._version = self.backend.data_version
 
     def invalidate(self) -> None:
         """Evict everything and drop owned sample tables."""
-        self.drop_samples()
-        self._schemas.clear()
-        self._tables.clear()
-        self._metadata.clear()
-        self._row_counts.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            self.drop_samples()
+            self._schemas.clear()
+            self._tables.clear()
+            self._metadata.clear()
+            self._row_counts.clear()
+            self.stats.invalidations += 1
 
     def drop_samples(self) -> None:
         """Drop every cache-owned materialized sample table."""
-        for entry in list(self._samples.values()):
-            self._drop_owned(entry.name)
-        self._samples.clear()
+        with self._lock:
+            for entry in list(self._samples.values()):
+                self._drop_owned(entry.name)
+            self._samples.clear()
 
     def _drop_owned(self, name: str) -> None:
         """Drop a cache-owned table without self-invalidating.
@@ -120,18 +141,20 @@ class SessionCache:
 
     def close(self) -> None:
         """End-of-session cleanup: evict and drop samples."""
-        self.invalidate()
-        self._version = None
+        with self._lock:
+            self.invalidate()
+            self._version = None
 
     # -- cached lookups ---------------------------------------------------
 
     def schema(self, table: str):
-        if table not in self._schemas:
-            self.stats.misses += 1
-            self._schemas[table] = self.backend.schema(table)
-        else:
-            self.stats.hits += 1
-        return self._schemas[table]
+        with self._lock:
+            if table not in self._schemas:
+                self.stats.misses += 1
+                self._schemas[table] = self.backend.schema(table)
+            else:
+                self.stats.hits += 1
+            return self._schemas[table]
 
     def base_table(self, table: str, max_rows: "int | None" = None) -> Table:
         """A (possibly row-capped) materialization of ``table``.
@@ -141,23 +164,24 @@ class SessionCache:
         at most one stored materialization per table once the full one
         exists.
         """
-        full = self._tables.get((table, None))
-        if full is not None:
-            self.stats.hits += 1
-            if max_rows is not None and full.num_rows > max_rows:
-                return full.head(max_rows)
-            return full
-        key = (table, max_rows)
-        if key not in self._tables:
-            self.stats.misses += 1
-            fetched = self.backend.fetch_table(table, max_rows=max_rows)
-            if max_rows is None:
-                for stale in [k for k in self._tables if k[0] == table]:
-                    del self._tables[stale]
-            self._tables[key] = fetched
-        else:
-            self.stats.hits += 1
-        return self._tables[key]
+        with self._lock:
+            full = self._tables.get((table, None))
+            if full is not None:
+                self.stats.hits += 1
+                if max_rows is not None and full.num_rows > max_rows:
+                    return full.head(max_rows)
+                return full
+            key = (table, max_rows)
+            if key not in self._tables:
+                self.stats.misses += 1
+                fetched = self.backend.fetch_table(table, max_rows=max_rows)
+                if max_rows is None:
+                    for stale in [k for k in self._tables if k[0] == table]:
+                        del self._tables[stale]
+                self._tables[key] = fetched
+            else:
+                self.stats.hits += 1
+            return self._tables[key]
 
     def metadata(
         self,
@@ -173,21 +197,23 @@ class SessionCache:
         genuinely recomputes statistics.
         """
         key = (table, max_rows)
-        if key not in self._metadata:
-            self.stats.misses += 1
-            base = self.base_table(table, max_rows=max_rows)
-            self._metadata[key] = collector.collect(base, refresh=True)
-        else:
-            self.stats.hits += 1
-        return self._metadata[key]
+        with self._lock:
+            if key not in self._metadata:
+                self.stats.misses += 1
+                base = self.base_table(table, max_rows=max_rows)
+                self._metadata[key] = collector.collect(base, refresh=True)
+            else:
+                self.stats.hits += 1
+            return self._metadata[key]
 
     def row_count(self, table: str) -> int:
-        if table not in self._row_counts:
-            self.stats.misses += 1
-            self._row_counts[table] = self.backend.row_count(table)
-        else:
-            self.stats.hits += 1
-        return self._row_counts[table]
+        with self._lock:
+            if table not in self._row_counts:
+                self.stats.misses += 1
+                self._row_counts[table] = self.backend.row_count(table)
+            else:
+                self.stats.hits += 1
+            return self._row_counts[table]
 
     def sample(self, source: str, fraction: float, seed: int) -> str:
         """Name of a materialized sample of ``source``, creating on miss.
@@ -195,31 +221,100 @@ class SessionCache:
         The sample is reused while (fraction, seed, data version) hold; a
         request with different knobs re-materializes in place.
         """
-        entry = self._samples.get(source)
-        name = sample_table_name(source, fraction, seed)
-        if (
-            entry is not None
-            and entry.fraction == fraction
-            and entry.seed == seed
-            and self.backend.has_table(entry.name)
-        ):
-            self.stats.hits += 1
-            return entry.name
-        self.stats.misses += 1
-        if entry is not None:
-            # Knobs changed: retire the old sample before materializing.
-            self._drop_owned(entry.name)
-        self.backend.create_sample(source, name, fraction, seed=seed)
-        self._samples[source] = _SampleEntry(name=name, fraction=fraction, seed=seed)
-        return name
+        with self._lock:
+            entry = self._samples.get(source)
+            name = sample_table_name(source, fraction, seed)
+            if (
+                entry is not None
+                and entry.fraction == fraction
+                and entry.seed == seed
+                and self.backend.has_table(entry.name)
+            ):
+                self.stats.hits += 1
+                return entry.name
+            self.stats.misses += 1
+            if entry is not None:
+                # Knobs changed: retire the old sample before materializing.
+                self._drop_owned(entry.name)
+            self.backend.create_sample(source, name, fraction, seed=seed)
+            self._samples[source] = _SampleEntry(
+                name=name, fraction=fraction, seed=seed
+            )
+            return name
 
     @property
     def live_samples(self) -> list[str]:
         """Names of sample tables the cache currently owns."""
-        return [entry.name for entry in self._samples.values()]
+        with self._lock:
+            return [entry.name for entry in self._samples.values()]
 
     def __enter__(self) -> "SessionCache":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class EngineCache(SessionCache):
+    """The shared, refcounted per-backend promotion of :class:`SessionCache`.
+
+    Keyed on backend *identity* (one live backend object = one cache; the
+    per-entry ``data_version`` keying is inherited from ``sync``), handed
+    out by :meth:`acquire` and returned by :meth:`close`: every engine on
+    one backend shares schema, metadata, base-table, and sample lookups,
+    and the cache only truly closes — dropping owned sample tables — when
+    its last lease is released. Both the lease count and the registry are
+    guarded by one class-level lock, so a release can never race another
+    engine's acquire into resurrecting a closing cache.
+    """
+
+    #: backend -> its shared cache. Weak keys: a garbage-collected backend
+    #: (callers that never close) silently drops its registry slot.
+    _registry: "weakref.WeakKeyDictionary[Backend, EngineCache]" = (
+        weakref.WeakKeyDictionary()
+    )
+    _registry_lock = threading.Lock()
+
+    def __init__(self, backend: Backend):
+        super().__init__(backend)
+        self._leases = 0
+
+    @classmethod
+    def acquire(cls, backend: Backend) -> "EngineCache":
+        """The shared cache for ``backend``, creating it on first use."""
+        with cls._registry_lock:
+            cache = cls._registry.get(backend)
+            if cache is None:
+                cache = cls(backend)
+                cls._registry[backend] = cache
+            cache._leases += 1
+            return cache
+
+    @classmethod
+    def shared_for(cls, backend: Backend) -> "EngineCache | None":
+        """The live shared cache for ``backend`` without taking a lease."""
+        with cls._registry_lock:
+            return cls._registry.get(backend)
+
+    @property
+    def leases(self) -> int:
+        """Engines currently holding this cache."""
+        with self._registry_lock:
+            return self._leases
+
+    def close(self) -> None:
+        """Release one lease; the last release performs the real close.
+
+        The whole close — deregistration *and* sample drops — runs under
+        the registry lock: a concurrent ``acquire`` would otherwise build
+        a fresh cache and materialize a sample under the same
+        deterministic name this close is about to drop. Safe ordering:
+        nothing acquires the registry lock while holding a cache lock.
+        """
+        with self._registry_lock:
+            self._leases = max(0, self._leases - 1)
+            if self._leases > 0:
+                return
+            if type(self)._registry.get(self.backend) is self:
+                del type(self)._registry[self.backend]
+            super().close()

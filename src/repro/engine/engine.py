@@ -3,13 +3,22 @@
 The engine owns the session-scoped machinery the per-call monolith could
 not support:
 
-* a :class:`~repro.engine.cache.SessionCache` keyed on the backend's
-  ``data_version`` — repeated ``recommend()`` calls in one session skip
-  redundant schema/metadata/sample round trips;
-* a persistent :class:`~repro.optimizer.parallel.ParallelExecutor` reused
-  across calls instead of constructing a fresh thread pool per plan;
+* a shared :class:`~repro.engine.cache.EngineCache` keyed on the backend's
+  identity and ``data_version`` — every engine on one backend reuses the
+  same schema/metadata/sample lookups, across sessions and across the
+  service layer's worker threads;
+* run-scoped :class:`~repro.optimizer.parallel.ParallelExecutor` views
+  over the process-wide bounded worker pool
+  (:func:`~repro.optimizer.parallel.get_shared_pool`) — engines own no
+  threads, so total DBMS concurrency stays bounded however many engines
+  exist;
 * one :class:`~repro.metadata.collector.MetadataCollector` whose access
   log accumulates session history for access-frequency pruning.
+
+``recommend()`` is reentrant: all mutable run state lives in the per-call
+:class:`~repro.engine.context.ExecutionContext`, the cache and collector
+are internally synchronized, and the executor map is guarded — concurrent
+calls on one engine are safe and produce the same results as serial ones.
 
 ``run()`` drives any ordered list of phases over an
 :class:`~repro.engine.context.ExecutionContext`, timing each phase under
@@ -20,16 +29,17 @@ multiview strategies swap individual phases (see
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
 from repro.db.query import RowSelectQuery
-from repro.engine.cache import SessionCache
+from repro.engine.cache import EngineCache, SessionCache
 from repro.engine.context import ExecutionContext
 from repro.engine.phases import Phase, default_phases
 from repro.metadata.collector import MetadataCollector
-from repro.optimizer.parallel import ParallelExecutor
+from repro.optimizer.parallel import ParallelExecutor, get_shared_pool
 
 
 class ExecutionEngine:
@@ -45,8 +55,11 @@ class ExecutionEngine:
         self.metadata = (
             metadata_collector if metadata_collector is not None else MetadataCollector()
         )
-        self.cache = cache if cache is not None else SessionCache(backend)
-        self._executor: "ParallelExecutor | None" = None
+        self.cache = cache if cache is not None else EngineCache.acquire(backend)
+        self._lock = threading.Lock()
+        self._closed = False
+        #: n_workers -> shared-pool-backed executor view (threadless).
+        self._executors: dict[int, ParallelExecutor] = {}
 
     # -- running pipelines ------------------------------------------------
 
@@ -88,29 +101,48 @@ class ExecutionEngine:
     # -- session services ---------------------------------------------------
 
     def executor_for(self, n_workers: int) -> "ParallelExecutor | None":
-        """The persistent worker pool sized to ``n_workers`` (None if 1).
+        """An executor bounded to ``n_workers`` over the shared pool.
 
-        The pool survives across calls; it is only rebuilt when the
-        requested worker count changes.
+        ``None`` for sequential execution. The returned executor owns no
+        threads — it is a reusable view claiming at most ``n_workers`` of
+        the process-wide pool per run, so concurrent calls with different
+        worker counts never tear down each other's pools.
         """
         if n_workers <= 1:
             return None
-        if self._executor is None or self._executor.n_workers != n_workers:
-            if self._executor is not None:
-                self._executor.close()
-            self._executor = ParallelExecutor(n_workers=n_workers, persistent=True)
-        return self._executor
+        with self._lock:
+            executor = self._executors.get(n_workers)
+            if executor is None:
+                executor = ParallelExecutor(
+                    n_workers=n_workers, pool=get_shared_pool()
+                )
+                self._executors[n_workers] = executor
+            return executor
 
     @property
     def executor(self) -> "ParallelExecutor | None":
-        """The currently held persistent executor, if any."""
-        return self._executor
+        """The most recently built executor view, if any."""
+        with self._lock:
+            if not self._executors:
+                return None
+            return next(reversed(self._executors.values()))
 
     def close(self) -> None:
-        """Release session resources: worker pool and cached samples."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        """Release session resources: executor views and the cache lease.
+
+        The shared worker pool stays up (other engines borrow from it);
+        closing the cache releases this engine's lease — the backend-wide
+        shared cache drops samples only when its last engine closes.
+        Idempotent: a second close (context-manager exit after an explicit
+        close) must not release a lease some *other* engine still holds.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executors, self._executors = list(self._executors.values()), {}
+        for executor in executors:
+            executor.close()
         self.cache.close()
 
     def __enter__(self) -> "ExecutionEngine":

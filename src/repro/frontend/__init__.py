@@ -20,3 +20,6 @@ __all__ = [
     "build_template",
     "AnalystSession",
 ]
+
+# The HTTP server (repro.frontend.server) is imported lazily by callers:
+# it pulls in the service layer, which sessions not serving HTTP may skip.

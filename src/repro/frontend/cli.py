@@ -6,6 +6,11 @@ Examples::
           WHERE category = 'Technology'" --k 3
     seedb --csv sales.csv --sql "SELECT * FROM sales WHERE region = 'west'" \
           --metric emd --backend sqlite --export charts/
+    seedb serve --dataset store_orders --port 8080
+
+The ``serve`` subcommand starts the HTTP/JSON frontend: a
+:class:`~repro.service.SeeDBService` wrapping the loaded table, exposed
+via ``/recommend``, ``/views``, ``/healthz``, and ``/stats``.
 """
 
 from __future__ import annotations
@@ -97,8 +102,114 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seedb serve",
+        description="Serve SeeDB recommendations over HTTP/JSON.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", help="load a CSV file as the fact table")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="use a built-in demo dataset",
+    )
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=("memory", "sqlite"),
+        help="DBMS backend to serve from",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free one)"
+    )
+    parser.add_argument("--k", type=int, default=5, help="default views per request")
+    parser.add_argument(
+        "--metric",
+        default="js",
+        choices=available_metrics(),
+        help="default deviation metric",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel query workers per request"
+    )
+    parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=8,
+        help="concurrent request executions the service schedules",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable identical in-flight request coalescing",
+    )
+    parser.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        help="finished-result LRU entries (0 disables)",
+    )
+    return parser
+
+
+def serve_main(argv: "list[str] | None" = None) -> int:
+    """``seedb serve`` entry point: load data, start the HTTP frontend."""
+    from repro.frontend.server import make_server
+    from repro.service import SeeDBService
+
+    args = build_serve_parser().parse_args(argv)
+    service = None
+    backend = None
+    try:
+        table = read_csv(args.csv) if args.csv else load_dataset(args.dataset)
+        backend = MemoryBackend() if args.backend == "memory" else SqliteBackend()
+        backend.register_table(table)
+        config = SeeDBConfig(
+            metric=args.metric, k=args.k, n_workers=args.workers
+        )
+        service = SeeDBService(
+            max_workers=args.max_requests,
+            coalesce_requests=not args.no_coalesce,
+            result_cache_size=args.result_cache,
+        )
+        service.register_backend(
+            "default", backend, config=config, owned=True
+        )
+        server = make_server(service, host=args.host, port=args.port)
+    except (ReproError, OSError) as error:
+        # Tear down whatever was built: an owned SqliteBackend holds a
+        # temp database file that must not outlive a failed start.
+        if service is not None:
+            service.close()
+        elif backend is not None:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"seedb serving {table.name!r} ({args.backend}) on http://{host}:{port}")
+    print(
+        "endpoints: POST /recommend  GET /views?table=…  GET /healthz  GET /stats"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.csv:

@@ -1,0 +1,267 @@
+"""Stdlib HTTP/JSON frontend over a :class:`SeeDBService`.
+
+The demo paper shows SeeDB "as a middleware layer that can run on top of
+any SQL-compliant DBMS" with a browser frontend (Figure 5); this module is
+the transport for that: a threaded ``http.server`` speaking JSON, so any
+number of analysts (or the bundled CLI/`AnalystSession`) hit the same
+warm service — same engine caches, same coalescing, same stats.
+
+Endpoints
+---------
+
+* ``GET /healthz`` — liveness plus registered backend names.
+* ``GET /stats`` — the service's :meth:`SeeDBService.snapshot`.
+* ``GET /views?backend=NAME&table=TABLE`` — the enumerated candidate view
+  space (dimension, measure, function triples) for one table.
+* ``POST /recommend`` — body ``{"sql": ..., "backend": ..., "k": ...,
+  ...config overrides}``; returns serialized recommendations.
+
+Run one with ``seedb serve --dataset store_orders`` or programmatically
+via :func:`make_server` (port 0 picks a free port — the tests do this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.result import RecommendationResult
+from repro.core.space import enumerate_views
+from repro.model.view import ScoredView
+from repro.service import DEFAULT_BACKEND, SeeDBService
+from repro.util.errors import ReproError
+
+#: Config fields a request body may override per call. A deliberate
+#: whitelist: serving knobs stay server-side, analyst knobs are free.
+OVERRIDABLE_CONFIG_FIELDS = frozenset(
+    {
+        "metric",
+        "aggregate_functions",
+        "include_count_views",
+        "sample_fraction",
+        "n_workers",
+        "exclude_predicate_dimensions",
+        "prune_low_variance",
+        "prune_cardinality",
+        "prune_correlated",
+    }
+)
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def _plain(value):
+    """Numpy scalars / exotic keys → JSON-safe plain values."""
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value else None  # NaN → null
+    return str(value)
+
+
+def view_to_json(view: ScoredView) -> dict:
+    """One scored view as the frontend's chart-ready payload."""
+    return {
+        "dimension": view.spec.dimension,
+        "measure": view.spec.measure,
+        "func": view.spec.func,
+        "label": view.spec.label,
+        "utility": _plain(view.utility),
+        "groups": [_plain(group) for group in view.groups],
+        "target_distribution": [_plain(v) for v in view.target_distribution],
+        "comparison_distribution": [
+            _plain(v) for v in view.comparison_distribution
+        ],
+        "max_deviation_group": _plain(view.max_deviation_group),
+    }
+
+
+def result_to_json(result: RecommendationResult) -> dict:
+    """A full recommendation result as the ``/recommend`` response body."""
+    return {
+        "table": result.table,
+        "predicate": result.predicate_description,
+        "k": result.k,
+        "metric": result.metric,
+        "recommendations": [
+            view_to_json(view) for view in result.recommendations
+        ],
+        "n_candidate_views": result.n_candidate_views,
+        "n_executed_views": result.n_executed_views,
+        "n_queries": result.n_queries,
+        "sample_fraction": result.sample_fraction,
+        "phase_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in result.stopwatch.phases.items()
+        },
+        "total_seconds": round(result.total_seconds, 6),
+    }
+
+
+# -- request handling ------------------------------------------------------
+
+
+class SeeDBRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the service attached to the server."""
+
+    server_version = "seedb"
+    #: Set by :func:`make_server` on the server object; read via self.server.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SeeDBService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # Silence per-request stderr logging (tests and demos run servers
+    # in-process); failures still surface through JSON error bodies.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._reply(
+                    200,
+                    {
+                        "status": "ok",
+                        "backends": self.service.backend_names(),
+                    },
+                )
+            elif parsed.path == "/stats":
+                self._reply(200, self.service.snapshot())
+            elif parsed.path == "/views":
+                self._reply(200, self._views(parse_qs(parsed.query)))
+            else:
+                self._reply(404, {"error": f"no route {parsed.path!r}"})
+        except ReproError as error:
+            self._reply(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - keep-alive clients need
+            # a response body, not a dropped connection, on internal bugs.
+            self._reply(500, {"error": f"internal error: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        if parsed.path != "/recommend":
+            self._reply(404, {"error": f"no route {parsed.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            self._reply(200, self._recommend(payload))
+        except (ReproError, TypeError) as error:
+            self._reply(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - see do_GET
+            self._reply(500, {"error": f"internal error: {error}"})
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _views(self, params: dict) -> dict:
+        backend_name = params.get("backend", [DEFAULT_BACKEND])[0]
+        tables = params.get("table")
+        if not tables:
+            raise ReproError("/views requires a table=... query parameter")
+        table = tables[0]
+        engine = self.service.engine(backend_name)
+        config = self.service.facade(backend_name).config
+        schema = engine.cache.schema(table)
+        views = enumerate_views(
+            schema,
+            functions=config.aggregate_functions,
+            include_count=config.include_count_views,
+        )
+        return {
+            "backend": backend_name,
+            "table": table,
+            "n_views": len(views),
+            "views": [
+                {
+                    "dimension": view.dimension,
+                    "measure": view.measure,
+                    "func": view.func,
+                    "label": view.label,
+                }
+                for view in views
+            ],
+        }
+
+    def _recommend(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        sql = payload.get("sql")
+        table = payload.get("table")
+        if sql is None and table is None:
+            raise ReproError('/recommend requires "sql" or "table"')
+        query = sql if sql is not None else f"SELECT * FROM {table}"
+        backend_name = payload.get("backend", DEFAULT_BACKEND)
+        k = payload.get("k")
+        overrides = {}
+        for field, value in payload.items():
+            if field in OVERRIDABLE_CONFIG_FIELDS:
+                if field == "aggregate_functions" and isinstance(value, list):
+                    value = tuple(value)
+                overrides[field] = value
+        result = self.service.recommend(
+            query, backend=backend_name, k=k, **overrides
+        )
+        return result_to_json(result)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid JSON body: {exc}") from exc
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class SeeDBServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`SeeDBService`.
+
+    Threaded is the point: overlapping requests reach the service
+    concurrently, which is what its coalescing and bounded scheduling are
+    for. ``daemon_threads`` keeps per-request threads from pinning the
+    process at shutdown.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple, service: SeeDBService):
+        super().__init__(address, SeeDBRequestHandler)
+        self.service = service
+
+
+def make_server(
+    service: SeeDBService, host: str = "127.0.0.1", port: int = 0
+) -> SeeDBServer:
+    """Bind a :class:`SeeDBServer`; ``port=0`` picks a free port."""
+    return SeeDBServer((host, port), service)
+
+
+def serve_in_thread(service: SeeDBService, host: str = "127.0.0.1", port: int = 0):
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    The embedding pattern used by tests and the serving demo::
+
+        server, thread = serve_in_thread(service)
+        ... http requests against server.server_address ...
+        server.shutdown(); thread.join()
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

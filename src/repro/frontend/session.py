@@ -13,11 +13,11 @@ from typing import Any
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
-from repro.core.recommender import SeeDB
 from repro.core.result import RecommendationResult
 from repro.db.expressions import col
 from repro.db.query import RowSelectQuery
 from repro.model.view import ScoredView
+from repro.service import DEFAULT_BACKEND, SeeDBService, single_backend_service
 from repro.util.errors import QueryError
 from repro.viz.render_text import render_ascii
 from repro.viz.spec import view_to_chart_spec
@@ -38,26 +38,63 @@ class ViewMetadata:
 
 
 class AnalystSession:
-    """An interactive SeeDB session over one backend.
+    """An interactive SeeDB session routed through a :class:`SeeDBService`.
 
     Keeps the query history, exposes the latest recommendations, and
     supports drill-down: restricting the current query to one group of a
     recommended view and re-running the recommendation.
+
+    Every ``issue()`` goes through the service's request scheduler, so an
+    interactive session shares caches, request coalescing, and stats with
+    the HTTP frontend and with every other session on the same service. A
+    session built from a bare ``backend`` wraps it in a private service
+    (owned, closed with the session); pass ``service=`` to join a shared
+    one instead.
     """
 
-    def __init__(self, backend: Backend, config: "SeeDBConfig | None" = None):
-        self.backend = backend
-        self.seedb = SeeDB(backend, config)
-        #: The session's execution engine: one cache + worker pool + access
-        #: log shared by every query issued here.
+    def __init__(
+        self,
+        backend: "Backend | None" = None,
+        config: "SeeDBConfig | None" = None,
+        service: "SeeDBService | None" = None,
+        backend_name: str = DEFAULT_BACKEND,
+    ):
+        if service is None:
+            if backend is None:
+                raise QueryError(
+                    "AnalystSession needs a backend or a service to join"
+                )
+            service = single_backend_service(backend, config)
+            self._owns_service = True
+        else:
+            if backend is not None and service.backend(backend_name) is not backend:
+                raise QueryError(
+                    f"backend {backend_name!r} of the provided service is a "
+                    "different object than the backend argument"
+                )
+            if config is not None:
+                raise QueryError(
+                    "pass either config or service, not both: a joined "
+                    "service already carries its per-backend config "
+                    "(register the backend with that config instead)"
+                )
+            self._owns_service = False
+        self.service = service
+        self.backend_name = backend_name
+        self.backend = service.backend(backend_name)
+        #: The service's engine-bound facade for this backend: one cache +
+        #: shared worker pool + access log shared by every session on it.
+        self.seedb = service.facade(backend_name)
         self.engine = self.seedb.engine
         self.history: list[tuple[RowSelectQuery, RecommendationResult]] = []
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """End the session: drop cached sample tables, stop pool workers."""
-        self.seedb.close()
+        """End the session; a session-owned service is torn down with it
+        (dropping cached sample tables once no other engine holds them)."""
+        if self._owns_service:
+            self.service.close()
 
     def __enter__(self) -> "AnalystSession":
         return self
@@ -70,9 +107,11 @@ class AnalystSession:
     def issue(
         self, query: "RowSelectQuery | str", k: "int | None" = None
     ) -> RecommendationResult:
-        """Run a recommendation and append it to the session history."""
-        result = self.seedb.recommend(query, k=k)
-        resolved = self.seedb._resolve_query(query)
+        """Run a recommendation through the service and record it."""
+        resolved = self.seedb.resolve_query(query)
+        result = self.service.recommend(
+            resolved, backend=self.backend_name, k=k
+        )
         self.history.append((resolved, result))
         return result
 

@@ -9,6 +9,7 @@ history so the tracker adapts as analyst interest shifts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery, RowSelectQuery
@@ -26,6 +27,11 @@ class AccessLog:
     decay: float = 1.0
     _counts: dict[str, dict[str, float]] = field(default_factory=dict)
     _queries_recorded: int = 0
+    #: One log accumulates the history of every concurrent session, so
+    #: recording (decay + increment, two passes) must be atomic.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (0.0 < self.decay <= 1.0):
@@ -62,13 +68,14 @@ class AccessLog:
 
     def record_columns(self, table: str, columns: "set[str] | list[str]") -> None:
         """Record a direct column-access event (e.g. from an external log)."""
-        table_counts = self._counts.setdefault(table, {})
-        if self.decay < 1.0:
-            for name in table_counts:
-                table_counts[name] *= self.decay
-        for name in columns:
-            table_counts[name] = table_counts.get(name, 0.0) + 1.0
-        self._queries_recorded += 1
+        with self._lock:
+            table_counts = self._counts.setdefault(table, {})
+            if self.decay < 1.0:
+                for name in table_counts:
+                    table_counts[name] *= self.decay
+            for name in columns:
+                table_counts[name] = table_counts.get(name, 0.0) + 1.0
+            self._queries_recorded += 1
 
     # ------------------------------------------------------------------
     # Queries

@@ -10,6 +10,7 @@ Generator (candidate enumeration + pruning).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,24 +60,30 @@ class MetadataCollector:
         self.association_sample_rows = association_sample_rows
         self._seed = seed
         self._cache: dict[str, TableMetadata] = {}
+        # Collectors are shared across a service's concurrent sessions;
+        # the lock keeps the per-name cache consistent and collapses
+        # duplicate concurrent computations of the same table's metadata.
+        self._lock = threading.RLock()
 
     def collect(self, table: Table, refresh: bool = False) -> TableMetadata:
         """Return (cached) metadata for ``table``."""
-        if table.name in self._cache and not refresh:
-            return self._cache[table.name]
-        stats = compute_table_stats(table)
-        associations = self._dimension_associations(table)
-        metadata = TableMetadata(
-            stats=stats,
-            dimension_associations=associations,
-            access_log=self.access_log,
-        )
-        self._cache[table.name] = metadata
-        return metadata
+        with self._lock:
+            if table.name in self._cache and not refresh:
+                return self._cache[table.name]
+            stats = compute_table_stats(table)
+            associations = self._dimension_associations(table)
+            metadata = TableMetadata(
+                stats=stats,
+                dimension_associations=associations,
+                access_log=self.access_log,
+            )
+            self._cache[table.name] = metadata
+            return metadata
 
     def invalidate(self, table_name: str) -> None:
         """Drop cached metadata (call after data changes)."""
-        self._cache.pop(table_name, None)
+        with self._lock:
+            self._cache.pop(table_name, None)
 
     def _dimension_associations(self, table: Table) -> dict[frozenset, float]:
         """Pairwise association of dimension columns on a row sample."""

@@ -5,10 +5,22 @@ the total latency decreases at the cost of increased per query execution
 time." Plan steps are independent by construction, so they map naturally
 onto a thread pool. Per-step wall-clock latencies are recorded so
 benchmark E11 can report exactly that total-vs-per-query trade-off.
+
+Two pooling modes exist:
+
+* an executor-owned pool (``persistent=True`` or per-run) — the original
+  single-session mode, still used by benchmarks that sweep pool sizes;
+* the process-wide :class:`WorkerPool` (``pool=get_shared_pool()``) — one
+  bounded thread pool shared by *every* engine in the process. Each run
+  claims at most ``n_workers`` of its threads via a work-queue, so total
+  DBMS concurrency stays bounded no matter how many sessions the service
+  layer schedules at once.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -38,27 +50,130 @@ class ParallelRunReport:
         return max(self.step_seconds, default=0.0)
 
 
+class WorkerPool:
+    """A process-wide bounded thread pool shared by every engine.
+
+    Engines do not own threads anymore — they borrow capacity from this
+    pool, so total in-flight DBMS work is bounded by ``max_workers``
+    regardless of how many sessions run concurrently. The underlying
+    :class:`ThreadPoolExecutor` is created lazily and rebuilt transparently
+    after :meth:`close` (a closed *shared* pool would otherwise poison
+    every engine in the process).
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool: "ThreadPoolExecutor | None" = None
+        #: Tasks ever submitted (observability; exact under the lock).
+        self.tasks_submitted = 0
+
+    @property
+    def warm(self) -> bool:
+        """Whether worker threads already exist."""
+        return self._pool is not None
+
+    def submit(self, fn, /, *args, **kwargs):
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="seedb-worker",
+                )
+            self.tasks_submitted += 1
+            return self._pool.submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        """Join and release all worker threads (pool revives on next use)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def resize(self, max_workers: int) -> None:
+        """Change the bound *in place*: drain current threads, adopt the
+        new cap on next submit. In-place matters — every executor holds a
+        reference to this pool, so replacing the object would leave them
+        on the old bound."""
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self.max_workers = max_workers
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Default process-wide concurrency bound: enough threads to overlap I/O
+#: and GIL-releasing C work on every core, small enough not to thrash.
+DEFAULT_MAX_TOTAL_WORKERS = max(4, min(32, (os.cpu_count() or 4) * 2))
+
+_shared_pool: "WorkerPool | None" = None
+_shared_pool_lock = threading.Lock()
+
+
+def get_shared_pool() -> WorkerPool:
+    """The process-wide :class:`WorkerPool`, created on first use."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = WorkerPool(DEFAULT_MAX_TOTAL_WORKERS)
+        return _shared_pool
+
+
+def configure_shared_pool(max_workers: int) -> WorkerPool:
+    """Rebound the shared pool at ``max_workers``.
+
+    Resizes the existing singleton in place (draining current threads
+    first), so every engine and executor already holding it sees the new
+    bound — nothing keeps running on a retired pool.
+    """
+    pool = get_shared_pool()
+    pool.resize(max_workers)
+    return pool
+
+
 class ParallelExecutor:
     """Runs plan steps concurrently on a thread pool.
 
     ``n_workers=1`` degenerates to sequential execution (the baseline the
     parallelism benchmark compares against).
 
-    ``persistent=True`` keeps one thread pool alive across :meth:`run`
-    calls instead of constructing and tearing one down per plan — the mode
-    the :class:`~repro.engine.ExecutionEngine` uses so repeated
-    recommendations in a session never pay pool startup cost. Call
-    :meth:`close` (or use the executor as a context manager) to release
-    the workers.
+    ``persistent=True`` keeps one executor-owned thread pool alive across
+    :meth:`run` calls instead of constructing and tearing one down per
+    plan. Call :meth:`close` (or use the executor as a context manager) to
+    release the workers.
+
+    ``pool=`` borrows threads from a shared :class:`WorkerPool` instead of
+    owning any: each run feeds its steps through a work-queue claiming at
+    most ``n_workers`` pool threads, which is what lets one bounded pool
+    serve many concurrent engines. Pool-backed executors are reentrant —
+    concurrent :meth:`run` calls are safe — and ``close`` never touches
+    the shared threads.
     """
 
-    def __init__(self, n_workers: int = 4, persistent: bool = False):
+    def __init__(
+        self,
+        n_workers: int = 4,
+        persistent: bool = False,
+        pool: "WorkerPool | None" = None,
+    ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.persistent = persistent
+        self.shared_pool = pool
         self._pool: "ThreadPoolExecutor | None" = None
-        #: run() invocations served by an already-warm persistent pool.
+        self._pool_lock = threading.Lock()
+        #: run() invocations served by an already-warm pool (own or shared).
         self.pool_reuses = 0
 
     def run(
@@ -74,6 +189,8 @@ class ParallelExecutor:
                 result, elapsed = _timed_run(step, backend)
                 extracted.update(result)
                 step_seconds.append(elapsed)
+        elif self.shared_pool is not None:
+            extracted, step_seconds = self._run_on_shared(plan, backend)
         elif self.persistent:
             pool = self._ensure_pool()
             futures = [pool.submit(_timed_run, step, backend) for step in plan.steps]
@@ -106,18 +223,74 @@ class ParallelExecutor:
         )
         return extracted, report
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
-        else:
+    def _run_on_shared(
+        self, plan: ExecutionPlan, backend: Backend
+    ) -> tuple[dict[ViewSpec, RawViewData], list[float]]:
+        """Work-queue execution on the shared pool.
+
+        ``min(n_workers, len(steps))`` claimer tasks pull step indices from
+        a shared counter, bounding this run's concurrency without blocking
+        pool threads on a semaphore. A step failure stops claimers from
+        pulling further work; every claimed step finishes before the first
+        exception propagates (same join-before-raise guarantee as the
+        owned-pool modes).
+        """
+        steps = plan.steps
+        if self.shared_pool.warm:
             self.pool_reuses += 1
-        return self._pool
+        next_index = 0
+        index_lock = threading.Lock()
+        results: list = [None] * len(steps)
+        failures: list[BaseException] = []
+
+        def claim() -> None:
+            nonlocal next_index
+            while True:
+                with index_lock:
+                    if failures or next_index >= len(steps):
+                        return
+                    index = next_index
+                    next_index += 1
+                try:
+                    results[index] = _timed_run(steps[index], backend)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with index_lock:
+                        failures.append(exc)
+                    return
+
+        claimers = [
+            self.shared_pool.submit(claim)
+            for _ in range(min(self.n_workers, len(steps)))
+        ]
+        for future in claimers:
+            future.result()
+        if failures:
+            raise failures[0]
+
+        extracted: dict[ViewSpec, RawViewData] = {}
+        step_seconds: list[float] = []
+        for outcome in results:
+            if outcome is None:  # unclaimed trailing steps after a failure
+                continue
+            result, elapsed = outcome
+            extracted.update(result)
+            step_seconds.append(elapsed)
+        return extracted, step_seconds
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                self.pool_reuses += 1
+            return self._pool
 
     def close(self) -> None:
-        """Shut down the persistent pool (no-op for per-run pools)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down an owned persistent pool (shared pools are not ours)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -1,0 +1,22 @@
+"""The serving subsystem: SeeDB as a concurrent multi-session service.
+
+:class:`SeeDBService` owns backends and engines, schedules concurrent
+``recommend()`` requests on a bounded pool, coalesces identical in-flight
+requests, and caches finished results keyed on the backend's data version.
+The HTTP frontend (:mod:`repro.frontend.server`) and interactive analyst
+sessions both route through it, sharing one set of warm caches.
+"""
+
+from repro.service.service import (
+    DEFAULT_BACKEND,
+    SeeDBService,
+    ServiceStats,
+    single_backend_service,
+)
+
+__all__ = [
+    "SeeDBService",
+    "ServiceStats",
+    "DEFAULT_BACKEND",
+    "single_backend_service",
+]

@@ -1,0 +1,393 @@
+"""SeeDBService: one warm engine stack serving many concurrent sessions.
+
+SeeDB is middleware analysts query *repeatedly* (§3.2), and the paper's
+framing — "SEEDB is designed as a layer on top of a database system" —
+implies a long-lived process answering many overlapping requests, not a
+per-script library object. This module is that process core:
+
+* it owns named backends and one :class:`ExecutionEngine` per backend
+  (each sharing the backend-wide :class:`~repro.engine.cache.EngineCache`
+  and the process-wide worker pool);
+* it schedules ``recommend()`` requests on a bounded request pool, so a
+  burst of sessions queues instead of spawning unbounded threads;
+* it *coalesces* identical in-flight requests — same backend, query,
+  configuration, and k → one execution whose result fans out to every
+  waiter — and keeps a small LRU of finished results keyed on the
+  backend's ``data_version`` (a data change silently retires every stale
+  entry: the version in the key can never match again);
+* it exposes exact service statistics (in-flight, coalesced, cache hit
+  rates) for the frontend's ``/stats`` endpoint.
+
+Both the HTTP frontend (:mod:`repro.frontend.server`) and interactive
+:class:`~repro.frontend.session.AnalystSession` objects route through one
+service instance, which is what lets interactive and HTTP traffic share
+caches, samples, and access-log history.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.backends.base import Backend
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+from repro.core.result import RecommendationResult
+from repro.db.query import RowSelectQuery
+from repro.engine.context import describe_predicate
+from repro.engine.engine import ExecutionEngine
+from repro.util.errors import ConfigError, QueryError
+
+#: Name under which a single-backend service registers its backend.
+DEFAULT_BACKEND = "default"
+
+
+@dataclass
+class ServiceStats:
+    """Request accounting, kept exact by the service lock."""
+
+    #: Requests accepted (coalesced and cache-served ones included).
+    requests: int = 0
+    #: Requests that scheduled a full pipeline execution. Steady-state
+    #: invariant: requests == executions + coalesced + result_cache_hits.
+    executions: int = 0
+    #: Executions finished successfully.
+    completed: int = 0
+    #: Executions that raised (every waiter sees the exception).
+    failed: int = 0
+    #: Requests attached to an identical in-flight execution.
+    coalesced: int = 0
+    #: Requests served directly from the finished-result LRU.
+    result_cache_hits: int = 0
+
+
+@dataclass
+class _BackendSlot:
+    """Everything the service holds per registered backend."""
+
+    backend: Backend
+    config: SeeDBConfig
+    facade: SeeDB
+    owned: bool
+
+
+class SeeDBService:
+    """A thread-safe recommendation service over one or more backends.
+
+    ``max_workers`` bounds concurrent request *executions* (the engines
+    underneath additionally bound per-plan DBMS parallelism through the
+    process-wide worker pool). ``coalesce_requests=False`` turns identical
+    concurrent requests back into independent executions (the equivalence
+    tests exercise both). ``result_cache_size=0`` disables the finished
+    result LRU.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        coalesce_requests: bool = True,
+        result_cache_size: int = 256,
+    ):
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if result_cache_size < 0:
+            raise ConfigError(
+                f"result_cache_size must be >= 0, got {result_cache_size}"
+            )
+        self.max_workers = max_workers
+        self.coalesce_requests = coalesce_requests
+        self.result_cache_size = result_cache_size
+        self.stats = ServiceStats()
+        self._lock = threading.RLock()
+        self._slots: dict[str, _BackendSlot] = {}
+        self._in_flight: dict[tuple, Future] = {}
+        self._results: "OrderedDict[tuple, RecommendationResult]" = OrderedDict()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="seedb-service"
+        )
+        self._closed = False
+
+    # -- backend registry -------------------------------------------------
+
+    def register_backend(
+        self,
+        name: str,
+        backend: Backend,
+        config: "SeeDBConfig | None" = None,
+        owned: bool = False,
+    ) -> None:
+        """Serve ``backend`` under ``name`` with a per-backend default config.
+
+        ``owned=True`` hands the backend's lifecycle to the service:
+        :meth:`close` will call its ``close()`` (connection cleanup) after
+        the engines shut down.
+        """
+        with self._lock:
+            self._require_open()
+            if name in self._slots:
+                raise ConfigError(f"backend {name!r} already registered")
+            self._slots[name] = _BackendSlot(
+                backend=backend,
+                config=config if config is not None else SeeDBConfig(),
+                facade=SeeDB(backend, config),
+                owned=owned,
+            )
+
+    def backend_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._slots)
+
+    def backend(self, name: str = DEFAULT_BACKEND) -> Backend:
+        return self._slot(name).backend
+
+    def facade(self, name: str = DEFAULT_BACKEND) -> SeeDB:
+        """The engine-bound :class:`SeeDB` facade for one backend.
+
+        Interactive sessions use this to share the service's engine (and
+        therefore its caches and access log) for non-request work such as
+        schema lookups and query resolution.
+        """
+        return self._slot(name).facade
+
+    def engine(self, name: str = DEFAULT_BACKEND) -> ExecutionEngine:
+        return self._slot(name).facade.engine
+
+    def _slot(self, name: str) -> _BackendSlot:
+        with self._lock:
+            try:
+                return self._slots[name]
+            except KeyError:
+                raise QueryError(
+                    f"no backend named {name!r}; registered: {sorted(self._slots)}"
+                ) from None
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(
+        self,
+        query: "RowSelectQuery | str",
+        backend: str = DEFAULT_BACKEND,
+        k: "int | None" = None,
+        config: "SeeDBConfig | None" = None,
+        **overrides,
+    ) -> "Future[RecommendationResult]":
+        """Schedule a recommendation; returns a future for its result.
+
+        Identical concurrent requests (same backend, resolved query,
+        effective config, and k) share one execution when coalescing is
+        enabled; requests matching a finished result at the same
+        ``data_version`` resolve immediately from the LRU.
+        """
+        with self._lock:
+            self._require_open()
+            slot = self._slots.get(backend)
+            if slot is None:
+                raise QueryError(
+                    f"no backend named {backend!r}; "
+                    f"registered: {sorted(self._slots)}"
+                )
+            effective = config if config is not None else slot.config
+            if overrides:
+                effective = effective.with_overrides(**overrides)
+            resolved = slot.facade.resolve_query(query)
+            top_k = k if k is not None else effective.k
+            key = self._request_key(backend, slot, resolved, effective, top_k)
+            self.stats.requests += 1
+
+            if self.result_cache_size:
+                cached = self._results.get(key)
+                if cached is not None:
+                    self._results.move_to_end(key)
+                    self.stats.result_cache_hits += 1
+                    future: "Future[RecommendationResult]" = Future()
+                    future.set_result(cached)
+                    return future
+
+            if self.coalesce_requests:
+                in_flight = self._in_flight.get(key)
+                if in_flight is not None:
+                    self.stats.coalesced += 1
+                    return in_flight
+
+            future = Future()
+            # With coalescing off an identical key may already be in
+            # flight; keep the first occupant — the map only needs *a*
+            # representative for joiners, and each execution resolves its
+            # own future regardless.
+            self._in_flight.setdefault(key, future)
+            self.stats.executions += 1
+        try:
+            self._pool.submit(
+                self._execute, key, slot, resolved, effective, top_k, future
+            )
+        except RuntimeError as exc:
+            # close() shut the pool down between our lock release and the
+            # schedule: resolve the future (coalesced waiters included)
+            # instead of stranding them in result().
+            with self._lock:
+                if self._in_flight.get(key) is future:
+                    del self._in_flight[key]
+                self.stats.failed += 1
+            future.set_exception(
+                QueryError(f"service closed while scheduling request: {exc}")
+            )
+        return future
+
+    def recommend(
+        self,
+        query: "RowSelectQuery | str",
+        backend: str = DEFAULT_BACKEND,
+        k: "int | None" = None,
+        config: "SeeDBConfig | None" = None,
+        **overrides,
+    ) -> RecommendationResult:
+        """Blocking :meth:`submit` — the call interactive sessions make."""
+        return self.submit(
+            query, backend=backend, k=k, config=config, **overrides
+        ).result()
+
+    def _execute(
+        self,
+        key: tuple,
+        slot: _BackendSlot,
+        query: RowSelectQuery,
+        config: SeeDBConfig,
+        k: int,
+        future: "Future[RecommendationResult]",
+    ) -> None:
+        try:
+            result = slot.facade.recommend(query, k=k, config=config)
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            with self._lock:
+                if self._in_flight.get(key) is future:
+                    del self._in_flight[key]
+                self.stats.failed += 1
+            future.set_exception(exc)
+            return
+        with self._lock:
+            if self._in_flight.get(key) is future:
+                del self._in_flight[key]
+            self.stats.completed += 1
+            if self.result_cache_size:
+                self._results[key] = result
+                self._results.move_to_end(key)
+                while len(self._results) > self.result_cache_size:
+                    self._results.popitem(last=False)
+        future.set_result(result)
+
+    def _request_key(
+        self,
+        backend_name: str,
+        slot: _BackendSlot,
+        query: RowSelectQuery,
+        config: SeeDBConfig,
+        k: int,
+    ) -> tuple:
+        """Identity of a request for coalescing and result caching.
+
+        The predicate is keyed by its rendered form (deterministic for
+        every expression the SQL renderer knows; the ``repr`` fallback for
+        custom expression objects simply never coalesces, which is safe).
+        ``data_version`` in the key makes every cached result self-retiring
+        on data change — eviction cannot race an invalidation because a
+        bumped version is a *different key*, not a mutated entry.
+        """
+        return (
+            backend_name,
+            slot.backend.data_version,
+            query.table,
+            describe_predicate(query),
+            query.limit,
+            repr(config),
+            k,
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of service, engine-cache, and backend stats."""
+        with self._lock:
+            backends = {}
+            for name, slot in self._slots.items():
+                cache_stats = slot.facade.engine.cache.stats
+                hits, misses = cache_stats.hits, cache_stats.misses
+                total = hits + misses
+                backends[name] = {
+                    "backend": slot.backend.name,
+                    "data_version": slot.backend.data_version,
+                    "queries_executed": slot.backend.queries_executed,
+                    "engine_cache": {
+                        "hits": hits,
+                        "misses": misses,
+                        "hit_rate": (hits / total) if total else None,
+                        "invalidations": cache_stats.invalidations,
+                        "samples_dropped": cache_stats.samples_dropped,
+                    },
+                }
+            return {
+                "requests": self.stats.requests,
+                "executions": self.stats.executions,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "coalesced": self.stats.coalesced,
+                "result_cache_hits": self.stats.result_cache_hits,
+                "in_flight": len(self._in_flight),
+                "result_cache_entries": len(self._results),
+                "coalescing_enabled": self.coalesce_requests,
+                "max_workers": self.max_workers,
+                "backends": backends,
+            }
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._in_flight)
+
+    def clear_result_cache(self) -> None:
+        with self._lock:
+            self._results.clear()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the request pool, close engines, release owned backends."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slots = list(self._slots.values())
+        self._pool.shutdown(wait=True)
+        for slot in slots:
+            slot.facade.close()
+        for slot in slots:
+            if slot.owned:
+                close = getattr(slot.backend, "close", None)
+                if close is not None:
+                    close()
+        with self._lock:
+            self._in_flight.clear()
+            self._results.clear()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise QueryError("service is closed")
+
+    def __enter__(self) -> "SeeDBService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def single_backend_service(
+    backend: Backend,
+    config: "SeeDBConfig | None" = None,
+    owned: bool = False,
+    **service_kwargs,
+) -> SeeDBService:
+    """A service wrapping one backend under the default name."""
+    service = SeeDBService(**service_kwargs)
+    service.register_backend(DEFAULT_BACKEND, backend, config=config, owned=owned)
+    return service

@@ -1,0 +1,168 @@
+"""Unit tests: the HTTP/JSON frontend over a live in-process server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import SeeDBConfig
+from repro.frontend.server import result_to_json, serve_in_thread
+from repro.service import single_backend_service
+
+
+@pytest.fixture
+def served(memory_backend):
+    """A service + live threaded server over the sales fixture table."""
+    service = single_backend_service(memory_backend, SeeDBConfig(k=3))
+    server, thread = serve_in_thread(service)
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}"
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+    service.close()
+
+
+def get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, base = served
+        body = get(base, "/healthz")
+        assert body == {"status": "ok", "backends": ["default"]}
+
+    def test_views_enumerates_candidate_space(self, served):
+        _, base = served
+        body = get(base, "/views?table=sales")
+        assert body["table"] == "sales"
+        assert body["n_views"] == len(body["views"])
+        labels = {view["label"] for view in body["views"]}
+        assert "sum(amount) by store" in labels
+        assert "count(*) by product" in labels
+
+    def test_recommend_returns_chart_ready_views(self, served):
+        _, base = served
+        body = post(
+            base,
+            "/recommend",
+            {"sql": "SELECT * FROM sales WHERE product = 'Laserwave'", "k": 2},
+        )
+        assert body["k"] == 2 and len(body["recommendations"]) == 2
+        top = body["recommendations"][0]
+        assert set(top) >= {
+            "label",
+            "utility",
+            "groups",
+            "target_distribution",
+            "comparison_distribution",
+        }
+        assert len(top["groups"]) == len(top["target_distribution"])
+        assert body["n_queries"] > 0
+        assert "execute" in body["phase_seconds"]
+
+    def test_recommend_config_override(self, served):
+        _, base = served
+        body = post(
+            base,
+            "/recommend",
+            {
+                "sql": "SELECT * FROM sales WHERE product = 'Laserwave'",
+                "metric": "euclidean",
+                "k": 1,
+            },
+        )
+        assert body["metric"] == "euclidean"
+
+    def test_stats_counts_http_traffic(self, served):
+        service, base = served
+        payload = {"sql": "SELECT * FROM sales WHERE product = 'Laserwave'"}
+        post(base, "/recommend", payload)
+        post(base, "/recommend", payload)  # identical: result-cache hit
+        stats = get(base, "/stats")
+        assert stats["requests"] == 2
+        assert stats["executions"] == 1
+        assert stats["result_cache_hits"] == 1
+        assert stats["backends"]["default"]["backend"] == "memory"
+        assert service.stats.requests == 2  # same counters, same object
+
+    def test_http_and_session_share_one_service(self, served):
+        from repro.frontend.session import AnalystSession
+
+        service, base = served
+        payload = {"sql": "SELECT * FROM sales WHERE product = 'Laserwave'"}
+        post(base, "/recommend", payload)
+        with AnalystSession(service=service) as session:
+            session.issue("SELECT * FROM sales WHERE product = 'Laserwave'")
+        # The interactive session's identical request hit the shared
+        # result cache — one execution serves both transports.
+        assert service.stats.executions == 1
+        assert service.stats.result_cache_hits == 1
+
+
+class TestErrors:
+    def expect_error(self, fn, code):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fn()
+        assert excinfo.value.code == code
+        return json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_route_404(self, served):
+        _, base = served
+        self.expect_error(lambda: get(base, "/nope"), 404)
+
+    def test_views_requires_table(self, served):
+        _, base = served
+        message = self.expect_error(lambda: get(base, "/views"), 400)
+        assert "table" in message
+
+    def test_recommend_requires_query(self, served):
+        _, base = served
+        message = self.expect_error(lambda: post(base, "/recommend", {}), 400)
+        assert "sql" in message
+
+    def test_recommend_bad_metric_400(self, served):
+        _, base = served
+        message = self.expect_error(
+            lambda: post(
+                base,
+                "/recommend",
+                {"table": "sales", "metric": "not_a_metric"},
+            ),
+            400,
+        )
+        assert "metric" in message
+
+    def test_recommend_unknown_table_400(self, served):
+        _, base = served
+        self.expect_error(
+            lambda: post(base, "/recommend", {"table": "missing"}), 400
+        )
+
+
+class TestSerialization:
+    def test_result_to_json_round_trips_through_json(self, memory_backend):
+        from repro.core.recommender import SeeDB
+        from repro.db.expressions import col
+        from repro.db.query import RowSelectQuery
+
+        result = SeeDB(memory_backend).recommend(
+            RowSelectQuery("sales", col("product") == "Laserwave")
+        )
+        payload = result_to_json(result)
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["table"] == "sales"
+        assert len(decoded["recommendations"]) == result.k
