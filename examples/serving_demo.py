@@ -2,9 +2,11 @@
 
 Builds a service over the store-orders dataset, starts the HTTP/JSON
 frontend on a free port, then drives it from both transports at once —
-eight threaded analyst sessions issuing overlapping queries through the
-service while HTTP clients hit ``/recommend`` — and prints the service
-stats showing request coalescing and shared-result reuse at work.
+eight threaded analyst sessions issuing overlapping declarative
+:class:`~repro.api.RecommendationRequest` objects through the service
+while HTTP clients hit ``/recommend`` and stream ``/recommend/stream`` —
+and prints the service stats showing request coalescing and shared-result
+reuse at work.
 
 Run:  python examples/serving_demo.py
 
@@ -16,16 +18,28 @@ import json
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
-from repro import MemoryBackend, SeeDBConfig
+from repro import MemoryBackend, RecommendationRequest, Reference, SeeDBConfig
 from repro.datasets import load_dataset
 from repro.frontend.server import serve_in_thread
 from repro.frontend.session import AnalystSession
 from repro.service import single_backend_service
 
-QUERIES = [
-    "SELECT * FROM store_orders WHERE category = 'Technology'",
-    "SELECT * FROM store_orders WHERE category = 'Furniture'",
-    "SELECT * FROM store_orders WHERE region = 'West'",
+#: One declarative request type everywhere: SQL ingestion via from_sql,
+#: first-class references, per-request execution options.
+REQUESTS = [
+    RecommendationRequest.from_sql(
+        "SELECT * FROM store_orders WHERE category = 'Technology'", k=3
+    ),
+    RecommendationRequest.from_sql(
+        "SELECT * FROM store_orders WHERE category = 'Furniture'",
+        reference=Reference.complement(),  # vs everything else, not vs D
+        k=3,
+    ),
+    RecommendationRequest.from_sql(
+        "SELECT * FROM store_orders WHERE region = 'West'",
+        reference=Reference.query("SELECT * FROM store_orders WHERE region = 'East'"),
+        k=3,
+    ),
 ]
 
 
@@ -44,12 +58,12 @@ def main() -> None:
     print(f"serving on {base}")
 
     # 3. Eight concurrent analyst sessions over the same service. Every
-    #    session walks the same query list, so identical requests overlap
+    #    session walks the same request list, so identical requests overlap
     #    in flight (coalesced) or repeat (result-cache hits).
     def analyst(worker: int) -> str:
         with AnalystSession(service=service) as session:
-            for query in QUERIES:
-                result = session.issue(query)
+            for request in REQUESTS:
+                result = session.issue(request)
             top = result.recommendations[0]
             return f"session {worker}: top view {top.spec.label!r} ({top.utility:.3f})"
 
@@ -57,17 +71,35 @@ def main() -> None:
         for line in pool.map(analyst, range(8)):
             print(line)
 
-    # 4. An HTTP client asking the same question gets the cached answer.
-    request = urllib.request.Request(
+    # 4. An HTTP client posts the same request's wire form (schema_version
+    #    1, the exact dict to_dict() emits) and gets the cached answer.
+    http_request = urllib.request.Request(
         base + "/recommend",
-        data=json.dumps({"sql": QUERIES[0], "k": 3}).encode(),
+        data=json.dumps(REQUESTS[0].to_dict()).encode(),
         headers={"Content-Type": "application/json"},
     )
-    with urllib.request.urlopen(request, timeout=30) as response:
+    with urllib.request.urlopen(http_request, timeout=30) as response:
         body = json.loads(response.read())
     print(f"http client: top view {body['recommendations'][0]['label']!r}")
 
-    # 5. The stats surface (also at GET /stats): far fewer executions than
+    # 5. Progressive delivery over HTTP: NDJSON rounds from the
+    #    incremental engine — a useful top-k long before the final answer.
+    stream_request = urllib.request.Request(
+        base + "/recommend/stream",
+        data=json.dumps(REQUESTS[0].to_dict()).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(stream_request, timeout=30) as response:
+        lines = [json.loads(line) for line in response if line.strip()]
+    first, final = lines[0], lines[-1]
+    print(
+        f"stream: round 1 top {first['recommendations'][0]['label']!r} "
+        f"after 1/{first['n_rounds']} phases; "
+        f"{len(lines) - 1} rounds to the final answer"
+    )
+    assert final["is_final"]
+
+    # 6. The stats surface (also at GET /stats): far fewer executions than
     #    requests is the whole point of serving from one warm stack.
     stats = service.snapshot()
     print(

@@ -22,6 +22,12 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.api import (
+    ApiError,
+    PartialResult,
+    RecommendationRequest,
+    Reference,
+)
 from repro.backends import MemoryBackend, SqliteBackend
 from repro.core import (
     BasicFramework,
@@ -46,6 +52,10 @@ from repro.metrics import available_metrics, get_metric
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApiError",
+    "PartialResult",
+    "RecommendationRequest",
+    "Reference",
     "MemoryBackend",
     "SqliteBackend",
     "BasicFramework",

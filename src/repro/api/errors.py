@@ -1,0 +1,78 @@
+"""Structured API errors: code + message + field path.
+
+Every failure of the declarative request API raises :class:`ApiError`,
+which carries a machine-readable ``code`` from a small closed taxonomy and
+the ``field`` path of the offending request element (dotted, e.g.
+``"options.sample_fraction"``), so HTTP frontends can return structured
+400 bodies instead of free-text messages and clients can react
+programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import QueryError, SqlSyntaxError
+
+#: The closed error-code taxonomy of the request API (wire-stable: codes
+#: may be added, never renamed or removed within a schema version).
+ERROR_CODES = (
+    "invalid_request",   # request is not a well-formed object
+    "missing_field",     # a required field is absent
+    "unknown_field",     # a field outside the schema was supplied
+    "invalid_value",     # a field value is of the wrong type / out of range
+    "sql_syntax",        # SQL text failed to parse
+    "unsupported_sql",   # SQL parsed, but to a shape the API cannot accept
+    "schema_version",    # the payload declares an unsupported version
+    "unknown_backend",   # the named backend is not registered
+)
+
+
+class ApiError(QueryError):
+    """A request-API failure with a structured code and field path.
+
+    Subclasses :class:`~repro.util.errors.QueryError` so existing
+    ``except ReproError`` handlers (CLI, HTTP server) keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "invalid_request",
+        field: "str | None" = None,
+    ):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown API error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.field = field
+
+    def to_dict(self) -> dict:
+        """The wire form of this error (the HTTP 400 ``error`` object)."""
+        payload = {"code": self.code, "message": str(self)}
+        if self.field is not None:
+            payload["field"] = self.field
+        return payload
+
+    def __repr__(self) -> str:
+        field = f", field={self.field!r}" if self.field is not None else ""
+        return f"ApiError({str(self)!r}, code={self.code!r}{field})"
+
+
+class SqlApiError(ApiError, SqlSyntaxError):
+    """SQL text handed to the request API failed to parse.
+
+    Doubly derived so both worlds catch it naturally: request-API callers
+    see an :class:`ApiError` with ``code="sql_syntax"`` (or
+    ``"unsupported_sql"``) and a field path; pre-API callers that catch
+    :class:`~repro.util.errors.SqlSyntaxError` keep working. ``position``
+    is the offending character offset when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "sql_syntax",
+        field: "str | None" = None,
+        position: int = -1,
+    ):
+        ApiError.__init__(self, message, code=code, field=field)
+        self.position = position

@@ -1,0 +1,61 @@
+"""Progressive delivery: partial top-k rounds from incremental execution.
+
+"Analysis must happen in real-time" (§1): instead of waiting for the full
+pipeline, :meth:`repro.SeeDB.recommend_iter` yields one
+:class:`PartialResult` per executed phase of the incremental engine — the
+current top-k estimate plus confidence/pruning state — and a final round
+carrying the finished :class:`~repro.core.result.RecommendationResult`,
+bit-identical to what the blocking call returns for the same request.
+Transports stream these as NDJSON lines (``POST /recommend/stream``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.wire import view_to_json
+from repro.core.result import RecommendationResult
+from repro.model.view import ScoredView
+
+
+@dataclass
+class PartialResult:
+    """One round of a progressive recommendation.
+
+    ``round`` counts executed phases (1-based); the terminal round has
+    ``is_final=True``, repeats the definitive top-k, and carries the full
+    :class:`RecommendationResult` in ``result``.
+    """
+
+    round: int
+    n_rounds: int
+    #: Current top-k estimate, best first (definitive when ``is_final``).
+    recommendations: list[ScoredView]
+    #: Views still being estimated after this round.
+    views_alive: int
+    #: Views dropped so far by confidence pruning.
+    views_pruned: int
+    #: Hoeffding half-width of the round's utility estimates (0.0 once
+    #: all partitions are absorbed; None when pruning is not yet active).
+    epsilon: "float | None" = None
+    is_final: bool = False
+    result: "RecommendationResult | None" = None
+
+    def to_dict(self) -> dict:
+        """The NDJSON wire form of this round (schema version 1)."""
+        payload = {
+            "round": self.round,
+            "n_rounds": self.n_rounds,
+            "is_final": self.is_final,
+            "views_alive": self.views_alive,
+            "views_pruned": self.views_pruned,
+            "epsilon": self.epsilon,
+            "recommendations": [
+                view_to_json(view) for view in self.recommendations
+            ],
+        }
+        if self.result is not None:
+            from repro.api.wire import result_to_json
+
+            payload["result"] = result_to_json(self.result)
+        return payload

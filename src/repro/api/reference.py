@@ -1,0 +1,173 @@
+"""First-class reference specs: what the target is compared *against*.
+
+SeeDB's contract is "find the views where the target deviates most from a
+reference" — §2 fixes the reference to the whole table, but the natural
+generalizations (compare against everything *else*; compare against an
+arbitrary second selection, e.g. last quarter vs this quarter) only need a
+different comparison row set. :class:`Reference` is the declarative,
+serializable spec of that choice; it resolves against a concrete target
+query into the engine-facing
+:class:`~repro.model.reference.ResolvedReference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.codec import parse_sql_query, query_from_wire, query_to_wire
+from repro.api.errors import ApiError
+from repro.db.expressions import Not
+from repro.db.query import RowSelectQuery
+from repro.model.reference import TABLE_REFERENCE, ResolvedReference
+
+
+@dataclass(frozen=True)
+class Reference:
+    """Declarative comparison-side spec of a recommendation request.
+
+    Construct through the named factories::
+
+        Reference.table()                    # vs the whole table D (§2)
+        Reference.complement()               # vs D ∖ D_Q (paper default framing)
+        Reference.query("SELECT * FROM s WHERE year = 2013")
+        Reference.query(RowSelectQuery("s", col("year") == 2013))
+    """
+
+    kind: str = "table"
+    #: The second selection for ``query`` references (None otherwise).
+    against: "RowSelectQuery | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("table", "complement", "query"):
+            raise ApiError(
+                f"reference kind must be 'table', 'complement', or 'query', "
+                f"got {self.kind!r}",
+                code="invalid_value",
+                field="reference.kind",
+            )
+        if self.kind == "query" and self.against is None:
+            raise ApiError(
+                "a query reference needs the query to compare against",
+                code="missing_field",
+                field="reference.query",
+            )
+        if self.kind != "query" and self.against is not None:
+            raise ApiError(
+                f"a {self.kind!r} reference takes no query",
+                code="invalid_value",
+                field="reference.query",
+            )
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def table(cls) -> "Reference":
+        """Compare against the whole table ``D`` (the §2 default)."""
+        return cls("table")
+
+    @classmethod
+    def complement(cls) -> "Reference":
+        """Compare against ``D ∖ D_Q`` — every row the target excludes."""
+        return cls("complement")
+
+    @classmethod
+    def query(cls, against: "RowSelectQuery | str") -> "Reference":
+        """Compare against an arbitrary second selection on the same table."""
+        if isinstance(against, str):
+            against = parse_sql_query(against, "reference.query")
+        if not isinstance(against, RowSelectQuery):
+            raise ApiError(
+                f"reference query must be a RowSelectQuery or SQL string, "
+                f"got {type(against).__name__}",
+                code="invalid_value",
+                field="reference.query",
+            )
+        return cls("query", against)
+
+    # -- resolution ---------------------------------------------------------
+
+    def validate_against(self, target: RowSelectQuery) -> None:
+        """Check this reference is meaningful for ``target`` (raises
+        :class:`ApiError`)."""
+        if self.kind == "complement" and target.predicate is None:
+            raise ApiError(
+                "a complement reference needs a target predicate: the "
+                "complement of 'all rows' is empty",
+                code="invalid_value",
+                field="reference",
+            )
+        if self.kind == "query" and self.against.table != target.table:
+            raise ApiError(
+                f"reference query selects from {self.against.table!r} but the "
+                f"target selects from {target.table!r}; query references must "
+                "share the target's table",
+                code="invalid_value",
+                field="reference.query",
+            )
+
+    def resolve(self, target: RowSelectQuery) -> ResolvedReference:
+        """The engine-facing form of this reference for ``target``."""
+        self.validate_against(target)
+        if self.kind == "table":
+            return TABLE_REFERENCE
+        if self.kind == "complement":
+            return ResolvedReference("complement", Not(target.predicate))
+        if self.against.predicate is None:
+            # A reference query selecting every row IS the table reference;
+            # normalizing keeps the flag-combining optimizations applicable.
+            return TABLE_REFERENCE
+        return ResolvedReference("query", self.against.predicate)
+
+    # -- wire codec ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind}
+        if self.against is not None:
+            payload["query"] = query_to_wire(self.against)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload, field: str = "reference") -> "Reference":
+        if isinstance(payload, str):
+            # Shorthand: "table" / "complement", or SQL for a query ref.
+            if payload in ("table", "complement"):
+                return cls(payload)
+            return cls.query(parse_sql_query(payload, f"{field}.query"))
+        if not isinstance(payload, dict):
+            raise ApiError(
+                f"{field} must be an object or shorthand string, "
+                f"got {type(payload).__name__}",
+                code="invalid_value",
+                field=field,
+            )
+        extra = sorted(set(payload) - {"kind", "query"})
+        if extra:
+            raise ApiError(
+                f"unknown key(s) {extra} in {field}",
+                code="unknown_field",
+                field=f"{field}.{extra[0]}",
+            )
+        kind = payload.get("kind")
+        if kind is None:
+            raise ApiError(
+                f"{field} needs a 'kind'", code="missing_field",
+                field=f"{field}.kind",
+            )
+        against = payload.get("query")
+        if against is not None:
+            against = query_from_wire(against, f"{field}.query")
+        if kind == "query" and against is None:
+            raise ApiError(
+                "a query reference needs a 'query'",
+                code="missing_field",
+                field=f"{field}.query",
+            )
+        return cls(kind, against)
+
+    def describe(self) -> str:
+        """Deterministic short form for logs and request keys."""
+        if self.against is None:
+            return self.kind
+        from repro.backends.sqlgen import render_row_select
+
+        return f"query[{render_row_select(self.against)}]"

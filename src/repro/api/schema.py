@@ -1,0 +1,139 @@
+"""Machine-readable description of the request wire schema.
+
+:func:`request_json_schema` returns a JSON-Schema-style document for the
+``schema_version`` 1 :class:`~repro.api.request.RecommendationRequest`
+wire form. The API-stability contract test snapshots this document (plus
+the package's public symbols): any accidental change to field names,
+option names, error codes, or strategies fails CI and forces a deliberate
+schema-version decision.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import ERROR_CODES
+from repro.api.request import (
+    CONFIG_OPTION_FIELDS,
+    INCREMENTAL_OPTION_DEFAULTS,
+    SCHEMA_VERSION,
+    STRATEGIES,
+)
+
+_PREDICATE_SCHEMA = {
+    "type": "object",
+    "description": "Predicate AST node",
+    "oneOf": [
+        {"properties": {"op": {"const": "true"}}},
+        {
+            "properties": {
+                "op": {"enum": ["=", "!=", "<", "<=", ">", ">="]},
+                "column": {"type": "string"},
+                "value": {"$ref": "#/definitions/literal"},
+            }
+        },
+        {
+            "properties": {
+                "op": {"const": "in"},
+                "column": {"type": "string"},
+                "values": {"type": "array", "items": {"$ref": "#/definitions/literal"}},
+            }
+        },
+        {
+            "properties": {
+                "op": {"const": "between"},
+                "column": {"type": "string"},
+                "low": {"$ref": "#/definitions/literal"},
+                "high": {"$ref": "#/definitions/literal"},
+            }
+        },
+        {
+            "properties": {
+                "op": {"enum": ["and", "or"]},
+                "operands": {
+                    "type": "array",
+                    "minItems": 2,
+                    "items": {"$ref": "#/definitions/predicate"},
+                },
+            }
+        },
+        {
+            "properties": {
+                "op": {"const": "not"},
+                "operand": {"$ref": "#/definitions/predicate"},
+            }
+        },
+    ],
+}
+
+_QUERY_SCHEMA = {
+    "description": "Row selection: structured object or raw SQL string",
+    "oneOf": [
+        {"type": "string", "description": "SELECT * FROM t [WHERE ...]"},
+        {
+            "type": "object",
+            "properties": {
+                "table": {"type": "string"},
+                "predicate": {"$ref": "#/definitions/predicate"},
+                "limit": {"type": "integer", "minimum": 0},
+                "sql": {"type": "string"},
+            },
+        },
+    ],
+}
+
+
+def request_json_schema() -> dict:
+    """The wire schema of RecommendationRequest, schema_version 1."""
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": "RecommendationRequest",
+        "schema_version": SCHEMA_VERSION,
+        "type": "object",
+        "required": ["target"],
+        "additionalProperties": False,
+        "properties": {
+            "schema_version": {"const": SCHEMA_VERSION},
+            "target": {"$ref": "#/definitions/query"},
+            "reference": {
+                "oneOf": [
+                    {"enum": ["table", "complement"]},
+                    {"type": "string", "description": "SQL of a query reference"},
+                    {
+                        "type": "object",
+                        "properties": {
+                            "kind": {"enum": ["table", "complement", "query"]},
+                            "query": {"$ref": "#/definitions/query"},
+                        },
+                        "additionalProperties": False,
+                    },
+                ]
+            },
+            "k": {"type": "integer", "minimum": 1},
+            "metric": {"type": "string"},
+            "dimensions": {"type": "array", "items": {"type": "string"}},
+            "measures": {"type": "array", "items": {"type": "string"}},
+            "strategy": {"enum": sorted(STRATEGIES)},
+            "options": {
+                "type": "object",
+                "propertyNames": {
+                    "enum": sorted(CONFIG_OPTION_FIELDS)
+                    + sorted(INCREMENTAL_OPTION_DEFAULTS)
+                },
+            },
+            "backend": {"type": "string"},
+        },
+        "definitions": {
+            "query": _QUERY_SCHEMA,
+            "predicate": _PREDICATE_SCHEMA,
+            "literal": {
+                "oneOf": [
+                    {"type": ["null", "boolean", "integer", "number", "string"]},
+                    {
+                        "type": "object",
+                        "properties": {"$date": {"type": "string"}},
+                        "additionalProperties": False,
+                    },
+                ]
+            },
+        },
+        "error_codes": sorted(ERROR_CODES),
+    }

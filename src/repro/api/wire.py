@@ -1,0 +1,65 @@
+"""JSON wire serialization of recommendation results (schema version 1).
+
+One place renders engine objects — scored views, finished results,
+progressive rounds — into the plain-JSON payloads every transport (HTTP
+endpoints, NDJSON stream, CLI ``--json``) emits, so the wire schema is
+defined once and the contract test can snapshot it.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import RecommendationResult
+from repro.model.view import ScoredView
+
+
+def plain(value):
+    """Numpy scalars / exotic keys → JSON-safe plain values."""
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value else None  # NaN → null
+    return str(value)
+
+
+def view_to_json(view: ScoredView) -> dict:
+    """One scored view as the frontend's chart-ready payload."""
+    spec = view.spec
+    return {
+        "dimension": getattr(spec, "dimension", None)
+        if getattr(spec, "dimension", None) is not None
+        else list(getattr(spec, "dimensions", ())),
+        "measure": spec.measure,
+        "func": spec.func,
+        "label": spec.label,
+        "utility": plain(view.utility),
+        "groups": [plain(group) for group in view.groups],
+        "target_distribution": [plain(v) for v in view.target_distribution],
+        "comparison_distribution": [
+            plain(v) for v in view.comparison_distribution
+        ],
+        "max_deviation_group": plain(view.max_deviation_group),
+    }
+
+
+def result_to_json(result: RecommendationResult) -> dict:
+    """A full recommendation result as the ``/recommend`` response body."""
+    return {
+        "table": result.table,
+        "predicate": result.predicate_description,
+        "k": result.k,
+        "metric": result.metric,
+        "recommendations": [
+            view_to_json(view) for view in result.recommendations
+        ],
+        "n_candidate_views": result.n_candidate_views,
+        "n_executed_views": result.n_executed_views,
+        "n_queries": result.n_queries,
+        "sample_fraction": result.sample_fraction,
+        "phase_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in result.stopwatch.phases.items()
+        },
+        "total_seconds": round(result.total_seconds, 6),
+    }

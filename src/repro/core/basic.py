@@ -8,9 +8,17 @@ This is the honest baseline every optimization benchmark compares against:
 no pruning, two independent queries per view, sequential execution. It is
 implemented directly on the backend (not through the planner) so baseline
 measurements cannot accidentally inherit optimizer behaviour.
+
+The entry point is the canonical request API: :meth:`recommend_request`
+consumes a :class:`~repro.api.RecommendationRequest` (honoring its
+reference spec and view-space filters with independent comparison
+queries); the historical ``recommend(query, k)`` signature remains as a
+thin adapter that wraps its arguments into an equivalent request.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
@@ -25,6 +33,9 @@ from repro.metrics.normalize import NormalizationPolicy
 from repro.metrics.registry import get_metric
 from repro.optimizer.extract import table_series
 from repro.util.timing import Stopwatch
+
+if TYPE_CHECKING:
+    from repro.api.request import RecommendationRequest
 
 
 class BasicFramework:
@@ -41,13 +52,50 @@ class BasicFramework:
     ):
         self.backend = backend
         self.metric_name = metric
+        self.normalization = normalization
         self.processor = ViewProcessor(get_metric(metric), normalization)
         self.aggregate_functions = aggregate_functions
         self.include_count_views = include_count_views
         self.exclude_predicate_dimensions = exclude_predicate_dimensions
 
-    def recommend(self, query: RowSelectQuery, k: int = 5) -> RecommendationResult:
-        """Score every candidate view with independent queries; return top-k."""
+    def recommend(
+        self,
+        query: "RowSelectQuery | RecommendationRequest",
+        k: "int | None" = None,
+    ) -> RecommendationResult:
+        """Deprecation adapter: wrap the positional form into a request.
+
+        An explicitly passed ``k`` overrides the request's own (matching
+        :meth:`repro.SeeDB.recommend`); with neither set, 5 applies.
+        """
+        from repro.api.request import RecommendationRequest
+
+        if isinstance(query, RecommendationRequest):
+            return self.recommend_request(query.with_k(k))
+        return self.recommend_request(
+            RecommendationRequest(target=query, k=k)
+        )
+
+    def recommend_request(
+        self, request: "RecommendationRequest"
+    ) -> RecommendationResult:
+        """Score every candidate view with independent queries; return top-k.
+
+        The comparison query of each view filters on the request's
+        resolved reference (``None`` for the whole-table default) — the
+        basic framework supports every reference kind because its queries
+        are never flag-combined.
+        """
+        from repro.engine.phases import filter_view_space
+
+        query = request.target
+        k = request.k if request.k is not None else 5
+        reference = request.reference.resolve(query)
+        processor = self.processor
+        metric_name = self.metric_name
+        if request.metric is not None:
+            metric_name = request.metric
+            processor = ViewProcessor(get_metric(metric_name), self.normalization)
         stopwatch = Stopwatch()
         queries_before = self.backend.queries_executed
 
@@ -57,6 +105,9 @@ class BasicFramework:
                 schema,
                 functions=self.aggregate_functions,
                 include_count=self.include_count_views,
+            )
+            views = filter_view_space(
+                views, request.dimensions, request.measures
             )
             if self.exclude_predicate_dimensions:
                 views, _excluded = split_predicate_dimensions(views, query.predicate)
@@ -68,7 +119,7 @@ class BasicFramework:
                     view.target_query(query.table, query.predicate)
                 )
                 comparison_result = self.backend.execute(
-                    view.comparison_query(query.table)
+                    view.comparison_query(query.table, reference.predicate)
                 )
                 target_keys, target_values = table_series(
                     target_result, view.dimension, view.aggregate.alias
@@ -87,7 +138,7 @@ class BasicFramework:
                 )
 
         with stopwatch.time("score"):
-            scored = self.processor.score_all(raw_views)
+            scored = processor.score_all(raw_views)
 
         with stopwatch.time("select"):
             recommendations = top_k_views(scored.values(), k)
@@ -96,7 +147,7 @@ class BasicFramework:
             table=query.table,
             predicate_description=describe_predicate(query),
             k=k,
-            metric=self.metric_name,
+            metric=metric_name,
             recommendations=recommendations,
             all_scored=scored,
             prune_reports=[],
@@ -105,6 +156,7 @@ class BasicFramework:
             n_executed_views=len(views),
             n_queries=self.backend.queries_executed - queries_before,
             plan_description=f"basic framework: {2 * len(views)} independent queries",
+            reference_description=reference.describe(),
         )
 
 

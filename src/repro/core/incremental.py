@@ -109,6 +109,11 @@ class IncrementalRecommender:
     ) -> IncrementalResult:
         """Run up to ``n_phases`` phases, pruning hopeless views between them.
 
+        Deprecation adapter over :meth:`recommend_request`: wraps the
+        positional arguments into an equivalent
+        :class:`~repro.api.RecommendationRequest` with
+        ``strategy="incremental"`` and the phase knobs as options.
+
         ``delta`` is the per-comparison failure probability of the
         Hoeffding bound; smaller = more conservative pruning.
         ``epsilon_scale`` tightens the worst-case Hoeffding radius by a
@@ -120,18 +125,74 @@ class IncrementalRecommender:
         conservative behaviour, 0 to disable the radius entirely
         (aggressive, estimate-only pruning).
         """
+        from repro.api.request import RecommendationRequest
+
+        # Pre-request contract: bad knobs raise ConfigError here, as they
+        # always did, before the request layer's ApiError validation runs.
         if n_phases < 1:
             raise ConfigError("n_phases must be >= 1")
         if not (0.0 < delta < 1.0):
             raise ConfigError("delta must be in (0, 1)")
         if epsilon_scale < 0:
             raise ConfigError("epsilon_scale must be >= 0")
+        request = RecommendationRequest(
+            target=RowSelectQuery(self.table.name, predicate),
+            k=k,
+            strategy="incremental",
+            options={
+                "n_phases": n_phases,
+                "delta": delta,
+                "min_phases_before_pruning": min_phases_before_pruning,
+                "epsilon_scale": epsilon_scale,
+            },
+        )
+        return self.recommend_request(request, views)
+
+    def recommend_request(
+        self, request: "RecommendationRequest", views: list[ViewSpec]
+    ) -> IncrementalResult:
+        """Canonical entry point: phased execution of ``views`` for a
+        declarative request (reference spec, metric, and incremental
+        options honored; the explicit view list takes the place of
+        enumeration). Knob values arrive pre-validated — every
+        constructible request already enforces the executor's ranges.
+        """
+        from repro.api.errors import ApiError
+        from repro.api.request import INCREMENTAL_OPTION_DEFAULTS
+
+        knobs = dict(INCREMENTAL_OPTION_DEFAULTS)
+        knobs.update(
+            {
+                key: value
+                for key, value in request.options.items()
+                if key in INCREMENTAL_OPTION_DEFAULTS
+            }
+        )
+        n_phases = knobs["n_phases"]
+        delta = knobs["delta"]
+        min_phases_before_pruning = knobs["min_phases_before_pruning"]
+        epsilon_scale = knobs["epsilon_scale"]
+        k = request.k if request.k is not None else 5
+        metric = self.metric
+        if request.metric is not None:
+            metric = get_metric(request.metric)
+            if metric.name not in BOUNDED_METRICS:
+                raise ApiError(
+                    f"incremental pruning needs a [0,1]-bounded metric; "
+                    f"{metric.name!r} is not (use one of "
+                    f"{sorted(BOUNDED_METRICS)})",
+                    code="invalid_value",
+                    field="metric",
+                )
         if not views:
             return IncrementalResult([], {}, {}, 0, n_phases, 0, 0)
 
         config = SeeDBConfig(normalization=self.normalization, k=k)
         ctx = self.engine.new_context(
-            RowSelectQuery(self.table.name, predicate), config, k
+            request.target,
+            config,
+            k,
+            reference=request.reference.resolve(request.target),
         )
         ctx.surviving = list(views)
         # The metric is handed to the phases as an *instance* so custom
@@ -143,11 +204,11 @@ class IncrementalRecommender:
                 delta=delta,
                 min_phases_before_pruning=min_phases_before_pruning,
                 epsilon_scale=epsilon_scale,
-                metric=self.metric,
+                metric=metric,
                 normalization=self.normalization,
             ),
             IncrementalScorePhase(
-                metric=self.metric, normalization=self.normalization
+                metric=metric, normalization=self.normalization
             ),
             SelectPhase(),
         ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
@@ -30,6 +30,9 @@ from repro.metrics.normalize import NormalizationPolicy
 from repro.metrics.registry import get_metric
 from repro.model.view import ScoredView
 from repro.util.errors import ConfigError, QueryError
+
+if TYPE_CHECKING:
+    from repro.api.request import RecommendationRequest
 
 
 @dataclass(frozen=True)
@@ -135,13 +138,43 @@ class MultiViewRecommender:
 
     def recommend(
         self,
-        query: RowSelectQuery,
-        k: int = 5,
+        query: "RowSelectQuery | RecommendationRequest",
+        k: "int | None" = None,
         n_dimensions: int = 2,
         functions: Sequence[str] = ("sum", "avg"),
         include_count: bool = True,
     ) -> list[ScoredView]:
-        """The k most deviating ``n_dimensions``-attribute views."""
+        """The k most deviating ``n_dimensions``-attribute views.
+
+        Deprecation adapter over :meth:`recommend_request`: a plain
+        :class:`RowSelectQuery` is wrapped into an equivalent
+        :class:`~repro.api.RecommendationRequest`; an explicitly passed
+        ``k`` overrides the request's own (5 when neither is set).
+        """
+        from repro.api.request import RecommendationRequest
+
+        if isinstance(query, RecommendationRequest):
+            request = query.with_k(k)
+        else:
+            request = RecommendationRequest(target=query, k=k)
+        return self.recommend_request(
+            request,
+            n_dimensions=n_dimensions,
+            functions=functions,
+            include_count=include_count,
+        )
+
+    def recommend_request(
+        self,
+        request: "RecommendationRequest",
+        n_dimensions: int = 2,
+        functions: Sequence[str] = ("sum", "avg"),
+        include_count: bool = True,
+    ) -> list[ScoredView]:
+        """Canonical entry point: multi-attribute recommendation for a
+        declarative request (reference and dimension/measure filters
+        honored; only flag-combinable references — table / complement —
+        are supported on this path)."""
         from repro.engine.multiview import (
             DropEmptyViewsPhase,
             MultiViewEnumeratePhase,
@@ -150,6 +183,10 @@ class MultiViewRecommender:
         )
         from repro.engine.phases import ExecutePhase, ScorePhase, SelectPhase
 
+        k = request.k if request.k is not None else 5
+        metric = (
+            get_metric(request.metric) if request.metric is not None else self.metric
+        )
         config = SeeDBConfig(normalization=self.normalization, k=k)
         phases = [
             MultiViewEnumeratePhase(n_dimensions, functions, include_count),
@@ -158,11 +195,19 @@ class MultiViewRecommender:
             ExecutePhase(),
             # Metric passed as an instance: custom DistanceMetric objects
             # need no registry entry.
-            ScorePhase(metric=self.metric, normalization=self.normalization),
+            ScorePhase(metric=metric, normalization=self.normalization),
             DropEmptyViewsPhase(),
             SelectPhase(),
         ]
-        ctx = self.engine.recommend(query, config, k, phases=phases)
+        ctx = self.engine.recommend(
+            request.target,
+            config,
+            k,
+            phases=phases,
+            reference=request.reference.resolve(request.target),
+            dimensions=request.dimensions,
+            measures=request.measures,
+        )
         return ctx.recommendations
 
     def close(self) -> None:

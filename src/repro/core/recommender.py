@@ -4,12 +4,22 @@ The full optimized pipeline of Figure 4 — Metadata Collector → Query
 Generator (enumeration + pruning) → Optimizer (combining / sampling /
 parallelism) → DBMS → View Processor (normalize + score) → top-k — runs as
 the engine's default phase list (:func:`repro.engine.phases.default_phases`).
-This class only resolves the query, holds session-scoped state (one engine
-= one metadata collector + session cache + persistent worker pool), and
-packages the finished context as a :class:`RecommendationResult`.
+This class resolves the analyst's input into one canonical
+:class:`~repro.api.RecommendationRequest`, holds session-scoped state (one
+engine = one metadata collector + session cache + persistent worker pool),
+and packages the finished context as a :class:`RecommendationResult`.
+
+Requests are the API: :meth:`recommend` accepts a
+:class:`RecommendationRequest` (or, as a thin adapter, the older
+``query, k, config`` positional form, which it wraps into one),
+:meth:`recommend_iter` streams :class:`~repro.api.PartialResult` rounds
+from the incremental engine, and both honor the request's reference spec,
+view-space filters, strategy, and execution options.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
@@ -19,6 +29,11 @@ from repro.engine.engine import ExecutionEngine
 from repro.metadata.collector import MetadataCollector
 from repro.util.errors import QueryError
 
+if TYPE_CHECKING:
+    from repro.api.progressive import PartialResult
+    from repro.api.request import RecommendationRequest, ResolvedRequest
+    from repro.engine.context import ExecutionContext
+
 
 class SeeDB:
     """Visualization recommender over a DBMS backend.
@@ -26,8 +41,11 @@ class SeeDB:
     >>> backend = MemoryBackend()
     >>> backend.register_table(sales)                      # doctest: +SKIP
     >>> seedb = SeeDB(backend)
-    >>> result = seedb.recommend(RowSelectQuery("sales", col("product") == "Laserwave"))
-    ... # doctest: +SKIP
+    >>> result = seedb.recommend(
+    ...     RecommendationRequest.from_sql(
+    ...         "SELECT * FROM sales WHERE product = 'Laserwave'", k=3
+    ...     )
+    ... )                                                  # doctest: +SKIP
 
     One instance holds an :class:`~repro.engine.ExecutionEngine` across
     queries: its metadata collector (with the access log) lets
@@ -69,21 +87,174 @@ class SeeDB:
 
     def recommend(
         self,
-        query: "RowSelectQuery | str",
+        query: "RecommendationRequest | RowSelectQuery | str",
         k: "int | None" = None,
         config: "SeeDBConfig | None" = None,
     ) -> RecommendationResult:
-        """Recommend the top-k most deviating views for ``query``.
+        """Recommend the top-k most deviating views for a request.
 
-        ``query`` is the analyst's row-selection query — a
-        :class:`RowSelectQuery` or a SQL string in the supported subset.
-        ``config`` overrides the instance configuration for this call.
+        ``query`` is a :class:`~repro.api.RecommendationRequest` — or, via
+        the deprecation adapter, the pre-request positional form: a
+        :class:`RowSelectQuery` / SQL string plus ``k`` and an optional
+        ``config`` override (both fold into an equivalent request).
         """
-        config = config if config is not None else self.config
-        k = k if k is not None else config.k
-        query = self._resolve_query(query)
-        ctx = self.engine.recommend(query, config, k)
-        return ctx.to_result()
+        request = self.as_request(query, k=k)
+        resolved = request.resolve(config if config is not None else self.config)
+        return self.run_resolved(resolved).to_result()
+
+    def recommend_iter(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        k: "int | None" = None,
+        config: "SeeDBConfig | None" = None,
+    ) -> "Iterator[PartialResult]":
+        """Progressive :meth:`recommend`: yield partial top-k rounds.
+
+        Runs the request through the incremental engine regardless of its
+        ``strategy``, yielding one :class:`~repro.api.PartialResult` per
+        executed phase (current top-k estimate + confidence/pruning state)
+        and a final round whose ``result`` is bit-identical to what
+        :meth:`recommend` returns for the same request with
+        ``strategy="incremental"``.
+        """
+        request = self.as_request(query, k=k)
+        if request.strategy != "incremental":
+            from dataclasses import replace
+
+            request = replace(request, strategy="incremental")
+        resolved = request.resolve(config if config is not None else self.config)
+        return self.iter_resolved(resolved)
+
+    # -- canonicalization ---------------------------------------------------
+
+    def as_request(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        k: "int | None" = None,
+    ) -> "RecommendationRequest":
+        """Normalize any accepted input into a :class:`RecommendationRequest`.
+
+        The deprecation adapter behind every legacy signature: strings are
+        parsed as SQL, :class:`RowSelectQuery` objects wrapped verbatim,
+        and an explicit ``k`` overrides the request's own.
+        """
+        from repro.api.request import RecommendationRequest
+
+        if isinstance(query, RecommendationRequest):
+            return query.with_k(k)
+        return RecommendationRequest(target=self.resolve_query(query), k=k)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_resolved(self, resolved: "ResolvedRequest") -> "ExecutionContext":
+        """Execute a resolved request through this facade's engine."""
+        phases = None
+        if resolved.strategy == "incremental":
+            phases = self._incremental_phases(resolved)
+        return self.engine.recommend(
+            resolved.query,
+            resolved.config,
+            resolved.k,
+            phases=phases,
+            reference=resolved.reference,
+            dimensions=resolved.dimensions,
+            measures=resolved.measures,
+        )
+
+    def iter_resolved(
+        self, resolved: "ResolvedRequest"
+    ) -> "Iterator[PartialResult]":
+        """Progressive execution of a resolved request (generator).
+
+        Mirrors :meth:`run_resolved` with the incremental phase list, but
+        yields after every executed partition phase. The final yielded
+        round re-scores the same accumulated state through the same View
+        Processor the blocking path uses, so its ``result`` is
+        bit-identical to the blocking incremental result.
+        """
+        from repro.api.progressive import PartialResult
+        from repro.core.topk import top_k_views
+
+        ctx = self.engine.new_context(
+            resolved.query,
+            resolved.config,
+            resolved.k,
+            reference=resolved.reference,
+            dimensions=resolved.dimensions,
+            measures=resolved.measures,
+        )
+        self.engine.cache.sync()
+        pre_phases, execute, post_phases = self._incremental_pipeline(resolved)
+        for phase in pre_phases:
+            with ctx.stopwatch.time(phase.name):
+                phase.run(ctx)
+
+        rounds = execute.rounds(ctx)
+        while True:
+            with ctx.stopwatch.time(execute.name):
+                round_state = next(rounds, None)
+            if round_state is None:
+                break
+            yield PartialResult(
+                round=round_state.phase,
+                n_rounds=round_state.n_phases,
+                recommendations=top_k_views(
+                    round_state.scored.values(), resolved.k
+                ),
+                views_alive=round_state.views_alive,
+                views_pruned=round_state.views_pruned,
+                epsilon=round_state.epsilon,
+            )
+
+        for phase in post_phases:
+            with ctx.stopwatch.time(phase.name):
+                phase.run(ctx)
+        result = ctx.to_result()
+        trace = ctx.extras.get("incremental")
+        yield PartialResult(
+            round=trace.phases_executed if trace is not None else 0,
+            n_rounds=trace.n_phases if trace is not None else 0,
+            recommendations=list(result.recommendations),
+            views_alive=len(ctx.raw_views),
+            views_pruned=(
+                len(trace.pruned_at_phase) if trace is not None else 0
+            ),
+            epsilon=0.0,
+            is_final=True,
+            result=result,
+        )
+
+    @staticmethod
+    def _incremental_pipeline(resolved: "ResolvedRequest"):
+        """The incremental phase sequence, split around the phased
+        executor: ``(pre_phases, execute, post_phases)``.
+
+        Single source of truth for both the blocking path
+        (:meth:`_incremental_phases`) and the streaming path
+        (:meth:`iter_resolved`) — the streamed final round is bit-identical
+        to the blocking result precisely because both run this sequence.
+        """
+        from repro.engine.incremental import (
+            IncrementalScorePhase,
+            PhasedExecutePhase,
+        )
+        from repro.engine.phases import (
+            EnumeratePhase,
+            MetadataPhase,
+            PrunePhase,
+            SelectPhase,
+        )
+
+        return (
+            [MetadataPhase(), EnumeratePhase(), PrunePhase()],
+            PhasedExecutePhase(**resolved.incremental),
+            [IncrementalScorePhase(), SelectPhase()],
+        )
+
+    @classmethod
+    def _incremental_phases(cls, resolved: "ResolvedRequest") -> list:
+        pre_phases, execute, post_phases = cls._incremental_pipeline(resolved)
+        return [*pre_phases, execute, *post_phases]
 
     # ------------------------------------------------------------------
 
@@ -109,11 +280,11 @@ class SeeDB:
         if isinstance(query, RowSelectQuery):
             return query
         if isinstance(query, str):
-            # Imported lazily: the parser is a frontend concern and the
-            # core stays usable without it.
-            from repro.sqlparser import parse_row_select
+            # Parsed through the request codec so syntax failures carry
+            # the structured ApiError taxonomy.
+            from repro.api.codec import parse_sql_query
 
-            return parse_row_select(query)
+            return parse_sql_query(query, "target")
         raise QueryError(
             f"query must be a RowSelectQuery or SQL string, got {type(query).__name__}"
         )

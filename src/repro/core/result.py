@@ -42,6 +42,9 @@ class RecommendationResult:
     sample_fraction: "float | None" = None
     #: Human-readable plan summary.
     plan_description: str = ""
+    #: The comparison row set the utilities were scored against
+    #: ("table" = the paper's whole-table reference).
+    reference_description: str = "table"
 
     @property
     def utilities(self) -> dict[ViewSpec, float]:

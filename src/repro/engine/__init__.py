@@ -15,6 +15,7 @@ from repro.engine.engine import ExecutionEngine
 from repro.engine.incremental import (
     BOUNDED_METRICS,
     DimensionState,
+    IncrementalRound,
     IncrementalScorePhase,
     IncrementalTrace,
     PhasedExecutePhase,
@@ -58,6 +59,7 @@ __all__ = [
     "SelectPhase",
     "default_phases",
     "PhasedExecutePhase",
+    "IncrementalRound",
     "IncrementalScorePhase",
     "IncrementalTrace",
     "DimensionState",

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
 from repro.db.query import RowSelectQuery
+from repro.model.reference import TABLE_REFERENCE, ResolvedReference
 from repro.util.timing import Stopwatch
 
 if TYPE_CHECKING:
@@ -43,6 +44,13 @@ class ExecutionContext:
     query: RowSelectQuery
     config: SeeDBConfig
     k: int
+    #: Comparison row set (paper default: the whole table). Execute-side
+    #: phases and the planner read this to build the comparison queries.
+    reference: ResolvedReference = TABLE_REFERENCE
+    #: Optional view-space filters: restrict enumeration to these
+    #: dimension / measure attributes (None = no restriction).
+    dimensions: "tuple[str, ...] | None" = None
+    measures: "tuple[str, ...] | None" = None
 
     # -- injected by the engine ------------------------------------------
     cache: "SessionCache | None" = None
@@ -125,6 +133,7 @@ class ExecutionContext:
             n_queries=self.n_queries,
             sample_fraction=self.sample_fraction,
             plan_description=self.plan_description,
+            reference_description=self.reference.describe(),
         )
 
 

@@ -39,6 +39,7 @@ from repro.engine.cache import EngineCache, SessionCache
 from repro.engine.context import ExecutionContext
 from repro.engine.phases import Phase, default_phases
 from repro.metadata.collector import MetadataCollector
+from repro.model.reference import TABLE_REFERENCE, ResolvedReference
 from repro.optimizer.parallel import ParallelExecutor, get_shared_pool
 
 
@@ -64,7 +65,13 @@ class ExecutionEngine:
     # -- running pipelines ------------------------------------------------
 
     def new_context(
-        self, query: RowSelectQuery, config: SeeDBConfig, k: int
+        self,
+        query: RowSelectQuery,
+        config: SeeDBConfig,
+        k: int,
+        reference: "ResolvedReference | None" = None,
+        dimensions: "tuple[str, ...] | None" = None,
+        measures: "tuple[str, ...] | None" = None,
     ) -> ExecutionContext:
         """A context wired to this engine's session services."""
         return ExecutionContext(
@@ -72,6 +79,9 @@ class ExecutionEngine:
             query=query,
             config=config,
             k=k,
+            reference=reference if reference is not None else TABLE_REFERENCE,
+            dimensions=dimensions,
+            measures=measures,
             cache=self.cache,
             executor=self.executor_for(config.n_workers),
             metadata_collector=self.metadata,
@@ -93,9 +103,19 @@ class ExecutionEngine:
         config: SeeDBConfig,
         k: int,
         phases: "Iterable[Phase] | None" = None,
+        reference: "ResolvedReference | None" = None,
+        dimensions: "tuple[str, ...] | None" = None,
+        measures: "tuple[str, ...] | None" = None,
     ) -> ExecutionContext:
         """Convenience: new context + default (or given) phases + run."""
-        ctx = self.new_context(query, config, k)
+        ctx = self.new_context(
+            query,
+            config,
+            k,
+            reference=reference,
+            dimensions=dimensions,
+            measures=measures,
+        )
         return self.run(phases if phases is not None else default_phases(), ctx)
 
     # -- session services ---------------------------------------------------

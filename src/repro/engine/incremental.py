@@ -76,10 +76,25 @@ class DimensionState:
 
     def absorb(self, result: Table, dimension: str) -> None:
         """Merge one phase's flag-combined result into the running state."""
-        n_rows = result.num_rows
-        if n_rows == 0:
+        if result.num_rows == 0:
             return
         flags = np.asarray(result.column(FLAG_NAME)).astype(np.int64)
+        self._absorb(flags, result, dimension)
+
+    def absorb_partition(self, result: Table, dimension: str, flag: int) -> None:
+        """Merge a single-side result (no flag column) under ``flag``.
+
+        Query references issue separate target/reference queries per
+        partition; their rows all land in one flag row of the state
+        (1 = target, 0 = reference).
+        """
+        if result.num_rows == 0:
+            return
+        flags = np.full(result.num_rows, flag, dtype=np.int64)
+        self._absorb(flags, result, dimension)
+
+    def _absorb(self, flags: np.ndarray, result: Table, dimension: str) -> None:
+        n_rows = result.num_rows
         raw_keys = result.column(dimension)
         index = self.index
         columns = np.empty(n_rows, dtype=np.int64)
@@ -134,27 +149,37 @@ class DimensionState:
             self._sorted_columns = np.asarray(order, dtype=np.int64)
         return self._sorted_columns
 
-    def raw_view(self, view: ViewSpec) -> RawViewData:
+    def raw_view(
+        self, view: ViewSpec, comparison_flags: tuple[int, ...] = (0, 1)
+    ) -> RawViewData:
         """The view's target/comparison series reconstructed from state.
 
-        Returning :class:`RawViewData` is what lets the shared View
-        Processor score incremental estimates exactly like batch results.
+        ``comparison_flags`` selects which flag partitions make up the
+        comparison side: ``(0, 1)`` merges both (the whole-table
+        reference), ``(0,)`` takes the non-target partition alone
+        (complement and query references). Returning :class:`RawViewData`
+        is what lets the shared View Processor score incremental estimates
+        exactly like batch results.
         """
         spec = merge_spec(view.aggregate)
         ordered = self._ordered_columns()
         if ordered.size:
             target_columns = ordered[self.present[1, ordered]]
-            all_columns = ordered[self.present[:, ordered].any(axis=0)]
+            comparison_columns = ordered[
+                self.present[list(comparison_flags)][:, ordered].any(axis=0)
+            ]
         else:
-            target_columns = all_columns = ordered
+            target_columns = comparison_columns = ordered
         target_keys = [self.keys[column] for column in target_columns]
-        all_keys = [self.keys[column] for column in all_columns]
+        comparison_keys = [self.keys[column] for column in comparison_columns]
         return RawViewData(
             spec=view,
             target_keys=target_keys,
             target_values=spec.reconstruct(self._merged(target_columns, (1,))),
-            comparison_keys=all_keys,
-            comparison_values=spec.reconstruct(self._merged(all_columns, (0, 1))),
+            comparison_keys=comparison_keys,
+            comparison_values=spec.reconstruct(
+                self._merged(comparison_columns, comparison_flags)
+            ),
         )
 
     def _merged(
@@ -199,6 +224,25 @@ class IncrementalTrace:
 TRACE_KEY = "incremental"
 
 
+@dataclass
+class IncrementalRound:
+    """One executed phase of a phased run (the streaming unit).
+
+    ``scored`` holds the current utility estimates of every still-alive
+    view — :class:`~repro.model.view.ScoredView` objects from the shared
+    batch scorer, so partial rounds carry real distributions, not just
+    numbers. ``epsilon`` is the Hoeffding half-width used for pruning this
+    round (None while pruning is inactive).
+    """
+
+    phase: int
+    n_phases: int
+    scored: dict
+    views_alive: int
+    views_pruned: int
+    epsilon: "float | None" = None
+
+
 class PhasedExecutePhase(Phase):
     """Execute view queries one partition at a time with early pruning.
 
@@ -231,6 +275,21 @@ class PhasedExecutePhase(Phase):
         self.normalization = normalization
 
     def run(self, ctx: ExecutionContext) -> None:
+        for _round in self.rounds(ctx):
+            pass
+
+    def rounds(self, ctx: ExecutionContext):
+        """Drive phased execution, yielding one :class:`IncrementalRound`
+        per executed phase — the progressive-delivery hook behind
+        :meth:`repro.SeeDB.recommend_iter`. Exhausting the generator
+        finalizes ``ctx.raw_views`` exactly like :meth:`run`.
+
+        The context's reference selects the comparison side: table and
+        complement references share the flag-combined per-phase query
+        (comparison = both partitions merged, or flag=0 alone); a query
+        reference issues separate target/reference queries per phase —
+        the two selections may overlap, which one 0/1 flag cannot encode.
+        """
         views = list(ctx.surviving)
         trace = IncrementalTrace(
             n_phases=self.n_phases, work_possible=len(views) * self.n_phases
@@ -239,6 +298,8 @@ class PhasedExecutePhase(Phase):
         if not views:
             return
         table = self.table if self.table is not None else self._fetch(ctx)
+        reference = ctx.reference
+        comparison_flags = (0, 1) if reference.merge_partitions else (0,)
         predicate = (
             ctx.query.predicate
             if ctx.query.predicate is not None
@@ -280,23 +341,43 @@ class PhasedExecutePhase(Phase):
             flag = FlagColumn(FLAG_NAME, predicate)
             for dimension in sorted(active_dimensions):
                 state = states[dimension]
-                result = engine.execute(
-                    AggregateQuery("__phase", (flag, dimension), state.aux, None)
-                )
-                assert isinstance(result, Table)
-                state.absorb(result, dimension)
+                if reference.flag_combinable:
+                    result = engine.execute(
+                        AggregateQuery("__phase", (flag, dimension), state.aux, None)
+                    )
+                    assert isinstance(result, Table)
+                    state.absorb(result, dimension)
+                else:
+                    target_result = engine.execute(
+                        AggregateQuery(
+                            "__phase", (dimension,), state.aux, ctx.query.predicate
+                        )
+                    )
+                    reference_result = engine.execute(
+                        AggregateQuery(
+                            "__phase", (dimension,), state.aux, reference.predicate
+                        )
+                    )
+                    assert isinstance(target_result, Table)
+                    assert isinstance(reference_result, Table)
+                    state.absorb_partition(target_result, dimension, flag=1)
+                    state.absorb_partition(reference_result, dimension, flag=0)
                 trace.work_done += sum(1 for v in groups[dimension] if v in alive)
             trace.phases_executed = phase + 1
 
             # Re-estimate utilities for alive views via the shared batch
             # scorer (one dense block per dimension, not one call per view).
             estimates = processor.score_batch(
-                [states[view.dimension].raw_view(view) for view in alive]
+                [
+                    states[view.dimension].raw_view(view, comparison_flags)
+                    for view in alive
+                ]
             )
             for view, scored in estimates.items():
                 trace.utilities[view] = scored.utility
 
             # Hoeffding-style pruning once enough phases accumulated.
+            epsilon = None
             if (
                 trace.phases_executed >= self.min_phases_before_pruning
                 and trace.phases_executed < self.n_phases
@@ -314,8 +395,17 @@ class PhasedExecutePhase(Phase):
                         alive.discard(view)
                         trace.pruned_at_phase[view] = trace.phases_executed
 
+            yield IncrementalRound(
+                phase=trace.phases_executed,
+                n_phases=self.n_phases,
+                scored={view: estimates[view] for view in alive},
+                views_alive=len(alive),
+                views_pruned=len(trace.pruned_at_phase),
+                epsilon=epsilon,
+            )
+
         ctx.raw_views = {
-            view: states[view.dimension].raw_view(view)
+            view: states[view.dimension].raw_view(view, comparison_flags)
             for view in views
             if view in alive
         }

@@ -45,8 +45,15 @@ class MultiViewEnumeratePhase(Phase):
             else ctx.backend.schema(ctx.query.table)
         )
         ctx.candidates = enumerate_multi_views(
-            ctx.schema, self.n_dimensions, self.functions, self.include_count
+            ctx.schema,
+            self.n_dimensions,
+            self.functions,
+            self.include_count,
+            dimensions=list(ctx.dimensions) if ctx.dimensions is not None else None,
         )
+        from repro.engine.phases import filter_view_space
+
+        ctx.candidates = filter_view_space(ctx.candidates, None, ctx.measures)
         ctx.surviving = list(ctx.candidates)
 
 
@@ -107,6 +114,13 @@ class MultiViewPlanPhase(Phase):
     name = "plan"
 
     def run(self, ctx: ExecutionContext) -> None:
+        if not ctx.reference.flag_combinable:
+            from repro.util.errors import QueryError
+
+            raise QueryError(
+                "multi-attribute views support only flag-combinable "
+                "references (table / complement), not query-vs-query"
+            )
         by_dims: dict[tuple[str, ...], list[MultiViewSpec]] = {}
         for view in ctx.surviving:
             by_dims.setdefault(view.dimensions, []).append(view)
@@ -118,6 +132,7 @@ class MultiViewPlanPhase(Phase):
                     predicate=ctx.query.predicate,
                     dimensions=dims,
                     view_specs=tuple(members),
+                    reference=ctx.reference,
                 )
                 for dims, members in by_dims.items()
             ]

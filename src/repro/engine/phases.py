@@ -32,6 +32,24 @@ class Phase:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+def filter_view_space(candidates, dimensions, measures):
+    """Restrict enumerated views to the requested attribute subsets.
+
+    ``dimensions``/``measures`` of None mean "no restriction"; count(*)
+    views (measure None) survive any measure filter — they carry no
+    measure to restrict.
+    """
+    if dimensions is not None:
+        allowed = set(dimensions)
+        candidates = [v for v in candidates if v.dimension in allowed]
+    if measures is not None:
+        allowed = set(measures)
+        candidates = [
+            v for v in candidates if v.measure is None or v.measure in allowed
+        ]
+    return candidates
+
+
 class MetadataPhase(Phase):
     """Collect table metadata (cached per data version) and log the query."""
 
@@ -76,6 +94,9 @@ class EnumeratePhase(Phase):
             ctx.schema,
             functions=ctx.config.aggregate_functions,
             include_count=ctx.config.include_count_views,
+        )
+        ctx.candidates = filter_view_space(
+            ctx.candidates, ctx.dimensions, ctx.measures
         )
         ctx.surviving = list(ctx.candidates)
 
@@ -162,6 +183,7 @@ class PlanPhase(Phase):
             ctx.query.predicate,
             cardinalities,
             ctx.backend.capabilities,
+            reference=ctx.reference,
         )
         ctx.plan_description = ctx.plan.describe()
 

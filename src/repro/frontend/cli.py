@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import RecommendationRequest, Reference
 from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SqliteBackend
 from repro.core.config import SeeDBConfig
@@ -90,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--html", metavar="FILE", help="write a standalone HTML report to FILE"
+    )
+    parser.add_argument(
+        "--reference",
+        default="table",
+        metavar="SPEC",
+        help="comparison row set: 'table' (whole table, default), "
+        "'complement' (everything the query excludes), or a second "
+        "row-selection SQL query to compare against",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="progressive delivery: print each incremental round's top "
+        "view as it is estimated, then the final recommendations",
     )
     parser.add_argument(
         "--show-bad-views",
@@ -232,7 +247,33 @@ def main(argv: "list[str] | None" = None) -> int:
             n_workers=args.workers,
         )
         seedb = SeeDB(backend, config)
-        result = seedb.recommend(query)
+        # Everything the flags describe folds into one declarative
+        # RecommendationRequest — the same object the HTTP API accepts.
+        request = RecommendationRequest(
+            target=seedb.resolve_query(query),
+            reference=Reference.from_dict(args.reference),
+        )
+        if args.stream:
+            result = None
+            for partial in seedb.recommend_iter(request):
+                if partial.is_final:
+                    result = partial.result
+                    continue
+                top = partial.recommendations[0] if partial.recommendations else None
+                print(
+                    f"round {partial.round}/{partial.n_rounds}: "
+                    f"{partial.views_alive} alive, "
+                    f"{partial.views_pruned} pruned"
+                    + (
+                        f"; current top {top.spec.label!r} "
+                        f"(utility≈{top.utility:.4f})"
+                        if top is not None
+                        else ""
+                    )
+                )
+            print()
+        else:
+            result = seedb.recommend(request)
     except (ReproError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

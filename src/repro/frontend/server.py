@@ -6,6 +6,14 @@ the transport for that: a threaded ``http.server`` speaking JSON, so any
 number of analysts (or the bundled CLI/`AnalystSession`) hit the same
 warm service — same engine caches, same coalescing, same stats.
 
+Request bodies are validated through the declarative request API
+(:mod:`repro.api`): ``POST /recommend`` accepts either the versioned wire
+form of a :class:`~repro.api.RecommendationRequest` (a ``target`` field,
+``schema_version`` 1) or the legacy flat form (``sql``/``table`` plus
+whitelisted config overrides), and every validation failure returns a
+structured 400 — ``{"error": {"code": ..., "message": ..., "field": ...}}``
+— instead of a free-text message.
+
 Endpoints
 ---------
 
@@ -13,8 +21,11 @@ Endpoints
 * ``GET /stats`` — the service's :meth:`SeeDBService.snapshot`.
 * ``GET /views?backend=NAME&table=TABLE`` — the enumerated candidate view
   space (dimension, measure, function triples) for one table.
-* ``POST /recommend`` — body ``{"sql": ..., "backend": ..., "k": ...,
-  ...config overrides}``; returns serialized recommendations.
+* ``POST /recommend`` — a request body as above; returns serialized
+  recommendations.
+* ``POST /recommend/stream`` — same body; responds with NDJSON, one
+  :class:`~repro.api.PartialResult` round per line (progressive top-k from
+  the incremental engine), the last line carrying the final result.
 
 Run one with ``seedb serve --dataset store_orders`` or programmatically
 via :func:`make_server` (port 0 picks a free port — the tests do this).
@@ -27,14 +38,19 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.core.result import RecommendationResult
+from repro.api import ApiError, RecommendationRequest
+# Re-exported for backwards compatibility: these wire helpers lived here
+# before the api package centralized the schema.
+from repro.api.wire import plain as _plain  # noqa: F401
+from repro.api.wire import result_to_json, view_to_json
 from repro.core.space import enumerate_views
-from repro.model.view import ScoredView
 from repro.service import DEFAULT_BACKEND, SeeDBService
 from repro.util.errors import ReproError
 
-#: Config fields a request body may override per call. A deliberate
-#: whitelist: serving knobs stay server-side, analyst knobs are free.
+#: Config fields a legacy flat request body may override per call. A
+#: deliberate whitelist: serving knobs stay server-side, analyst knobs are
+#: free. (New-style bodies put these under "options", where the request
+#: schema validates them.)
 OVERRIDABLE_CONFIG_FIELDS = frozenset(
     {
         "metric",
@@ -49,58 +65,71 @@ OVERRIDABLE_CONFIG_FIELDS = frozenset(
     }
 )
 
-
-# -- serialization ---------------------------------------------------------
-
-
-def _plain(value):
-    """Numpy scalars / exotic keys → JSON-safe plain values."""
-    if hasattr(value, "item"):
-        value = value.item()
-    if isinstance(value, (str, int, bool)) or value is None:
-        return value
-    if isinstance(value, float):
-        return value if value == value else None  # NaN → null
-    return str(value)
+#: Legacy flat keys lifted into first-class request fields.
+_LEGACY_REQUEST_FIELDS = (
+    "backend",
+    "k",
+    "metric",
+    "reference",
+    "strategy",
+    "dimensions",
+    "measures",
+)
 
 
-def view_to_json(view: ScoredView) -> dict:
-    """One scored view as the frontend's chart-ready payload."""
-    return {
-        "dimension": view.spec.dimension,
-        "measure": view.spec.measure,
-        "func": view.spec.func,
-        "label": view.spec.label,
-        "utility": _plain(view.utility),
-        "groups": [_plain(group) for group in view.groups],
-        "target_distribution": [_plain(v) for v in view.target_distribution],
-        "comparison_distribution": [
-            _plain(v) for v in view.comparison_distribution
-        ],
-        "max_deviation_group": _plain(view.max_deviation_group),
-    }
+def request_from_payload(payload) -> RecommendationRequest:
+    """Decode an HTTP body into a :class:`RecommendationRequest`.
+
+    A body carrying ``target`` (or an explicit ``schema_version``) is the
+    versioned wire form and goes through the strict codec; otherwise the
+    legacy flat form is translated — ``sql``/``table`` into the target,
+    whitelisted config fields into options — and validated by the same
+    schema, so unknown fields and bad values fail with the same structured
+    error taxonomy either way.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(
+            f"request body must be a JSON object, got {type(payload).__name__}",
+            code="invalid_request",
+        )
+    if "target" in payload or "schema_version" in payload:
+        return RecommendationRequest.from_dict(payload)
+
+    remaining = dict(payload)
+    sql = remaining.pop("sql", None)
+    table = remaining.pop("table", None)
+    if sql is None and table is None:
+        raise ApiError(
+            '/recommend requires "sql", "table", or a structured "target"',
+            code="missing_field",
+            field="target",
+        )
+    wire: dict = {"target": sql if sql is not None else {"table": table}}
+    for key in _LEGACY_REQUEST_FIELDS:
+        if key in remaining:
+            wire[key] = remaining.pop(key)
+    options = dict(remaining.pop("options", None) or {})
+    for key in list(remaining):
+        if key in OVERRIDABLE_CONFIG_FIELDS:
+            options[key] = remaining.pop(key)
+    if remaining:
+        extra = sorted(remaining)
+        raise ApiError(
+            f"unknown field(s) {extra}; overridable config fields: "
+            f"{sorted(OVERRIDABLE_CONFIG_FIELDS)}",
+            code="unknown_field",
+            field=extra[0],
+        )
+    if options:
+        wire["options"] = options
+    return RecommendationRequest.from_dict(wire)
 
 
-def result_to_json(result: RecommendationResult) -> dict:
-    """A full recommendation result as the ``/recommend`` response body."""
-    return {
-        "table": result.table,
-        "predicate": result.predicate_description,
-        "k": result.k,
-        "metric": result.metric,
-        "recommendations": [
-            view_to_json(view) for view in result.recommendations
-        ],
-        "n_candidate_views": result.n_candidate_views,
-        "n_executed_views": result.n_executed_views,
-        "n_queries": result.n_queries,
-        "sample_fraction": result.sample_fraction,
-        "phase_seconds": {
-            name: round(seconds, 6)
-            for name, seconds in result.stopwatch.phases.items()
-        },
-        "total_seconds": round(result.total_seconds, 6),
-    }
+def error_body(error: Exception, code: str = "invalid_request") -> dict:
+    """The structured ``error`` object for a failure response."""
+    if isinstance(error, ApiError):
+        return {"error": error.to_dict()}
+    return {"error": {"code": code, "message": str(error)}}
 
 
 # -- request handling ------------------------------------------------------
@@ -138,25 +167,44 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
             elif parsed.path == "/views":
                 self._reply(200, self._views(parse_qs(parsed.query)))
             else:
-                self._reply(404, {"error": f"no route {parsed.path!r}"})
+                self._reply(
+                    404,
+                    {
+                        "error": {
+                            "code": "not_found",
+                            "message": f"no route {parsed.path!r}",
+                        }
+                    },
+                )
         except ReproError as error:
-            self._reply(400, {"error": str(error)})
+            self._reply(400, error_body(error))
         except Exception as error:  # noqa: BLE001 - keep-alive clients need
             # a response body, not a dropped connection, on internal bugs.
-            self._reply(500, {"error": f"internal error: {error}"})
+            self._reply(500, error_body(error, code="internal_error"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
-        if parsed.path != "/recommend":
-            self._reply(404, {"error": f"no route {parsed.path!r}"})
+        if parsed.path == "/recommend":
+            handler = self._recommend
+        elif parsed.path == "/recommend/stream":
+            handler = self._recommend_stream
+        else:
+            self._reply(
+                404,
+                {
+                    "error": {
+                        "code": "not_found",
+                        "message": f"no route {parsed.path!r}",
+                    }
+                },
+            )
             return
         try:
-            payload = self._read_json()
-            self._reply(200, self._recommend(payload))
+            handler(self._read_json())
         except (ReproError, TypeError) as error:
-            self._reply(400, {"error": str(error)})
+            self._reply(400, error_body(error))
         except Exception as error:  # noqa: BLE001 - see do_GET
-            self._reply(500, {"error": f"internal error: {error}"})
+            self._reply(500, error_body(error, code="internal_error"))
 
     # -- endpoint bodies ---------------------------------------------------
 
@@ -164,7 +212,11 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
         backend_name = params.get("backend", [DEFAULT_BACKEND])[0]
         tables = params.get("table")
         if not tables:
-            raise ReproError("/views requires a table=... query parameter")
+            raise ApiError(
+                "/views requires a table=... query parameter",
+                code="missing_field",
+                field="table",
+            )
         table = tables[0]
         engine = self.service.engine(backend_name)
         config = self.service.facade(backend_name).config
@@ -189,26 +241,46 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
             ],
         }
 
-    def _recommend(self, payload: dict) -> dict:
-        if not isinstance(payload, dict):
-            raise ReproError("request body must be a JSON object")
-        sql = payload.get("sql")
-        table = payload.get("table")
-        if sql is None and table is None:
-            raise ReproError('/recommend requires "sql" or "table"')
-        query = sql if sql is not None else f"SELECT * FROM {table}"
-        backend_name = payload.get("backend", DEFAULT_BACKEND)
-        k = payload.get("k")
-        overrides = {}
-        for field, value in payload.items():
-            if field in OVERRIDABLE_CONFIG_FIELDS:
-                if field == "aggregate_functions" and isinstance(value, list):
-                    value = tuple(value)
-                overrides[field] = value
-        result = self.service.recommend(
-            query, backend=backend_name, k=k, **overrides
-        )
-        return result_to_json(result)
+    def _recommend(self, payload: dict) -> None:
+        request = request_from_payload(payload)
+        result = self.service.recommend(request)
+        self._reply(200, result_to_json(result))
+
+    def _recommend_stream(self, payload: dict) -> None:
+        """NDJSON progressive delivery: one PartialResult per line.
+
+        The response carries no Content-Length (its length is unknown
+        until the last round), so the connection closes at stream end —
+        signalled up front with ``Connection: close``. Validation errors
+        are ordinary JSON 400s; a failure *mid-stream* is delivered as a
+        final ``{"error": ...}`` line, since the 200 header is already on
+        the wire.
+        """
+        request = request_from_payload(payload)
+        stream = self.service.recommend_stream(request)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        # From here the 200 status is on the wire: NOTHING may propagate
+        # to do_POST's error handler (it would write a second status line
+        # into the streaming body). Any failure — execution error, client
+        # disconnect mid-stream — ends as a best-effort error line.
+        try:
+            for partial in stream:
+                line = json.dumps(partial.to_dict()) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except Exception as error:  # noqa: BLE001 - headers already sent
+            code = "invalid_request" if isinstance(error, ReproError) else "internal_error"
+            try:
+                self.wfile.write(
+                    (json.dumps(error_body(error, code=code)) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+            except OSError:
+                pass  # client already gone; the broadcast drains regardless
 
     # -- plumbing ----------------------------------------------------------
 
@@ -218,7 +290,9 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
         try:
             return json.loads(raw.decode("utf-8"))
         except json.JSONDecodeError as exc:
-            raise ReproError(f"invalid JSON body: {exc}") from exc
+            raise ApiError(
+                f"invalid JSON body: {exc}", code="invalid_request"
+            ) from exc
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")

@@ -9,7 +9,7 @@ data, value with maximum change and other statistics)."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
@@ -21,6 +21,9 @@ from repro.service import DEFAULT_BACKEND, SeeDBService, single_backend_service
 from repro.util.errors import QueryError
 from repro.viz.render_text import render_ascii
 from repro.viz.spec import view_to_chart_spec
+
+if TYPE_CHECKING:
+    from repro.api.request import RecommendationRequest
 
 
 @dataclass
@@ -105,15 +108,38 @@ class AnalystSession:
     # -- issuing queries ------------------------------------------------
 
     def issue(
-        self, query: "RowSelectQuery | str", k: "int | None" = None
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        k: "int | None" = None,
     ) -> RecommendationResult:
-        """Run a recommendation through the service and record it."""
-        resolved = self.seedb.resolve_query(query)
-        result = self.service.recommend(
-            resolved, backend=self.backend_name, k=k
-        )
-        self.history.append((resolved, result))
+        """Run a recommendation through the service and record it.
+
+        ``query`` is canonically a
+        :class:`~repro.api.RecommendationRequest` (reference specs,
+        view-space filters, and execution options all honored); a
+        :class:`RowSelectQuery` or SQL string is wrapped into one.
+        """
+        request = self.seedb.as_request(query, k=k)
+        result = self.service.recommend(request, backend=self.backend_name)
+        self.history.append((request.target, result))
         return result
+
+    def issue_stream(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        k: "int | None" = None,
+    ):
+        """Progressive :meth:`issue`: yield
+        :class:`~repro.api.PartialResult` rounds through the service's
+        coalescing-aware stream fan-out, recording the final result in the
+        session history like a blocking call."""
+        request = self.seedb.as_request(query, k=k)
+        for partial in self.service.recommend_stream(
+            request, backend=self.backend_name
+        ):
+            if partial.is_final and partial.result is not None:
+                self.history.append((request.target, partial.result))
+            yield partial
 
     @property
     def last_query(self) -> RowSelectQuery:

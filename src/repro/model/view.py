@@ -86,13 +86,20 @@ class ViewSpec:
             predicate=predicate,
         )
 
-    def comparison_query(self, table: str) -> AggregateQuery:
-        """``SELECT a, f(m) FROM D GROUP BY a`` — the comparison view (§2)."""
+    def comparison_query(
+        self, table: str, predicate: Expression | None = None
+    ) -> AggregateQuery:
+        """``SELECT a, f(m) FROM D GROUP BY a`` — the comparison view (§2).
+
+        ``predicate`` restricts the comparison row set for non-table
+        references (complement / query-vs-query); ``None`` keeps the
+        paper's whole-table comparison.
+        """
         return AggregateQuery(
             table=table,
             group_by=(self.dimension,),
             aggregates=(self.aggregate,),
-            predicate=None,
+            predicate=predicate,
         )
 
     def __str__(self) -> str:

@@ -103,14 +103,17 @@ def raw_from_flag_table(
     dimension: "str | tuple[str, ...]",
     views: tuple[ViewSpec, ...],
     flag_name: str = FLAG_NAME,
+    merge: bool = True,
 ) -> dict[ViewSpec, RawViewData]:
     """Recover target and comparison series from a flag-combined result.
 
     ``result`` is grouped by ``(flag, dimension)`` with auxiliary
     aggregates. Target = flag=1 partition; comparison = merge of both
-    partitions (the comparison view covers the entire table, §2).
-    ``dimension`` may be a tuple of attribute names, in which case group
-    keys are attribute-value tuples (multi-attribute views).
+    partitions when ``merge`` (the comparison view covers the entire
+    table, §2 — the ``table`` reference), or the flag=0 partition alone
+    when ``merge=False`` (the ``complement`` reference: comparison over
+    D ∖ D_Q). ``dimension`` may be a tuple of attribute names, in which
+    case group keys are attribute-value tuples (multi-attribute views).
     """
     flags = np.asarray(result.column(flag_name))
     target_part = result.mask(flags == 1)
@@ -122,22 +125,29 @@ def raw_from_flag_table(
     rest_keys = dimension_keys(rest_part, dimension)
     rest_aux = aux_arrays(rest_part, all_aux)
 
-    union, aligned_target, aligned_rest = align_aux(
-        target_keys, target_aux, rest_keys, rest_aux, all_aux
-    )
-    merged = {
-        aggregate.alias: merge_aux_arrays(
-            aggregate, aligned_target[aggregate.alias], aligned_rest[aggregate.alias]
+    if merge:
+        union, aligned_target, aligned_rest = align_aux(
+            target_keys, target_aux, rest_keys, rest_aux, all_aux
         )
-        for aggregate in all_aux
-    }
+        comparison_aux = {
+            aggregate.alias: merge_aux_arrays(
+                aggregate,
+                aligned_target[aggregate.alias],
+                aligned_rest[aggregate.alias],
+            )
+            for aggregate in all_aux
+        }
+        comparison_keys = union
+    else:
+        comparison_aux = rest_aux
+        comparison_keys = rest_keys
 
     extracted: dict[ViewSpec, RawViewData] = {}
     # One shared key-list object per side: views of one step alias the same
     # lists, which lets blocks_from_raw recognize the shared universe by
     # identity instead of re-canonicalizing keys per view.
     shared_target_keys = list(target_keys)
-    shared_comparison_keys = list(union)
+    shared_comparison_keys = list(comparison_keys)
     for view in views:
         spec = merge_spec(view.aggregate)
         extracted[view] = RawViewData(
@@ -145,7 +155,7 @@ def raw_from_flag_table(
             target_keys=shared_target_keys,
             target_values=spec.reconstruct(target_aux),
             comparison_keys=shared_comparison_keys,
-            comparison_values=spec.reconstruct(merged),
+            comparison_values=spec.reconstruct(comparison_aux),
         )
     return extracted
 

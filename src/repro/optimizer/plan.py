@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.backends.base import Backend, BackendCapabilities
+from repro.model.reference import TABLE_REFERENCE, ResolvedReference
 from repro.model.view import RawViewData, ViewSpec
 from repro.db.aggregates import Aggregate
 from repro.db.expressions import Expression, TruePredicate
@@ -89,11 +90,17 @@ class ExecutionStep:
 
 @dataclass
 class SeparateStep(ExecutionStep):
-    """Target and comparison view queries executed independently."""
+    """Target and comparison view queries executed independently.
+
+    The comparison query's row set is the step's reference: the whole
+    table (predicate None, §2), the target's complement, or an arbitrary
+    second selection (query-vs-query).
+    """
 
     table: str
     predicate: "Expression | None"
     group: ViewGroup
+    reference: ResolvedReference = TABLE_REFERENCE
 
     @property
     def views(self) -> tuple[ViewSpec, ...]:
@@ -105,7 +112,12 @@ class SeparateStep(ExecutionStep):
             AggregateQuery(
                 self.table, (self.group.dimension,), aggregates, self.predicate
             ),
-            AggregateQuery(self.table, (self.group.dimension,), aggregates, None),
+            AggregateQuery(
+                self.table,
+                (self.group.dimension,),
+                aggregates,
+                self.reference.predicate,
+            ),
         ]
 
     def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
@@ -125,11 +137,17 @@ class SeparateStep(ExecutionStep):
 
 @dataclass
 class FlagStep(ExecutionStep):
-    """One combined query ``GROUP BY (flag, a)`` for target + comparison."""
+    """One combined query ``GROUP BY (flag, a)`` for target + comparison.
+
+    Only flag-combinable references run through this step: ``table``
+    merges both partitions into the comparison, ``complement`` takes the
+    flag=0 partition alone.
+    """
 
     table: str
     predicate: "Expression | None"
     group: ViewGroup
+    reference: ResolvedReference = TABLE_REFERENCE
 
     @property
     def views(self) -> tuple[ViewSpec, ...]:
@@ -152,7 +170,12 @@ class FlagStep(ExecutionStep):
     def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
         (query,) = self.queries()
         result = backend.execute(query)
-        return raw_from_flag_table(result, self.group.dimension, self.group.views)
+        return raw_from_flag_table(
+            result,
+            self.group.dimension,
+            self.group.views,
+            merge=self.reference.merge_partitions,
+        )
 
     def describe(self) -> str:
         return (
@@ -176,6 +199,7 @@ class MultiFlagStep(ExecutionStep):
     predicate: "Expression | None"
     dimensions: tuple[str, ...]
     view_specs: tuple
+    reference: ResolvedReference = TABLE_REFERENCE
 
     def __post_init__(self) -> None:
         if not self.view_specs:
@@ -208,7 +232,12 @@ class MultiFlagStep(ExecutionStep):
     def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
         (query,) = self.queries()
         result = backend.execute(query)
-        return raw_from_flag_table(result, self.dimensions, self.view_specs)
+        return raw_from_flag_table(
+            result,
+            self.dimensions,
+            self.view_specs,
+            merge=self.reference.merge_partitions,
+        )
 
     def describe(self) -> str:
         return (
@@ -225,6 +254,7 @@ class MultiDimStep(ExecutionStep):
     predicate: "Expression | None"
     groups: tuple[ViewGroup, ...]
     combine_flag: bool
+    reference: ResolvedReference = TABLE_REFERENCE
 
     @property
     def views(self) -> tuple[ViewSpec, ...]:
@@ -251,7 +281,9 @@ class MultiDimStep(ExecutionStep):
         sets = tuple((group.dimension,) for group in self.groups)
         return [
             GroupingSetsQuery(self.table, sets, aggregates, self.predicate),
-            GroupingSetsQuery(self.table, sets, aggregates, None),
+            GroupingSetsQuery(
+                self.table, sets, aggregates, self.reference.predicate
+            ),
         ]
 
     def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
@@ -261,7 +293,12 @@ class MultiDimStep(ExecutionStep):
             results = backend.execute_grouping_sets(query)
             for group, result in zip(self.groups, results):
                 extracted.update(
-                    raw_from_flag_table(result, group.dimension, group.views)
+                    raw_from_flag_table(
+                        result,
+                        group.dimension,
+                        group.views,
+                        merge=self.reference.merge_partitions,
+                    )
                 )
             return extracted
         target_query, comparison_query = self.queries()
@@ -291,6 +328,7 @@ class RollupStep(ExecutionStep):
     predicate: "Expression | None"
     groups: tuple[ViewGroup, ...]
     combine_flag: bool
+    reference: ResolvedReference = TABLE_REFERENCE
 
     @property
     def views(self) -> tuple[ViewSpec, ...]:
@@ -316,7 +354,12 @@ class RollupStep(ExecutionStep):
             return [AggregateQuery(self.table, group_by, aggregates, None)]
         return [
             AggregateQuery(self.table, self._dimensions(), aggregates, self.predicate),
-            AggregateQuery(self.table, self._dimensions(), aggregates, None),
+            AggregateQuery(
+                self.table,
+                self._dimensions(),
+                aggregates,
+                self.reference.predicate,
+            ),
         ]
 
     def run(self, backend: Backend) -> dict[ViewSpec, RawViewData]:
@@ -330,7 +373,12 @@ class RollupStep(ExecutionStep):
                     rollup, group.dimension, aggregates, flag_name=FLAG_NAME
                 )
                 extracted.update(
-                    raw_from_flag_table(marginal, group.dimension, group.views)
+                    raw_from_flag_table(
+                        marginal,
+                        group.dimension,
+                        group.views,
+                        merge=self.reference.merge_partitions,
+                    )
                 )
             return extracted
         target_query, comparison_query = self.queries()
@@ -429,16 +477,25 @@ class Planner:
         predicate: "Expression | None",
         cardinalities: dict[str, int],
         capabilities: BackendCapabilities,
+        reference: "ResolvedReference | None" = None,
     ) -> ExecutionPlan:
         """Plan execution of ``views`` against ``table``.
 
         ``cardinalities`` (dimension -> distinct count) comes from the
         metadata collector and drives bin-packing; a dimension missing from
         it is conservatively treated as too large to share a rollup.
+        ``reference`` selects the comparison row set (defaults to the whole
+        table); a non-flag-combinable reference (query-vs-query) forces
+        separate target/comparison queries even when target/comparison
+        combining is enabled — one 0/1 flag cannot partition two possibly
+        overlapping selections.
         """
         if not views:
             return ExecutionPlan(steps=[])
+        if reference is None:
+            reference = TABLE_REFERENCE
         config = self.config
+        combine_flag = config.combine_target_comparison and reference.flag_combinable
         mode = config.groupby_combining
         if mode is GroupByCombining.AUTO:
             mode = (
@@ -453,20 +510,32 @@ class Planner:
         groups = self._group_views(views, by_dimension)
 
         if mode is GroupByCombining.NONE:
-            return ExecutionPlan(steps=[self._single_group_step(g, table, predicate) for g in groups])
+            return ExecutionPlan(
+                steps=[
+                    self._single_group_step(
+                        g, table, predicate, reference, combine_flag
+                    )
+                    for g in groups
+                ]
+            )
 
         if mode is GroupByCombining.GROUPING_SETS:
             steps: list[ExecutionStep] = []
             for chunk in _chunks(groups, config.max_dims_per_query):
                 if len(chunk) == 1:
-                    steps.append(self._single_group_step(chunk[0], table, predicate))
+                    steps.append(
+                        self._single_group_step(
+                            chunk[0], table, predicate, reference, combine_flag
+                        )
+                    )
                 else:
                     steps.append(
                         MultiDimStep(
                             table=table,
                             predicate=predicate,
                             groups=tuple(chunk),
-                            combine_flag=config.combine_target_comparison,
+                            combine_flag=combine_flag,
+                            reference=reference,
                         )
                     )
             return ExecutionPlan(steps=steps)
@@ -474,7 +543,7 @@ class Planner:
         # ROLLUP: bin-pack dimensions under the memory budget. The flag
         # column doubles the group count, so halve the budget when combined.
         budget = config.memory_budget_cells
-        if config.combine_target_comparison:
+        if combine_flag:
             budget = max(budget // 2, 2)
         group_by_dimension = {group.dimension: group for group in groups}
         packing_cards = {
@@ -491,24 +560,42 @@ class Planner:
         for bin_members in packed.bins:
             bin_groups = tuple(group_by_dimension[name] for name in bin_members)
             if len(bin_groups) == 1:
-                steps.append(self._single_group_step(bin_groups[0], table, predicate))
+                steps.append(
+                    self._single_group_step(
+                        bin_groups[0], table, predicate, reference, combine_flag
+                    )
+                )
             else:
                 steps.append(
                     RollupStep(
                         table=table,
                         predicate=predicate,
                         groups=bin_groups,
-                        combine_flag=config.combine_target_comparison,
+                        combine_flag=combine_flag,
+                        reference=reference,
                     )
                 )
         return ExecutionPlan(steps=steps)
 
     def _single_group_step(
-        self, group: ViewGroup, table: str, predicate: "Expression | None"
+        self,
+        group: ViewGroup,
+        table: str,
+        predicate: "Expression | None",
+        reference: ResolvedReference = TABLE_REFERENCE,
+        combine_flag: "bool | None" = None,
     ) -> ExecutionStep:
-        if self.config.combine_target_comparison:
-            return FlagStep(table=table, predicate=predicate, group=group)
-        return SeparateStep(table=table, predicate=predicate, group=group)
+        if combine_flag is None:
+            combine_flag = (
+                self.config.combine_target_comparison and reference.flag_combinable
+            )
+        if combine_flag:
+            return FlagStep(
+                table=table, predicate=predicate, group=group, reference=reference
+            )
+        return SeparateStep(
+            table=table, predicate=predicate, group=group, reference=reference
+        )
 
     @staticmethod
     def _group_views(views: list[ViewSpec], by_dimension: bool) -> list[ViewGroup]:

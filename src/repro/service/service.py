@@ -31,12 +31,14 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.api.errors import ApiError
+from repro.api.progressive import PartialResult
+from repro.api.request import RecommendationRequest, ResolvedRequest
 from repro.backends.base import Backend
 from repro.core.config import SeeDBConfig
 from repro.core.recommender import SeeDB
 from repro.core.result import RecommendationResult
 from repro.db.query import RowSelectQuery
-from repro.engine.context import describe_predicate
 from repro.engine.engine import ExecutionEngine
 from repro.util.errors import ConfigError, QueryError
 
@@ -61,6 +63,8 @@ class ServiceStats:
     coalesced: int = 0
     #: Requests served directly from the finished-result LRU.
     result_cache_hits: int = 0
+    #: Streaming requests accepted (counted in ``requests`` too).
+    streams: int = 0
 
 
 @dataclass
@@ -71,6 +75,51 @@ class _BackendSlot:
     config: SeeDBConfig
     facade: SeeDB
     owned: bool
+
+
+class _StreamBroadcast:
+    """One progressive execution fanned out to any number of subscribers.
+
+    The producer thread publishes :class:`~repro.api.PartialResult` rounds
+    as they are computed; every subscriber — including one attaching after
+    rounds already streamed (request coalescing) — replays the full round
+    history from the start, so late joiners see the same monotonic
+    sequence early ones did. A failed execution re-raises the producer's
+    exception in every subscriber.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._rounds: list[PartialResult] = []
+        self._done = False
+        self._error: "BaseException | None" = None
+
+    def publish(self, item: PartialResult) -> None:
+        with self._cond:
+            self._rounds.append(item)
+            self._cond.notify_all()
+
+    def finish(self, error: "BaseException | None" = None) -> None:
+        with self._cond:
+            self._done = True
+            self._error = error
+            self._cond.notify_all()
+
+    def subscribe(self):
+        """Yield every round from the beginning; blocks on the producer."""
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(self._rounds) and not self._done:
+                    self._cond.wait()
+                if index < len(self._rounds):
+                    item = self._rounds[index]
+                    index += 1
+                else:
+                    if self._error is not None:
+                        raise self._error
+                    return
+            yield item
 
 
 class SeeDBService:
@@ -103,6 +152,7 @@ class SeeDBService:
         self._lock = threading.RLock()
         self._slots: dict[str, _BackendSlot] = {}
         self._in_flight: dict[tuple, Future] = {}
+        self._in_flight_streams: "dict[tuple, _StreamBroadcast]" = {}
         self._results: "OrderedDict[tuple, RecommendationResult]" = OrderedDict()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="seedb-service"
@@ -156,18 +206,13 @@ class SeeDBService:
 
     def _slot(self, name: str) -> _BackendSlot:
         with self._lock:
-            try:
-                return self._slots[name]
-            except KeyError:
-                raise QueryError(
-                    f"no backend named {name!r}; registered: {sorted(self._slots)}"
-                ) from None
+            return self._require_slot(name)
 
     # -- serving -----------------------------------------------------------
 
     def submit(
         self,
-        query: "RowSelectQuery | str",
+        query: "RecommendationRequest | RowSelectQuery | str",
         backend: str = DEFAULT_BACKEND,
         k: "int | None" = None,
         config: "SeeDBConfig | None" = None,
@@ -175,25 +220,21 @@ class SeeDBService:
     ) -> "Future[RecommendationResult]":
         """Schedule a recommendation; returns a future for its result.
 
-        Identical concurrent requests (same backend, resolved query,
-        effective config, and k) share one execution when coalescing is
+        ``query`` is canonically a
+        :class:`~repro.api.RecommendationRequest`; a
+        :class:`RowSelectQuery` / SQL string plus ``k`` / ``config`` /
+        ``**overrides`` is the pre-request adapter form and folds into an
+        equivalent request. Identical concurrent requests (same backend,
+        resolved request identity) share one execution when coalescing is
         enabled; requests matching a finished result at the same
         ``data_version`` resolve immediately from the LRU.
         """
         with self._lock:
             self._require_open()
-            slot = self._slots.get(backend)
-            if slot is None:
-                raise QueryError(
-                    f"no backend named {backend!r}; "
-                    f"registered: {sorted(self._slots)}"
-                )
-            effective = config if config is not None else slot.config
-            if overrides:
-                effective = effective.with_overrides(**overrides)
-            resolved = slot.facade.resolve_query(query)
-            top_k = k if k is not None else effective.k
-            key = self._request_key(backend, slot, resolved, effective, top_k)
+            backend_name, slot, resolved = self._canonicalize(
+                query, backend, k, config, overrides
+            )
+            key = (backend_name, slot.backend.data_version) + resolved.key_parts()
             self.stats.requests += 1
 
             if self.result_cache_size:
@@ -219,9 +260,7 @@ class SeeDBService:
             self._in_flight.setdefault(key, future)
             self.stats.executions += 1
         try:
-            self._pool.submit(
-                self._execute, key, slot, resolved, effective, top_k, future
-            )
+            self._pool.submit(self._execute, key, slot, resolved, future)
         except RuntimeError as exc:
             # close() shut the pool down between our lock release and the
             # schedule: resolve the future (coalesced waiters included)
@@ -237,7 +276,7 @@ class SeeDBService:
 
     def recommend(
         self,
-        query: "RowSelectQuery | str",
+        query: "RecommendationRequest | RowSelectQuery | str",
         backend: str = DEFAULT_BACKEND,
         k: "int | None" = None,
         config: "SeeDBConfig | None" = None,
@@ -248,17 +287,181 @@ class SeeDBService:
             query, backend=backend, k=k, config=config, **overrides
         ).result()
 
+    def recommend_stream(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        backend: str = DEFAULT_BACKEND,
+        k: "int | None" = None,
+        config: "SeeDBConfig | None" = None,
+        **overrides,
+    ):
+        """Progressive :meth:`recommend`: an iterator of
+        :class:`~repro.api.PartialResult` rounds ending in the final
+        result round.
+
+        Coalescing-aware fan-out: identical concurrent stream requests
+        share one incremental execution whose rounds broadcast to every
+        subscriber (late joiners replay from round one); with coalescing
+        off each request runs its own execution.
+        """
+        return self._submit_stream(query, backend, k, config, overrides).subscribe()
+
+    def _submit_stream(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        backend: str,
+        k: "int | None",
+        config: "SeeDBConfig | None",
+        overrides: dict,
+    ) -> _StreamBroadcast:
+        from dataclasses import replace as dataclass_replace
+
+        with self._lock:
+            self._require_open()
+            backend_name, request = self._build_request(
+                query, backend, k, overrides
+            )
+            if request.strategy != "incremental":
+                # Streaming always runs the incremental machinery; pinning
+                # the strategy *before* resolution keeps both the
+                # bounded-metric validation and the coalescing key honest
+                # (a stream must never share an execution with a batch
+                # request).
+                request = dataclass_replace(request, strategy="incremental")
+            backend_name, slot, resolved = self._resolve_request(
+                request, backend_name, config
+            )
+            key = (
+                "stream",
+                backend_name,
+                slot.backend.data_version,
+            ) + resolved.key_parts()
+            self.stats.requests += 1
+            self.stats.streams += 1
+            if self.coalesce_requests:
+                in_flight = self._in_flight_streams.get(key)
+                if in_flight is not None:
+                    self.stats.coalesced += 1
+                    return in_flight
+            broadcast = _StreamBroadcast()
+            self._in_flight_streams.setdefault(key, broadcast)
+            self.stats.executions += 1
+        try:
+            self._pool.submit(self._execute_stream, key, slot, resolved, broadcast)
+        except RuntimeError as exc:
+            with self._lock:
+                if self._in_flight_streams.get(key) is broadcast:
+                    del self._in_flight_streams[key]
+                self.stats.failed += 1
+            broadcast.finish(
+                QueryError(f"service closed while scheduling request: {exc}")
+            )
+        return broadcast
+
+    def _execute_stream(
+        self,
+        key: tuple,
+        slot: _BackendSlot,
+        resolved: ResolvedRequest,
+        broadcast: _StreamBroadcast,
+    ) -> None:
+        try:
+            for partial in slot.facade.iter_resolved(resolved):
+                broadcast.publish(partial)
+        except BaseException as exc:  # noqa: BLE001 - delivered to subscribers
+            with self._lock:
+                if self._in_flight_streams.get(key) is broadcast:
+                    del self._in_flight_streams[key]
+                self.stats.failed += 1
+            broadcast.finish(exc)
+            return
+        with self._lock:
+            if self._in_flight_streams.get(key) is broadcast:
+                del self._in_flight_streams[key]
+            self.stats.completed += 1
+        broadcast.finish()
+
+    def _canonicalize(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        backend: str,
+        k: "int | None",
+        config: "SeeDBConfig | None",
+        overrides: dict,
+    ) -> tuple[str, _BackendSlot, ResolvedRequest]:
+        """Fold any accepted input into ``(backend_name, slot, resolved)``.
+
+        Caller holds the service lock.
+        """
+        backend, request = self._build_request(query, backend, k, overrides)
+        return self._resolve_request(request, backend, config)
+
+    def _build_request(
+        self,
+        query: "RecommendationRequest | RowSelectQuery | str",
+        backend: str,
+        k: "int | None",
+        overrides: dict,
+    ) -> tuple[str, RecommendationRequest]:
+        """Canonicalize input into ``(backend_name, request)`` (pre-resolve).
+
+        A request's own ``backend`` field routes it when the caller left
+        the ``backend`` argument at its default; legacy ``**overrides``
+        fold into the request's options (``metric`` and ``k`` into their
+        first-class fields).
+        """
+        if isinstance(query, RecommendationRequest):
+            request = query.with_k(k)
+            if overrides:
+                raise ConfigError(
+                    "pass config overrides inside the request's options, "
+                    "not as **overrides, when submitting a "
+                    "RecommendationRequest"
+                )
+            if request.backend is not None and backend == DEFAULT_BACKEND:
+                backend = request.backend
+        else:
+            options = dict(overrides)
+            metric = options.pop("metric", None)
+            k = options.pop("k", k)
+            request = RecommendationRequest(
+                target=self._require_slot(backend).facade.resolve_query(query),
+                k=k,
+                metric=metric,
+                options=options,
+            )
+        return backend, request
+
+    def _resolve_request(
+        self,
+        request: RecommendationRequest,
+        backend: str,
+        config: "SeeDBConfig | None",
+    ) -> tuple[str, _BackendSlot, ResolvedRequest]:
+        slot = self._require_slot(backend)
+        base = config if config is not None else slot.config
+        return backend, slot, request.resolve(base)
+
+    def _require_slot(self, backend: str) -> _BackendSlot:
+        slot = self._slots.get(backend)
+        if slot is None:
+            raise ApiError(
+                f"no backend named {backend!r}; "
+                f"registered: {sorted(self._slots)}",
+                code="unknown_backend",
+                field="backend",
+            )
+        return slot
+
     def _execute(
         self,
         key: tuple,
         slot: _BackendSlot,
-        query: RowSelectQuery,
-        config: SeeDBConfig,
-        k: int,
+        resolved: ResolvedRequest,
         future: "Future[RecommendationResult]",
     ) -> None:
         try:
-            result = slot.facade.recommend(query, k=k, config=config)
+            result = slot.facade.run_resolved(resolved).to_result()
         except BaseException as exc:  # noqa: BLE001 - delivered to waiters
             with self._lock:
                 if self._in_flight.get(key) is future:
@@ -276,33 +479,6 @@ class SeeDBService:
                 while len(self._results) > self.result_cache_size:
                     self._results.popitem(last=False)
         future.set_result(result)
-
-    def _request_key(
-        self,
-        backend_name: str,
-        slot: _BackendSlot,
-        query: RowSelectQuery,
-        config: SeeDBConfig,
-        k: int,
-    ) -> tuple:
-        """Identity of a request for coalescing and result caching.
-
-        The predicate is keyed by its rendered form (deterministic for
-        every expression the SQL renderer knows; the ``repr`` fallback for
-        custom expression objects simply never coalesces, which is safe).
-        ``data_version`` in the key makes every cached result self-retiring
-        on data change — eviction cannot race an invalidation because a
-        bumped version is a *different key*, not a mutated entry.
-        """
-        return (
-            backend_name,
-            slot.backend.data_version,
-            query.table,
-            describe_predicate(query),
-            query.limit,
-            repr(config),
-            k,
-        )
 
     # -- observability -----------------------------------------------------
 
@@ -333,7 +509,8 @@ class SeeDBService:
                 "failed": self.stats.failed,
                 "coalesced": self.stats.coalesced,
                 "result_cache_hits": self.stats.result_cache_hits,
-                "in_flight": len(self._in_flight),
+                "streams": self.stats.streams,
+                "in_flight": len(self._in_flight) + len(self._in_flight_streams),
                 "result_cache_entries": len(self._results),
                 "coalescing_enabled": self.coalesce_requests,
                 "max_workers": self.max_workers,
@@ -343,7 +520,7 @@ class SeeDBService:
     @property
     def in_flight(self) -> int:
         with self._lock:
-            return len(self._in_flight)
+            return len(self._in_flight) + len(self._in_flight_streams)
 
     def clear_result_cache(self) -> None:
         with self._lock:
@@ -368,6 +545,7 @@ class SeeDBService:
                     close()
         with self._lock:
             self._in_flight.clear()
+            self._in_flight_streams.clear()
             self._results.clear()
 
     def _require_open(self) -> None:

@@ -1,0 +1,383 @@
+"""Integration tests for the declarative request API (ISSUE 4 acceptance).
+
+One canonical :class:`RecommendationRequest` flows through SeeDB,
+SeeDBService, AnalystSession, and HTTP; ``from_sql()`` + ``Reference.query()``
+produce correct query-vs-query recommendations on both backends;
+``recommend_iter()`` delivers monotonically-refining partial top-k whose
+final round is bit-identical to the blocking result; and all pre-existing
+call signatures remain equivalent to their request-API forms via the
+deprecation adapters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PartialResult, RecommendationRequest, Reference
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.basic import BasicFramework
+from repro.core.config import SeeDBConfig
+from repro.core.incremental import IncrementalRecommender
+from repro.core.multiview import MultiViewRecommender
+from repro.core.recommender import SeeDB
+from repro.core.space import enumerate_views
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.frontend.session import AnalystSession
+from repro.service import single_backend_service
+
+SQL = "SELECT * FROM orders WHERE product = 'p0'"
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request, medium_table):
+    if request.param == "memory":
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        yield backend
+    else:
+        backend = SqliteBackend()
+        backend.register_table(medium_table)
+        yield backend
+        backend.close()
+
+
+def assert_same_scores(result_a, result_b):
+    """Bit-identical utilities and the same ranked specs."""
+    assert [v.spec for v in result_a.recommendations] == [
+        v.spec for v in result_b.recommendations
+    ]
+    assert [v.utility for v in result_a.recommendations] == [
+        v.utility for v in result_b.recommendations
+    ]
+    assert set(result_a.all_scored) == set(result_b.all_scored)
+    for spec, view in result_a.all_scored.items():
+        assert view.utility == result_b.all_scored[spec].utility
+
+
+class TestReferences:
+    def test_query_vs_query_on_both_backends(self, backend):
+        """Reference.query() compares two arbitrary selections correctly:
+        utilities equal hand-computed distances of the two slices."""
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM orders WHERE product = 'p0'",
+            reference=Reference.query("SELECT * FROM orders WHERE product = 'p1'"),
+            k=3,
+            dimensions=("region",),
+            measures=("amount",),
+        )
+        with SeeDB(backend, SeeDBConfig(k=3)) as seedb:
+            result = seedb.recommend(request)
+            assert result.reference_description.startswith("query[")
+            top = result.recommendations[0]
+
+            # Hand-check one view against direct per-slice aggregation.
+            from repro.metrics.normalize import align_series, normalize_distribution
+            from repro.metrics.registry import get_metric
+            from repro.optimizer.extract import table_series
+
+            view = top.spec
+            target = backend.execute(
+                view.target_query("orders", col("product") == "p0")
+            )
+            reference = backend.execute(
+                view.target_query("orders", col("product") == "p1")
+            )
+            t_keys, t_values = table_series(target, view.dimension, view.aggregate.alias)
+            r_keys, r_values = table_series(
+                reference, view.dimension, view.aggregate.alias
+            )
+            _groups, aligned_t, aligned_r = align_series(
+                t_keys, t_values, r_keys, r_values
+            )
+            expected = get_metric("js").distance(
+                normalize_distribution(aligned_t, SeeDBConfig().normalization),
+                normalize_distribution(aligned_r, SeeDBConfig().normalization),
+            )
+            assert top.utility == pytest.approx(expected, abs=1e-12)
+
+    def test_complement_flag_and_separate_paths_agree(self, backend):
+        request = RecommendationRequest.from_sql(
+            SQL, reference=Reference.complement(), k=3
+        )
+        combined = SeeDBConfig(k=3, combine_target_comparison=True)
+        separate = SeeDBConfig(k=3, combine_target_comparison=False)
+        with SeeDB(backend) as seedb:
+            result_flag = seedb.recommend(request, config=combined)
+            result_sep = seedb.recommend(request, config=separate)
+        for spec, view in result_flag.all_scored.items():
+            assert view.utility == pytest.approx(
+                result_sep.all_scored[spec].utility, abs=1e-12
+            )
+
+    def test_table_reference_matches_legacy_default(self, backend):
+        """An explicit Reference.table() is the pre-API behavior."""
+        with SeeDB(backend, SeeDBConfig(k=3)) as seedb:
+            legacy = seedb.recommend(SQL, k=3)
+            via_request = seedb.recommend(
+                RecommendationRequest.from_sql(SQL, reference=Reference.table(), k=3)
+            )
+        assert_same_scores(legacy, via_request)
+
+    def test_query_reference_vs_equivalent_complement(self, backend):
+        """query(everything-else) ≡ complement — two spellings, one row set."""
+        complement = RecommendationRequest.from_sql(
+            SQL, reference=Reference.complement(), k=3
+        )
+        spelled_out = RecommendationRequest.from_sql(
+            SQL,
+            reference=Reference.query("SELECT * FROM orders WHERE product != 'p0'"),
+            k=3,
+        )
+        # Separate-queries config: both references then issue WHERE-filtered
+        # comparison queries over identical row sets.
+        config = SeeDBConfig(k=3, combine_target_comparison=False)
+        with SeeDB(backend, config) as seedb:
+            a = seedb.recommend(complement)
+            b = seedb.recommend(spelled_out)
+        for spec, view in a.all_scored.items():
+            assert view.utility == pytest.approx(
+                b.all_scored[spec].utility, abs=1e-12
+            )
+
+
+class TestAdapters:
+    """Deprecation adapters produce bit-identical results to the request API."""
+
+    def test_seedb_positional_equals_request(self, backend):
+        query = RowSelectQuery("orders", col("product") == "p0")
+        with SeeDB(backend, SeeDBConfig(k=4)) as seedb:
+            legacy = seedb.recommend(query, k=4)
+            request = seedb.recommend(
+                RecommendationRequest(target=query, k=4)
+            )
+        assert_same_scores(legacy, request)
+
+    def test_basic_framework_positional_equals_request(self, backend):
+        basic = BasicFramework(backend)
+        query = RowSelectQuery("orders", col("product") == "p0")
+        legacy = basic.recommend(query, k=3)
+        request = basic.recommend_request(
+            RecommendationRequest(target=query, k=3)
+        )
+        assert_same_scores(legacy, request)
+
+    def test_incremental_positional_equals_request(self, medium_table):
+        views = enumerate_views(medium_table.schema)
+        predicate = col("product") == "p0"
+        legacy = IncrementalRecommender(medium_table).recommend(
+            predicate, views, k=3, n_phases=5
+        )
+        request = RecommendationRequest(
+            target=RowSelectQuery("orders", predicate),
+            k=3,
+            strategy="incremental",
+            options={"n_phases": 5},
+        )
+        via_request = IncrementalRecommender(medium_table).recommend_request(
+            request, views
+        )
+        assert [(v.spec, v.utility) for v in legacy.recommendations] == [
+            (v.spec, v.utility) for v in via_request.recommendations
+        ]
+        assert legacy.utilities == via_request.utilities
+        assert legacy.pruned_at_phase == via_request.pruned_at_phase
+
+    def test_multiview_positional_equals_request(self, backend):
+        query = RowSelectQuery("orders", col("product") == "p0")
+        with MultiViewRecommender(backend) as legacy_rec:
+            legacy = legacy_rec.recommend(query, k=3)
+        with MultiViewRecommender(backend) as request_rec:
+            via_request = request_rec.recommend_request(
+                RecommendationRequest(target=query, k=3)
+            )
+        assert [(v.spec, v.utility) for v in legacy] == [
+            (v.spec, v.utility) for v in via_request
+        ]
+
+    def test_request_metric_honored_by_every_canonical_entry(self, medium_table):
+        """recommend_request must score with the request's metric, not the
+        recommender's constructor default — a migrating caller would
+        otherwise get silently wrong rankings."""
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        query = RowSelectQuery("orders", col("product") == "p0")
+        request = RecommendationRequest(target=query, k=3, metric="euclidean")
+
+        euclid_basic = BasicFramework(backend, metric="euclidean").recommend(query, k=3)
+        via_request = BasicFramework(backend).recommend_request(request)
+        assert_same_scores(euclid_basic, via_request)
+
+        with MultiViewRecommender(backend, metric="euclidean") as expected_rec:
+            expected = expected_rec.recommend(query, k=3)
+        with MultiViewRecommender(backend) as request_rec:
+            got = request_rec.recommend_request(request)
+        assert [(v.spec, v.utility) for v in expected] == [
+            (v.spec, v.utility) for v in got
+        ]
+
+        views = enumerate_views(medium_table.schema)
+        bounded = RecommendationRequest(target=query, k=3, metric="total_variation")
+        expected_inc = IncrementalRecommender(
+            medium_table, metric="total_variation"
+        ).recommend(query.predicate, views, k=3)
+        got_inc = IncrementalRecommender(medium_table).recommend_request(
+            bounded, views
+        )
+        assert expected_inc.utilities == got_inc.utilities
+        from repro.api import ApiError
+
+        with pytest.raises(ApiError):
+            IncrementalRecommender(medium_table).recommend_request(
+                RecommendationRequest(target=query, metric="kl"), views
+            )
+
+    def test_service_positional_equals_request(self, backend):
+        with single_backend_service(backend, SeeDBConfig(k=3)) as service:
+            legacy = service.recommend(SQL, k=3, metric="euclidean")
+            via_request = service.recommend(
+                RecommendationRequest.from_sql(SQL, k=3, metric="euclidean")
+            )
+        assert_same_scores(legacy, via_request)
+
+
+class TestProgressive:
+    def test_stream_final_round_bit_identical_to_blocking(self, backend):
+        request = RecommendationRequest.from_sql(
+            SQL, k=3, strategy="incremental", options={"n_phases": 6}
+        )
+        with SeeDB(backend, SeeDBConfig(k=3)) as seedb:
+            blocking = seedb.recommend(request)
+            rounds = list(seedb.recommend_iter(request))
+        assert all(isinstance(r, PartialResult) for r in rounds)
+        partials, final = rounds[:-1], rounds[-1]
+        assert final.is_final and final.result is not None
+        assert not any(p.is_final for p in partials)
+        # Partial rounds count up and carry non-empty top-k estimates.
+        assert [p.round for p in partials] == list(range(1, len(partials) + 1))
+        assert all(p.recommendations for p in partials)
+        # Estimates refine monotonically toward the final answer: the last
+        # partial round's estimates ARE the final utilities (same
+        # accumulated state, same scorer), and pruning only shrinks the
+        # candidate set.
+        alive = [p.views_alive for p in partials]
+        assert all(a >= b for a, b in zip(alive, alive[1:]))
+        last = partials[-1]
+        final_utilities = {v.spec: v.utility for v in final.result.recommendations}
+        for view in last.recommendations[: len(final_utilities)]:
+            if view.spec in final_utilities:
+                assert view.utility == final_utilities[view.spec]
+        # Bit-identical to the blocking incremental result.
+        assert [(v.spec, v.utility) for v in final.result.recommendations] == [
+            (v.spec, v.utility) for v in blocking.recommendations
+        ]
+        assert final.result.utilities == blocking.utilities
+
+    def test_stream_with_query_reference(self, backend):
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM orders WHERE product = 'p0'",
+            reference=Reference.query("SELECT * FROM orders WHERE product = 'p1'"),
+            k=2,
+            options={"n_phases": 4},
+        )
+        with SeeDB(backend) as seedb:
+            rounds = list(seedb.recommend_iter(request))
+            blocking = seedb.recommend(
+                request if request.strategy == "incremental" else request
+            )
+        final = rounds[-1]
+        assert final.is_final
+        assert final.result.reference_description.startswith("query[")
+        assert len(final.result.recommendations) == 2
+
+    def test_service_stream_fans_out_one_execution(self, medium_table):
+        from concurrent.futures import ThreadPoolExecutor
+
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        request = RecommendationRequest.from_sql(
+            SQL, k=3, options={"n_phases": 4}
+        )
+        with single_backend_service(
+            backend, SeeDBConfig(k=3), owned=True, max_workers=4
+        ) as service:
+            def consume(_):
+                return [
+                    (p.round, p.is_final)
+                    for p in service.recommend_stream(request)
+                ]
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                sequences = list(pool.map(consume, range(4)))
+            assert all(sequence == sequences[0] for sequence in sequences)
+            assert service.stats.streams == 4
+            assert service.stats.executions == 1
+            assert service.stats.coalesced == 3
+
+    def test_stream_rejects_unbounded_metric_on_every_path(self, medium_table):
+        """The legacy (SQL-string) stream path validates the bounded-metric
+        precondition exactly like the request path — streaming always runs
+        the incremental machinery, so an unbounded metric must be refused
+        before execution, not silently pruned with an invalid bound."""
+        from repro.api import ApiError
+
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        with single_backend_service(backend, SeeDBConfig(k=3)) as service:
+            with pytest.raises(ApiError) as excinfo:
+                next(iter(service.recommend_stream(SQL, metric="kl")))
+            assert excinfo.value.code == "invalid_value"
+            with pytest.raises(ApiError):
+                next(
+                    iter(
+                        service.recommend_stream(
+                            RecommendationRequest.from_sql(SQL, metric="kl")
+                        )
+                    )
+                )
+
+    def test_unknown_backend_uses_wire_taxonomy(self, medium_table):
+        from repro.api import ApiError
+
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        with single_backend_service(backend) as service:
+            with pytest.raises(ApiError) as excinfo:
+                service.recommend(SQL, backend="nope")
+            assert excinfo.value.code == "unknown_backend"
+            assert excinfo.value.field == "backend"
+
+    def test_explicit_k_overrides_request_k_on_every_facade(self, medium_table):
+        backend = MemoryBackend()
+        backend.register_table(medium_table)
+        query = RowSelectQuery("orders", col("product") == "p0")
+        request = RecommendationRequest(target=query, k=2)
+        with SeeDB(backend) as seedb:
+            assert len(seedb.recommend(request, k=4).recommendations) == 4
+        assert len(BasicFramework(backend).recommend(request, k=4).recommendations) == 4
+        with MultiViewRecommender(backend) as multi:
+            assert len(multi.recommend(request, k=4)) == 4
+
+    def test_analyst_session_streams_and_records_history(self, backend):
+        with single_backend_service(backend, SeeDBConfig(k=2)) as service:
+            with AnalystSession(service=service) as session:
+                rounds = list(session.issue_stream(SQL))
+                assert rounds[-1].is_final
+                assert session.last_result is rounds[-1].result
+
+
+class TestViewSpaceFilters:
+    def test_dimension_and_measure_filters_restrict_space(self, backend):
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM orders WHERE product = 'p0'",
+            k=5,
+            dimensions=("region", "quantity_band"),
+            measures=("amount",),
+        )
+        with SeeDB(backend) as seedb:
+            result = seedb.recommend(request)
+        for view in result.all_scored:
+            assert view.dimension in ("region", "quantity_band")
+            assert view.measure in (None, "amount")

@@ -1,0 +1,79 @@
+"""API-stability contract: the public surface of ``repro.api`` is frozen.
+
+Snapshots the package's public symbols and the versioned request wire
+schema against ``tests/data/api_contract_v1.json``. An accidental rename,
+removal, or schema change fails here; a *deliberate* change must update
+the snapshot in the same commit (and bump ``SCHEMA_VERSION`` when the
+wire form changes incompatibly) — regenerate with::
+
+    PYTHONPATH=src python tests/unit/test_api_contract.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SNAPSHOT_PATH = Path(__file__).parent.parent / "data" / "api_contract_v1.json"
+
+
+def current_contract() -> dict:
+    import repro.api as api
+    from repro.api import request_json_schema
+
+    return {
+        "public_symbols": sorted(api.__all__),
+        "request_schema": request_json_schema(),
+    }
+
+
+class TestApiContract:
+    def test_snapshot_exists(self):
+        assert SNAPSHOT_PATH.exists(), (
+            f"missing contract snapshot {SNAPSHOT_PATH}; generate it with "
+            f"`PYTHONPATH=src python {__file__}`"
+        )
+
+    def test_public_symbols_unchanged(self):
+        snapshot = json.loads(SNAPSHOT_PATH.read_text())
+        current = current_contract()
+        missing = set(snapshot["public_symbols"]) - set(current["public_symbols"])
+        added = set(current["public_symbols"]) - set(snapshot["public_symbols"])
+        assert not missing, (
+            f"public API symbols removed: {sorted(missing)} — removing or "
+            "renaming repro.api symbols is a breaking change; if deliberate, "
+            "regenerate the snapshot"
+        )
+        assert not added, (
+            f"public API symbols added without updating the contract: "
+            f"{sorted(added)} — regenerate the snapshot to record them"
+        )
+
+    def test_request_schema_unchanged(self):
+        snapshot = json.loads(SNAPSHOT_PATH.read_text())
+        current = json.loads(json.dumps(current_contract()))  # JSON-normalize
+        assert current["request_schema"] == snapshot["request_schema"], (
+            "the RecommendationRequest wire schema changed — an incompatible "
+            "change must bump SCHEMA_VERSION; regenerate the snapshot once "
+            "the change is deliberate"
+        )
+
+    def test_all_symbols_importable(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_error_codes_are_closed_taxonomy(self):
+        snapshot = json.loads(SNAPSHOT_PATH.read_text())
+        from repro.api import ERROR_CODES
+
+        assert sorted(ERROR_CODES) == snapshot["request_schema"]["error_codes"]
+
+
+if __name__ == "__main__":  # regenerate the snapshot
+    SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SNAPSHOT_PATH.write_text(
+        json.dumps(current_contract(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"regenerated {SNAPSHOT_PATH}")

@@ -1,0 +1,278 @@
+"""Unit tests: RecommendationRequest validation, codec, and references."""
+
+from __future__ import annotations
+
+import datetime
+import json
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    RecommendationRequest,
+    Reference,
+    SCHEMA_VERSION,
+    expression_from_wire,
+    expression_to_wire,
+)
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.model.reference import TABLE_REFERENCE
+from repro.util.errors import SqlSyntaxError
+
+
+def expect_api_error(code, field=None):
+    """Context manager asserting an ApiError with the given taxonomy."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def checker():
+        with pytest.raises(ApiError) as excinfo:
+            yield
+        assert excinfo.value.code == code, excinfo.value.to_dict()
+        if field is not None:
+            assert excinfo.value.field == field, excinfo.value.to_dict()
+
+    return checker()
+
+
+class TestConstruction:
+    def test_from_sql_parses_target(self):
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM sales WHERE product = 'Laserwave' LIMIT 10", k=3
+        )
+        assert request.target.table == "sales"
+        assert request.target.limit == 10
+        assert request.k == 3
+        assert request.reference == Reference.table()
+
+    def test_bad_sql_is_api_and_syntax_error(self):
+        with pytest.raises(ApiError) as excinfo:
+            RecommendationRequest.from_sql("SELEKT nope")
+        assert excinfo.value.code == "sql_syntax"
+        assert isinstance(excinfo.value, SqlSyntaxError)
+
+    def test_aggregate_sql_is_unsupported(self):
+        with expect_api_error("unsupported_sql", "target"):
+            RecommendationRequest.from_sql(
+                "SELECT store, sum(amount) FROM sales GROUP BY store"
+            )
+
+    def test_invalid_k(self):
+        with expect_api_error("invalid_value", "k"):
+            RecommendationRequest.from_sql("SELECT * FROM sales", k=0)
+
+    def test_unknown_metric(self):
+        with expect_api_error("invalid_value", "metric"):
+            RecommendationRequest.from_sql("SELECT * FROM sales", metric="nope")
+
+    def test_unknown_option(self):
+        with expect_api_error("unknown_field", "options.bogus"):
+            RecommendationRequest.from_sql(
+                "SELECT * FROM sales", options={"bogus": 1}
+            )
+
+    def test_unknown_strategy(self):
+        with expect_api_error("invalid_value", "strategy"):
+            RecommendationRequest.from_sql(
+                "SELECT * FROM sales", strategy="psychic"
+            )
+
+    def test_complement_requires_predicate(self):
+        with expect_api_error("invalid_value", "reference"):
+            RecommendationRequest.from_sql(
+                "SELECT * FROM sales", reference="complement"
+            )
+
+    def test_query_reference_must_share_table(self):
+        with expect_api_error("invalid_value", "reference.query"):
+            RecommendationRequest.from_sql(
+                "SELECT * FROM sales",
+                reference="SELECT * FROM other_table",
+            )
+
+    @pytest.mark.parametrize(
+        "options, field",
+        [
+            ({"n_phases": 0}, "options.n_phases"),
+            ({"n_phases": "10"}, "options.n_phases"),
+            ({"delta": 0}, "options.delta"),
+            ({"delta": 1.5}, "options.delta"),
+            ({"min_phases_before_pruning": -1}, "options.min_phases_before_pruning"),
+            ({"epsilon_scale": -0.1}, "options.epsilon_scale"),
+        ],
+    )
+    def test_incremental_options_validated_at_construction(self, options, field):
+        """Bad phase knobs fail as structured 400s, not mid-pipeline
+        crashes (delta=0 → ZeroDivisionError) or silent empty-state
+        scoring (n_phases=0)."""
+        with expect_api_error("invalid_value", field):
+            RecommendationRequest.from_sql("SELECT * FROM sales", options=options)
+
+    def test_option_value_validated_at_resolve(self):
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM sales", options={"sample_fraction": 7.0}
+        )
+        with expect_api_error("invalid_value", "options"):
+            request.resolve()
+
+    def test_incremental_needs_bounded_metric(self):
+        request = RecommendationRequest.from_sql(
+            "SELECT * FROM sales", metric="euclidean", strategy="incremental"
+        )
+        with expect_api_error("invalid_value", "metric"):
+            request.resolve()
+
+
+class TestWireCodec:
+    def round_trip(self, request):
+        payload = json.loads(json.dumps(request.to_dict()))
+        decoded = RecommendationRequest.from_dict(payload)
+        assert decoded == request
+        return payload
+
+    def test_minimal_round_trip(self):
+        payload = self.round_trip(
+            RecommendationRequest(target=RowSelectQuery("sales"))
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_full_round_trip(self):
+        request = RecommendationRequest(
+            target=RowSelectQuery(
+                "sales",
+                (col("product") == "Laserwave") & (col("amount") > 10),
+                limit=5,
+            ),
+            reference=Reference.query(
+                RowSelectQuery("sales", col("month").between(1, 6))
+            ),
+            k=7,
+            metric="emd",
+            dimensions=("store", "month"),
+            measures=("amount",),
+            strategy="incremental",
+            options={"n_phases": 4, "sample_fraction": 0.5},
+            backend="main",
+        )
+        self.round_trip(request)
+
+    def test_date_literals_round_trip(self):
+        request = RecommendationRequest(
+            target=RowSelectQuery(
+                "sales", col("day") == datetime.date(2024, 3, 1)
+            )
+        )
+        payload = self.round_trip(request)
+        assert payload["target"]["predicate"]["value"] == {"$date": "2024-03-01"}
+
+    def test_not_in_between_round_trip(self):
+        predicate = ~col("store").isin(["a", "b"]) | col("amount").between(0, 5)
+        self.round_trip(
+            RecommendationRequest(target=RowSelectQuery("sales", predicate))
+        )
+
+    def test_unknown_field_rejected_with_path(self):
+        with expect_api_error("unknown_field", "frobnicate"):
+            RecommendationRequest.from_dict(
+                {"target": {"table": "t"}, "frobnicate": 1}
+            )
+
+    def test_bad_predicate_node_has_dotted_path(self):
+        with expect_api_error("invalid_value", "target.predicate.operands[1].op"):
+            RecommendationRequest.from_dict(
+                {
+                    "target": {
+                        "table": "t",
+                        "predicate": {
+                            "op": "and",
+                            "operands": [
+                                {"op": "=", "column": "a", "value": 1},
+                                {"op": "???", "column": "b", "value": 2},
+                            ],
+                        },
+                    }
+                }
+            )
+
+    @pytest.mark.parametrize(
+        "node, field",
+        [
+            ({"op": "=", "column": "product"}, "target.predicate.value"),
+            ({"op": "between", "column": "amount"}, "target.predicate.low"),
+            (
+                {"op": "between", "column": "amount", "low": 1},
+                "target.predicate.high",
+            ),
+        ],
+    )
+    def test_missing_literal_operand_is_missing_field(self, node, field):
+        """An absent 'value'/'low'/'high' is a typo, not a NULL literal —
+        decoding it as NULL would silently select zero rows."""
+        with expect_api_error("missing_field", field):
+            RecommendationRequest.from_dict(
+                {"target": {"table": "t", "predicate": node}}
+            )
+
+    def test_explicit_null_literal_still_accepted(self):
+        decoded = RecommendationRequest.from_dict(
+            {
+                "target": {
+                    "table": "t",
+                    "predicate": {"op": "=", "column": "x", "value": None},
+                }
+            }
+        )
+        assert decoded.target.predicate.literal.value is None
+
+    def test_wrong_schema_version(self):
+        with expect_api_error("schema_version", "schema_version"):
+            RecommendationRequest.from_dict(
+                {"schema_version": 2, "target": {"table": "t"}}
+            )
+
+    def test_missing_target(self):
+        with expect_api_error("missing_field", "target"):
+            RecommendationRequest.from_dict({"k": 3})
+
+    def test_sql_string_target_accepted(self):
+        decoded = RecommendationRequest.from_dict(
+            {"target": "SELECT * FROM sales WHERE amount > 3"}
+        )
+        assert decoded.target.table == "sales"
+
+    def test_expression_wire_helpers_round_trip(self):
+        predicate = (col("a") == 1) & ~(col("b").isin([2, 3]))
+        wire = json.loads(json.dumps(expression_to_wire(predicate)))
+        assert expression_from_wire(wire, "predicate") == predicate
+
+
+class TestReferenceResolution:
+    def test_table_resolves_to_shared_constant(self):
+        target = RowSelectQuery("sales", col("x") == 1)
+        assert Reference.table().resolve(target) is TABLE_REFERENCE
+
+    def test_query_without_predicate_normalizes_to_table(self):
+        target = RowSelectQuery("sales", col("x") == 1)
+        reference = Reference.query(RowSelectQuery("sales"))
+        assert reference.resolve(target) is TABLE_REFERENCE
+
+    def test_complement_negates_target_predicate(self):
+        target = RowSelectQuery("sales", col("x") == 1)
+        resolved = Reference.complement().resolve(target)
+        assert resolved.kind == "complement"
+        assert resolved.flag_combinable and not resolved.merge_partitions
+
+    def test_query_reference_not_flag_combinable(self):
+        target = RowSelectQuery("sales", col("x") == 1)
+        resolved = Reference.query(
+            RowSelectQuery("sales", col("x") == 2)
+        ).resolve(target)
+        assert resolved.kind == "query"
+        assert not resolved.flag_combinable
+
+    def test_reference_shorthand_strings(self):
+        assert Reference.from_dict("table") == Reference.table()
+        assert Reference.from_dict("complement") == Reference.complement()
+        parsed = Reference.from_dict("SELECT * FROM t WHERE a = 1")
+        assert parsed.kind == "query" and parsed.against.table == "t"

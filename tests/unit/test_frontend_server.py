@@ -115,28 +115,36 @@ class TestEndpoints:
 
 class TestErrors:
     def expect_error(self, fn, code):
+        """HTTP error bodies are structured: {"error": {code, message, field?}}."""
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             fn()
         assert excinfo.value.code == code
-        return json.loads(excinfo.value.read())["error"]
+        error = json.loads(excinfo.value.read())["error"]
+        assert isinstance(error, dict)
+        assert "code" in error and "message" in error
+        return error
 
     def test_unknown_route_404(self, served):
         _, base = served
-        self.expect_error(lambda: get(base, "/nope"), 404)
+        error = self.expect_error(lambda: get(base, "/nope"), 404)
+        assert error["code"] == "not_found"
 
     def test_views_requires_table(self, served):
         _, base = served
-        message = self.expect_error(lambda: get(base, "/views"), 400)
-        assert "table" in message
+        error = self.expect_error(lambda: get(base, "/views"), 400)
+        assert error["code"] == "missing_field"
+        assert error["field"] == "table"
 
     def test_recommend_requires_query(self, served):
         _, base = served
-        message = self.expect_error(lambda: post(base, "/recommend", {}), 400)
-        assert "sql" in message
+        error = self.expect_error(lambda: post(base, "/recommend", {}), 400)
+        assert error["code"] == "missing_field"
+        assert error["field"] == "target"
+        assert "sql" in error["message"]
 
     def test_recommend_bad_metric_400(self, served):
         _, base = served
-        message = self.expect_error(
+        error = self.expect_error(
             lambda: post(
                 base,
                 "/recommend",
@@ -144,13 +152,134 @@ class TestErrors:
             ),
             400,
         )
-        assert "metric" in message
+        assert error["code"] == "invalid_value"
+        assert error["field"] == "metric"
 
     def test_recommend_unknown_table_400(self, served):
         _, base = served
         self.expect_error(
             lambda: post(base, "/recommend", {"table": "missing"}), 400
         )
+
+    def test_recommend_unknown_field_names_the_field(self, served):
+        _, base = served
+        error = self.expect_error(
+            lambda: post(
+                base, "/recommend", {"table": "sales", "bogus_knob": 1}
+            ),
+            400,
+        )
+        assert error["code"] == "unknown_field"
+        assert error["field"] == "bogus_knob"
+
+    def test_recommend_bad_option_value_names_the_path(self, served):
+        _, base = served
+        error = self.expect_error(
+            lambda: post(
+                base,
+                "/recommend",
+                {"table": "sales", "sample_fraction": 3.0},
+            ),
+            400,
+        )
+        assert error["code"] == "invalid_value"
+        assert error["field"] == "options"
+
+    def test_recommend_bad_sql_400(self, served):
+        _, base = served
+        error = self.expect_error(
+            lambda: post(base, "/recommend", {"sql": "SELEKT * FROM sales"}),
+            400,
+        )
+        assert error["code"] == "sql_syntax"
+
+    def test_recommend_wrong_schema_version_400(self, served):
+        _, base = served
+        error = self.expect_error(
+            lambda: post(
+                base,
+                "/recommend",
+                {"schema_version": 99, "target": {"table": "sales"}},
+            ),
+            400,
+        )
+        assert error["code"] == "schema_version"
+
+
+class TestStructuredRequests:
+    def test_versioned_wire_form_with_reference(self, served):
+        _, base = served
+        body = post(
+            base,
+            "/recommend",
+            {
+                "schema_version": 1,
+                "target": {
+                    "table": "sales",
+                    "predicate": {
+                        "op": "=",
+                        "column": "product",
+                        "value": "Laserwave",
+                    },
+                },
+                "reference": "complement",
+                "k": 2,
+            },
+        )
+        assert body["k"] == 2 and len(body["recommendations"]) == 2
+
+    def test_sql_target_and_query_reference(self, served):
+        _, base = served
+        body = post(
+            base,
+            "/recommend",
+            {
+                "target": "SELECT * FROM sales WHERE product = 'Laserwave'",
+                "reference": "SELECT * FROM sales WHERE product = 'Quasar'",
+                "k": 1,
+            },
+        )
+        assert len(body["recommendations"]) == 1
+
+
+class TestStreaming:
+    def post_stream(self, base: str, payload: dict) -> list[dict]:
+        request = urllib.request.Request(
+            base + "/recommend/stream",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            return [json.loads(line) for line in response if line.strip()]
+
+    def test_stream_delivers_rounds_then_final(self, served):
+        _, base = served
+        payload = {
+            "sql": "SELECT * FROM sales WHERE product = 'Laserwave'",
+            "k": 2,
+            "options": {"n_phases": 4},
+        }
+        lines = self.post_stream(base, payload)
+        assert len(lines) >= 2
+        partials, final = lines[:-1], lines[-1]
+        assert all(not line["is_final"] for line in partials)
+        assert [line["round"] for line in partials] == list(
+            range(1, len(partials) + 1)
+        )
+        assert final["is_final"] and "result" in final
+        # The final round repeats the definitive top-k of the full result.
+        assert [v["label"] for v in final["recommendations"]] == [
+            v["label"] for v in final["result"]["recommendations"]
+        ]
+
+    def test_stream_validation_error_is_structured_400(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post_stream(base, {"sql": "SELECT * FROM sales", "nope": 1})
+        assert excinfo.value.code == 400
+        error = json.loads(excinfo.value.read())["error"]
+        assert error["code"] == "unknown_field"
 
 
 class TestSerialization:

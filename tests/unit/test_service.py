@@ -96,14 +96,16 @@ class TestCoalescing:
         facade = service.facade()
         release = threading.Event()
         calls = []
-        inner = facade.recommend
+        inner = facade.run_resolved
 
-        def slow_recommend(query, k=None, config=None):
-            calls.append(query)
+        def slow_run_resolved(resolved):
+            calls.append(resolved)
             release.wait(timeout=10)
-            return inner(query, k=k, config=config)
+            return inner(resolved)
 
-        facade.recommend = slow_recommend
+        # The service executes through the facade's resolved-request entry
+        # point; stalling it holds the first request in flight.
+        facade.run_resolved = slow_run_resolved
         try:
             first = service.submit(QUERY)
             while not calls:  # the first request is on a worker thread

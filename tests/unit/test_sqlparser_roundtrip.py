@@ -1,0 +1,111 @@
+"""SQL round-trip tests: text → RowSelectQuery → rendered SQL → re-parse.
+
+The request API ingests raw SQL (:meth:`RecommendationRequest.from_sql`)
+and renders queries back to SQL for cache keys and reference descriptions,
+so parse→render must be a fixpoint: rendering a parsed query and parsing
+the rendering again yields the same AST and the same SQL text. Covers
+identifier quoting, every predicate shape of the subset, and the
+structured errors unsupported syntax raises through the API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ApiError, RecommendationRequest
+from repro.backends.sqlgen import render_row_select
+from repro.sqlparser import parse_row_select
+from repro.util.errors import SqlSyntaxError
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM sales",
+    "SELECT * FROM sales WHERE product = 'Laserwave'",
+    "SELECT * FROM sales WHERE amount > 10.5 AND store != 'x'",
+    "SELECT * FROM sales WHERE a = 1 OR (b < 2 AND NOT c = 3)",
+    "SELECT * FROM sales WHERE store IN ('a', 'b', 'c')",
+    "SELECT * FROM sales WHERE amount BETWEEN 5 AND 10",
+    "SELECT * FROM sales WHERE amount NOT BETWEEN 5 AND 10",
+    "SELECT * FROM sales WHERE day = '2024-03-01'",
+    "SELECT * FROM sales WHERE note = 'it''s quoted'",
+    "SELECT * FROM sales LIMIT 25",
+    "SELECT * FROM sales WHERE x = 1 LIMIT 0",
+    # Quoted identifiers: embedded spaces, keywords, doubled quotes.
+    'SELECT * FROM "order items" WHERE "select" = 1',
+    'SELECT * FROM t WHERE "a""b" > 2',
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_parse_render_fixpoint(self, sql):
+        """render(parse(sql)) re-parses to the same AST and same text."""
+        query = parse_row_select(sql)
+        rendered = render_row_select(query)
+        reparsed = parse_row_select(rendered)
+        assert reparsed == query
+        assert render_row_select(reparsed) == rendered
+
+    def test_quoting_survives_weird_identifiers(self):
+        query = parse_row_select('SELECT * FROM "from" WHERE "group by" = 5')
+        assert query.table == "from"
+        rendered = render_row_select(query)
+        assert '"from"' in rendered and '"group by"' in rendered
+        assert parse_row_select(rendered) == query
+
+    def test_date_literals_stay_dates(self):
+        import datetime
+
+        query = parse_row_select("SELECT * FROM t WHERE day = '2020-06-15'")
+        assert query.predicate.literal.value == datetime.date(2020, 6, 15)
+        assert parse_row_select(render_row_select(query)) == query
+
+    def test_in_list_order_preserved(self):
+        query = parse_row_select("SELECT * FROM t WHERE s IN ('z', 'a', 'm')")
+        assert query.predicate.values == ("z", "a", "m")
+        assert parse_row_select(render_row_select(query)) == query
+
+
+class TestUnsupportedSyntax:
+    """Unsupported/malformed SQL surfaces as structured errors."""
+
+    @pytest.mark.parametrize(
+        "sql, fragment",
+        [
+            ("SELEKT * FROM t", "SELECT"),
+            ("SELECT * FROM", "table name"),
+            ("SELECT * FROM t WHERE", "column name"),
+            ("SELECT * FROM t WHERE a =", "literal"),
+            ("SELECT * FROM t LIMIT many", "row count"),
+            ("SELECT * FROM t; DROP TABLE t", "trailing"),
+            ("SELECT * FROM t WHERE a LIKE 'x%'", "comparison"),
+        ],
+    )
+    def test_parser_raises_positioned_syntax_error(self, sql, fragment):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_row_select(sql)
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_from_sql_wraps_syntax_error_as_api_error(self):
+        with pytest.raises(ApiError) as excinfo:
+            RecommendationRequest.from_sql("SELECT * FROM t WHERE a ~ 1")
+        error = excinfo.value
+        assert error.code == "sql_syntax"
+        assert error.field == "target"
+        assert error.position >= 0
+        # Still catchable by pre-API handlers.
+        assert isinstance(error, SqlSyntaxError)
+
+    def test_from_sql_rejects_aggregate_queries_as_unsupported(self):
+        with pytest.raises(ApiError) as excinfo:
+            RecommendationRequest.from_sql(
+                "SELECT region, avg(amount) FROM t GROUP BY region"
+            )
+        assert excinfo.value.code == "unsupported_sql"
+
+    def test_reference_sql_errors_carry_reference_field_path(self):
+        with pytest.raises(ApiError) as excinfo:
+            RecommendationRequest.from_sql(
+                "SELECT * FROM t WHERE a = 1", reference="SELEKT nope"
+            )
+        assert excinfo.value.code == "sql_syntax"
+        assert excinfo.value.field == "reference.query"
