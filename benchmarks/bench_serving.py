@@ -18,6 +18,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.backends.duckdb import duckdb_available
 from repro.backends.memory import MemoryBackend
 from repro.core.config import SeeDBConfig
 from repro.core.recommender import SeeDB
@@ -59,10 +60,10 @@ def percentile(sorted_values, q):
     return sorted_values[index]
 
 
-def run_serial(table, stream):
+def run_serial(table, stream, backend_factory=MemoryBackend):
     """The baseline: one warm facade, every request of every session in a
     loop (same total work, no concurrency, no service machinery)."""
-    backend = MemoryBackend()
+    backend = backend_factory()
     backend.register_table(table)
     seedb = SeeDB(backend, SeeDBConfig(k=K))
     latencies = []
@@ -74,11 +75,14 @@ def run_serial(table, stream):
             latencies.append(time.perf_counter() - t0)
     total = time.perf_counter() - start
     seedb.close()
+    backend.close()
     return total, sorted(latencies), None
 
 
-def run_service(table, stream, coalesce: bool, cache_size: int):
-    backend = MemoryBackend()
+def run_service(
+    table, stream, coalesce: bool, cache_size: int, backend_factory=MemoryBackend
+):
+    backend = backend_factory()
     backend.register_table(table)
     service = single_backend_service(
         backend,
@@ -110,6 +114,7 @@ def run_service(table, stream, coalesce: bool, cache_size: int):
     total = time.perf_counter() - start
     stats = service.snapshot()
     service.close()
+    backend.close()
     return total, sorted(latencies), stats
 
 
@@ -157,3 +162,49 @@ def test_concurrent_sessions_beat_serial_loop(benchmark, record_rows, workload):
     assert served["speedup_vs_serial"] >= 2.0
     assert served["coalesced"] > 0
     assert served["executions"] < N_SESSIONS * len(stream)
+
+
+@pytest.mark.skipif(
+    not duckdb_available(), reason="optional 'duckdb' wheel not installed"
+)
+def test_concurrent_sessions_duckdb_axis(record_rows, workload):
+    """The DuckDB axis of the serving benchmark: the same session storm
+    against a real columnar engine (per-thread cursors on one in-memory
+    database). Emits ``BENCH_serving_duckdb.json``; asserts the service
+    machinery still engages (coalescing observed, executions collapsed) —
+    the throughput bar stays with the memory axis, where backend time is
+    negligible and the service layer dominates."""
+    from repro.backends.duckdb import DuckDbBackend
+
+    table, stream = workload
+    n_requests = N_SESSIONS * len(stream)
+    serial_total, serial_lat, _ = run_serial(
+        table, stream, backend_factory=DuckDbBackend
+    )
+    total, lat, stats = run_service(
+        table, stream, True, 256, backend_factory=DuckDbBackend
+    )
+    rows = []
+    for label, run_total, run_lat, run_stats in (
+        ("serial_loop", serial_total, serial_lat, None),
+        ("service_coalesce_cache", total, lat, stats),
+    ):
+        row = {
+            "mode": label,
+            "sessions": 1 if label == "serial_loop" else N_SESSIONS,
+            "requests": n_requests,
+            "total_s": round(run_total, 4),
+            "throughput_rps": round(n_requests / run_total, 2),
+            "p50_latency_ms": round(percentile(run_lat, 0.50) * 1e3, 2),
+            "p95_latency_ms": round(percentile(run_lat, 0.95) * 1e3, 2),
+            "speedup_vs_serial": round(serial_total / run_total, 2),
+        }
+        if run_stats is not None:
+            row["executions"] = run_stats["executions"]
+            row["coalesced"] = run_stats["coalesced"]
+            row["result_cache_hits"] = run_stats["result_cache_hits"]
+        rows.append(row)
+    record_rows("serving_duckdb", rows)
+
+    assert stats["coalesced"] > 0
+    assert stats["executions"] < n_requests

@@ -1,0 +1,280 @@
+"""Bench-trend gate: diff fresh BENCH_*.json against committed baselines.
+
+``perf-smoke`` runs the benchmarks, then this script compares each fresh
+``BENCH_<name>.json`` with the baseline committed in
+``benchmarks/results/`` and fails (exit 1) only when a benchmark's
+*headline metric* regresses beyond the tolerance (default 30%).
+
+Headline metrics are chosen to be machine-portable:
+
+1. a known dimensionless ratio column (speedups, precisions) when the
+   benchmark has one — CI runners and dev laptops differ wildly in
+   absolute speed, but "batch is N× the per-view loop on the same box"
+   travels; ratio headlines additionally carry a *portable floor*
+   (:data:`PORTABLE_FLOORS`): trailing a fast dev machine's committed
+   baseline is fine as long as the benchmark's own asserted bar holds;
+2. otherwise the total logical query count (deterministic: the unit the
+   paper's optimizations minimize);
+3. benchmarks with neither are reported informationally, never gated
+   (absolute wall-clock across machines is noise, not signal).
+
+A markdown trend table goes to stdout and, when set, to the file named by
+``$GITHUB_STEP_SUMMARY``.
+
+Usage::
+
+    python benchmarks/check_trend.py \
+        --baseline-dir /tmp/bench-baseline --fresh-dir benchmarks/results \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Known ratio columns, in priority order; higher is always better.
+RATIO_COLUMNS = (
+    "speedup_x",
+    "speedup_vs_serial",
+    "speedup_to_first",
+    "work_saved",
+    "topk_precision",
+    "first_round_topk_precision",
+)
+
+#: Machine-portable floors for ratio headlines. Committed baselines come
+#: from whatever machine last refreshed them (a fast dev box records an
+#: 8× serving speedup a 4-vCPU CI runner can never reach), so a fresh
+#: value that trails the baseline by more than the tolerance is still OK
+#: as long as it clears the benchmark's own asserted portable bar. Query
+#: counts are deterministic and get no floor — they gate strictly.
+PORTABLE_FLOORS = {
+    "speedup_x": 3.0,          # bench_scoring MIN_SPEEDUP
+    "speedup_vs_serial": 2.0,  # bench_serving acceptance bar
+    "speedup_to_first": 2.0,   # bench_progressive time-to-first bar
+}
+
+#: Substrings marking a query-count column (lower is better).
+QUERY_HINTS = ("queries", "query")
+
+
+@dataclass
+class Headline:
+    """One benchmark's comparable metric."""
+
+    metric: str
+    value: float
+    direction: str  # "higher" or "lower" is better
+
+    def change_vs(self, baseline: "Headline") -> float:
+        """Signed fractional change, positive = improvement."""
+        if baseline.value == 0:
+            return 0.0
+        raw = (self.value - baseline.value) / abs(baseline.value)
+        return raw if self.direction == "higher" else -raw
+
+
+@dataclass
+class TrendRow:
+    """One line of the trend table."""
+
+    benchmark: str
+    metric: str
+    baseline: "float | None"
+    fresh: "float | None"
+    change: "float | None"
+    status: str  # "ok" | "regression" | "new" | "missing" | "info"
+
+
+def _finite(values) -> list[float]:
+    out = []
+    for value in values:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            value = float(value)
+            if math.isfinite(value):
+                out.append(value)
+    return out
+
+
+def headline_of(payload: dict) -> "Headline | None":
+    """Pick the benchmark's headline metric from its BENCH payload."""
+    rows = payload.get("rows", [])
+    for column in RATIO_COLUMNS:
+        values = _finite(row.get(column) for row in rows)
+        if values:
+            return Headline(metric=column, value=max(values), direction="higher")
+    query_counts = payload.get("query_counts", {})
+    for column in sorted(query_counts):
+        if any(hint in column.lower() for hint in QUERY_HINTS):
+            values = _finite(query_counts[column])
+            if values:
+                return Headline(
+                    metric=column, value=sum(values), direction="lower"
+                )
+    return None
+
+
+def load_bench_files(directory: Path) -> dict[str, dict]:
+    payloads = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            payloads[name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: unreadable {path}: {error}", file=sys.stderr)
+    return payloads
+
+
+def compare(
+    baselines: dict[str, dict], fresh: dict[str, dict], tolerance: float
+) -> list[TrendRow]:
+    """Trend rows for the union of baseline and fresh benchmarks."""
+    rows: list[TrendRow] = []
+    for name in sorted(set(baselines) | set(fresh)):
+        if name not in fresh:
+            rows.append(
+                TrendRow(name, "-", None, None, None, "missing")
+            )
+            continue
+        fresh_headline = headline_of(fresh[name])
+        if name not in baselines:
+            rows.append(
+                TrendRow(
+                    name,
+                    fresh_headline.metric if fresh_headline else "-",
+                    None,
+                    fresh_headline.value if fresh_headline else None,
+                    None,
+                    "new",
+                )
+            )
+            continue
+        base_headline = headline_of(baselines[name])
+        if fresh_headline is None or base_headline is None:
+            rows.append(TrendRow(name, "-", None, None, None, "info"))
+            continue
+        if fresh_headline.metric != base_headline.metric:
+            # Benchmark changed shape; treat as new rather than diffable.
+            rows.append(
+                TrendRow(
+                    name, fresh_headline.metric, None, fresh_headline.value,
+                    None, "new",
+                )
+            )
+            continue
+        change = fresh_headline.change_vs(base_headline)
+        if change >= -tolerance:
+            status = "ok"
+        else:
+            floor = PORTABLE_FLOORS.get(fresh_headline.metric)
+            if floor is not None and fresh_headline.value >= floor:
+                status = "above-floor"
+            else:
+                status = "regression"
+        rows.append(
+            TrendRow(
+                name,
+                fresh_headline.metric,
+                base_headline.value,
+                fresh_headline.value,
+                change,
+                status,
+            )
+        )
+    return rows
+
+
+def _fmt(value: "float | None") -> str:
+    if value is None:
+        return "–"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def markdown_table(rows: list[TrendRow], tolerance: float) -> str:
+    lines = [
+        f"## Bench trend (tolerance ±{tolerance:.0%})",
+        "",
+        "| benchmark | headline metric | baseline | fresh | change | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    icons = {
+        "ok": "✅ ok",
+        "above-floor": "✅ below baseline, above portable floor",
+        "regression": "❌ regression",
+        "new": "🆕 new",
+        "missing": "⚠️ missing",
+        "info": "ℹ️ timings only",
+    }
+    for row in rows:
+        change = "–" if row.change is None else f"{row.change:+.1%}"
+        lines.append(
+            f"| {row.benchmark} | {row.metric} | {_fmt(row.baseline)} "
+            f"| {_fmt(row.fresh)} | {change} | {icons[row.status]} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True, type=Path)
+    parser.add_argument("--fresh-dir", required=True, type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="max fractional headline regression before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = load_bench_files(args.baseline_dir)
+    fresh = load_bench_files(args.fresh_dir)
+    rows = compare(baselines, fresh, args.tolerance)
+    table = markdown_table(rows, args.tolerance)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(table + "\n")
+
+    # Fail closed: a gate that compared nothing proves nothing. An empty
+    # fresh dir (typo'd path — glob on a missing directory is silently
+    # empty) or a baseline whose benchmark stopped emitting its BENCH
+    # file must not pass green.
+    failures = []
+    if not fresh:
+        failures.append(
+            f"no BENCH_*.json found in fresh dir {args.fresh_dir} — "
+            "wrong path or benchmarks did not run"
+        )
+    missing = [row.benchmark for row in rows if row.status == "missing"]
+    if missing:
+        failures.append(
+            "baseline benchmark(s) missing from the fresh run: "
+            + ", ".join(missing)
+        )
+    regressions = [row for row in rows if row.status == "regression"]
+    if regressions:
+        failures.append(
+            f"{len(regressions)} headline regression(s) beyond "
+            f"{args.tolerance:.0%}: "
+            + ", ".join(row.benchmark for row in regressions)
+        )
+    if failures:
+        for failure in failures:
+            print(f"\nFAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nno headline regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

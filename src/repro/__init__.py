@@ -2,8 +2,9 @@
 
 Reimplements the system of "SeeDB: Automatically Generating Query
 Visualizations" (Vartak, Madden, Parameswaran, Polyzotis; PVLDB 7(13),
-2014) as a complete Python library: an in-memory column-store DBMS and a
-sqlite3 wrapper as substrates, deviation-based view scoring with pluggable
+2014) as a complete Python library: an in-memory column-store DBMS, a
+sqlite3 wrapper, and an optional DuckDB backend (native GROUPING SETS) as
+substrates, deviation-based view scoring with pluggable
 distance metrics, metadata-driven view-space pruning, a query optimizer
 (target/comparison combining, multi-aggregate and multi-group-by sharing
 with bin-packed rollups, sampling, parallelism), a visualization layer,
@@ -28,7 +29,13 @@ from repro.api import (
     RecommendationRequest,
     Reference,
 )
-from repro.backends import MemoryBackend, SqliteBackend
+from repro.backends import (
+    BackendCapabilities,
+    DuckDbBackend,
+    MemoryBackend,
+    SqliteBackend,
+    backend_from_uri,
+)
 from repro.core import (
     BasicFramework,
     GroupByCombining,
@@ -56,8 +63,11 @@ __all__ = [
     "PartialResult",
     "RecommendationRequest",
     "Reference",
+    "BackendCapabilities",
+    "DuckDbBackend",
     "MemoryBackend",
     "SqliteBackend",
+    "backend_from_uri",
     "BasicFramework",
     "GroupByCombining",
     "RecommendationResult",

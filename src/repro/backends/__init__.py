@@ -9,10 +9,27 @@ interface is that seam. Two implementations ship:
   :mod:`repro.db`, with shared-scan GROUPING SETS and exact scan accounting.
 * :class:`SqliteBackend` — stdlib sqlite3, a real relational DBMS reached
   through generated SQL, demonstrating the wrapper architecture.
+* :class:`DuckDbBackend` — a real columnar DBMS with *native*
+  GROUPING SETS and sampling (optional ``duckdb`` extra; importing this
+  package never requires it).
+
+Feature gating across the planner/engine is driven by each backend's
+:class:`BackendCapabilities` declaration, and frontends construct
+backends from URIs via :func:`backend_from_uri` (``duckdb:///file.db``).
 """
 
-from repro.backends.base import Backend, BackendCapabilities
+from repro.backends.base import (
+    Backend,
+    BackendCapabilities,
+    materialize_sample,
+)
+from repro.backends.duckdb import DuckDbBackend, duckdb_available
 from repro.backends.memory import MemoryBackend
+from repro.backends.registry import (
+    available_backend_schemes,
+    backend_from_uri,
+    register_backend_scheme,
+)
 from repro.backends.sqlite import SqliteBackend
 from repro.backends.sqlgen import (
     render_aggregate_query,
@@ -23,8 +40,14 @@ from repro.backends.sqlgen import (
 __all__ = [
     "Backend",
     "BackendCapabilities",
+    "DuckDbBackend",
     "MemoryBackend",
     "SqliteBackend",
+    "available_backend_schemes",
+    "backend_from_uri",
+    "duckdb_available",
+    "materialize_sample",
+    "register_backend_scheme",
     "render_aggregate_query",
     "render_expression",
     "render_row_select",

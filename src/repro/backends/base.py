@@ -5,26 +5,70 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
-from repro.db.schema import Schema
+import numpy as np
+
+from repro.db.query import (
+    AggregateQuery,
+    FlagColumn,
+    GroupingSetsQuery,
+    RowSelectQuery,
+    grouping_key_name,
+)
+from repro.db.schema import ColumnSpec, Schema
 from repro.db.table import Table
+from repro.db.types import AttributeRole, DataType
 from repro.util.errors import BackendError
+
+
+#: Closed vocabulary for :attr:`BackendCapabilities.threading_model`.
+THREADING_MODELS = ("shared", "connection-per-thread", "serial")
 
 
 @dataclass(frozen=True)
 class BackendCapabilities:
     """What the underlying DBMS can do; the optimizer adapts to these.
 
+    Planner and engine feature-gating keys off this declaration — never
+    off backend class identity — so a new backend (or a test flipping one
+    flag) changes execution paths without touching any ``isinstance``.
+
     * ``grouping_sets`` — multiple group-by sets share one scan
       ("if the SQL GROUPING SETS functionality is available in the
-      underlying DBMS, SEEDB can leverage that", §3.3).
+      underlying DBMS, SEEDB can leverage that", §3.3). False steers the
+      planner away from :class:`~repro.optimizer.plan.MultiDimStep` and
+      makes ``execute_grouping_sets`` a fallback (per-set queries or one
+      UNION ALL statement).
     * ``parallel_queries`` — concurrent query execution is safe and useful.
     * ``native_var_std`` — VAR/STD can be pushed down unrewritten.
+    * ``native_sampling`` — :meth:`Backend.create_sample` materializes the
+      sample inside the DBMS; False routes the sampling optimization
+      through the client-side Bernoulli fallback
+      (:meth:`Backend.create_sample_clientside`).
+    * ``zero_copy_extract`` — informational: query results arrive as
+      columnar arrays without a per-row decode hop (memory engine tables,
+      DuckDB ``fetchnumpy``); surfaced in the capability matrix, not
+      consulted for path selection.
+    * ``threading_model`` — how the backend achieves thread safety, one of
+      :data:`THREADING_MODELS`: ``"shared"`` (one engine object safely
+      shared), ``"connection-per-thread"`` (each thread gets its own
+      connection/cursor to one database), or ``"serial"`` (the engine
+      executes plans sequentially regardless of the configured worker
+      count — see :meth:`ExecutionEngine.executor_for`).
     """
 
     grouping_sets: bool
     parallel_queries: bool
     native_var_std: bool
+    native_sampling: bool = True
+    zero_copy_extract: bool = False
+    threading_model: str = "shared"
+
+    def __post_init__(self) -> None:
+        if self.threading_model not in THREADING_MODELS:
+            raise ValueError(
+                f"threading_model must be one of {THREADING_MODELS}, "
+                f"got {self.threading_model!r}"
+            )
 
 
 class Backend:
@@ -51,6 +95,18 @@ class Backend:
         self._accounting_lock = threading.RLock()
         self._data_version = 0
         self._queries_executed = 0
+        self._statements_executed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release held resources (connections, owned files).
+
+        Part of the backend contract so every consumer can call
+        ``backend.close()`` unconditionally; the base implementation holds
+        nothing and is a no-op (idempotency is part of the contract —
+        closing twice must be safe).
+        """
 
     # -- data management -------------------------------------------------
 
@@ -92,24 +148,71 @@ class Backend:
         self, source: str, sample_name: str, fraction: float, seed: int = 0
     ) -> str:
         """Materialize a row sample of ``source`` as a new table; returns
-        its name. Used by the sampling optimization (§3.3)."""
+        its name. Used by the sampling optimization (§3.3). Only called
+        when ``capabilities.native_sampling`` holds; other backends go
+        through :meth:`create_sample_clientside`."""
+        raise NotImplementedError
+
+    def create_sample_clientside(
+        self, source: str, sample_name: str, fraction: float, seed: int = 0
+    ) -> str:
+        """Client-side sampling fallback: fetch, Bernoulli-sample, register.
+
+        The capability-driven twin of :meth:`create_sample` for backends
+        declaring ``native_sampling=False`` — the rows cross the wire once,
+        the sample lands back in the DBMS via :meth:`register_derived` (so,
+        like a native sample, it does *not* bump ``data_version``).
+        """
+        from repro.sampling.bernoulli import BernoulliSampler
+
+        if not (0.0 < fraction <= 1.0):
+            raise BackendError(f"sample fraction must be in (0, 1], got {fraction}")
+        table = self.fetch_table(source)
+        sample = BernoulliSampler(fraction).sample(table, seed=seed)
+        self.register_derived(sample.rename(sample_name))
+        return sample_name
+
+    def register_derived(self, table: Table) -> None:
+        """Register a derived artifact (a sample) without a version bump.
+
+        Derived tables are owned by the cache layer keyed on
+        ``data_version``; bumping the counter here would make every sample
+        materialization self-invalidate the cache that requested it.
+        """
         raise NotImplementedError
 
     # -- accounting --------------------------------------------------------
 
     @property
     def queries_executed(self) -> int:
-        """DBMS round trips since construction/reset."""
+        """Logical view queries since construction/reset.
+
+        A combined statement (UNION ALL emulation) still counts one per
+        grouping set — the unit the paper's combining optimizations
+        minimize — while a *native* shared scan counts once.
+        """
         return self._queries_executed
+
+    @property
+    def statements_executed(self) -> int:
+        """Physical DBMS round trips since construction/reset.
+
+        The companion counter to :attr:`queries_executed`: a UNION ALL
+        batch is many logical queries but one statement; a native
+        GROUPING SETS query is one of each.
+        """
+        return self._statements_executed
 
     def reset_counters(self) -> None:
         with self._accounting_lock:
             self._queries_executed = 0
+            self._statements_executed = 0
 
-    def _record_queries(self, n: int = 1) -> None:
-        """Atomically count ``n`` logical DBMS round trips."""
+    def _record_queries(self, n: int = 1, statements: int = 1) -> None:
+        """Atomically count ``n`` logical queries over ``statements`` trips."""
         with self._accounting_lock:
             self._queries_executed += n
+            self._statements_executed += statements
 
     @property
     def data_version(self) -> int:
@@ -131,3 +234,89 @@ class Backend:
     def _require_table(self, name: str) -> None:
         if not self.has_table(name):
             raise BackendError(f"backend {self.name!r} has no table {name!r}")
+
+
+def decode_result_column(raw: list, dtype: DataType, column: str = "") -> "np.ndarray":
+    """Convert one fetched SQL result column to the canonical numpy form.
+
+    Shared by every SQL backend. NULLs become NaN (FLOAT), None-bearing
+    object entries (STR), or NaT (DATE); the canonical representation has
+    no NULL for INT/BOOL, so those raise a clear :class:`BackendError`
+    instead of crashing with TypeError or silently coercing to False.
+    """
+    if dtype is DataType.FLOAT:
+        return np.array(
+            [float("nan") if v is None else float(v) for v in raw], dtype=np.float64
+        )
+    if dtype in (DataType.INT, DataType.BOOL):
+        if any(v is None for v in raw):
+            raise BackendError(
+                f"NULL in {dtype.name} result column {column!r}: the canonical "
+                "table representation has no NULL integers/booleans"
+            )
+        if dtype is DataType.INT:
+            return np.array([int(v) for v in raw], dtype=np.int64)
+        return np.array([bool(v) for v in raw], dtype=np.bool_)
+    if dtype is DataType.DATE:
+        return np.array(
+            [
+                np.datetime64("NaT") if v is None else np.datetime64(v, "D")
+                for v in raw
+            ],
+            dtype="datetime64[D]",
+        )
+    array = np.empty(len(raw), dtype=object)
+    for i, value in enumerate(raw):
+        array[i] = value
+    return array
+
+
+def rows_to_table(name: str, schema: Schema, rows: list) -> Table:
+    """Build a canonical Table from fetched SQL row tuples (shared)."""
+    arrays = {}
+    for index, spec in enumerate(schema):
+        raw = [row[index] for row in rows]
+        arrays[spec.name] = decode_result_column(raw, spec.dtype, spec.name)
+    return Table(name, schema, arrays)
+
+
+def aggregate_result_schema(base: Schema, query: AggregateQuery) -> Schema:
+    """Result-table schema of an aggregate query over ``base``.
+
+    Shared by every SQL backend: grouping keys keep their base dtype and
+    semantic (flags become INT), aggregates are FLOAT measures.
+    """
+    specs: list[ColumnSpec] = []
+    for key in query.group_by:
+        if isinstance(key, FlagColumn):
+            specs.append(ColumnSpec(key.name, DataType.INT, AttributeRole.DIMENSION))
+        else:
+            base_spec = base[key]
+            specs.append(
+                ColumnSpec(
+                    grouping_key_name(key),
+                    base_spec.dtype,
+                    AttributeRole.DIMENSION,
+                    base_spec.semantic,
+                )
+            )
+    for aggregate in query.aggregates:
+        specs.append(
+            ColumnSpec(aggregate.alias, DataType.FLOAT, AttributeRole.MEASURE)
+        )
+    return Schema(tuple(specs))
+
+
+def materialize_sample(
+    backend: Backend, source: str, sample_name: str, fraction: float, seed: int = 0
+) -> str:
+    """Materialize a sample the way the backend's capabilities dictate.
+
+    The engine's single entry point for the sampling optimization:
+    ``native_sampling`` picks between the in-DBMS path and the client-side
+    Bernoulli fallback, so a backend (or a test) flips the path by
+    declaration alone.
+    """
+    if backend.capabilities.native_sampling:
+        return backend.create_sample(source, sample_name, fraction, seed=seed)
+    return backend.create_sample_clientside(source, sample_name, fraction, seed=seed)

@@ -21,7 +21,12 @@ class MemoryBackend(Backend):
 
     name = "memory"
     capabilities = BackendCapabilities(
-        grouping_sets=True, parallel_queries=True, native_var_std=True
+        grouping_sets=True,
+        parallel_queries=True,
+        native_var_std=True,
+        native_sampling=True,
+        zero_copy_extract=True,
+        threading_model="shared",
     )
 
     def __init__(self) -> None:
@@ -79,12 +84,21 @@ class MemoryBackend(Backend):
         self.catalog.register(sample, replace=True)
         return sample_name
 
+    def register_derived(self, table: Table) -> None:
+        with self._accounting_lock:
+            self.catalog.register(table, replace=True)
+
     # -- accounting --------------------------------------------------------
 
     @property
     def queries_executed(self) -> int:
         # Counted inside the query engine (under its stats lock) rather
         # than through Backend._record_queries — same exactness guarantee.
+        return self.engine.stats.queries
+
+    @property
+    def statements_executed(self) -> int:
+        # Every logical query is one engine call: the counters coincide.
         return self.engine.stats.queries
 
     def reset_counters(self) -> None:

@@ -1,0 +1,101 @@
+"""Backend registration by URI.
+
+One string names a backend everywhere a backend can be chosen — the CLI
+(``--backend duckdb:///file.db``), ``seedb serve``, and
+:meth:`repro.service.SeeDBService.register_backend_uri`:
+
+* ``memory`` — the in-process column store.
+* ``sqlite`` — stdlib sqlite3 on a temp file (removed on close).
+* ``sqlite:///relative.db`` / ``sqlite:////abs/path.db`` — file-backed
+  sqlite (SQLAlchemy slash convention: three slashes relative, four
+  absolute).
+* ``duckdb`` — in-memory DuckDB (optional extra).
+* ``duckdb:///file.db`` — file-backed DuckDB.
+
+New schemes plug in via :func:`register_backend_scheme`, keeping the
+frontends closed for modification: they only ever parse URIs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import Backend
+from repro.util.errors import BackendError
+
+
+def _make_memory(path: "str | None") -> Backend:
+    from repro.backends.memory import MemoryBackend
+
+    if path:
+        raise BackendError("the memory backend takes no path")
+    return MemoryBackend()
+
+
+def _make_sqlite(path: "str | None") -> Backend:
+    from repro.backends.sqlite import SqliteBackend
+
+    return SqliteBackend(path=path or None)
+
+
+def _make_duckdb(path: "str | None") -> Backend:
+    from repro.backends.duckdb import DuckDbBackend
+
+    return DuckDbBackend(path=path or None)
+
+
+_FACTORIES: "dict[str, Callable[[str | None], Backend]]" = {
+    "memory": _make_memory,
+    "sqlite": _make_sqlite,
+    "duckdb": _make_duckdb,
+}
+
+
+def register_backend_scheme(
+    scheme: str, factory: "Callable[[str | None], Backend]"
+) -> None:
+    """Register a custom ``scheme`` -> backend factory (``factory(path)``)."""
+    if not scheme or not scheme.isidentifier():
+        raise BackendError(f"backend scheme must be an identifier, got {scheme!r}")
+    _FACTORIES[scheme] = factory
+
+
+def available_backend_schemes() -> list[str]:
+    """Registered scheme names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def parse_backend_uri(uri: str) -> tuple[str, "str | None"]:
+    """Split a backend URI into ``(scheme, path)``.
+
+    A bare name (``sqlite``) has no path. ``scheme://`` paths follow the
+    SQLAlchemy convention: ``scheme:///file.db`` is the relative path
+    ``file.db``; ``scheme:////abs/file.db`` is absolute.
+    """
+    if not uri:
+        raise BackendError("empty backend URI")
+    scheme, separator, rest = uri.partition("://")
+    if not separator:
+        return uri, None
+    if not scheme:
+        raise BackendError(f"backend URI {uri!r} has no scheme")
+    if rest.startswith("/"):
+        rest = rest[1:]
+    return scheme, rest or None
+
+
+def backend_from_uri(uri: str) -> Backend:
+    """Construct the backend a URI names.
+
+    Raises :class:`BackendError` for unknown schemes (listing the known
+    ones) and propagates a clear error when an optional backend's package
+    is missing.
+    """
+    scheme, path = parse_backend_uri(uri)
+    factory = _FACTORIES.get(scheme)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {scheme!r}; known schemes: "
+            + ", ".join(available_backend_schemes())
+        )
+    return factory(path)

@@ -153,18 +153,12 @@ def render_aggregate_query(
     return sql
 
 
-def render_grouping_sets_union(
-    query: GroupingSetsQuery,
-    native_var_std: bool = False,
-    set_column: str = "__seedb_set",
-) -> str:
-    """One UNION ALL statement emulating GROUPING SETS on dialects without it.
+def union_grouping_keys(query: GroupingSetsQuery) -> "list[GroupingKey]":
+    """The query's grouping keys deduped across sets, in first-seen order.
 
-    Every grouping set becomes one SELECT arm sharing the table scan plan's
-    round trip: the arm carries its set ordinal in ``set_column``, its own
-    grouping keys in their union-wide columns, and NULL for keys belonging
-    to other sets (the same row layout native GROUPING SETS produces).
-    Rows are ordered by set then key so each set's slice is contiguous.
+    This order *is* the combined statement's key-column order — the
+    renderers and the backends' result splitting all derive from it, so
+    it exists exactly once.
     """
     union_keys: list[GroupingKey] = []
     seen: set[str] = set()
@@ -174,6 +168,32 @@ def render_grouping_sets_union(
             if name not in seen:
                 seen.add(name)
                 union_keys.append(key)
+    return union_keys
+
+
+def union_key_positions(query: GroupingSetsQuery) -> dict[str, int]:
+    """``{key name -> column position}`` within the combined result."""
+    return {
+        grouping_key_name(key): index
+        for index, key in enumerate(union_grouping_keys(query))
+    }
+
+
+def render_grouping_sets_union(
+    query: GroupingSetsQuery,
+    native_var_std: bool = False,
+    set_column: str = "__seedb_set",
+) -> str:
+    """One UNION ALL statement emulating GROUPING SETS on dialects without it.
+
+    Every grouping set becomes one SELECT arm sharing the table scan plan's
+    round trip: the arm carries its set ordinal in ``set_column``, its own
+    grouping keys in their union-wide columns (:func:`union_grouping_keys`
+    order), and NULL for keys belonging to other sets (the same row layout
+    native GROUPING SETS produces). Rows are ordered by set then key so
+    each set's slice is contiguous.
+    """
+    union_keys = union_grouping_keys(query)
 
     arms: list[str] = []
     for set_index, key_set in enumerate(query.sets):
@@ -205,6 +225,101 @@ def render_grouping_sets_union(
 
     order = ", ".join(str(i + 1) for i in range(1 + len(union_keys)))
     return " UNION ALL ".join(arms) + f" ORDER BY {order}"
+
+
+def render_grouping_sets_native(
+    query: GroupingSetsQuery,
+    native_var_std: bool = False,
+    mask_column: str = "__seedb_grouping",
+) -> tuple[str, "list[GroupingKey]", dict[int, int]]:
+    """One native ``GROUP BY GROUPING SETS`` statement (PostgreSQL/DuckDB).
+
+    Native grouping sets emit NULL for every key absent from a row's set —
+    indistinguishable from a genuine NULL *data* value in that key. The
+    standard disambiguator is ``GROUPING(keys...)``: a bitmask whose bits
+    are 0 where the key participates in the row's grouping criteria and 1
+    where it does not (leftmost argument = most significant bit). Distinct
+    sets are distinct key subsets, hence distinct masks.
+
+    Returns ``(sql, union_keys, mask_to_set)``: the statement selects
+    ``mask_column`` first, then every union key (in ``union_keys`` order),
+    then the aggregates; ``mask_to_set`` maps an observed GROUPING bitmask
+    back to the query's set index.
+    """
+    union_keys = union_grouping_keys(query)
+
+    # The grouping expression of each union key, reused verbatim in the
+    # SELECT list, the GROUPING() call, and the grouping sets (expression
+    # identity is what GROUPING matches on).
+    expressions = {}
+    select_items = []
+    for key in union_keys:
+        select_item, group_expression = render_grouping_key(key)
+        expressions[grouping_key_name(key)] = group_expression
+        select_items.append(select_item)
+
+    mask_to_set: dict[int, int] = {}
+    bits = len(union_keys)
+    set_clauses = []
+    for set_index, key_set in enumerate(query.sets):
+        members = {grouping_key_name(key) for key in key_set}
+        mask = 0
+        for position, key in enumerate(union_keys):
+            if grouping_key_name(key) not in members:
+                mask |= 1 << (bits - 1 - position)
+        if mask in mask_to_set:
+            raise QueryError(
+                f"grouping sets {query.sets!r} are not distinct key subsets"
+            )
+        mask_to_set[mask] = set_index
+        set_clauses.append(
+            "("
+            + ", ".join(
+                expressions[grouping_key_name(key)] for key in key_set
+            )
+            + ")"
+        )
+
+    grouping_args = ", ".join(expressions[grouping_key_name(k)] for k in union_keys)
+    head = [f"GROUPING({grouping_args}) AS {quote_identifier(mask_column)}"]
+    head.extend(select_items)
+    head.extend(
+        render_aggregate(aggregate, native_var_std) for aggregate in query.aggregates
+    )
+    sql = f"SELECT {', '.join(head)} FROM {quote_identifier(query.table)}"
+    if query.predicate is not None:
+        sql += f" WHERE {render_expression(query.predicate)}"
+    sql += " GROUP BY GROUPING SETS (" + ", ".join(set_clauses) + ")"
+    order = ", ".join(str(i + 1) for i in range(1 + len(union_keys)))
+    sql += f" ORDER BY {order}"
+    return sql, union_keys, mask_to_set
+
+
+def split_grouping_rows(
+    rows: list, singles, union_positions: dict, set_index_of
+) -> "list[list[tuple]]":
+    """Split a combined grouping-sets result into per-set projected rows.
+
+    Shared by every SQL backend that executes grouping sets as one
+    statement (native or UNION ALL emulation). Each raw row is
+    ``(set_tag, union_key_columns..., aggregates...)``;
+    ``set_index_of(set_tag)`` names its grouping set (a GROUPING bitmask
+    lookup for the native path, the ordinal itself for the emulation).
+    The projection keeps, per set, only that set's own key columns — in
+    its own key order — followed by every aggregate.
+    """
+    aggregate_base = 1 + len(union_positions)
+    by_set: "list[list[tuple]]" = [[] for _ in singles]
+    for row in rows:
+        by_set[set_index_of(row[0])].append(row)
+    projected: "list[list[tuple]]" = []
+    for single, set_rows in zip(singles, by_set):
+        take = [1 + union_positions[name] for name in single.key_names]
+        take.extend(
+            range(aggregate_base, aggregate_base + len(single.aggregates))
+        )
+        projected.append([tuple(row[i] for i in take) for row in set_rows])
+    return projected
 
 
 def render_row_select(query: RowSelectQuery) -> str:

@@ -23,23 +23,24 @@ from datetime import date, datetime
 
 import numpy as np
 
-from repro.backends.base import Backend, BackendCapabilities
+from repro.backends.base import (
+    Backend,
+    BackendCapabilities,
+    aggregate_result_schema,
+    rows_to_table,
+)
 from repro.backends.sqlgen import (
     quote_identifier,
     render_aggregate_query,
     render_grouping_sets_union,
     render_row_select,
+    split_grouping_rows,
+    union_key_positions,
 )
-from repro.db.query import (
-    AggregateQuery,
-    FlagColumn,
-    GroupingSetsQuery,
-    RowSelectQuery,
-    grouping_key_name,
-)
-from repro.db.schema import ColumnSpec, Schema
+from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
+from repro.db.schema import Schema
 from repro.db.table import Table
-from repro.db.types import AttributeRole, DataType
+from repro.db.types import DataType
 from repro.util.errors import BackendError
 
 _SQL_TYPES = {
@@ -60,7 +61,12 @@ class SqliteBackend(Backend):
 
     name = "sqlite"
     capabilities = BackendCapabilities(
-        grouping_sets=False, parallel_queries=True, native_var_std=False
+        grouping_sets=False,
+        parallel_queries=True,
+        native_var_std=False,
+        native_sampling=True,
+        zero_copy_extract=False,
+        threading_model="connection-per-thread",
     )
 
     def __init__(self, path: "str | None" = None):
@@ -144,6 +150,17 @@ class SqliteBackend(Backend):
             raise BackendError(
                 f"table {table.name!r} already registered (pass replace=True)"
             )
+        self._create_and_fill(table)
+        with self._accounting_lock:
+            self._schemas[table.name] = table.schema
+            self._bump_data_version()
+
+    def register_derived(self, table: Table) -> None:
+        self._create_and_fill(table)
+        with self._accounting_lock:
+            self._schemas[table.name] = table.schema
+
+    def _create_and_fill(self, table: Table) -> None:
         connection = self._connection()
         quoted = quote_identifier(table.name)
         column_defs = ", ".join(
@@ -158,9 +175,6 @@ class SqliteBackend(Backend):
                 f"INSERT INTO {quoted} VALUES ({placeholders})",
                 (_encode_row(row) for row in table.iter_rows()),
             )
-        with self._accounting_lock:
-            self._schemas[table.name] = table.schema
-            self._bump_data_version()
 
     def drop_table(self, name: str) -> None:
         self._require_table(name)
@@ -211,30 +225,15 @@ class SqliteBackend(Backend):
         self._require_table(query.table)
         sql = render_grouping_sets_union(query)
         rows = self._run(sql, logical_queries=len(singles))
-
-        union_positions: dict[str, int] = {}
-        for key_set in query.sets:
-            for key in key_set:
-                name = grouping_key_name(key)
-                if name not in union_positions:
-                    union_positions[name] = len(union_positions)
-        aggregate_base = 1 + len(union_positions)
-
-        by_set: list[list[tuple]] = [[] for _ in singles]
-        for row in rows:
-            by_set[row[0]].append(row)
-        results: list[Table] = []
-        for set_index, single in enumerate(singles):
-            take = [1 + union_positions[name] for name in single.key_names]
-            take.extend(range(aggregate_base, aggregate_base + len(single.aggregates)))
-            results.append(
-                self._rows_to_table(
-                    f"{query.table}_view",
-                    self._result_schema(single),
-                    [tuple(row[i] for i in take) for row in by_set[set_index]],
-                )
+        per_set = split_grouping_rows(
+            rows, singles, union_key_positions(query), int
+        )
+        return [
+            self._rows_to_table(
+                f"{query.table}_view", self._result_schema(single), set_rows
             )
-        return results
+            for single, set_rows in zip(singles, per_set)
+        ]
 
     # -- support services ---------------------------------------------------------
 
@@ -279,36 +278,11 @@ class SqliteBackend(Backend):
         return cursor.fetchall()
 
     def _result_schema(self, query: AggregateQuery) -> Schema:
-        base = self._schemas[query.table]
-        specs: list[ColumnSpec] = []
-        for key in query.group_by:
-            if isinstance(key, FlagColumn):
-                specs.append(
-                    ColumnSpec(key.name, DataType.INT, AttributeRole.DIMENSION)
-                )
-            else:
-                base_spec = base[key]
-                specs.append(
-                    ColumnSpec(
-                        grouping_key_name(key),
-                        base_spec.dtype,
-                        AttributeRole.DIMENSION,
-                        base_spec.semantic,
-                    )
-                )
-        for aggregate in query.aggregates:
-            specs.append(
-                ColumnSpec(aggregate.alias, DataType.FLOAT, AttributeRole.MEASURE)
-            )
-        return Schema(tuple(specs))
+        return aggregate_result_schema(self._schemas[query.table], query)
 
     @staticmethod
     def _rows_to_table(name: str, schema: Schema, rows: list[tuple]) -> Table:
-        arrays: dict[str, np.ndarray] = {}
-        for index, spec in enumerate(schema):
-            raw = [row[index] for row in rows]
-            arrays[spec.name] = _decode_column(raw, spec.dtype)
-        return Table(name, schema, arrays)
+        return rows_to_table(name, schema, rows)
 
     def __repr__(self) -> str:
         return f"SqliteBackend(path={self._path!r}, tables={len(self._schemas)})"
@@ -339,19 +313,3 @@ def _encode_row(row: tuple) -> tuple:
     return tuple(encoded)
 
 
-def _decode_column(raw: list, dtype: DataType) -> np.ndarray:
-    """Convert a fetched column back to the canonical numpy representation."""
-    if dtype is DataType.FLOAT:
-        return np.array(
-            [float("nan") if v is None else float(v) for v in raw], dtype=np.float64
-        )
-    if dtype is DataType.INT:
-        return np.array([int(v) for v in raw], dtype=np.int64)
-    if dtype is DataType.BOOL:
-        return np.array([bool(v) for v in raw], dtype=np.bool_)
-    if dtype is DataType.DATE:
-        return np.array([np.datetime64(v, "D") for v in raw], dtype="datetime64[D]")
-    array = np.empty(len(raw), dtype=object)
-    for i, value in enumerate(raw):
-        array[i] = value
-    return array

@@ -28,7 +28,7 @@ import threading
 import weakref
 from dataclasses import dataclass, field
 
-from repro.backends.base import Backend
+from repro.backends.base import Backend, materialize_sample
 from repro.db.table import Table
 from repro.metadata.collector import MetadataCollector, TableMetadata
 
@@ -236,7 +236,9 @@ class SessionCache:
             if entry is not None:
                 # Knobs changed: retire the old sample before materializing.
                 self._drop_owned(entry.name)
-            self.backend.create_sample(source, name, fraction, seed=seed)
+            # Capability-gated: in-DBMS sampling or the client-side
+            # Bernoulli fallback, per the backend's declaration.
+            materialize_sample(self.backend, source, name, fraction, seed=seed)
             self._samples[source] = _SampleEntry(
                 name=name, fraction=fraction, seed=seed
             )

@@ -127,7 +127,17 @@ class ExecutionEngine:
         threads — it is a reusable view claiming at most ``n_workers`` of
         the process-wide pool per run, so concurrent calls with different
         worker counts never tear down each other's pools.
+
+        Capability-gated: a backend declaring ``parallel_queries=False``
+        or a ``"serial"`` threading model executes sequentially no matter
+        what ``n_workers`` asks for — the declaration, not the backend
+        class, is what the engine trusts.
         """
+        capabilities = self.backend.capabilities
+        if not capabilities.parallel_queries:
+            return None
+        if capabilities.threading_model == "serial":
+            return None
         if n_workers <= 1:
             return None
         with self._lock:

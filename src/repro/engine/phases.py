@@ -149,12 +149,14 @@ class SamplePhase(Phase):
         else:
             # No cache owner: the sample is the caller's to drop — its name
             # is published under extras["unmanaged_sample"].
+            from repro.backends.base import materialize_sample
             from repro.engine.cache import sample_table_name
 
             ctx.execution_table = sample_table_name(
                 ctx.query.table, config.sample_fraction, config.sample_seed
             )
-            ctx.backend.create_sample(
+            materialize_sample(
+                ctx.backend,
                 ctx.query.table,
                 ctx.execution_table,
                 config.sample_fraction,

@@ -19,8 +19,7 @@ import argparse
 import sys
 
 from repro.api import RecommendationRequest, Reference
-from repro.backends.memory import MemoryBackend
-from repro.backends.sqlite import SqliteBackend
+from repro.backends.registry import available_backend_schemes, backend_from_uri
 from repro.core.config import SeeDBConfig
 from repro.core.recommender import SeeDB
 from repro.datasets.registry import available_datasets, load_dataset
@@ -74,8 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="memory",
-        choices=("memory", "sqlite"),
-        help="DBMS backend to run on",
+        metavar="URI",
+        help="DBMS backend to run on: "
+        + ", ".join(available_backend_schemes())
+        + " (bare name or URI, e.g. duckdb:///file.db)",
     )
     parser.add_argument(
         "--sample-fraction",
@@ -132,8 +133,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="memory",
-        choices=("memory", "sqlite"),
-        help="DBMS backend to serve from",
+        metavar="URI",
+        help="DBMS backend to serve from: "
+        + ", ".join(available_backend_schemes())
+        + " (bare name or URI, e.g. duckdb:///file.db)",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument(
@@ -179,7 +182,7 @@ def serve_main(argv: "list[str] | None" = None) -> int:
     backend = None
     try:
         table = read_csv(args.csv) if args.csv else load_dataset(args.dataset)
-        backend = MemoryBackend() if args.backend == "memory" else SqliteBackend()
+        backend = backend_from_uri(args.backend)
         backend.register_table(table)
         config = SeeDBConfig(
             metric=args.metric, k=args.k, n_workers=args.workers
@@ -226,12 +229,14 @@ def main(argv: "list[str] | None" = None) -> int:
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
+    backend = None
+    seedb = None
     try:
         if args.csv:
             table = read_csv(args.csv)
         else:
             table = load_dataset(args.dataset)
-        backend = MemoryBackend() if args.backend == "memory" else SqliteBackend()
+        backend = backend_from_uri(args.backend)
         backend.register_table(table)
 
         if args.template:
@@ -274,38 +279,47 @@ def main(argv: "list[str] | None" = None) -> int:
             print()
         else:
             result = seedb.recommend(request)
+
+        print(result.summary())
+
+        if args.charts:
+            schema = backend.schema(result.table)
+            for view in result.recommendations:
+                dimension_spec = (
+                    schema[view.spec.dimension]
+                    if view.spec.dimension in schema
+                    else None
+                )
+                print()
+                print(render_ascii(view_to_chart_spec(view, dimension_spec)))
+
+        if args.show_bad_views:
+            print("\nlowest-utility views (not recommended):")
+            for view in result.worst_views():
+                print(f"  {view.spec.label}: utility={view.utility:.4f}")
+
+        if args.export:
+            schema = backend.schema(result.table)
+            paths = export_recommendations(result, args.export, schema)
+            print(f"\nwrote {len(paths)} chart files to {args.export}")
+
+        if args.html:
+            from repro.viz.html_report import write_html_report
+
+            schema = backend.schema(result.table)
+            path = write_html_report(result, args.html, schema)
+            print(f"wrote HTML report to {path}")
+        return 0
     except (ReproError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-
-    print(result.summary())
-
-    if args.charts:
-        schema = backend.schema(result.table)
-        for view in result.recommendations:
-            dimension_spec = (
-                schema[view.spec.dimension] if view.spec.dimension in schema else None
-            )
-            print()
-            print(render_ascii(view_to_chart_spec(view, dimension_spec)))
-
-    if args.show_bad_views:
-        print("\nlowest-utility views (not recommended):")
-        for view in result.worst_views():
-            print(f"  {view.spec.label}: utility={view.utility:.4f}")
-
-    if args.export:
-        schema = backend.schema(result.table)
-        paths = export_recommendations(result, args.export, schema)
-        print(f"\nwrote {len(paths)} chart files to {args.export}")
-
-    if args.html:
-        from repro.viz.html_report import write_html_report
-
-        schema = backend.schema(result.table)
-        path = write_html_report(result, args.html, schema)
-        print(f"wrote HTML report to {path}")
-    return 0
+    finally:
+        # Success or not, file-backed backends (sqlite/duckdb) hold
+        # connections and possibly an owned temp database file.
+        if seedb is not None:
+            seedb.close()
+        if backend is not None:
+            backend.close()
 
 
 def _parse_template_args(pairs: "list[str]") -> dict:

@@ -185,6 +185,29 @@ class SeeDBService:
                 owned=owned,
             )
 
+    def register_backend_uri(
+        self,
+        name: str,
+        uri: str,
+        config: "SeeDBConfig | None" = None,
+    ) -> Backend:
+        """Construct a backend from a URI and register it service-owned.
+
+        ``uri`` is anything :func:`repro.backends.backend_from_uri`
+        accepts — ``memory``, ``sqlite:///analytics.db``,
+        ``duckdb:///file.db`` — and the service takes lifecycle ownership
+        (its ``close()`` will close the backend's connections/files).
+        """
+        from repro.backends.registry import backend_from_uri
+
+        backend = backend_from_uri(uri)
+        try:
+            self.register_backend(name, backend, config=config, owned=True)
+        except Exception:
+            backend.close()
+            raise
+        return backend
+
     def backend_names(self) -> list[str]:
         with self._lock:
             return sorted(self._slots)

@@ -1,0 +1,133 @@
+"""Shared pieces of the backend conformance kit.
+
+Importable by both the kit's ``conftest.py`` and its test modules (pytest
+prepend-mode puts this directory on ``sys.path``): backend factory
+registry, the canonical contract table, and group-comparison helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.duckdb import DuckDbBackend, duckdb_available
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+
+BACKEND_FACTORIES = {
+    "memory": MemoryBackend,
+    "sqlite": SqliteBackend,
+    "duckdb": DuckDbBackend,
+}
+
+__all__ = [
+    "BACKEND_FACTORIES",
+    "assert_same_groups",
+    "conformance_table",
+    "duckdb_available",
+    "groups_of",
+    "normalize_key",
+]
+
+
+def conformance_table() -> Table:
+    """The canonical contract table: NULL dimension values, NaN measures.
+
+    16 rows. ``region`` carries two genuine NULLs (the NULL-group
+    disambiguation cases), ``product`` is dense, ``amount`` holds one NaN
+    (SQL NULL semantics), and the p0/r0 concentration plants a deviation
+    every backend must surface identically.
+    """
+    regions = ["r0", "r1", "r2", "r0", None, "r1", "r2", "r0"] * 2
+    products = ["p0", "p0", "p1", "p1", "p0", "p1", "p0", "p1"] * 2
+    amounts = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0,
+               15.0, 25.0, 35.0, float("nan"), 55.0, 65.0, 75.0, 85.0]
+    units = [float(1 + (i % 4)) for i in range(16)]
+    return Table.from_columns(
+        "conformance",
+        {
+            "region": regions,
+            "product": products,
+            "amount": amounts,
+            "units": units,
+        },
+        roles={
+            "region": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+            "units": AttributeRole.MEASURE,
+        },
+    )
+
+
+def medium_workload():
+    """A deterministic ~600-row table + analyst query with a planted
+    deviation (product p0 concentrates in region r0), sized so the full
+    pipeline runs in milliseconds but produces a stable, untied top-k."""
+    n = 600
+    regions = [f"r{i % 6}" for i in range(n)]
+    products = [f"p{(i // 6) % 5}" for i in range(n)]
+    for i in range(n):
+        if products[i] == "p0" and i % 3 != 0:
+            regions[i] = "r0"
+    from repro.db.expressions import col
+
+    table = Table.from_columns(
+        "orders",
+        {
+            "region": regions,
+            "product": products,
+            "band": [f"q{1 + (i % 4)}" for i in range(n)],
+            "amount": [float(10 + (i * 7) % 90) for i in range(n)],
+            "units": [float(1 + (i % 5)) for i in range(n)],
+        },
+        roles={
+            "region": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "band": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+            "units": AttributeRole.MEASURE,
+        },
+    )
+    from repro.db.query import RowSelectQuery
+
+    return table, RowSelectQuery("orders", col("product") == "p0")
+
+
+def normalize_key(value):
+    """Canonical comparison form of one group-key value.
+
+    Backends legitimately differ in how they surface a NULL group key
+    (``None`` from SQL backends, the string ``'None'`` from the memory
+    engine's factorized object arrays); the *partitioning* contract is
+    what conformance pins down.
+    """
+    if value is None:
+        return None
+    if isinstance(value, float) and np.isnan(value):
+        return None
+    if isinstance(value, str) and value == "None":
+        return None
+    if isinstance(value, np.generic):
+        value = value.item()
+    return value
+
+
+def groups_of(table: Table, key: str, measure: str) -> dict:
+    """``{normalized key -> aggregate value}`` for one result table."""
+    keys = [normalize_key(v) for v in table.column(key)]
+    values = [float(v) for v in table.column(measure)]
+    assert len(set(keys)) == len(keys), f"duplicate groups in {keys}"
+    return dict(zip(keys, values))
+
+
+def assert_same_groups(left: Table, right: Table, key: str, measure: str):
+    """Two result tables describe the same group -> value mapping."""
+    lhs, rhs = groups_of(left, key, measure), groups_of(right, key, measure)
+    assert set(lhs) == set(rhs)
+    for group in lhs:
+        np.testing.assert_allclose(
+            lhs[group], rhs[group], rtol=1e-9, atol=1e-12,
+            err_msg=f"group {group!r} of {measure}",
+        )

@@ -1,0 +1,78 @@
+"""Backend conformance kit: one parameterized fixture, every backend.
+
+Every registered :class:`~repro.backends.Backend` implementation runs the
+same contract suite; a new backend joins by adding one factory line to
+``conformance_kit.BACKEND_FACTORIES``. The ``duckdb`` cell skips cleanly
+when the optional wheel is absent, and the ``SEEDB_CONFORMANCE_BACKENDS``
+environment variable (comma-separated names) restricts the run to a
+subset — the hook the CI backend matrix uses to run one
+(Python, backend) cell per job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conformance_kit import BACKEND_FACTORIES, conformance_table, duckdb_available
+from repro.db.table import Table
+
+
+def _selected_backends() -> list[str]:
+    raw = os.environ.get("SEEDB_CONFORMANCE_BACKENDS", "")
+    if not raw.strip():
+        return list(BACKEND_FACTORIES)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in BACKEND_FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"SEEDB_CONFORMANCE_BACKENDS names unknown backends {unknown}; "
+            f"known: {sorted(BACKEND_FACTORIES)}"
+        )
+    return names
+
+
+def backend_params():
+    params = []
+    for name in _selected_backends():
+        marks = []
+        if name == "duckdb" and not duckdb_available():
+            marks.append(
+                pytest.mark.skip(reason="optional 'duckdb' wheel not installed")
+            )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=backend_params())
+def backend_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def make_backend(backend_name):
+    """Factory fixture: every backend it constructs is closed on teardown."""
+    created = []
+
+    def _make():
+        backend = BACKEND_FACTORIES[backend_name]()
+        created.append(backend)
+        return backend
+
+    yield _make
+    for backend in created:
+        backend.close()
+
+
+@pytest.fixture
+def contract_table() -> Table:
+    return conformance_table()
+
+
+@pytest.fixture
+def backend(make_backend, contract_table):
+    """One backend of the matrix with the contract table registered."""
+    instance = make_backend()
+    instance.register_table(contract_table)
+    return instance

@@ -1,0 +1,98 @@
+"""Contract: sample materialization, native and client-side."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backends.base import materialize_sample
+from repro.util.errors import ReproError
+
+
+def sorted_rows(table):
+    return sorted(map(repr, table.to_rows()))
+
+
+class TestNativeSampling:
+    def test_full_fraction_keeps_every_row(self, backend):
+        name = backend.create_sample("conformance", "s_full", 1.0, seed=5)
+        assert backend.has_table(name)
+        assert backend.row_count(name) == 16
+
+    def test_sample_preserves_schema(self, backend):
+        name = backend.create_sample("conformance", "s_schema", 0.5, seed=5)
+        assert backend.schema(name).names == backend.schema("conformance").names
+
+    def test_sampling_is_deterministic(self, backend):
+        first = backend.create_sample("conformance", "s_a", 0.5, seed=9)
+        second = backend.create_sample("conformance", "s_b", 0.5, seed=9)
+        assert sorted_rows(backend.fetch_table(first)) == sorted_rows(
+            backend.fetch_table(second)
+        )
+
+    def test_invalid_fraction_rejected(self, backend):
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ReproError):
+                backend.create_sample("conformance", "s_bad", fraction)
+
+    def test_sample_of_unknown_table_rejected(self, backend):
+        with pytest.raises(ReproError):
+            backend.create_sample("missing", "s_missing", 0.5)
+
+
+class TestClientSideFallback:
+    """Flipping ``native_sampling`` must reroute, not break, sampling."""
+
+    @pytest.fixture
+    def fallback_backend(self, backend, monkeypatch):
+        monkeypatch.setattr(
+            backend,
+            "capabilities",
+            dataclasses.replace(backend.capabilities, native_sampling=False),
+        )
+        return backend
+
+    def test_materialize_sample_routes_clientside(self, fallback_backend, monkeypatch):
+        calls = []
+        original = fallback_backend.create_sample_clientside
+
+        def tracing(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            fallback_backend, "create_sample_clientside", tracing
+        )
+        name = materialize_sample(fallback_backend, "conformance", "s_client", 0.5)
+        assert calls
+        assert fallback_backend.has_table(name)
+
+    def test_clientside_sample_preserves_schema_and_rows(self, fallback_backend):
+        name = materialize_sample(
+            fallback_backend, "conformance", "s_client_full", 1.0, seed=2
+        )
+        sample = fallback_backend.fetch_table(name)
+        assert sample.schema.names == fallback_backend.schema("conformance").names
+        assert sample.num_rows == 16
+        amounts = np.asarray(sample.column("amount"), dtype=float)
+        assert int(np.isnan(amounts).sum()) == 1  # NaN survives the round trip
+
+    def test_clientside_sample_does_not_bump_data_version(self, fallback_backend):
+        version = fallback_backend.data_version
+        materialize_sample(fallback_backend, "conformance", "s_client_v", 0.5, seed=3)
+        assert fallback_backend.data_version == version
+
+    def test_clientside_is_deterministic(self, fallback_backend):
+        first = materialize_sample(
+            fallback_backend, "conformance", "s_c1", 0.5, seed=11
+        )
+        second = materialize_sample(
+            fallback_backend, "conformance", "s_c2", 0.5, seed=11
+        )
+        assert sorted_rows(fallback_backend.fetch_table(first)) == sorted_rows(
+            fallback_backend.fetch_table(second)
+        )
+
+    def test_invalid_fraction_rejected(self, fallback_backend):
+        with pytest.raises(ReproError):
+            materialize_sample(fallback_backend, "conformance", "s_bad", 0.0)

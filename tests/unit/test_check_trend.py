@@ -1,0 +1,185 @@
+"""Unit tests for the perf-smoke bench-trend gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trend",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "check_trend.py",
+)
+check_trend = importlib.util.module_from_spec(_SPEC)
+# Registered before exec: the module's dataclasses resolve their string
+# annotations through sys.modules[cls.__module__].
+sys.modules["check_trend"] = check_trend
+_SPEC.loader.exec_module(check_trend)
+
+
+def bench_payload(rows, query_counts=None):
+    return {"rows": rows, "query_counts": query_counts or {}}
+
+
+def write_bench(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestHeadlineSelection:
+    def test_prefers_ratio_columns(self):
+        payload = bench_payload(
+            [{"speedup_x": 4.0, "queries_executed": 10},
+             {"speedup_x": None, "queries_executed": 12}],
+            {"queries_executed": [10, 12]},
+        )
+        headline = check_trend.headline_of(payload)
+        assert headline.metric == "speedup_x"
+        assert headline.value == 4.0
+        assert headline.direction == "higher"
+
+    def test_falls_back_to_query_counts(self):
+        payload = bench_payload(
+            [{"latency_s": 1.0, "queries_executed": 10}],
+            {"queries_executed": [10, 12]},
+        )
+        headline = check_trend.headline_of(payload)
+        assert headline.metric == "queries_executed"
+        assert headline.value == 22
+        assert headline.direction == "lower"
+
+    def test_timings_only_yields_none(self):
+        payload = bench_payload([{"latency_s": 1.0}])
+        assert check_trend.headline_of(payload) is None
+
+    def test_non_finite_values_ignored(self):
+        payload = bench_payload([{"speedup_x": float("nan")}, {"speedup_x": 3.0}])
+        assert check_trend.headline_of(payload).value == 3.0
+
+
+class TestCompare:
+    def run(self, baseline_value, fresh_value, tolerance=0.30, direction_col="speedup_x"):
+        baselines = {"b": bench_payload([{direction_col: baseline_value}])}
+        fresh = {"b": bench_payload([{direction_col: fresh_value}])}
+        (row,) = check_trend.compare(baselines, fresh, tolerance)
+        return row
+
+    def test_within_tolerance_is_ok(self):
+        assert self.run(4.0, 3.1).status == "ok"
+
+    def test_beyond_tolerance_is_regression(self):
+        row = self.run(4.0, 2.0)  # 2.0 also underruns the 3.0 portable floor
+        assert row.status == "regression"
+        assert row.change == pytest.approx(-0.5)
+
+    def test_improvement_is_ok(self):
+        assert self.run(4.0, 8.0).status == "ok"
+
+    def test_shortfall_above_portable_floor_does_not_gate(self):
+        """A fast dev box committed speedup_x=19.6; a slower runner at 4.0
+        trails it by 80% but clears the benchmark's own 3.0 bar."""
+        row = self.run(19.6, 4.0)
+        assert row.status == "above-floor"
+
+    def test_floorless_ratio_metric_gates_strictly(self):
+        row = self.run(1.0, 0.5, direction_col="topk_precision")
+        assert row.status == "regression"
+
+    def test_lower_is_better_for_query_counts(self):
+        baselines = {
+            "b": bench_payload([{}], {"queries": [100]}),
+        }
+        worse = {"b": bench_payload([{}], {"queries": [140]})}
+        (row,) = check_trend.compare(baselines, worse, 0.30)
+        assert row.status == "regression"
+        better = {"b": bench_payload([{}], {"queries": [80]})}
+        (row,) = check_trend.compare(baselines, better, 0.30)
+        assert row.status == "ok"
+
+    def test_new_benchmark_never_gates(self):
+        rows = check_trend.compare(
+            {}, {"b": bench_payload([{"speedup_x": 2.0}])}, 0.3
+        )
+        assert rows[0].status == "new"
+
+    def test_missing_benchmark_reported(self):
+        rows = check_trend.compare(
+            {"b": bench_payload([{"speedup_x": 2.0}])}, {}, 0.3
+        )
+        assert rows[0].status == "missing"
+
+    def test_metric_shape_change_treated_as_new(self):
+        baselines = {"b": bench_payload([{"speedup_x": 2.0}])}
+        fresh = {"b": bench_payload([{}], {"queries": [10]})}
+        (row,) = check_trend.compare(baselines, fresh, 0.3)
+        assert row.status == "new"
+
+    def test_timings_only_is_informational(self):
+        baselines = {"b": bench_payload([{"latency_s": 1.0}])}
+        fresh = {"b": bench_payload([{"latency_s": 99.0}])}
+        (row,) = check_trend.compare(baselines, fresh, 0.3)
+        assert row.status == "info"
+
+
+class TestMainEntry:
+    def test_exit_codes_and_summary(self, tmp_path, monkeypatch):
+        baseline_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        write_bench(baseline_dir, "scoring", bench_payload([{"speedup_x": 4.0}]))
+        write_bench(fresh_dir, "scoring", bench_payload([{"speedup_x": 3.9}]))
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+
+        code = check_trend.main(
+            ["--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)]
+        )
+        assert code == 0
+        assert "scoring" in summary.read_text()
+
+        write_bench(fresh_dir, "scoring", bench_payload([{"speedup_x": 1.0}]))
+        code = check_trend.main(
+            ["--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)]
+        )
+        assert code == 1
+
+    def test_custom_tolerance(self, tmp_path, monkeypatch):
+        # topk_precision has no portable floor, so tolerance alone decides.
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        write_bench(baseline_dir, "b", bench_payload([{"topk_precision": 1.0}]))
+        write_bench(fresh_dir, "b", bench_payload([{"topk_precision": 0.6}]))
+        args = ["--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)]
+        assert check_trend.main(args + ["--tolerance", "0.5"]) == 0
+        assert check_trend.main(args + ["--tolerance", "0.3"]) == 1
+
+    def test_unreadable_file_warns_not_crashes(self, tmp_path, capsys):
+        directory = tmp_path / "results"
+        directory.mkdir()
+        (directory / "BENCH_bad.json").write_text("{not json")
+        assert check_trend.load_bench_files(directory) == {}
+
+    def test_empty_fresh_dir_fails_closed(self, tmp_path, monkeypatch):
+        """A typo'd --fresh-dir must not pass green having compared nothing."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_dir = tmp_path / "base"
+        write_bench(baseline_dir, "scoring", bench_payload([{"speedup_x": 4.0}]))
+        code = check_trend.main(
+            ["--baseline-dir", str(baseline_dir),
+             "--fresh-dir", str(tmp_path / "nonexistent")]
+        )
+        assert code == 1
+
+    def test_baseline_missing_from_fresh_run_fails(self, tmp_path, monkeypatch):
+        """A benchmark that stops emitting its BENCH file stays gated."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        write_bench(baseline_dir, "scoring", bench_payload([{"speedup_x": 4.0}]))
+        write_bench(baseline_dir, "serving", bench_payload([{"speedup_x": 2.0}]))
+        write_bench(fresh_dir, "scoring", bench_payload([{"speedup_x": 4.0}]))
+        code = check_trend.main(
+            ["--baseline-dir", str(baseline_dir), "--fresh-dir", str(fresh_dir)]
+        )
+        assert code == 1

@@ -1,0 +1,305 @@
+"""DuckDB backend pieces testable without the optional wheel.
+
+The dialect/decode logic — native GROUPING SETS rendering with its
+GROUPING() bitmask bookkeeping, combined-result splitting, fetchnumpy
+array canonicalization, row encode/decode — is pure and runs here on
+every environment; the live-engine paths run in the conformance suite's
+duckdb cell when the wheel is installed.
+"""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.backends import duckdb as duckdb_backend
+from repro.backends.base import decode_result_column
+from repro.backends.duckdb import (
+    _NumpyExtractUnsupported,
+    _encode_row,
+    _rows_from_numpy,
+    _table_from_numpy,
+    duckdb_available,
+)
+from repro.backends.registry import parse_backend_uri
+from repro.backends.sqlgen import render_grouping_sets_native, split_grouping_rows
+from repro.db.aggregates import Aggregate
+from repro.db.expressions import col
+from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery
+from repro.db.schema import ColumnSpec, Schema
+from repro.db.types import AttributeRole, DataType
+from repro.util.errors import BackendError, QueryError
+
+
+class TestConstructionWithoutWheel:
+    def test_clear_error_when_package_missing(self):
+        if duckdb_available():
+            pytest.skip("duckdb installed; the error path cannot fire")
+        with pytest.raises(BackendError, match="duckdb"):
+            duckdb_backend.DuckDbBackend()
+
+
+class TestNativeGroupingSetsSql:
+    def test_masks_are_distinct_and_decode_to_sets(self):
+        query = GroupingSetsQuery(
+            "t", (("a",), ("b",), ("a", "b")), (Aggregate("count"),)
+        )
+        sql, union_keys, mask_to_set = render_grouping_sets_native(query)
+        assert [k for k in union_keys] == ["a", "b"]
+        # 2 union keys: leftmost bit is "a". Set (a) groups a only -> b's
+        # bit set -> mask 0b01; set (b) -> mask 0b10; set (a,b) -> 0b00.
+        assert mask_to_set == {0b01: 0, 0b10: 1, 0b00: 2}
+        assert "GROUP BY GROUPING SETS" in sql
+        assert 'GROUPING("a", "b") AS "__seedb_grouping"' in sql
+        assert sql.count("SELECT") == 1  # one statement, no UNION arms
+
+    def test_flag_sets_render_case_expressions(self):
+        flag = FlagColumn("__seedb_flag", col("p") == 1)
+        query = GroupingSetsQuery(
+            "t",
+            ((flag, "a"), (flag, "b")),
+            (Aggregate("sum", "m"),),
+        )
+        sql, union_keys, mask_to_set = render_grouping_sets_native(query)
+        from repro.db.query import grouping_key_name
+
+        assert [grouping_key_name(k) for k in union_keys] == [
+            "__seedb_flag",
+            "a",
+            "b",
+        ]
+        # flag participates in both sets: its bit is never set.
+        assert mask_to_set == {0b001: 0, 0b010: 1}
+        # The CASE expression appears in GROUPING(), the select list, and
+        # both grouping sets (expression identity is what GROUPING matches).
+        assert sql.count("CASE WHEN") == 4
+        assert "UNION" not in sql
+
+    def test_predicate_rendered_before_group_by(self):
+        query = GroupingSetsQuery(
+            "t", (("a",), ("b",)), (Aggregate("count"),), col("x") > 3
+        )
+        sql, _keys, _masks = render_grouping_sets_native(query)
+        assert sql.index("WHERE") < sql.index("GROUP BY GROUPING SETS")
+
+    def test_duplicate_sets_rejected(self):
+        query = GroupingSetsQuery(
+            "t", (("a",), ("a",)), (Aggregate("count"),)
+        )
+        with pytest.raises(QueryError):
+            render_grouping_sets_native(query)
+
+
+class TestSplitGroupingRows:
+    def singles(self):
+        return GroupingSetsQuery(
+            "t", (("a",), ("b",)), (Aggregate("sum", "m"), Aggregate("count"))
+        ).as_single_queries()
+
+    def test_splits_and_projects_by_tag(self):
+        union_positions = {"a": 0, "b": 1}
+        # (tag, a, b, sum(m), count(*)) — tag 0 groups by a, tag 1 by b.
+        rows = [
+            (0, "x", None, 3.0, 2.0),
+            (1, None, "p", 4.0, 3.0),
+            (0, None, None, 9.0, 1.0),  # genuine NULL data group of a
+        ]
+        first, second = split_grouping_rows(
+            rows, self.singles(), union_positions, int
+        )
+        assert first == [("x", 3.0, 2.0), (None, 9.0, 1.0)]
+        assert second == [("p", 4.0, 3.0)]
+
+    def test_mask_decoder_routes_rows(self):
+        union_positions = {"a": 0, "b": 1}
+        mask_to_set = {0b01: 0, 0b10: 1}
+        rows = [
+            (0b01, "x", None, 3.0, 2.0),
+            (0b10, None, "p", 4.0, 3.0),
+        ]
+        first, second = split_grouping_rows(
+            rows,
+            self.singles(),
+            union_positions,
+            lambda tag: mask_to_set[int(tag)],
+        )
+        assert first == [("x", 3.0, 2.0)]
+        assert second == [("p", 4.0, 3.0)]
+
+
+class TestRowCodecs:
+    def test_encode_row(self):
+        row = (
+            np.int64(3),
+            np.float64(1.5),
+            float("nan"),
+            np.datetime64("2024-03-01", "D"),
+            "text",
+            True,
+        )
+        encoded = _encode_row(row)
+        assert encoded[0] == 3 and isinstance(encoded[0], int)
+        assert encoded[1] == 1.5
+        assert encoded[2] is None  # NaN -> NULL
+        assert encoded[3] == date(2024, 3, 1)
+        assert encoded[4] == "text"
+        assert encoded[5] is True
+
+    def test_decode_column_dtypes(self):
+        assert np.isnan(decode_result_column([None, 2.0], DataType.FLOAT)[0])
+        assert decode_result_column([1, 2], DataType.INT).dtype == np.int64
+        assert decode_result_column([True, False], DataType.BOOL).dtype == np.bool_
+        dates = decode_result_column([date(2024, 1, 2), None], DataType.DATE)
+        assert dates.dtype == np.dtype("datetime64[D]")
+        assert np.isnat(dates[1])
+        strings = decode_result_column(["a", None], DataType.STR)
+        assert strings[1] is None
+
+    def test_decode_null_int_and_bool_raise_clear_errors(self):
+        """NULL has no canonical INT/BOOL form: loud error, never a silent
+        False/garbage coercion."""
+        with pytest.raises(BackendError, match="NULL in INT"):
+            decode_result_column([1, None], DataType.INT, "k")
+        with pytest.raises(BackendError, match="NULL in BOOL"):
+            decode_result_column([True, None], DataType.BOOL, "b")
+
+
+class TestTableFromNumpy:
+    def schema(self):
+        return Schema(
+            (
+                ColumnSpec("d", DataType.STR, AttributeRole.DIMENSION),
+                ColumnSpec("m", DataType.FLOAT, AttributeRole.MEASURE),
+            )
+        )
+
+    def test_masked_float_becomes_nan(self):
+        data = {
+            "d": np.array(["x", "y"], dtype=object),
+            "m": np.ma.MaskedArray([1.0, 99.0], mask=[False, True]),
+        }
+        table = _table_from_numpy("t", self.schema(), data)
+        values = np.asarray(table.column("m"), dtype=float)
+        assert values[0] == 1.0 and np.isnan(values[1])
+
+    def test_masked_string_becomes_none(self):
+        data = {
+            "d": np.ma.MaskedArray(
+                np.array(["x", "y"], dtype=object), mask=[True, False]
+            ),
+            "m": np.array([1.0, 2.0]),
+        }
+        table = _table_from_numpy("t", self.schema(), data)
+        assert table.column("d")[0] is None
+        assert table.column("d")[1] == "y"
+
+    def test_masked_int_falls_back(self):
+        schema = Schema(
+            (ColumnSpec("k", DataType.INT, AttributeRole.DIMENSION),)
+        )
+        data = {"k": np.ma.MaskedArray([1, 2], mask=[False, True])}
+        with pytest.raises(_NumpyExtractUnsupported):
+            _table_from_numpy("t", schema, data)
+
+    def test_date_column_roundtrip(self):
+        schema = Schema(
+            (ColumnSpec("day", DataType.DATE, AttributeRole.DIMENSION),)
+        )
+        data = {"day": np.array(["2024-01-02", "2024-02-03"], dtype="datetime64[us]")}
+        table = _table_from_numpy("t", schema, data)
+        assert table.column("day").dtype == np.dtype("datetime64[D]")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(_NumpyExtractUnsupported):
+            _table_from_numpy("t", self.schema(), {"d": np.array(["x"], dtype=object)})
+
+
+class TestRowsFromNumpy:
+    """The row-decode fallback must preserve NULLs, never fill values."""
+
+    def test_masked_entries_become_none_not_fill_values(self):
+        schema = Schema(
+            (
+                ColumnSpec("d", DataType.STR, AttributeRole.DIMENSION),
+                ColumnSpec("m", DataType.FLOAT, AttributeRole.MEASURE),
+            )
+        )
+        data = {
+            "d": np.array(["x", "y"], dtype=object),
+            "m": np.ma.MaskedArray([1.0, 123.0], mask=[False, True],
+                                   fill_value=999999.0),
+        }
+        rows = _rows_from_numpy(data, schema)
+        assert rows[0][1] == 1.0
+        assert rows[1][1] is None  # masked -> None, not 123.0 or the fill
+
+    def test_missing_column_raises_backend_error(self):
+        schema = Schema(
+            (ColumnSpec("d", DataType.STR, AttributeRole.DIMENSION),)
+        )
+        with pytest.raises(BackendError, match="missing column"):
+            _rows_from_numpy({}, schema)
+
+
+class TestBackendUris:
+    def test_bare_names(self):
+        assert parse_backend_uri("memory") == ("memory", None)
+        assert parse_backend_uri("duckdb") == ("duckdb", None)
+
+    def test_relative_and_absolute_paths(self):
+        assert parse_backend_uri("duckdb:///file.db") == ("duckdb", "file.db")
+        assert parse_backend_uri("sqlite:////abs/file.db") == (
+            "sqlite",
+            "/abs/file.db",
+        )
+        assert parse_backend_uri("duckdb://") == ("duckdb", None)
+
+    def test_invalid_uris_rejected(self):
+        with pytest.raises(BackendError):
+            parse_backend_uri("")
+        with pytest.raises(BackendError):
+            parse_backend_uri("://path")
+
+    def test_memory_rejects_paths(self):
+        from repro.backends.registry import backend_from_uri
+
+        with pytest.raises(BackendError):
+            backend_from_uri("memory:///somewhere")
+
+    def test_custom_scheme_registration(self):
+        from repro.backends import registry
+
+        try:
+            registry.register_backend_scheme(
+                "custom", lambda path: ("made", path)
+            )
+            assert "custom" in registry.available_backend_schemes()
+            assert registry.backend_from_uri("custom:///x.db") == ("made", "x.db")
+        finally:
+            registry._FACTORIES.pop("custom", None)
+
+    def test_bad_scheme_name_rejected(self):
+        from repro.backends import registry
+
+        with pytest.raises(BackendError):
+            registry.register_backend_scheme("no scheme", lambda path: None)
+
+    def test_service_registers_backend_by_uri(self):
+        from repro.service import SeeDBService
+
+        service = SeeDBService()
+        try:
+            backend = service.register_backend_uri("default", "memory")
+            assert service.backend("default") is backend
+        finally:
+            service.close()
+
+    def test_service_uri_registration_propagates_unknown_scheme(self):
+        from repro.service import SeeDBService
+
+        service = SeeDBService()
+        try:
+            with pytest.raises(BackendError):
+                service.register_backend_uri("default", "nosuch://x")
+        finally:
+            service.close()
