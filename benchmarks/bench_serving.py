@@ -9,12 +9,24 @@ one execution, finished results fan out from the shared LRU, and the
 engine cache is warm across every session — so this benchmark doubles as
 a regression tripwire for all three.
 
+The workers axis measures the *process* tier instead: a stream of unique
+predicates (nothing coalesces, nothing caches — pure execution
+throughput) against the thread tier and against clusters of 1/2/4 worker
+processes, emitting the ``process_scaling_ratio`` headline =
+cluster-of-4 throughput over single-process-thread-tier throughput. The
+strict ≥ 2.5× bar only applies where it is physically reachable (≥ 4
+usable cores); constrained boxes record the honest number and assert
+sanity only.
+
 Emits ``BENCH_serving.json`` (rows: serial baseline, coalesced+cached
-service, ablation with both off) with throughput and p50/p95 latency.
+service, ablation with both off, then the workers axis) with throughput
+and p50/p95 latency.
 """
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from threading import Barrier, Lock
 
 import pytest
 
@@ -25,11 +37,16 @@ from repro.core.recommender import SeeDB
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.db.expressions import col
 from repro.db.query import RowSelectQuery
-from repro.service import single_backend_service
+from repro.service import single_backend_cluster, single_backend_service
 
 N_SESSIONS = 8
 REQUESTS_PER_SESSION = 8
 K = 3
+
+#: Workers axis: unique requests (no two coalesce) and the process tiers.
+SCALING_REQUESTS = 24
+WORKER_TIERS = (1, 2, 4)
+USABLE_CORES = len(os.sched_getaffinity(0))
 
 
 @pytest.fixture(scope="module")
@@ -92,8 +109,6 @@ def run_service(
         result_cache_size=cache_size,
     )
     latencies = []
-    from threading import Barrier, Lock
-
     barrier = Barrier(N_SESSIONS)
     lock = Lock()
 
@@ -118,8 +133,77 @@ def run_service(
     return total, sorted(latencies), stats
 
 
-def test_concurrent_sessions_beat_serial_loop(benchmark, record_rows, workload):
+@pytest.fixture(scope="module")
+def scaling_workload(workload):
+    """Unique-predicate stream: every request is distinct work.
+
+    Coalescing and the result cache cannot collapse any of it, so
+    throughput here is raw execution parallelism — exactly what worker
+    processes buy past the GIL and threads cannot."""
+    table, _ = workload
+    queries = []
+    for dim in ("d0", "d1"):
+        for value in sorted(set(table.column(dim).tolist())):
+            queries.append(RowSelectQuery(table.name, col(dim) == value))
+    assert len(queries) >= SCALING_REQUESTS
+    return table, queries[:SCALING_REQUESTS]
+
+
+def _wait_booted(service, deadline_s: float = 60.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        workers = service.health().get("workers", [])
+        if workers and all(w["alive"] and w["booted"] for w in workers):
+            return
+        time.sleep(0.05)
+    raise TimeoutError("cluster workers did not boot")
+
+
+def run_scaling_tier(table, queries, workers: int):
+    """One tier of the workers axis: 0 = threads, N >= 1 = cluster of N.
+
+    Spawn/boot cost stays outside the timed window (a serving tier boots
+    once and then serves); the storm itself is N_SESSIONS client threads
+    splitting the unique stream."""
+    backend = MemoryBackend()
+    backend.register_table(table)
+    kwargs = dict(
+        max_workers=N_SESSIONS, coalesce_requests=True, result_cache_size=256
+    )
+    if workers == 0:
+        service = single_backend_service(backend, SeeDBConfig(k=K), **kwargs)
+    else:
+        service = single_backend_cluster(
+            backend, SeeDBConfig(k=K), workers=workers, **kwargs
+        )
+        service.start()
+        _wait_booted(service)
+    try:
+        slices = [queries[i::N_SESSIONS] for i in range(N_SESSIONS)]
+        barrier = Barrier(N_SESSIONS)
+
+        def session(index: int):
+            barrier.wait(timeout=60)
+            for query in slices[index]:
+                service.recommend(query)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_SESSIONS) as pool:
+            for future in [pool.submit(session, i) for i in range(N_SESSIONS)]:
+                future.result(timeout=600)
+        total = time.perf_counter() - start
+        stats = service.snapshot()
+    finally:
+        service.close()
+        backend.close()
+    return total, stats
+
+
+def test_concurrent_sessions_beat_serial_loop(
+    benchmark, record_rows, workload, scaling_workload
+):
     table, stream = workload
+    _, scale_queries = scaling_workload
     n_requests = N_SESSIONS * len(stream)
 
     def sweep():
@@ -150,6 +234,40 @@ def test_concurrent_sessions_beat_serial_loop(benchmark, record_rows, workload):
                 row["coalesced"] = stats["coalesced"]
                 row["result_cache_hits"] = stats["result_cache_hits"]
             rows.append(row)
+        # The workers axis: the same unique-predicate storm against the
+        # thread tier and 1/2/4-process clusters. process_scaling_ratio
+        # is each cluster's throughput over the thread tier's.
+        thread_total, thread_stats = run_scaling_tier(table, scale_queries, 0)
+        thread_rps = len(scale_queries) / thread_total
+        rows.append(
+            {
+                "mode": "scaling_threads",
+                "sessions": N_SESSIONS,
+                "worker_processes": 0,
+                "requests": len(scale_queries),
+                "total_s": round(thread_total, 4),
+                "throughput_rps": round(thread_rps, 2),
+                "executions": thread_stats["executions"],
+                "usable_cores": USABLE_CORES,
+            }
+        )
+        for tier in WORKER_TIERS:
+            total, stats = run_scaling_tier(table, scale_queries, tier)
+            rows.append(
+                {
+                    "mode": f"scaling_cluster_{tier}w",
+                    "sessions": N_SESSIONS,
+                    "worker_processes": tier,
+                    "requests": len(scale_queries),
+                    "total_s": round(total, 4),
+                    "throughput_rps": round(len(scale_queries) / total, 2),
+                    "process_scaling_ratio": round(
+                        (len(scale_queries) / total) / thread_rps, 3
+                    ),
+                    "executions": stats["executions"],
+                    "usable_cores": USABLE_CORES,
+                }
+            )
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -162,6 +280,20 @@ def test_concurrent_sessions_beat_serial_loop(benchmark, record_rows, workload):
     assert served["speedup_vs_serial"] >= 2.0
     assert served["coalesced"] > 0
     assert served["executions"] < N_SESSIONS * len(stream)
+    # The workers-axis bar: 4 processes ≥ 2.5× the thread tier — but only
+    # where 4 processes can actually run in parallel. On constrained
+    # boxes (CI sandboxes pinned to 1-2 cores) the ratio is recorded
+    # honestly and only sanity is asserted: every unique request executed
+    # exactly once on every tier (sharding did not drop or double work).
+    cluster4 = by_mode["scaling_cluster_4w"]
+    for tier in WORKER_TIERS:
+        assert by_mode[f"scaling_cluster_{tier}w"]["executions"] == len(
+            scale_queries
+        )
+    if USABLE_CORES >= 4:
+        assert cluster4["process_scaling_ratio"] >= 2.5
+    else:
+        assert cluster4["process_scaling_ratio"] > 0.2
 
 
 @pytest.mark.skipif(

@@ -41,6 +41,7 @@ from pathlib import Path
 #: Known ratio columns, in priority order; higher is always better.
 RATIO_COLUMNS = (
     "speedup_x",
+    "process_scaling_ratio",
     "speedup_vs_serial",
     "speedup_to_first",
     "work_saved",
@@ -56,6 +57,7 @@ RATIO_COLUMNS = (
 #: counts are deterministic and get no floor — they gate strictly.
 PORTABLE_FLOORS = {
     "speedup_x": 3.0,          # bench_scoring MIN_SPEEDUP
+    "process_scaling_ratio": 2.5,  # bench_serving workers-axis bar (≥4 cores)
     "speedup_vs_serial": 2.0,  # bench_serving acceptance bar
     "speedup_to_first": 2.0,   # bench_progressive time-to-first bar
 }

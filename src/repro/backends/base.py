@@ -121,6 +121,14 @@ class Backend:
     def has_table(self, name: str) -> bool:
         raise NotImplementedError
 
+    def table_names(self) -> list[str]:
+        """Names of every registered table (sorted).
+
+        The cluster tier uses this to ship a backend's contents to worker
+        replicas: ``fetch_table`` each name, re-register on the replica.
+        """
+        raise NotImplementedError
+
     def schema(self, table_name: str) -> Schema:
         """Schema (with dimension/measure roles) of a registered table."""
         raise NotImplementedError

@@ -49,6 +49,9 @@ class MemoryBackend(Backend):
     def has_table(self, name: str) -> bool:
         return name in self.catalog
 
+    def table_names(self) -> list[str]:
+        return sorted(self.catalog)
+
     def schema(self, table_name: str) -> Schema:
         return self.catalog.get(table_name).schema
 

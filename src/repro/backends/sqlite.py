@@ -187,6 +187,9 @@ class SqliteBackend(Backend):
     def has_table(self, name: str) -> bool:
         return name in self._schemas
 
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
     def schema(self, table_name: str) -> Schema:
         self._require_table(table_name)
         return self._schemas[table_name]

@@ -150,7 +150,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="default deviation metric",
     )
     parser.add_argument(
-        "--workers", type=int, default=1, help="parallel query workers per request"
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker *processes* for the sharded cluster tier (0 = serve "
+        "from threads in this process; N >= 1 spawns N process shards "
+        "with consistent-hash routing and a shared-memory result cache)",
+    )
+    parser.add_argument(
+        "--query-workers",
+        type=int,
+        default=1,
+        help="parallel query workers per request (within one execution)",
     )
     parser.add_argument(
         "--max-requests",
@@ -173,9 +185,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def serve_main(argv: "list[str] | None" = None) -> int:
-    """``seedb serve`` entry point: load data, start the HTTP frontend."""
+    """``seedb serve`` entry point: load data, start the HTTP frontend.
+
+    With ``--workers N`` (N >= 1) the service is a
+    :class:`~repro.service.ClusterService` — the worker pool is started
+    *before* any server thread exists, which keeps process forking safe —
+    and SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
+    requests, join every worker, close backend replicas.
+    """
+    import signal
+    import threading
+
     from repro.frontend.server import make_server
-    from repro.service import SeeDBService
+    from repro.service import ClusterService, SeeDBService
 
     args = build_serve_parser().parse_args(argv)
     service = None
@@ -185,16 +207,22 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         backend = backend_from_uri(args.backend)
         backend.register_table(table)
         config = SeeDBConfig(
-            metric=args.metric, k=args.k, n_workers=args.workers
+            metric=args.metric, k=args.k, n_workers=args.query_workers
         )
-        service = SeeDBService(
+        service_kwargs = dict(
             max_workers=args.max_requests,
             coalesce_requests=not args.no_coalesce,
             result_cache_size=args.result_cache,
         )
+        if args.workers > 0:
+            service = ClusterService(workers=args.workers, **service_kwargs)
+        else:
+            service = SeeDBService(**service_kwargs)
         service.register_backend(
             "default", backend, config=config, owned=True
         )
+        if args.workers > 0:
+            service.start()  # before the HTTP server spawns threads
         server = make_server(service, host=args.host, port=args.port)
     except (ReproError, OSError) as error:
         # Tear down whatever was built: an owned SqliteBackend holds a
@@ -207,8 +235,32 @@ def serve_main(argv: "list[str] | None" = None) -> int:
                 close()
         print(f"error: {error}", file=sys.stderr)
         return 2
+    # Graceful drain on SIGTERM/SIGINT: serve_forever unblocks (shutdown
+    # must come from another thread), then the finally block finishes
+    # in-flight requests, joins workers, and closes backend replicas.
+    # Handlers go in BEFORE the banner: supervisors (and tests) treat the
+    # banner as "ready", and a SIGTERM racing the last few statements of
+    # startup must drain, not hit the default action mid-setup.
+    stopping = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal API
+        if not stopping.is_set():
+            stopping.set()
+            print(f"\nreceived {signal.Signals(signum).name}, draining", flush=True)
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:
+        pass  # not the main thread (embedded runs manage their own lifecycle)
+
     host, port = server.server_address[:2]
-    print(f"seedb serving {table.name!r} ({args.backend}) on http://{host}:{port}")
+    tier = f"{args.workers} worker processes" if args.workers > 0 else "threads"
+    print(
+        f"seedb serving {table.name!r} ({args.backend}, {tier}) "
+        f"on http://{host}:{port}"
+    )
     print(
         "endpoints: POST /recommend  GET /views?table=…  GET /healthz  GET /stats"
     )
@@ -219,6 +271,7 @@ def serve_main(argv: "list[str] | None" = None) -> int:
     finally:
         server.server_close()
         service.close()
+        print("drained; workers joined; backends closed", flush=True)
     return 0
 
 

@@ -155,13 +155,11 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         try:
             if parsed.path == "/healthz":
-                self._reply(
-                    200,
-                    {
-                        "status": "ok",
-                        "backends": self.service.backend_names(),
-                    },
-                )
+                # Delegated to the service so the cluster tier can report
+                # per-worker liveness; "degraded" (some workers down) is
+                # still a 200 — the service answers, capacity is reduced.
+                health = self.service.health()
+                self._reply(200 if health["status"] != "down" else 503, health)
             elif parsed.path == "/stats":
                 self._reply(200, self.service.snapshot())
             elif parsed.path == "/views":

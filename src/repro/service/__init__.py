@@ -3,20 +3,39 @@
 :class:`SeeDBService` owns backends and engines, schedules concurrent
 ``recommend()`` requests on a bounded pool, coalesces identical in-flight
 requests, and caches finished results keyed on the backend's data version.
-The HTTP frontend (:mod:`repro.frontend.server`) and interactive analyst
-sessions both route through it, sharing one set of warm caches.
+:class:`ClusterService` scales the same dispatch interface across a pool
+of worker *processes* — consistent-hash sharding, worker-owned backend
+replicas, and a shared-memory result cache — for workloads the GIL caps
+in a single process. The HTTP frontend (:mod:`repro.frontend.server`) and
+interactive analyst sessions both route through either tier, sharing one
+set of warm caches.
 """
 
+from repro.service.cluster import (
+    ClusterService,
+    cluster_service_from_uri,
+    single_backend_cluster,
+)
+from repro.service.hashring import HashRing, stable_hash
 from repro.service.service import (
     DEFAULT_BACKEND,
     SeeDBService,
     ServiceStats,
     single_backend_service,
 )
+from repro.service.shm import SharedResultCache, decode_result, encode_result
 
 __all__ = [
     "SeeDBService",
     "ServiceStats",
+    "ClusterService",
+    "HashRing",
+    "SharedResultCache",
     "DEFAULT_BACKEND",
+    "cluster_service_from_uri",
+    "decode_result",
+    "encode_result",
+    "single_backend_cluster",
     "single_backend_service",
+    "stable_hash",
 ]

@@ -1,0 +1,762 @@
+"""ClusterService: the multi-process sharded serving tier.
+
+:class:`~repro.service.service.SeeDBService` serves many sessions from
+one process of threads — which the GIL caps at roughly one core for the
+in-process memory backend. This module scales the *same* dispatch
+interface past that: a pool of long-lived worker processes, each owning
+private backend replicas and engine caches, behind the router process
+everyone already talks to.
+
+The contract (and how each piece preserves it):
+
+* **Coalescing and bit-identity survive sharding.** Requests are
+  canonicalized and keyed exactly as in the thread tier (the inherited
+  ``submit``), so identical concurrent requests still collapse onto one
+  in-flight future *before* dispatch. The one execution is routed by
+  consistent hash on the key digest (:mod:`repro.service.hashring`), so
+  repeat traffic for a key always lands on the worker whose
+  :class:`~repro.engine.cache.EngineCache` is warm for it. The worker
+  re-resolves the wire-form request against the same base config the
+  router resolved it against — same inputs, same pipeline, bit-identical
+  results.
+* **Results cross processes without pickle.** Workers publish finished
+  results into named shared-memory segments (:mod:`repro.service.shm`);
+  only the segment name rides the response queue. The segments double as
+  the cross-process result cache: entries carry the ``data_version`` they
+  were computed at, and both readers and writers retire stale versions on
+  contact — the cross-process analogue of the in-process LRU's
+  version-bearing keys.
+* **Crashes are contained.** A monitor thread watches process sentinels;
+  a dead worker is respawned from the current authoritative bootstrap,
+  and its in-flight requests are retried once on the next ring node.
+  Requests that outlive two workers fail with a clear error.
+
+The degenerate case stays degenerate: ``ClusterService(workers=1)`` is a
+single shard behind the same interface, and plain ``SeeDBService`` remains
+the no-process tier — ``seedb serve`` picks between them with
+``--workers``.
+
+Streams (``recommend_stream``) deliberately execute on the router process
+via the inherited incremental path: progressive rounds are latency-bound,
+not throughput-bound, and fanning partial rounds through shared memory
+would buy nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import replace as dataclass_replace
+from multiprocessing import connection as mp_connection
+
+from repro.api.request import RecommendationRequest, ResolvedRequest
+from repro.backends.base import Backend
+from repro.core.config import SeeDBConfig
+from repro.core.result import RecommendationResult
+from repro.db.table import Table
+from repro.service.hashring import HashRing
+from repro.service.service import DEFAULT_BACKEND, SeeDBService, _BackendSlot
+from repro.service.shm import SharedResultCache, decode_result, read_segment, unlink_segment
+from repro.service.worker import BackendBootstrap, decode_error, worker_main
+from repro.util.errors import ConfigError, QueryError
+
+#: How many times one request may be assigned to a worker before failing
+#: (1 initial dispatch + 1 retry on a different shard).
+MAX_ATTEMPTS = 2
+
+#: Respawns allowed per worker slot before it is declared failed and
+#: removed from the ring (a crash-looping replica must not flap forever).
+MAX_RESPAWNS = 5
+
+
+def key_digest(key: tuple) -> str:
+    """Stable digest of a request key: the routing and segment identity."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast, inherits nothing mutable the worker
+    uses); ``spawn`` elsewhere — the worker entry point is importable and
+    its arguments picklable, so both work."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _Dispatch:
+    """One in-flight message awaiting a worker reply."""
+
+    __slots__ = ("id", "message", "digest", "worker", "attempts", "event", "reply")
+
+    def __init__(self, message: dict, digest: "str | None"):
+        self.id = -1
+        self.message = message
+        self.digest = digest
+        self.worker = ""
+        self.attempts = 0
+        self.event = threading.Event()
+        self.reply: "dict | None" = None
+
+    def resolve(self, reply: dict) -> None:
+        self.reply = reply
+        self.event.set()
+
+
+class _WorkerHandle:
+    """Router-side state of one worker slot (stable id, live process).
+
+    ``outbox`` is the read end of this worker's private reply pipe. Replies
+    deliberately do NOT share one queue across workers: a SIGKILL landing
+    mid-``send`` leaves a torn message in the stream, and on a shared
+    channel that skews the framing for every worker's replies forever. On
+    a private pipe the tear is contained — the parent holds no write end,
+    so the dead writer is the only writer, the router's blocked ``recv``
+    sees EOF, and only dispatches the monitor reassigns anyway are lost.
+    """
+
+    __slots__ = (
+        "id", "process", "inbox", "outbox", "generation", "booted", "respawns"
+    )
+
+    def __init__(self, worker_id, process, inbox, outbox, generation):
+        self.id = worker_id
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+        self.generation = generation
+        self.booted = False
+        self.respawns = 0
+
+
+class ClusterService(SeeDBService):
+    """A sharded, multi-process :class:`SeeDBService`.
+
+    ``workers`` is the number of worker processes (the unit of CPU
+    scale-out); ``max_workers`` still bounds concurrent *dispatches* and
+    should be >= ``workers`` to keep every shard busy. Backends must be
+    registered before :meth:`start` — replicas are built from each
+    backend's URI scheme with its tables shipped over, so every worker
+    owns private storage (no cross-process file locking).
+
+    ``start()`` must run before other threads are active if the platform
+    forks (``seedb serve`` starts the cluster before the HTTP server);
+    as a convenience the first request auto-starts the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        ring_replicas: int = 64,
+        shm_prefix: "str | None" = None,
+        start_method: "str | None" = None,
+        **service_kwargs,
+    ):
+        super().__init__(**service_kwargs)
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.n_workers = workers
+        self._ctx = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        prefix = shm_prefix or f"sdb{uuid.uuid4().hex[:8]}."
+        self._shm = SharedResultCache(prefix)
+        #: LRU index of cache segments this router published/read, so the
+        #: result-cache bound and close() can unlink deterministically.
+        self._segments: "OrderedDict[str, str]" = OrderedDict()
+        self._ring = HashRing(replicas=ring_replicas)
+        # Guards everything below; ordered *inside* the service lock
+        # (never acquire the service lock while holding this one).
+        self._cluster_lock = threading.RLock()
+        self._handles: "dict[str, _WorkerHandle]" = {}
+        self._pending: "dict[int, _Dispatch]" = {}
+        self._ids = itertools.count(1)
+        self._bootstraps: "dict[str, BackendBootstrap]" = {}
+        self._started = False
+        self._cluster_closed = False
+        self._closing = threading.Event()
+        self._router_thread: "threading.Thread | None" = None
+        self._monitor_thread: "threading.Thread | None" = None
+        self.respawns = 0
+        self.retries = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterService":
+        """Spawn the worker pool (idempotent).
+
+        Call this before starting server threads when the start method is
+        ``fork``; otherwise the first request starts the pool lazily.
+        """
+        with self._lock:
+            self._require_open()
+            bootstraps = {
+                name: self._bootstrap_of(name, slot)
+                for name, slot in self._slots.items()
+            }
+            with self._cluster_lock:
+                if self._started:
+                    return self
+                if not bootstraps:
+                    raise ConfigError(
+                        "register at least one backend before starting the cluster"
+                    )
+                self._bootstraps = bootstraps
+                for index in range(self.n_workers):
+                    worker_id = f"w{index}"
+                    self._handles[worker_id] = self._spawn(worker_id, generation=0)
+                    self._ring.add(worker_id)
+                self._router_thread = threading.Thread(
+                    target=self._route_responses,
+                    name="seedb-cluster-router",
+                    daemon=True,
+                )
+                self._monitor_thread = threading.Thread(
+                    target=self._monitor,
+                    name="seedb-cluster-monitor",
+                    daemon=True,
+                )
+                self._started = True
+                self._router_thread.start()
+                self._monitor_thread.start()
+        return self
+
+    def _bootstrap_of(self, name: str, slot: _BackendSlot) -> BackendBootstrap:
+        from repro.backends.registry import available_backend_schemes
+
+        scheme = slot.backend.name
+        if scheme not in available_backend_schemes():
+            raise ConfigError(
+                f"backend {name!r} ({scheme!r}) has no URI scheme to build "
+                "worker replicas from; the cluster tier needs "
+                "backend_from_uri-constructible backends"
+            )
+        tables = [
+            slot.backend.fetch_table(table_name)
+            for table_name in slot.backend.table_names()
+        ]
+        return BackendBootstrap(
+            name=name, scheme=scheme, config=slot.config, tables=tables
+        )
+
+    def _spawn(self, worker_id: str, generation: int) -> _WorkerHandle:
+        inbox = self._ctx.Queue()
+        reader, writer = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                list(self._bootstraps.values()),
+                self._shm.prefix,
+                inbox,
+                writer,
+            ),
+            name=f"seedb-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's write end immediately: the worker must be the
+        # only writer so its death EOFs the pipe (even mid-message).
+        writer.close()
+        return _WorkerHandle(worker_id, process, inbox, reader, generation)
+
+    def register_backend(self, name, backend, config=None, owned=False) -> None:
+        with self._cluster_lock:
+            if self._started:
+                raise ConfigError(
+                    "cannot register backends after the cluster started; "
+                    "construct the service fully, then start()"
+                )
+        super().register_backend(name, backend, config=config, owned=owned)
+
+    def close(self) -> None:
+        """Drain in-flight requests, stop workers, release all segments."""
+        with self._cluster_lock:
+            if self._cluster_closed:
+                super().close()
+                return
+            self._cluster_closed = True
+            started = self._started
+        # Drain first (the monitor still covers crashes mid-drain), then
+        # stop respawns and take the pool down.
+        super().close()
+        self._closing.set()
+        if started:
+            self._shutdown_workers()
+            if self._router_thread is not None:
+                self._router_thread.join(timeout=10)
+            if self._monitor_thread is not None:
+                self._monitor_thread.join(timeout=10)
+        self._fail_all_pending(QueryError("service closed"))
+        # Final sweep: the LRU already unlinked indexed segments via
+        # _cache_clear; this catches anything workers published that the
+        # router never read.
+        self._shm.unlink_all(list(self._segments.values()))
+        self._segments.clear()
+
+    def _shutdown_workers(self) -> None:
+        with self._cluster_lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            try:
+                handle.inbox.put({"op": "shutdown"})
+            except (OSError, ValueError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=5)
+            handle.inbox.close()
+            try:
+                handle.outbox.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_execution(
+        self,
+        key: tuple,
+        backend_name: str,
+        slot: _BackendSlot,
+        request: RecommendationRequest,
+        resolved: ResolvedRequest,
+        base: SeeDBConfig,
+    ) -> RecommendationResult:
+        with self._cluster_lock:
+            started = self._started
+        if not started:
+            self.start()
+        digest = key_digest(key)
+        data_version = key[1]
+        message = {
+            "op": "request",
+            "backend": backend_name,
+            # The wire codec is the transport: the worker re-resolves this
+            # exact request against the same base config, reproducing the
+            # resolution the router keyed on.
+            "request": dataclass_replace(request, k=resolved.k).to_dict(),
+            "config": base,
+            "digest": digest,
+            "data_version": data_version,
+            # With the result cache off nothing may outlive the reply, so
+            # the worker ships bytes in-band instead of publishing a
+            # segment (concurrent uncoalesced twins would otherwise race
+            # an unlink-after-read on the shared name).
+            "publish": bool(self.result_cache_size),
+        }
+        reply = self._dispatch(message, digest)
+        if "error" in reply:
+            raise decode_error(reply["error"])
+        if "shm" in reply:
+            try:
+                _, _, result = read_segment(reply["shm"])
+            except (FileNotFoundError, OSError, ConfigError) as exc:
+                raise QueryError(
+                    f"worker result segment {reply['shm']!r} vanished "
+                    f"before the router read it: {exc}"
+                ) from exc
+            return result
+        # In-band fallback (shared memory unavailable): same encoding,
+        # shipped as bytes; republish router-side so caching still works.
+        _, _, result = decode_result(reply["payload"])
+        if self.result_cache_size:
+            self._shm.put(digest, data_version, result)
+        return result
+
+    def _dispatch(self, message: dict, digest: "str | None") -> dict:
+        dispatch = _Dispatch(message, digest)
+        with self._cluster_lock:
+            if not self._ring:
+                raise QueryError(
+                    "no live workers (all worker slots failed); "
+                    "restart the service"
+                )
+            worker_id = (
+                self._ring.node_for(digest) if digest is not None else message["worker"]
+            )
+            dispatch.id = next(self._ids)
+            dispatch.worker = worker_id
+            dispatch.attempts = 1
+            self._pending[dispatch.id] = dispatch
+            self._handles[worker_id].inbox.put(dict(message, id=dispatch.id))
+        dispatch.event.wait()
+        assert dispatch.reply is not None
+        return dispatch.reply
+
+    def _broadcast(self, message: dict, timeout: float) -> "dict[str, dict | None]":
+        """Send ``message`` to every worker; gather replies until timeout."""
+        dispatches: "dict[str, _Dispatch]" = {}
+        with self._cluster_lock:
+            for worker_id, handle in self._handles.items():
+                dispatch = _Dispatch(dict(message, worker=worker_id), digest=None)
+                dispatch.id = next(self._ids)
+                dispatch.worker = worker_id
+                dispatch.attempts = 1
+                self._pending[dispatch.id] = dispatch
+                handle.inbox.put(dict(dispatch.message, id=dispatch.id))
+                dispatches[worker_id] = dispatch
+        deadline = time.monotonic() + timeout
+        for dispatch in dispatches.values():
+            dispatch.event.wait(max(0.0, deadline - time.monotonic()))
+        with self._cluster_lock:
+            for dispatch in dispatches.values():
+                if not dispatch.event.is_set():
+                    self._pending.pop(dispatch.id, None)
+        return {
+            worker_id: dispatch.reply
+            for worker_id, dispatch in dispatches.items()
+        }
+
+    # -- response routing and crash monitoring -----------------------------
+
+    def _route_responses(self) -> None:
+        """Multiplex every worker's private reply pipe onto the pending map.
+
+        A channel that EOFs or tears (its worker was SIGKILLed, possibly
+        mid-``send``) is simply retired here — the monitor notices the
+        death via the process sentinel and reassigns that worker's pending
+        dispatches, so nothing in this loop may block on one worker's
+        stream (the shared-queue design this replaces deadlocked exactly
+        that way: one torn message skewed the framing for all replies).
+        """
+        dead: "set" = set()
+        while not self._closing.is_set():
+            with self._cluster_lock:
+                conns = [
+                    handle.outbox
+                    for handle in self._handles.values()
+                    if handle.outbox not in dead
+                ]
+            if not conns:
+                self._closing.wait(0.2)
+                continue
+            try:
+                ready = mp_connection.wait(conns, timeout=0.2)
+            except OSError:  # pragma: no cover - raced a handle teardown
+                continue
+            for conn in ready:
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    dead.add(conn)
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    continue
+                except Exception:  # noqa: BLE001 - torn/corrupt stream
+                    dead.add(conn)
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    continue
+                op = reply.get("op")
+                if op == "up":
+                    with self._cluster_lock:
+                        handle = self._handles.get(reply.get("worker", ""))
+                        if handle is not None:
+                            handle.booted = True
+                    continue
+                if op == "bye":
+                    continue  # the monitor owns death handling
+                with self._cluster_lock:
+                    dispatch = self._pending.pop(reply.get("id"), None)
+                if dispatch is not None:
+                    dispatch.resolve(reply)
+
+    def _monitor(self) -> None:
+        while not self._closing.is_set():
+            with self._cluster_lock:
+                # No is_alive() filter: a worker that died *between* wait
+                # cycles would be filtered out here before its sentinel
+                # was ever waited on, and its death would never be
+                # handled (pending dispatches stuck forever). A dead but
+                # unhandled process's sentinel is ready immediately —
+                # exactly the wake-up this loop exists for; handling it
+                # removes or replaces the handle, so nothing busy-loops.
+                sentinels = {
+                    handle.process.sentinel: (worker_id, handle.generation)
+                    for worker_id, handle in self._handles.items()
+                }
+            if not sentinels:
+                self._closing.wait(0.2)
+                continue
+            try:
+                dead = mp_connection.wait(list(sentinels), timeout=0.2)
+            except OSError:  # pragma: no cover - raced a shutdown
+                continue
+            for sentinel in dead:
+                worker_id, generation = sentinels[sentinel]
+                self._on_worker_death(worker_id, generation)
+
+    def _on_worker_death(self, worker_id: str, generation: int) -> None:
+        with self._cluster_lock:
+            if self._closing.is_set():
+                return
+            handle = self._handles.get(worker_id)
+            if (
+                handle is None
+                or handle.generation != generation
+                or handle.process.is_alive()
+            ):
+                return  # stale event: already respawned
+            orphans = [
+                dispatch
+                for dispatch in self._pending.values()
+                if dispatch.worker == worker_id and not dispatch.event.is_set()
+            ]
+            respawns = handle.respawns + 1
+            permanent = (not handle.booted) or respawns > MAX_RESPAWNS
+            if permanent:
+                # A replica that cannot even boot (or crash-loops) gets its
+                # shard redistributed instead of flapping forever.
+                self._ring.remove(worker_id)
+                del self._handles[worker_id]
+            else:
+                self.respawns += 1
+                replacement = self._spawn(worker_id, generation=generation + 1)
+                replacement.respawns = respawns
+                self._handles[worker_id] = replacement
+            for dispatch in orphans:
+                self._reassign(dispatch, dead_worker=worker_id)
+        handle.process.join(timeout=1)
+        handle.inbox.close()
+        # Retire the dead worker's reply pipe. The router tolerates this
+        # racing its recv/wait (OSError/EOF land in its dead-channel
+        # path); without it every respawn would leak the old reader fd.
+        try:
+            handle.outbox.close()
+        except OSError:  # pragma: no cover - router closed it first
+            pass
+
+    def _reassign(self, dispatch: _Dispatch, dead_worker: str) -> None:
+        """Retry one orphaned dispatch (caller holds the cluster lock)."""
+        if dispatch.attempts >= MAX_ATTEMPTS:
+            self._pending.pop(dispatch.id, None)
+            dispatch.resolve(
+                {
+                    "error": {
+                        "type": "QueryError",
+                        "message": (
+                            f"request failed on {dispatch.attempts} workers "
+                            f"(last: {dead_worker} died mid-request)"
+                        ),
+                    }
+                }
+            )
+            return
+        if dispatch.digest is not None:
+            # Prefer the first live ring node in failover order that is
+            # not the worker that just died — the node that owns (or would
+            # inherit) this shard. A single-worker pool falls back to the
+            # respawned primary itself.
+            order = self._ring.nodes_for(dispatch.digest, max(len(self._ring), 1))
+            candidates = [
+                node for node in order
+                if node in self._handles and node != dead_worker
+            ] or [node for node in order if node in self._handles]
+        else:
+            candidates = [dispatch.worker] if dispatch.worker in self._handles else []
+        if not candidates:
+            self._pending.pop(dispatch.id, None)
+            dispatch.resolve(
+                {
+                    "error": {
+                        "type": "QueryError",
+                        "message": "no live workers left to retry on",
+                    }
+                }
+            )
+            return
+        target = candidates[0]
+        dispatch.attempts += 1
+        dispatch.worker = target
+        self.retries += 1
+        self._handles[target].inbox.put(dict(dispatch.message, id=dispatch.id))
+
+    def _fail_all_pending(self, error: Exception) -> None:
+        with self._cluster_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for dispatch in pending:
+            dispatch.resolve(
+                {"error": {"type": type(error).__name__, "message": str(error)}}
+            )
+
+    # -- cross-process result cache ----------------------------------------
+
+    def _cache_get(self, key: tuple) -> "RecommendationResult | None":
+        if not self.result_cache_size:
+            return None
+        digest = key_digest(key)
+        result = self._shm.get(digest, key[1])
+        if result is None:
+            self._segments.pop(digest, None)
+            return None
+        self._index_segment(digest)
+        return result
+
+    def _cache_put(self, key: tuple, result: RecommendationResult) -> None:
+        # The worker already published the segment (or _run_execution
+        # republished the in-band fallback); only the LRU index lives here.
+        if not self.result_cache_size:
+            return
+        self._index_segment(key_digest(key))
+
+    def _index_segment(self, digest: str) -> None:
+        self._segments[digest] = self._shm.segment_name(digest)
+        self._segments.move_to_end(digest)
+        while len(self._segments) > self.result_cache_size:
+            _, name = self._segments.popitem(last=False)
+            unlink_segment(name)
+
+    def _cache_clear(self) -> None:
+        for name in self._segments.values():
+            unlink_segment(name)
+        self._segments.clear()
+
+    # -- replica data management -------------------------------------------
+
+    def update_table(
+        self,
+        table: Table,
+        backend: str = DEFAULT_BACKEND,
+        replace: bool = True,
+    ) -> None:
+        """Publish new table data to the authoritative backend and every
+        worker replica.
+
+        Holding the service lock across the broadcast serializes the
+        update against new submissions: requests keyed at the old
+        ``data_version`` were dispatched (FIFO inboxes) before the
+        replicas swap, requests keyed at the new version can only be
+        canonicalized after every replica acked — so no result is ever
+        cached under a version its data didn't match.
+        """
+        with self._lock:
+            self._require_open()
+            slot = self._require_slot(backend)
+            slot.backend.register_table(table, replace=replace)
+            with self._cluster_lock:
+                started = self._started
+                spec = self._bootstraps.get(backend)
+                if spec is not None:
+                    spec.tables = [
+                        existing for existing in spec.tables
+                        if existing.name != table.name
+                    ] + [table]
+            if not started:
+                return
+            acks = self._broadcast(
+                {"op": "register_table", "backend": backend, "table": table},
+                timeout=120.0,
+            )
+            missing = sorted(
+                worker_id for worker_id, reply in acks.items() if reply is None
+            )
+            if missing:
+                raise QueryError(
+                    f"table update not acknowledged by workers {missing}; "
+                    "replicas may be inconsistent — restart the service"
+                )
+            errors = {
+                worker_id: reply["error"]
+                for worker_id, reply in acks.items()
+                if reply is not None and "error" in reply
+            }
+            if errors:
+                raise QueryError(f"table update failed on workers: {errors}")
+
+    # -- observability -----------------------------------------------------
+
+    def health(self) -> dict:
+        base = super().health()
+        base["mode"] = "processes"
+        with self._cluster_lock:
+            workers = [
+                {
+                    "id": worker_id,
+                    "alive": handle.process.is_alive(),
+                    "booted": handle.booted,
+                    "pid": handle.process.pid,
+                    "generation": handle.generation,
+                }
+                for worker_id, handle in sorted(self._handles.items())
+            ]
+            started = self._started
+        base["workers"] = workers
+        if base["status"] == "ok" and started:
+            alive = sum(1 for worker in workers if worker["alive"])
+            if alive == 0:
+                base["status"] = "down"
+            elif alive < self.n_workers:
+                base["status"] = "degraded"
+        return base
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        with self._cluster_lock:
+            started = self._started
+            n_live = sum(
+                1 for handle in self._handles.values() if handle.process.is_alive()
+            )
+        worker_stats = (
+            {
+                worker_id: (reply or {}).get("stats")
+                for worker_id, reply in self._broadcast(
+                    {"op": "stats"}, timeout=2.0
+                ).items()
+            }
+            if started
+            else {}
+        )
+        executed_total = sum(
+            (stats or {}).get("executed", 0) for stats in worker_stats.values()
+        )
+        snap["cluster"] = {
+            "workers": self.n_workers,
+            "live_workers": n_live,
+            "started": started,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "executed_total": executed_total,
+            "worker_stats": worker_stats,
+            "shm_prefix": self._shm.prefix,
+            "shm_cache": self._shm.stats(),
+            "shm_segments_live": len(self._shm.live_segments()),
+        }
+        return snap
+
+
+def cluster_service_from_uri(
+    uri: str,
+    config: "SeeDBConfig | None" = None,
+    workers: int = 2,
+    **service_kwargs,
+) -> ClusterService:
+    """A started cluster over one URI-constructed backend (CLI helper)."""
+    service = ClusterService(workers=workers, **service_kwargs)
+    service.register_backend_uri(DEFAULT_BACKEND, uri, config=config)
+    return service
+
+
+def single_backend_cluster(
+    backend: Backend,
+    config: "SeeDBConfig | None" = None,
+    owned: bool = False,
+    workers: int = 2,
+    **service_kwargs,
+) -> ClusterService:
+    """A cluster wrapping one backend under the default name (tests)."""
+    service = ClusterService(workers=workers, **service_kwargs)
+    service.register_backend(DEFAULT_BACKEND, backend, config=config, owned=owned)
+    return service

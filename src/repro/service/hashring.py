@@ -1,0 +1,109 @@
+"""Consistent-hash routing for the sharded serving tier.
+
+The cluster tier routes every request to the worker that owns its key so
+request coalescing and session-cache affinity survive sharding: identical
+concurrent requests land on (and warm) the *same* worker-owned
+:class:`~repro.engine.cache.EngineCache`, exactly as they land on the same
+in-flight future inside one process. A consistent ring — each node hashed
+onto the circle at ``replicas`` points, a key served by the first node
+clockwise — keeps that mapping stable: adding or removing one worker moves
+only ~1/N of the key space, so a respawn after a crash does not stampede
+every warm cache in the pool.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.util.errors import ConfigError
+
+
+def stable_hash(key: "str | bytes") -> int:
+    """A process-independent 64-bit hash (``hash()`` is salted per run)."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return int.from_bytes(hashlib.sha1(key).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    ``replicas`` virtual points per node smooth the key distribution
+    (with a handful of workers, one point each would make shard sizes
+    wildly uneven). Nodes are arbitrary strings — the cluster uses worker
+    ids like ``"w0"`` — and lookups accept the precomputed key digest the
+    dispatch layer already has.
+    """
+
+    def __init__(self, nodes: "Iterable[str]" = (), replicas: int = 64):
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        drop = set(self._node_points(node))
+        self._points = [point for point in self._points if point not in drop]
+
+    def _node_points(self, node: str) -> list[tuple[int, str]]:
+        return [
+            (stable_hash(f"{node}#{index}"), node)
+            for index in range(self.replicas)
+        ]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_for(self, key: "str | bytes") -> str:
+        """The node owning ``key`` (first ring point clockwise)."""
+        nodes = self.nodes_for(key, 1)
+        if not nodes:
+            raise ConfigError("hash ring has no nodes")
+        return nodes[0]
+
+    def nodes_for(self, key: "str | bytes", n: int) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``.
+
+        The failover order: entry 0 is the primary shard; a dead primary's
+        in-flight requests retry on entry 1, which is the same node the
+        ring would pick if the primary were removed — so retries land
+        where re-routed traffic will keep landing.
+        """
+        if not self._points:
+            return []
+        point = stable_hash(key)
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        found: list[str] = []
+        for step in range(len(self._points)):
+            _, node = self._points[(index + step) % len(self._points)]
+            if node not in found:
+                found.append(node)
+                if len(found) >= n:
+                    break
+        return found

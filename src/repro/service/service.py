@@ -254,20 +254,18 @@ class SeeDBService:
         """
         with self._lock:
             self._require_open()
-            backend_name, slot, resolved = self._canonicalize(
+            backend_name, slot, request, resolved, base = self._canonicalize(
                 query, backend, k, config, overrides
             )
             key = (backend_name, slot.backend.data_version) + resolved.key_parts()
             self.stats.requests += 1
 
-            if self.result_cache_size:
-                cached = self._results.get(key)
-                if cached is not None:
-                    self._results.move_to_end(key)
-                    self.stats.result_cache_hits += 1
-                    future: "Future[RecommendationResult]" = Future()
-                    future.set_result(cached)
-                    return future
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.stats.result_cache_hits += 1
+                future: "Future[RecommendationResult]" = Future()
+                future.set_result(cached)
+                return future
 
             if self.coalesce_requests:
                 in_flight = self._in_flight.get(key)
@@ -283,7 +281,9 @@ class SeeDBService:
             self._in_flight.setdefault(key, future)
             self.stats.executions += 1
         try:
-            self._pool.submit(self._execute, key, slot, resolved, future)
+            self._pool.submit(
+                self._execute, key, backend_name, slot, request, resolved, base, future
+            )
         except RuntimeError as exc:
             # close() shut the pool down between our lock release and the
             # schedule: resolve the future (coalesced waiters included)
@@ -351,7 +351,7 @@ class SeeDBService:
                 # (a stream must never share an execution with a batch
                 # request).
                 request = dataclass_replace(request, strategy="incremental")
-            backend_name, slot, resolved = self._resolve_request(
+            backend_name, slot, resolved, _ = self._resolve_request(
                 request, backend_name, config
             )
             key = (
@@ -411,13 +411,21 @@ class SeeDBService:
         k: "int | None",
         config: "SeeDBConfig | None",
         overrides: dict,
-    ) -> tuple[str, _BackendSlot, ResolvedRequest]:
-        """Fold any accepted input into ``(backend_name, slot, resolved)``.
+    ) -> tuple[str, _BackendSlot, RecommendationRequest, ResolvedRequest, SeeDBConfig]:
+        """Fold any accepted input into
+        ``(backend_name, slot, request, resolved, base_config)``.
+
+        The canonical ``request`` plus the ``base_config`` it resolved
+        against travel alongside ``resolved`` because a sharded service
+        re-runs that exact resolution on the owning worker (the request
+        crosses the process boundary through the wire codec, never by
+        pickling resolved internals).
 
         Caller holds the service lock.
         """
         backend, request = self._build_request(query, backend, k, overrides)
-        return self._resolve_request(request, backend, config)
+        backend, slot, resolved, base = self._resolve_request(request, backend, config)
+        return backend, slot, request, resolved, base
 
     def _build_request(
         self,
@@ -460,10 +468,10 @@ class SeeDBService:
         request: RecommendationRequest,
         backend: str,
         config: "SeeDBConfig | None",
-    ) -> tuple[str, _BackendSlot, ResolvedRequest]:
+    ) -> tuple[str, _BackendSlot, ResolvedRequest, SeeDBConfig]:
         slot = self._require_slot(backend)
         base = config if config is not None else slot.config
-        return backend, slot, request.resolve(base)
+        return backend, slot, request.resolve(base), base
 
     def _require_slot(self, backend: str) -> _BackendSlot:
         slot = self._slots.get(backend)
@@ -479,12 +487,17 @@ class SeeDBService:
     def _execute(
         self,
         key: tuple,
+        backend_name: str,
         slot: _BackendSlot,
+        request: RecommendationRequest,
         resolved: ResolvedRequest,
+        base: SeeDBConfig,
         future: "Future[RecommendationResult]",
     ) -> None:
         try:
-            result = slot.facade.run_resolved(resolved).to_result()
+            result = self._run_execution(
+                key, backend_name, slot, request, resolved, base
+            )
         except BaseException as exc:  # noqa: BLE001 - delivered to waiters
             with self._lock:
                 if self._in_flight.get(key) is future:
@@ -496,12 +509,54 @@ class SeeDBService:
             if self._in_flight.get(key) is future:
                 del self._in_flight[key]
             self.stats.completed += 1
-            if self.result_cache_size:
-                self._results[key] = result
-                self._results.move_to_end(key)
-                while len(self._results) > self.result_cache_size:
-                    self._results.popitem(last=False)
+            self._cache_put(key, result)
         future.set_result(result)
+
+    def _run_execution(
+        self,
+        key: tuple,
+        backend_name: str,
+        slot: _BackendSlot,
+        request: RecommendationRequest,
+        resolved: ResolvedRequest,
+        base: SeeDBConfig,
+    ) -> RecommendationResult:
+        """Run one deduplicated request to completion; the dispatch seam.
+
+        The base service executes in-process on the slot's facade. The
+        cluster tier overrides this to ship ``request`` (re-resolved
+        against ``base`` on the other side) to the worker owning ``key``'s
+        shard. Runs on a request-pool thread, without the service lock.
+        """
+        return slot.facade.run_resolved(resolved).to_result()
+
+    # -- finished-result cache ---------------------------------------------
+
+    def _cache_get(self, key: tuple) -> "RecommendationResult | None":
+        """Finished-result lookup (caller holds the lock).
+
+        Base implementation: the in-process LRU. The cluster tier replaces
+        this with the cross-process shared-memory cache.
+        """
+        if not self.result_cache_size:
+            return None
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: tuple, result: RecommendationResult) -> None:
+        """Record a finished result (caller holds the lock)."""
+        if not self.result_cache_size:
+            return
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > self.result_cache_size:
+            self._results.popitem(last=False)
+
+    def _cache_clear(self) -> None:
+        """Drop every finished result (caller holds the lock)."""
+        self._results.clear()
 
     # -- observability -----------------------------------------------------
 
@@ -540,6 +595,20 @@ class SeeDBService:
                 "backends": backends,
             }
 
+    def health(self) -> dict:
+        """Liveness summary for the frontend's ``/healthz`` endpoint.
+
+        The thread tier is alive iff the process is; the cluster tier
+        overrides this with per-worker liveness probes.
+        """
+        with self._lock:
+            return {
+                "status": "closed" if self._closed else "ok",
+                "mode": "threads",
+                "backends": sorted(self._slots),
+                "workers": [],
+            }
+
     @property
     def in_flight(self) -> int:
         with self._lock:
@@ -547,7 +616,7 @@ class SeeDBService:
 
     def clear_result_cache(self) -> None:
         with self._lock:
-            self._results.clear()
+            self._cache_clear()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -569,7 +638,7 @@ class SeeDBService:
         with self._lock:
             self._in_flight.clear()
             self._in_flight_streams.clear()
-            self._results.clear()
+            self._cache_clear()
 
     def _require_open(self) -> None:
         if self._closed:

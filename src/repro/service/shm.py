@@ -1,0 +1,535 @@
+"""Cross-process result transport and cache over POSIX shared memory.
+
+Worker processes in the cluster tier (:mod:`repro.service.cluster`) hand
+finished :class:`~repro.core.result.RecommendationResult` objects back to
+the router without pickling them: the result's numpy columns are written
+raw into a named ``multiprocessing.shared_memory`` segment behind a small
+versioned header, and only the segment *name* crosses the process
+boundary. The segment then doubles as a cross-process result cache entry —
+keyed on the request digest and the backend's ``data_version``, so a write
+to the data retires every stale entry the same way the in-process LRU's
+version-bearing keys do.
+
+Wire layout of one segment::
+
+    [0:8)    magic  b"SDBRES1\\0"        (written last: torn writes stay invalid)
+    [8:16)   uint64 header length H (little-endian)
+    [16:16+H) header JSON — digest, data_version, the result's scalar
+              fields, and an array table of (dtype, shape, offset, nbytes)
+    [...]     the numpy buffers, 8-byte aligned, at the header's offsets
+
+Everything numeric (utilities, distributions, raw values) round-trips
+bit-exactly: floats ride as raw IEEE-754 buffers or via JSON's
+shortest-round-trip repr. Group keys (strings, ints, NaN floats, dates,
+``datetime64``, tuples) are encoded with explicit type tags — dates use
+the wire codec's ``{"$date": ...}`` convention.
+
+Segment bookkeeping deliberately bypasses Python's ``resource_tracker``
+(which would unlink a still-shared segment when the first process exits,
+bpo-39959): every open is immediately unregistered and lifecycle is
+explicit — creators write, the router's :class:`SharedResultCache` owns
+eviction and end-of-life ``unlink``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import date, datetime
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.result import RecommendationResult
+from repro.core.view import ViewSpec
+from repro.pruning.base import PruneReport
+from repro.util.errors import ConfigError
+from repro.util.timing import Stopwatch
+
+try:  # direct shm_unlink keeps the resource tracker out of the loop entirely
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _posixshmem = None
+
+MAGIC = b"SDBRES1\0"
+_HEADER_FIXED = 16  # magic + uint64 header length
+
+#: Where POSIX named segments appear on Linux; used for leak detection.
+SHM_DIR = "/dev/shm"
+
+
+class ShmCodecError(ConfigError):
+    """A segment or byte blob that is not a valid encoded result."""
+
+
+# -- scalar value tagging ---------------------------------------------------
+
+
+def encode_value(value):
+    """One group key / scalar as a JSON-safe tagged value (lossless)."""
+    if isinstance(value, np.datetime64):
+        unit = np.datetime_data(value.dtype)[0]
+        return {"$dt64": str(value), "$unit": unit}
+    if hasattr(value, "item"):  # numpy scalars -> native
+        value = value.item()
+    if isinstance(value, datetime):
+        return {"$datetime": value.isoformat()}
+    if isinstance(value, date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, tuple):
+        return {"$tuple": [encode_value(item) for item in value]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ShmCodecError(
+        f"cannot encode value of type {type(value).__name__} for shm transport"
+    )
+
+
+def decode_value(value):
+    if isinstance(value, dict):
+        if "$dt64" in value:
+            return np.datetime64(
+                None if value["$dt64"] == "NaT" else value["$dt64"],
+                value.get("$unit", "D"),
+            )
+        if "$datetime" in value:
+            return datetime.fromisoformat(value["$datetime"])
+        if "$date" in value:
+            return date.fromisoformat(value["$date"])
+        if "$tuple" in value:
+            return tuple(decode_value(item) for item in value["$tuple"])
+        raise ShmCodecError(f"unknown tagged value {sorted(value)}")
+    return value
+
+
+# -- array table ------------------------------------------------------------
+
+
+class _ArrayTable:
+    """Collects numpy arrays during encoding; emits the buffer region.
+
+    Numeric/bool/datetime arrays ride as raw buffers (bit-exact,
+    pickle-free); object-dtype arrays fall back to inline tagged values.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[dict] = []
+        self.buffers: list[bytes] = []
+        self.nbytes = 0
+
+    def add(self, array: np.ndarray):
+        array = np.asarray(array)
+        if array.dtype.kind not in "biufM":
+            return {
+                "values": [encode_value(item) for item in array.tolist()]
+            }
+        raw = np.ascontiguousarray(array).tobytes()
+        aligned = (len(raw) + 7) & ~7
+        index = len(self.entries)
+        self.entries.append(
+            {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": self.nbytes,  # relative to the array region start
+                "nbytes": len(raw),
+            }
+        )
+        self.buffers.append(raw + b"\0" * (aligned - len(raw)))
+        self.nbytes += aligned
+        return index
+
+
+def _take_array(ref, entries: list[dict], buf, region_start: int) -> np.ndarray:
+    if isinstance(ref, dict):
+        values = [decode_value(item) for item in ref["values"]]
+        array = np.empty(len(values), dtype=object)
+        for i, value in enumerate(values):
+            array[i] = value
+        return array
+    entry = entries[ref]
+    start = region_start + entry["offset"]
+    view = np.frombuffer(
+        buf, dtype=np.dtype(entry["dtype"]), count=int(np.prod(entry["shape"], dtype=np.int64)), offset=start
+    )
+    # Copy out: the caller closes the segment after decoding, which would
+    # invalidate any view still referencing its mmap.
+    return view.reshape(entry["shape"]).copy()
+
+
+# -- view / result structure ------------------------------------------------
+
+
+def _spec_to_dict(spec) -> dict:
+    if hasattr(spec, "dimension"):
+        return {"d": spec.dimension, "m": spec.measure, "f": spec.func}
+    return {"dims": list(spec.dimensions), "m": spec.measure, "f": spec.func}
+
+
+def _spec_from_dict(payload: dict):
+    if "dims" in payload:
+        from repro.core.multiview import MultiViewSpec
+
+        return MultiViewSpec(
+            dimensions=tuple(payload["dims"]),
+            measure=payload["m"],
+            func=payload["f"],
+        )
+    return ViewSpec(payload["d"], payload["m"], payload["f"])
+
+
+def _view_to_dict(view, arrays: _ArrayTable) -> dict:
+    return {
+        "spec": _spec_to_dict(view.spec),
+        "utility": float(view.utility),
+        "groups": [encode_value(group) for group in view.groups],
+        "target_distribution": arrays.add(view.target_distribution),
+        "comparison_distribution": arrays.add(view.comparison_distribution),
+        "target_values": arrays.add(view.target_values),
+        "comparison_values": arrays.add(view.comparison_values),
+    }
+
+
+def _view_from_dict(payload: dict, entries, buf, region_start):
+    from repro.model.view import ScoredView
+
+    return ScoredView(
+        spec=_spec_from_dict(payload["spec"]),
+        utility=payload["utility"],
+        groups=[decode_value(group) for group in payload["groups"]],
+        target_distribution=_take_array(
+            payload["target_distribution"], entries, buf, region_start
+        ),
+        comparison_distribution=_take_array(
+            payload["comparison_distribution"], entries, buf, region_start
+        ),
+        target_values=_take_array(
+            payload["target_values"], entries, buf, region_start
+        ),
+        comparison_values=_take_array(
+            payload["comparison_values"], entries, buf, region_start
+        ),
+    )
+
+
+def encode_result(
+    result: RecommendationResult, digest: str = "", data_version: int = 0
+) -> bytes:
+    """Serialize a result into one self-describing byte blob (no pickle)."""
+    arrays = _ArrayTable()
+    header = {
+        "digest": digest,
+        "data_version": data_version,
+        "result": {
+            "table": result.table,
+            "predicate_description": result.predicate_description,
+            "k": result.k,
+            "metric": result.metric,
+            "recommendations": [
+                _view_to_dict(view, arrays) for view in result.recommendations
+            ],
+            "all_scored": [
+                _view_to_dict(view, arrays)
+                for view in result.all_scored.values()
+            ],
+            "prune_reports": [
+                {
+                    "rule": report.rule,
+                    "examined": report.examined,
+                    "pruned": [
+                        [_spec_to_dict(spec), reason]
+                        for spec, reason in report.pruned
+                    ],
+                }
+                for report in result.prune_reports
+            ],
+            "phases": dict(result.stopwatch.phases),
+            "n_candidate_views": result.n_candidate_views,
+            "n_executed_views": result.n_executed_views,
+            "n_queries": result.n_queries,
+            "sample_fraction": result.sample_fraction,
+            "plan_description": result.plan_description,
+            "reference_description": result.reference_description,
+        },
+        "arrays": arrays.entries,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    region_start = _HEADER_FIXED + len(header_bytes)
+    aligned_start = (region_start + 7) & ~7
+    parts = [
+        MAGIC,
+        len(header_bytes).to_bytes(8, "little"),
+        header_bytes,
+        b"\0" * (aligned_start - region_start),
+    ]
+    parts.extend(arrays.buffers)
+    return b"".join(parts)
+
+
+def peek_header(buf) -> dict:
+    """Validate framing and return the decoded header of an encoded blob."""
+    view = memoryview(buf)
+    try:
+        if len(view) < _HEADER_FIXED or bytes(view[:8]) != MAGIC:
+            raise ShmCodecError("not an encoded result (bad magic)")
+        header_len = int.from_bytes(view[8:16], "little")
+        if header_len <= 0 or _HEADER_FIXED + header_len > len(view):
+            raise ShmCodecError("truncated result header")
+        try:
+            return json.loads(bytes(view[16:16 + header_len]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ShmCodecError(f"corrupt result header: {exc}") from exc
+    finally:
+        # Release before any raise propagates: a traceback pinning this
+        # frame must not pin an exported pointer into a shared-memory
+        # segment the caller is about to close (BufferError otherwise).
+        view.release()
+
+
+def decode_result(buf) -> tuple[str, int, RecommendationResult]:
+    """Decode a blob back into ``(digest, data_version, result)``.
+
+    Arrays are copied out of ``buf``, so the returned result outlives any
+    shared-memory segment the blob came from.
+    """
+    header = peek_header(buf)
+    header_len = int.from_bytes(memoryview(buf)[8:16], "little")
+    region_start = (_HEADER_FIXED + header_len + 7) & ~7
+    entries = header["arrays"]
+    payload = header["result"]
+    all_scored_views = [
+        _view_from_dict(item, entries, buf, region_start)
+        for item in payload["all_scored"]
+    ]
+    result = RecommendationResult(
+        table=payload["table"],
+        predicate_description=payload["predicate_description"],
+        k=payload["k"],
+        metric=payload["metric"],
+        recommendations=[
+            _view_from_dict(item, entries, buf, region_start)
+            for item in payload["recommendations"]
+        ],
+        all_scored={view.spec: view for view in all_scored_views},
+        prune_reports=[
+            PruneReport(
+                rule=report["rule"],
+                examined=report["examined"],
+                pruned=[
+                    (_spec_from_dict(spec), reason)
+                    for spec, reason in report["pruned"]
+                ],
+            )
+            for report in payload["prune_reports"]
+        ],
+        stopwatch=Stopwatch(phases=dict(payload["phases"])),
+        n_candidate_views=payload["n_candidate_views"],
+        n_executed_views=payload["n_executed_views"],
+        n_queries=payload["n_queries"],
+        sample_fraction=payload["sample_fraction"],
+        plan_description=payload["plan_description"],
+        reference_description=payload["reference_description"],
+    )
+    return header["digest"], header["data_version"], result
+
+
+# -- shared-memory segments -------------------------------------------------
+
+
+def _open_segment(name: str, create: bool = False, size: int = 0):
+    """Open/create a segment with the resource tracker kept out of it."""
+    segment = shared_memory.SharedMemory(name=name, create=create, size=size)
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across versions
+        pass
+    return segment
+
+
+def unlink_segment(name: str) -> bool:
+    """Remove a named segment; returns whether it existed."""
+    if _posixshmem is not None:
+        try:
+            _posixshmem.shm_unlink("/" + name)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+    try:  # pragma: no cover - non-POSIX fallback
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.unlink()
+    segment.close()
+    return True
+
+
+def read_segment(name: str) -> tuple[str, int, RecommendationResult]:
+    """Decode one named segment: ``(digest, data_version, result)``.
+
+    The transport read the router performs when a worker replies with a
+    segment name. Raises ``FileNotFoundError`` / :class:`ShmCodecError`
+    on missing or invalid segments.
+    """
+    segment = _open_segment(name)
+    try:
+        return decode_result(segment.buf)
+    finally:
+        segment.close()
+
+
+def list_segments(prefix: str) -> list[str]:
+    """Live segment names under ``prefix`` (empty where unsupported)."""
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in names if name.startswith(prefix))
+
+
+class SharedResultCache:
+    """A cross-process result cache of named shared-memory segments.
+
+    Segment names are derived from the request-key digest, so any process
+    that can compute the key can find the entry — no shared index needed.
+    Entries are versioned: a ``get`` or ``put`` that encounters an entry
+    recorded at an older ``data_version`` unlinks it on the spot (writers
+    and readers both self-retire stale data). The router additionally
+    bounds the number of live entries (LRU) and unlinks everything at
+    service close; :func:`list_segments` is the leak detector the tests
+    assert with.
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix or len(prefix) > 14 or "/" in prefix:
+            raise ConfigError(
+                f"shm prefix must be 1-14 chars without '/', got {prefix!r}"
+            )
+        self.prefix = prefix
+        self.puts = 0
+        self.put_failures = 0
+        self.hits = 0
+        self.misses = 0
+        self.stale_dropped = 0
+
+    def segment_name(self, digest: str) -> str:
+        return self.prefix + digest[:16]
+
+    # -- write side (workers) ---------------------------------------------
+
+    def put(self, digest: str, data_version: int, result) -> "str | None":
+        """Publish a result; returns the segment name, or None on failure.
+
+        Failures (shm exhausted, unsupported platform) are not errors —
+        the caller falls back to sending the encoded bytes in-band.
+        """
+        try:
+            payload = encode_result(result, digest=digest, data_version=data_version)
+        except ShmCodecError:
+            self.put_failures += 1
+            return None
+        name = self.segment_name(digest)
+        try:
+            segment = self._create(name, len(payload), digest, data_version)
+            if segment is None:  # an equally-fresh entry already exists
+                return name
+        except (OSError, ValueError):
+            self.put_failures += 1
+            return None
+        try:
+            # Magic goes in last so a reader attaching mid-write (or after
+            # a writer crash) sees an invalid segment, never a torn result.
+            segment.buf[8:len(payload)] = payload[8:]
+            segment.buf[0:8] = payload[0:8]
+            self.puts += 1
+            return name
+        finally:
+            segment.close()
+
+    def _create(self, name: str, size: int, digest: str, data_version: int):
+        try:
+            return _open_segment(name, create=True, size=size)
+        except FileExistsError:
+            pass
+        # Somebody already published under this name: keep it if it is at
+        # least as fresh for the same key, otherwise self-retire it.
+        try:
+            existing = _open_segment(name)
+        except FileNotFoundError:
+            return _open_segment(name, create=True, size=size)
+        try:
+            header = peek_header(existing.buf)
+            if (
+                header.get("digest") == digest
+                and header.get("data_version", -1) >= data_version
+            ):
+                return None
+        except ShmCodecError:
+            pass  # torn/corrupt entry: replace it
+        finally:
+            existing.close()
+        self.stale_dropped += unlink_segment(name)
+        return _open_segment(name, create=True, size=size)
+
+    # -- read side (router) -------------------------------------------------
+
+    def get(self, digest: str, data_version: int):
+        """The cached result for ``digest`` at ``data_version``, or None."""
+        name = self.segment_name(digest)
+        try:
+            segment = _open_segment(name)
+        except (FileNotFoundError, OSError, ValueError):
+            self.misses += 1
+            return None
+        if bytes(segment.buf[:8]) != MAGIC:
+            # No magic: either a writer is mid-publish (magic goes in
+            # last) or a writer died mid-write. Invisible either way — but
+            # NOT retired: unlinking here would tear a live writer's
+            # segment out from under its in-flight reply. Dead garbage is
+            # replaced by the next put and swept at close.
+            segment.close()
+            self.misses += 1
+            return None
+        try:
+            entry_digest, entry_version, result = decode_result(segment.buf)
+        except (ShmCodecError, KeyError, TypeError, ValueError):
+            # Magic present means the write completed: this is real
+            # corruption, safe to retire.
+            segment.close()
+            unlink_segment(name)
+            self.misses += 1
+            return None
+        segment.close()
+        if entry_digest != digest:
+            # A 64-bit name collision with a different key: unusable for
+            # this request but owned by the other one — leave it alone.
+            self.misses += 1
+            return None
+        if entry_version != data_version:
+            self.stale_dropped += unlink_segment(name)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def live_segments(self) -> list[str]:
+        return list_segments(self.prefix)
+
+    def unlink_all(self, names: "list[str] | None" = None) -> int:
+        """Unlink known ``names`` plus anything the scan finds; returns
+        how many segments were actually removed."""
+        removed = 0
+        for name in set(names or []) | set(self.live_segments()):
+            removed += unlink_segment(name)
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "puts": self.puts,
+            "put_failures": self.put_failures,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_dropped": self.stale_dropped,
+        }

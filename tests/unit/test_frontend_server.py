@@ -43,7 +43,10 @@ class TestEndpoints:
     def test_healthz(self, served):
         _, base = served
         body = get(base, "/healthz")
-        assert body == {"status": "ok", "backends": ["default"]}
+        assert body["status"] == "ok"
+        assert body["backends"] == ["default"]
+        assert body["mode"] == "threads"
+        assert body["workers"] == []
 
     def test_views_enumerates_candidate_space(self, served):
         _, base = served

@@ -1,0 +1,94 @@
+"""Unit: consistent-hash routing for the sharded serving tier."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.service.hashring import HashRing, stable_hash
+from repro.util.errors import ConfigError
+
+
+class TestStableHash:
+    def test_deterministic_and_process_independent(self):
+        # sha1-derived, so these values must never drift between runs or
+        # hosts (routing affinity across restarts depends on it).
+        assert stable_hash("w0#0") == stable_hash("w0#0")
+        assert stable_hash(b"key") == stable_hash("key")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_64_bit_range(self):
+        for key in ("", "x", "a-long-routing-key" * 10):
+            assert 0 <= stable_hash(key) < 2**64
+
+
+class TestRingMembership:
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["w0", "w1"])
+        ring.add("w0")  # duplicate add is a no-op
+        assert ring.nodes == ["w0", "w1"]
+        ring.remove("w1")
+        ring.remove("w1")  # duplicate remove is a no-op
+        assert ring.nodes == ["w0"]
+        assert "w0" in ring and "w1" not in ring
+        assert len(ring) == 1
+
+    def test_replicas_validated(self):
+        with pytest.raises(ConfigError):
+            HashRing(replicas=0)
+
+    def test_empty_ring_raises_on_lookup(self):
+        ring = HashRing()
+        assert ring.nodes_for("key", 1) == []
+        with pytest.raises(ConfigError):
+            ring.node_for("key")
+
+
+class TestRouting:
+    def test_stable_assignment(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"digest-{i}" for i in range(100)]
+        first = [ring.node_for(key) for key in keys]
+        assert first == [ring.node_for(key) for key in keys]
+
+    def test_distribution_roughly_even(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"], replicas=64)
+        counts = collections.Counter(
+            ring.node_for(f"key-{i}") for i in range(2000)
+        )
+        assert set(counts) == {"w0", "w1", "w2", "w3"}
+        # Virtual nodes keep the spread sane: no shard more than ~2.5x fair.
+        assert max(counts.values()) < 2.5 * (2000 / 4)
+
+    def test_removal_moves_only_one_shard(self):
+        # The consistent-hash property the respawn path relies on: taking
+        # one node out reassigns only keys that node owned.
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove("w1")
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] != "w1":
+                assert after == before[key]
+            else:
+                assert after != "w1"
+
+    def test_failover_order_matches_removal(self):
+        # nodes_for(key, 2)[1] must be where the key lands if its primary
+        # is removed — so a crash retry goes where re-routed traffic goes.
+        ring = HashRing(["w0", "w1", "w2"])
+        for i in range(200):
+            key = f"key-{i}"
+            primary, fallback = ring.nodes_for(key, 2)
+            assert primary == ring.node_for(key)
+            ring.remove(primary)
+            assert ring.node_for(key) == fallback
+            ring.add(primary)
+
+    def test_nodes_for_distinct_and_bounded(self):
+        ring = HashRing(["w0", "w1"])
+        nodes = ring.nodes_for("key", 5)
+        assert sorted(nodes) == ["w0", "w1"]  # only 2 distinct exist
+        assert ring.nodes_for("key", 1) == nodes[:1]

@@ -1,0 +1,328 @@
+"""Unit: the shared-memory result codec and cross-process cache.
+
+Covers the transport invariants the cluster tier depends on: bit-exact
+round-trips of every array dtype the engine produces, version-keyed
+staleness (writers and readers both retire stale entries), torn-write
+detection, and segment hygiene — no /dev/shm leaks after close.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from datetime import date, datetime
+
+import numpy as np
+import pytest
+
+from repro.core.result import RecommendationResult
+from repro.core.view import ScoredView, ViewSpec
+from repro.pruning.base import PruneReport
+from repro.service.shm import (
+    SharedResultCache,
+    ShmCodecError,
+    decode_result,
+    decode_value,
+    encode_result,
+    encode_value,
+    list_segments,
+    read_segment,
+    unlink_segment,
+)
+from repro.util.errors import ConfigError
+from repro.util.timing import Stopwatch
+
+PREFIX = "sdbtest."
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Every test must leave /dev/shm clean under the test prefix."""
+    for name in list_segments(PREFIX):
+        unlink_segment(name)
+    yield
+    leaked = list_segments(PREFIX)
+    for name in leaked:
+        unlink_segment(name)
+    assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
+
+def make_result(utility: float = 0.75, groups=None) -> RecommendationResult:
+    spec = ViewSpec("region", "sales", "sum")
+    other = ViewSpec("product", None, "count")
+    if groups is None:
+        groups = ["east", "west"]
+    view = ScoredView(
+        spec=spec,
+        utility=utility,
+        groups=list(groups),
+        target_distribution=np.array([0.25, 0.75]),
+        comparison_distribution=np.array([0.5, 0.5]),
+        target_values=np.array([10.0, 30.0]),
+        comparison_values=np.array([20.0, 20.0]),
+    )
+    low = ScoredView(
+        spec=other,
+        utility=np.nextafter(0.1, 0.0),  # not representable in short decimal
+        groups=list(groups),
+        target_distribution=np.array([np.nan, 1.0]),
+        comparison_distribution=np.array([0.5, 0.5]),
+    )
+    return RecommendationResult(
+        table="orders",
+        predicate_description="product = 'p0'",
+        k=1,
+        metric="js",
+        recommendations=[view],
+        all_scored={view.spec: view, low.spec: low},
+        prune_reports=[
+            PruneReport(rule="variance", examined=3, pruned=[(other, "flat")])
+        ],
+        stopwatch=Stopwatch(phases={"execute": 0.25, "score": 0.0625}),
+        n_candidate_views=3,
+        n_executed_views=2,
+        n_queries=4,
+        sample_fraction=None,
+        plan_description="combined",
+        reference_description="table",
+    )
+
+
+def fingerprint(result: RecommendationResult) -> tuple:
+    return (
+        tuple(view.spec for view in result.recommendations),
+        tuple(
+            sorted((spec, view.utility) for spec, view in result.all_scored.items())
+        ),
+    )
+
+
+class TestValueTags:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            -7,
+            3.141592653589793,
+            "east",
+            date(2014, 9, 1),
+            datetime(2014, 9, 1, 12, 30, 15),
+            ("a", 1),
+            np.datetime64("2014-09-01", "D"),
+            np.datetime64("2014-09-01T12:30", "s"),
+        ],
+    )
+    def test_round_trip(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value) or isinstance(value, np.datetime64)
+
+    def test_nan_round_trips_as_nan(self):
+        assert np.isnan(decode_value(encode_value(float("nan"))))
+
+    def test_nat_round_trips(self):
+        decoded = decode_value(encode_value(np.datetime64("NaT", "D")))
+        assert np.isnat(decoded)
+
+    def test_numpy_scalars_decay_to_native(self):
+        assert decode_value(encode_value(np.int64(7))) == 7
+        assert decode_value(encode_value(np.float64(0.1))) == 0.1
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ShmCodecError):
+            encode_value(object())
+
+
+class TestCodec:
+    def test_round_trip_bit_exact(self):
+        result = make_result()
+        digest = "ab" * 32
+        blob = encode_result(result, digest=digest, data_version=9)
+        got_digest, got_version, decoded = decode_result(blob)
+        assert (got_digest, got_version) == (digest, 9)
+        assert fingerprint(decoded) == fingerprint(result)
+        for original, copy in zip(
+            result.all_scored.values(), decoded.all_scored.values()
+        ):
+            assert copy.utility == original.utility  # exact float equality
+            assert np.array_equal(
+                copy.target_distribution,
+                original.target_distribution,
+                equal_nan=True,
+            )
+            assert copy.groups == original.groups
+        assert decoded.stopwatch.phases == result.stopwatch.phases
+        assert decoded.prune_reports[0].pruned == result.prune_reports[0].pruned
+        assert decoded.n_queries == result.n_queries
+
+    def test_date_groups_round_trip(self):
+        result = make_result(groups=[date(2014, 9, 1), date(2014, 9, 2)])
+        _, _, decoded = decode_result(encode_result(result))
+        assert decoded.recommendations[0].groups == [
+            date(2014, 9, 1),
+            date(2014, 9, 2),
+        ]
+
+    def test_object_dtype_arrays_with_nulls(self):
+        result = make_result()
+        view = result.recommendations[0]
+        view.target_values = np.array(["x", None, 3.5], dtype=object)
+        _, _, decoded = decode_result(encode_result(result))
+        got = decoded.recommendations[0].target_values
+        assert got.dtype == object
+        assert list(got) == ["x", None, 3.5]
+
+    def test_datetime64_arrays_round_trip(self):
+        result = make_result()
+        view = result.recommendations[0]
+        view.target_values = np.array(
+            ["2014-09-01", "NaT"], dtype="datetime64[D]"
+        )
+        _, _, decoded = decode_result(encode_result(result))
+        got = decoded.recommendations[0].target_values
+        assert got.dtype == np.dtype("datetime64[D]")
+        assert got[0] == np.datetime64("2014-09-01", "D")
+        assert np.isnat(got[1])
+
+    def test_bad_magic_rejected(self):
+        blob = encode_result(make_result())
+        with pytest.raises(ShmCodecError):
+            decode_result(b"NOTMAGIC" + blob[8:])
+        with pytest.raises(ShmCodecError):
+            decode_result(blob[:10])
+
+    def test_decoded_arrays_are_owned_copies(self):
+        blob = bytearray(encode_result(make_result()))
+        _, _, decoded = decode_result(blob)
+        view = decoded.recommendations[0]
+        before = view.target_distribution.copy()
+        blob[:] = b"\0" * len(blob)  # scribble over the source buffer
+        assert np.array_equal(view.target_distribution, before)
+
+
+class TestSharedResultCache:
+    def test_put_get_round_trip(self):
+        cache = SharedResultCache(PREFIX)
+        digest = "cd" * 32
+        result = make_result()
+        name = cache.put(digest, 3, result)
+        assert name == cache.segment_name(digest)
+        assert name in cache.live_segments()
+        got = cache.get(digest, 3)
+        assert got is not None
+        assert fingerprint(got) == fingerprint(result)
+        assert cache.stats()["hits"] == 1
+        cache.unlink_all()
+
+    def test_get_miss_on_absent(self):
+        cache = SharedResultCache(PREFIX)
+        assert cache.get("ef" * 32, 1) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_stale_version_retired_on_get(self):
+        cache = SharedResultCache(PREFIX)
+        digest = "12" * 32
+        cache.put(digest, 1, make_result())
+        # A data_version bump makes the entry stale: the reader unlinks it.
+        assert cache.get(digest, 2) is None
+        assert cache.live_segments() == []
+        assert cache.stats()["stale_dropped"] == 1
+
+    def test_writer_replaces_stale_entry(self):
+        cache = SharedResultCache(PREFIX)
+        digest = "34" * 32
+        cache.put(digest, 1, make_result(utility=0.25))
+        cache.put(digest, 2, make_result(utility=0.5))
+        got = cache.get(digest, 2)
+        assert got is not None
+        assert got.recommendations[0].utility == 0.5
+        cache.unlink_all()
+
+    def test_writer_keeps_equally_fresh_entry(self):
+        # Two workers racing the same key publish once; the second put
+        # must not clobber (readers may be mid-attach on the first).
+        cache = SharedResultCache(PREFIX)
+        digest = "56" * 32
+        cache.put(digest, 1, make_result(utility=0.25))
+        cache.put(digest, 1, make_result(utility=0.9))
+        got = cache.get(digest, 1)
+        assert got is not None
+        assert got.recommendations[0].utility == 0.25
+        cache.unlink_all()
+
+    def test_torn_write_is_invisible_but_not_retired(self):
+        from repro.service.shm import _open_segment
+
+        cache = SharedResultCache(PREFIX)
+        digest = "78" * 32
+        name = cache.segment_name(digest)
+        blob = encode_result(make_result(), digest=digest, data_version=1)
+        # A segment without its final magic write: either a writer died
+        # mid-publish or one is publishing RIGHT NOW (magic goes in last).
+        segment = _open_segment(name, create=True, size=len(blob))
+        segment.buf[8:len(blob)] = blob[8:]
+        segment.close()
+        # Readers see a miss — but must NOT unlink: a live writer may
+        # still be filling this segment for an in-flight reply.
+        assert cache.get(digest, 1) is None
+        assert cache.live_segments() == [name]
+        # The next writer replaces dead garbage in place.
+        cache.put(digest, 1, make_result(utility=0.5))
+        got = cache.get(digest, 1)
+        assert got is not None and got.recommendations[0].utility == 0.5
+        cache.unlink_all()
+
+    def test_unlink_all_sweeps_prefix(self):
+        cache = SharedResultCache(PREFIX)
+        for index in range(3):
+            cache.put(f"{index:02x}" * 32, 1, make_result())
+        assert len(cache.live_segments()) == 3
+        assert cache.unlink_all() == 3
+        assert cache.live_segments() == []
+
+    def test_prefix_validated(self):
+        with pytest.raises(ConfigError):
+            SharedResultCache("")
+        with pytest.raises(ConfigError):
+            SharedResultCache("much-too-long-a-prefix.")
+        with pytest.raises(ConfigError):
+            SharedResultCache("has/slash")
+
+
+def _child_put(prefix: str, digest: str, version: int, utility: float) -> None:
+    cache = SharedResultCache(prefix)
+    cache.put(digest, version, make_result(utility=utility))
+
+
+class TestCrossProcess:
+    def test_child_write_parent_read(self):
+        digest = "9a" * 32
+        ctx = multiprocessing.get_context()
+        child = ctx.Process(target=_child_put, args=(PREFIX, digest, 5, 0.625))
+        child.start()
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        cache = SharedResultCache(PREFIX)
+        got = cache.get(digest, 5)
+        assert got is not None
+        assert got.recommendations[0].utility == 0.625
+        # read_segment is the router's transport path over the same entry.
+        seg_digest, seg_version, transported = read_segment(
+            cache.segment_name(digest)
+        )
+        assert (seg_digest, seg_version) == (digest, 5)
+        assert fingerprint(transported) == fingerprint(got)
+        cache.unlink_all()
+
+    def test_version_bump_invalidates_across_processes(self):
+        digest = "bc" * 32
+        ctx = multiprocessing.get_context()
+        child = ctx.Process(target=_child_put, args=(PREFIX, digest, 1, 0.5))
+        child.start()
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        cache = SharedResultCache(PREFIX)
+        # The parent's data_version moved on: the child's entry is stale,
+        # invisible, and retired on first contact.
+        assert cache.get(digest, 2) is None
+        assert cache.live_segments() == []
