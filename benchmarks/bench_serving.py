@@ -340,3 +340,81 @@ def test_concurrent_sessions_duckdb_axis(record_rows, workload):
 
     assert stats["coalesced"] > 0
     assert stats["executions"] < n_requests
+
+
+def test_deadline_axis(record_rows, workload):
+    """The deadline-lifecycle axis: the same memory-backend workload with
+    per-request budgets attached. ``deadline_hit_rate`` — the fraction of
+    requests that came back *complete* within their budget — is the
+    headline the trend gate watches (generous budgets must stay ~1.0; a
+    drop means executions got slower or deadline accounting broke).
+    Starved budgets are recorded honestly on their own row: those
+    requests must still terminate typed (a partial result or
+    ``DeadlineExceeded``), which the loop enforces by construction.
+    """
+    from repro.util.errors import DeadlineExceeded
+
+    table, stream = workload
+    requests = stream * 2
+    rows = []
+    for label, deadline_ms in (
+        ("deadline_generous", 30_000),
+        ("deadline_tight", 5),
+    ):
+        backend = MemoryBackend()
+        backend.register_table(table)
+        # No coalescing, no cache: every request is a real execution with
+        # its own budget, so the hit rate measures the engine, not reuse.
+        service = single_backend_service(
+            backend,
+            SeeDBConfig(k=K),
+            max_workers=N_SESSIONS,
+            coalesce_requests=False,
+            result_cache_size=0,
+        )
+        full = partials = exceeded = 0
+        latencies = []
+        start = time.perf_counter()
+        for query in requests:
+            t0 = time.perf_counter()
+            try:
+                result = service.recommend(query, deadline_ms=deadline_ms)
+                if result.partial:
+                    partials += 1
+                else:
+                    full += 1
+            except DeadlineExceeded:
+                exceeded += 1
+            latencies.append(time.perf_counter() - t0)
+        total = time.perf_counter() - start
+        service.close()
+        backend.close()
+        n = len(requests)
+        latencies.sort()
+        rows.append(
+            {
+                "mode": label,
+                "deadline_ms": deadline_ms,
+                "requests": n,
+                "deadline_hit_rate": round(full / n, 3),
+                "partial_results": partials,
+                "deadline_exceeded": exceeded,
+                "total_s": round(total, 4),
+                "p50_latency_ms": round(percentile(latencies, 0.50) * 1e3, 2),
+                "p95_latency_ms": round(percentile(latencies, 0.95) * 1e3, 2),
+            }
+        )
+    record_rows("serving_deadlines", rows)
+    by_mode = {row["mode"]: row for row in rows}
+    generous = by_mode["deadline_generous"]
+    tight = by_mode["deadline_tight"]
+    # The portable bar: with 30s budgets on this workload every request
+    # completes in full. Tight budgets assert only the ledger: every
+    # request terminated in exactly one of the three typed outcomes.
+    assert generous["deadline_hit_rate"] >= 0.9
+    assert (
+        tight["deadline_hit_rate"] * tight["requests"]
+        + tight["partial_results"]
+        + tight["deadline_exceeded"]
+        == tight["requests"]
+    )

@@ -47,6 +47,7 @@ RATIO_COLUMNS = (
     "work_saved",
     "topk_precision",
     "first_round_topk_precision",
+    "deadline_hit_rate",
 )
 
 #: Machine-portable floors for ratio headlines. Committed baselines come
@@ -60,6 +61,7 @@ PORTABLE_FLOORS = {
     "process_scaling_ratio": 2.5,  # bench_serving workers-axis bar (≥4 cores)
     "speedup_vs_serial": 2.0,  # bench_serving acceptance bar
     "speedup_to_first": 2.0,   # bench_progressive time-to-first bar
+    "deadline_hit_rate": 0.9,  # bench_serving deadline axis (generous row)
 }
 
 #: Substrings marking a query-count column (lower is better).

@@ -4,9 +4,10 @@ SeeDB's contract — "given a query Q, find the views where the target
 deviates most from a reference" — as a first-class, serializable object:
 
 * :class:`RecommendationRequest` — target spec + reference spec + metric /
-  k / view-space filters + execution options, with a versioned JSON codec
-  (``schema_version`` 1) and :meth:`~RecommendationRequest.from_sql`
-  ingestion of raw SQL.
+  k / view-space filters + execution options (including the
+  ``deadline_ms`` latency budget), with a versioned JSON codec
+  (``schema_version`` 2, version 1 accepted) and
+  :meth:`~RecommendationRequest.from_sql` ingestion of raw SQL.
 * :class:`Reference` — pluggable comparison side: the whole table (§2
   default), the target's complement (Q vs D ∖ Q), or an arbitrary second
   query (query-vs-query, temporal slices).
@@ -30,7 +31,9 @@ from repro.api.errors import ERROR_CODES, ApiError
 from repro.api.progressive import PartialResult
 from repro.api.reference import Reference
 from repro.api.request import (
+    ACCEPTED_SCHEMA_VERSIONS,
     INCREMENTAL_OPTION_DEFAULTS,
+    LIFECYCLE_OPTION_DEFAULTS,
     SCHEMA_VERSION,
     STRATEGIES,
     RecommendationRequest,
@@ -47,8 +50,10 @@ __all__ = [
     "RecommendationRequest",
     "ResolvedRequest",
     "SCHEMA_VERSION",
+    "ACCEPTED_SCHEMA_VERSIONS",
     "STRATEGIES",
     "INCREMENTAL_OPTION_DEFAULTS",
+    "LIFECYCLE_OPTION_DEFAULTS",
     "request_json_schema",
     "expression_to_wire",
     "expression_from_wire",

@@ -23,6 +23,7 @@ ERROR_CODES = (
     "unsupported_sql",   # SQL parsed, but to a shape the API cannot accept
     "schema_version",    # the payload declares an unsupported version
     "unknown_backend",   # the named backend is not registered
+    "payload_too_large",  # the request body exceeds the transport cap
 )
 
 

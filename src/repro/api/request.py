@@ -34,8 +34,13 @@ from repro.model.reference import ResolvedReference
 from repro.optimizer.plan import GroupByCombining
 from repro.util.errors import ConfigError, MetricError
 
-#: Wire schema version emitted by ``to_dict`` and accepted by ``from_dict``.
-SCHEMA_VERSION = 1
+#: Wire schema version emitted by ``to_dict``. Version 2 added the
+#: ``deadline_ms`` lifecycle option; version-1 payloads (which never carry
+#: it) are still accepted, so the bump is backward-compatible.
+SCHEMA_VERSION = 2
+
+#: Wire schema versions ``from_dict`` accepts.
+ACCEPTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Execution strategies a request may name.
 STRATEGIES = ("batch", "incremental")
@@ -47,6 +52,15 @@ INCREMENTAL_OPTION_DEFAULTS: dict[str, Any] = {
     "delta": 0.05,
     "min_phases_before_pruning": 2,
     "epsilon_scale": 0.25,
+}
+
+#: Request-lifecycle options (consumed by the serving tier / engine
+#: boundary checks, not by SeeDBConfig) and their defaults. ``deadline_ms``
+#: is the end-to-end latency budget measured from admission: batch
+#: executions that blow it fail with ``DeadlineExceeded`` (HTTP 504),
+#: incremental ones degrade to a ``partial=True`` result.
+LIFECYCLE_OPTION_DEFAULTS: dict[str, Any] = {
+    "deadline_ms": None,
 }
 
 #: SeeDBConfig fields a request's ``options`` may override.
@@ -105,6 +119,21 @@ def _validate_incremental_option(key: str, value: Any) -> None:
                 f"epsilon_scale must be >= 0, got {value!r}",
                 code="invalid_value",
                 field="options.epsilon_scale",
+            )
+
+
+def _validate_lifecycle_option(key: str, value: Any) -> None:
+    if key == "deadline_ms" and value is not None:
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or value <= 0
+        ):
+            raise ApiError(
+                f"deadline_ms must be a positive number of milliseconds, "
+                f"got {value!r}",
+                code="invalid_value",
+                field="options.deadline_ms",
             )
 
 
@@ -228,6 +257,8 @@ class RecommendationRequest:
         for key, value in self.options.items():
             if key in INCREMENTAL_OPTION_DEFAULTS:
                 _validate_incremental_option(key, value)
+            elif key in LIFECYCLE_OPTION_DEFAULTS:
+                _validate_lifecycle_option(key, value)
             elif key not in CONFIG_OPTION_FIELDS:
                 raise ApiError(
                     f"unknown option {key!r}", code="unknown_field",
@@ -306,10 +337,10 @@ class RecommendationRequest:
                 field=extra[0],
             )
         version = payload.get("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in ACCEPTED_SCHEMA_VERSIONS:
             raise ApiError(
                 f"unsupported schema_version {version!r}; this server speaks "
-                f"version {SCHEMA_VERSION}",
+                f"versions {list(ACCEPTED_SCHEMA_VERSIONS)}",
                 code="schema_version",
                 field="schema_version",
             )
@@ -342,10 +373,13 @@ class RecommendationRequest:
         """Merge with a session's base config into a :class:`ResolvedRequest`."""
         config = base_config if base_config is not None else SeeDBConfig()
         incremental = dict(INCREMENTAL_OPTION_DEFAULTS)
+        lifecycle = dict(LIFECYCLE_OPTION_DEFAULTS)
         config_overrides: dict[str, Any] = {}
         for key, value in self.options.items():
             if key in INCREMENTAL_OPTION_DEFAULTS:
                 incremental[key] = value
+            elif key in LIFECYCLE_OPTION_DEFAULTS:
+                lifecycle[key] = value
             else:
                 config_overrides[key] = value
         if self.metric is not None:
@@ -378,6 +412,7 @@ class RecommendationRequest:
             measures=self.measures,
             strategy=self.strategy,
             incremental=incremental,
+            deadline_ms=lifecycle["deadline_ms"],
         )
 
     def with_k(self, k: "int | None") -> "RecommendationRequest":
@@ -403,6 +438,8 @@ class ResolvedRequest:
     strategy: str
     #: Phased-execution knobs (n_phases, delta, ...), defaults applied.
     incremental: dict[str, Any]
+    #: End-to-end latency budget in milliseconds (None = unbounded).
+    deadline_ms: "float | None" = None
 
     def key_parts(self) -> tuple:
         """Deterministic identity for coalescing / result caching (the
@@ -420,4 +457,8 @@ class ResolvedRequest:
             self.measures,
             self.strategy,
             tuple(sorted(self.incremental.items())),
+            # Requests with different deadline budgets must not coalesce:
+            # a short-deadline execution's partial answer is not an honest
+            # result for a joiner that asked for more time.
+            self.deadline_ms,
         )

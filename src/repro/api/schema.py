@@ -1,8 +1,8 @@
 """Machine-readable description of the request wire schema.
 
 :func:`request_json_schema` returns a JSON-Schema-style document for the
-``schema_version`` 1 :class:`~repro.api.request.RecommendationRequest`
-wire form. The API-stability contract test snapshots this document (plus
+current :class:`~repro.api.request.RecommendationRequest` wire form
+(``schema_version`` 2; version-1 payloads remain accepted). The API-stability contract test snapshots this document (plus
 the package's public symbols): any accidental change to field names,
 option names, error codes, or strategies fails CI and forces a deliberate
 schema-version decision.
@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from repro.api.errors import ERROR_CODES
 from repro.api.request import (
+    ACCEPTED_SCHEMA_VERSIONS,
     CONFIG_OPTION_FIELDS,
     INCREMENTAL_OPTION_DEFAULTS,
+    LIFECYCLE_OPTION_DEFAULTS,
     SCHEMA_VERSION,
     STRATEGIES,
 )
@@ -82,7 +84,7 @@ _QUERY_SCHEMA = {
 
 
 def request_json_schema() -> dict:
-    """The wire schema of RecommendationRequest, schema_version 1."""
+    """The wire schema of RecommendationRequest (current schema_version)."""
     return {
         "$schema": "http://json-schema.org/draft-07/schema#",
         "title": "RecommendationRequest",
@@ -91,7 +93,7 @@ def request_json_schema() -> dict:
         "required": ["target"],
         "additionalProperties": False,
         "properties": {
-            "schema_version": {"const": SCHEMA_VERSION},
+            "schema_version": {"enum": sorted(ACCEPTED_SCHEMA_VERSIONS)},
             "target": {"$ref": "#/definitions/query"},
             "reference": {
                 "oneOf": [
@@ -117,6 +119,7 @@ def request_json_schema() -> dict:
                 "propertyNames": {
                     "enum": sorted(CONFIG_OPTION_FIELDS)
                     + sorted(INCREMENTAL_OPTION_DEFAULTS)
+                    + sorted(LIFECYCLE_OPTION_DEFAULTS)
                 },
             },
             "backend": {"type": "string"},

@@ -62,4 +62,6 @@ def result_to_json(result: RecommendationResult) -> dict:
             for name, seconds in result.stopwatch.phases.items()
         },
         "total_seconds": round(result.total_seconds, 6),
+        "partial": result.partial,
+        "partial_epsilon": result.partial_epsilon,
     }

@@ -49,6 +49,8 @@ from repro.db.query import (
 from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.db.types import DataType
+from repro.testing.faults import fault_point
+from repro.util.deadline import current_token
 from repro.util.errors import BackendError
 
 try:  # pragma: no cover - trivially environment-dependent
@@ -339,14 +341,33 @@ class DuckDbBackend(Backend):
 
     def _sql(self, connection, sql: str):
         """Execute uncounted maintenance SQL (DDL, loads, counts)."""
+        token = current_token()
+        unregister = None
+        if token is not None:
+            # DuckDB can interrupt a running statement from another thread;
+            # an explicit cancel fires it immediately. Deadline expiry is
+            # caught by the checkpoint here (per statement) — good enough
+            # because view queries on one request are issued sequentially.
+            token.check()
+            interrupt = getattr(connection, "interrupt", None)
+            if interrupt is not None:
+                unregister = token.on_cancel(interrupt)
         try:
             return connection.execute(sql)
         except Exception as exc:
+            if token is not None:
+                error = token.error()
+                if error is not None and "interrupt" in str(exc).lower():
+                    raise error from exc
             raise BackendError(f"duckdb error for SQL {sql!r}: {exc}") from exc
+        finally:
+            if unregister is not None:
+                unregister()
 
     def _run(self, sql: str, logical_queries: int = 1) -> list[tuple]:
         """Execute one counted view-query statement, returning its rows."""
         self._record_queries(logical_queries)
+        fault_point("backend.execute")
         cursor = self._sql(self._connection(), sql)
         return cursor.fetchall()
 

@@ -9,6 +9,8 @@ from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
 from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.sampling.bernoulli import BernoulliSampler
+from repro.testing.faults import fault_point
+from repro.util.deadline import check_current
 
 
 class MemoryBackend(Backend):
@@ -61,12 +63,18 @@ class MemoryBackend(Backend):
     # -- execution --------------------------------------------------------
 
     def execute(self, query: "AggregateQuery | RowSelectQuery") -> Table:
+        # Cancellation checkpoint: the in-memory engine has no interrupt
+        # machinery, so per-query granularity is the cooperation unit.
+        check_current()
+        fault_point("backend.execute")
         self._require_table(query.table)
         result = self.engine.execute(query)
         assert isinstance(result, Table)
         return result
 
     def execute_grouping_sets(self, query: GroupingSetsQuery) -> list[Table]:
+        check_current()
+        fault_point("backend.execute")
         self._require_table(query.table)
         return self.engine.execute_grouping_sets(query)
 

@@ -41,6 +41,8 @@ from repro.db.query import AggregateQuery, GroupingSetsQuery, RowSelectQuery
 from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.db.types import DataType
+from repro.testing.faults import fault_point
+from repro.util.deadline import current_token
 from repro.util.errors import BackendError
 
 _SQL_TYPES = {
@@ -274,11 +276,29 @@ class SqliteBackend(Backend):
         # queries; the counter tracks the latter (the unit the paper's
         # combining optimizations minimize).
         self._record_queries(logical_queries)
+        fault_point("backend.execute")
+        connection = self._connection()
+        token = current_token()
+        if token is not None:
+            # Cooperative cancellation: the progress handler fires every N
+            # VM opcodes; a nonzero return interrupts the statement, which
+            # surfaces as OperationalError("interrupted") below.
+            token.check()
+            connection.set_progress_handler(
+                lambda: 1 if token.should_stop() else 0, 4000
+            )
         try:
-            cursor = self._connection().execute(sql)
+            cursor = connection.execute(sql)
+            return cursor.fetchall()
         except sqlite3.Error as exc:
+            if token is not None:
+                error = token.error()
+                if error is not None and "interrupt" in str(exc).lower():
+                    raise error from exc
             raise BackendError(f"sqlite error for SQL {sql!r}: {exc}") from exc
-        return cursor.fetchall()
+        finally:
+            if token is not None:
+                connection.set_progress_handler(None, 0)
 
     def _result_schema(self, query: AggregateQuery) -> Schema:
         return aggregate_result_schema(self._schemas[query.table], query)

@@ -33,6 +33,7 @@ if TYPE_CHECKING:
     from repro.api.progressive import PartialResult
     from repro.api.request import RecommendationRequest, ResolvedRequest
     from repro.engine.context import ExecutionContext
+    from repro.util.deadline import CancelToken
 
 
 class SeeDB:
@@ -146,8 +147,17 @@ class SeeDB:
 
     # -- execution ----------------------------------------------------------
 
-    def run_resolved(self, resolved: "ResolvedRequest") -> "ExecutionContext":
-        """Execute a resolved request through this facade's engine."""
+    def run_resolved(
+        self,
+        resolved: "ResolvedRequest",
+        cancel_token: "CancelToken | None" = None,
+    ) -> "ExecutionContext":
+        """Execute a resolved request through this facade's engine.
+
+        ``cancel_token`` carries the request-lifecycle budget; the serving
+        tier passes one measured from admission. Standalone callers get a
+        token derived from the request's ``deadline_ms``, if set.
+        """
         phases = None
         if resolved.strategy == "incremental":
             phases = self._incremental_phases(resolved)
@@ -159,10 +169,28 @@ class SeeDB:
             reference=resolved.reference,
             dimensions=resolved.dimensions,
             measures=resolved.measures,
+            cancel_token=self._lifecycle_token(resolved, cancel_token),
         )
 
+    @staticmethod
+    def _lifecycle_token(
+        resolved: "ResolvedRequest",
+        cancel_token: "CancelToken | None",
+    ) -> "CancelToken | None":
+        """The effective cancel token: caller-supplied, or built from the
+        request's own ``deadline_ms`` when running outside a service."""
+        if cancel_token is not None:
+            return cancel_token
+        if resolved.deadline_ms is None:
+            return None
+        from repro.util.deadline import CancelToken, Deadline
+
+        return CancelToken(deadline=Deadline.from_ms(resolved.deadline_ms))
+
     def iter_resolved(
-        self, resolved: "ResolvedRequest"
+        self,
+        resolved: "ResolvedRequest",
+        cancel_token: "CancelToken | None" = None,
     ) -> "Iterator[PartialResult]":
         """Progressive execution of a resolved request (generator).
 
@@ -174,7 +202,9 @@ class SeeDB:
         """
         from repro.api.progressive import PartialResult
         from repro.core.topk import top_k_views
+        from repro.util.deadline import cancel_scope
 
+        token = self._lifecycle_token(resolved, cancel_token)
         ctx = self.engine.new_context(
             resolved.query,
             resolved.config,
@@ -182,17 +212,24 @@ class SeeDB:
             reference=resolved.reference,
             dimensions=resolved.dimensions,
             measures=resolved.measures,
+            cancel_token=token,
         )
         self.engine.cache.sync()
         pre_phases, execute, post_phases = self._incremental_pipeline(resolved)
-        for phase in pre_phases:
-            with ctx.stopwatch.time(phase.name):
-                phase.run(ctx)
+        # The cancel scope is entered per work slice, not around the whole
+        # generator: between next() calls this thread runs consumer code
+        # that must not inherit the request's token.
+        with cancel_scope(token):
+            for phase in pre_phases:
+                ctx.check_cancelled()
+                with ctx.stopwatch.time(phase.name):
+                    phase.run(ctx)
 
         rounds = execute.rounds(ctx)
         while True:
             with ctx.stopwatch.time(execute.name):
-                round_state = next(rounds, None)
+                with cancel_scope(token):
+                    round_state = next(rounds, None)
             if round_state is None:
                 break
             yield PartialResult(
@@ -206,9 +243,11 @@ class SeeDB:
                 epsilon=round_state.epsilon,
             )
 
-        for phase in post_phases:
-            with ctx.stopwatch.time(phase.name):
-                phase.run(ctx)
+        with cancel_scope(token):
+            for phase in post_phases:
+                ctx.check_cancelled()
+                with ctx.stopwatch.time(phase.name):
+                    phase.run(ctx)
         result = ctx.to_result()
         trace = ctx.extras.get("incremental")
         yield PartialResult(
@@ -219,7 +258,7 @@ class SeeDB:
             views_pruned=(
                 len(trace.pruned_at_phase) if trace is not None else 0
             ),
-            epsilon=0.0,
+            epsilon=result.partial_epsilon if result.partial else 0.0,
             is_final=True,
             result=result,
         )

@@ -45,6 +45,12 @@ class RecommendationResult:
     #: The comparison row set the utilities were scored against
     #: ("table" = the paper's whole-table reference).
     reference_description: str = "table"
+    #: True when a deadline expired mid-run and the result is the best
+    #: current estimate rather than the full computation.
+    partial: bool = False
+    #: Hoeffding ε of the last completed incremental round when
+    #: ``partial`` — the confidence half-width on every utility.
+    partial_epsilon: "float | None" = None
 
     @property
     def utilities(self) -> dict[ViewSpec, float]:
@@ -85,4 +91,14 @@ class RecommendationResult:
         ]
         if self.sample_fraction is not None:
             lines.append(f"sampling: fraction={self.sample_fraction}")
+        if self.partial:
+            epsilon = (
+                f"±{self.partial_epsilon:.4f}"
+                if self.partial_epsilon is not None
+                else "unknown"
+            )
+            lines.append(
+                f"PARTIAL: deadline hit before completion; "
+                f"utilities are estimates ({epsilon})"
+            )
         return "\n".join(lines)

@@ -28,6 +28,7 @@ if TYPE_CHECKING:
     from repro.optimizer.parallel import ParallelExecutor
     from repro.optimizer.plan import ExecutionPlan
     from repro.pruning.base import PruneReport
+    from repro.util.deadline import CancelToken, Deadline
 
 
 @dataclass
@@ -57,6 +58,10 @@ class ExecutionContext:
     executor: "ParallelExecutor | None" = None
     metadata_collector: "MetadataCollector | None" = None
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    #: Request-lifecycle budget: the engine checks the token at phase
+    #: boundaries, the phased executor between rounds, and backends per
+    #: query (via the thread-local cancel scope).
+    cancel_token: "CancelToken | None" = None
 
     # -- MetadataPhase ----------------------------------------------------
     base_table: "Table | None" = None
@@ -94,6 +99,29 @@ class ExecutionContext:
     #: Phase-specific side outputs (parallel reports, incremental pruning
     #: traces, ...) keyed by a phase-chosen name.
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Set by the phased executor when a deadline expired mid-run and it
+    #: degraded to the best current answer instead of erroring.
+    partial: bool = False
+    #: Hoeffding ε of the last completed round when ``partial`` (how far
+    #: any view's utility estimate can still move).
+    partial_epsilon: "float | None" = None
+
+    @property
+    def deadline(self) -> "Deadline | None":
+        return self.cancel_token.deadline if self.cancel_token is not None else None
+
+    def check_cancelled(self) -> None:
+        """Raise the token's typed error if the budget is gone.
+
+        Once the run has degraded to a partial answer only an *explicit*
+        cancel aborts it — the remaining phases just package what exists.
+        """
+        if self.cancel_token is None:
+            return
+        if self.partial:
+            self.cancel_token.check_cancel()
+        else:
+            self.cancel_token.check()
 
     def mark_query_baseline(self) -> None:
         """Record the view-query counting baseline (first caller wins)."""
@@ -134,6 +162,8 @@ class ExecutionContext:
             sample_fraction=self.sample_fraction,
             plan_description=self.plan_description,
             reference_description=self.reference.describe(),
+            partial=self.partial,
+            partial_epsilon=self.partial_epsilon,
         )
 
 

@@ -41,6 +41,7 @@ from repro.engine.phases import Phase, default_phases
 from repro.metadata.collector import MetadataCollector
 from repro.model.reference import TABLE_REFERENCE, ResolvedReference
 from repro.optimizer.parallel import ParallelExecutor, get_shared_pool
+from repro.util.deadline import CancelToken, cancel_scope
 
 
 class ExecutionEngine:
@@ -72,6 +73,7 @@ class ExecutionEngine:
         reference: "ResolvedReference | None" = None,
         dimensions: "tuple[str, ...] | None" = None,
         measures: "tuple[str, ...] | None" = None,
+        cancel_token: "CancelToken | None" = None,
     ) -> ExecutionContext:
         """A context wired to this engine's session services."""
         return ExecutionContext(
@@ -85,16 +87,24 @@ class ExecutionEngine:
             cache=self.cache,
             executor=self.executor_for(config.n_workers),
             metadata_collector=self.metadata,
+            cancel_token=cancel_token,
         )
 
     def run(
         self, phases: Iterable[Phase], ctx: ExecutionContext
     ) -> ExecutionContext:
-        """Execute ``phases`` in order, timing each under its name."""
+        """Execute ``phases`` in order, timing each under its name.
+
+        The context's cancel token (if any) is checked at every phase
+        boundary and installed as the thread's cancel scope so backends
+        can interrupt long queries mid-phase.
+        """
         self.cache.sync()
-        for phase in phases:
-            with ctx.stopwatch.time(phase.name):
-                phase.run(ctx)
+        with cancel_scope(ctx.cancel_token):
+            for phase in phases:
+                ctx.check_cancelled()
+                with ctx.stopwatch.time(phase.name):
+                    phase.run(ctx)
         return ctx
 
     def recommend(
@@ -106,6 +116,7 @@ class ExecutionEngine:
         reference: "ResolvedReference | None" = None,
         dimensions: "tuple[str, ...] | None" = None,
         measures: "tuple[str, ...] | None" = None,
+        cancel_token: "CancelToken | None" = None,
     ) -> ExecutionContext:
         """Convenience: new context + default (or given) phases + run."""
         ctx = self.new_context(
@@ -115,6 +126,7 @@ class ExecutionEngine:
             reference=reference,
             dimensions=dimensions,
             measures=measures,
+            cancel_token=cancel_token,
         )
         return self.run(phases if phases is not None else default_phases(), ctx)
 

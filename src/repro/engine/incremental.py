@@ -36,6 +36,7 @@ from repro.metrics.normalize import canonical_key
 from repro.model.view import RawViewData, ViewSpec
 from repro.optimizer.combine import dedup_aggregates, merge_spec
 from repro.optimizer.extract import FLAG_NAME
+from repro.testing.faults import fault_point
 
 #: Metrics whose values are bounded in [0, 1], the precondition for the
 #: Hoeffding-style pruning bound.
@@ -330,7 +331,29 @@ class PhasedExecutePhase(Phase):
         alive: set[ViewSpec] = set(views)
         k = ctx.k
         indices = np.arange(table.num_rows)
+        token = ctx.cancel_token
         for phase in range(self.n_phases):
+            # Chaos seam: phased queries run on a local engine, so this is
+            # the round-granular injection point the backend-level hook
+            # cannot cover. Placed before the token check so an injected
+            # stall is *observed* by the deadline logic, like real slowness.
+            fault_point("engine.round")
+            if token is not None:
+                # Explicit cancellation always aborts; deadline expiry
+                # degrades gracefully once at least one unbiased round has
+                # been absorbed — the best current top-k ships marked
+                # partial, with the Hoeffding ε saying how far any
+                # estimate can still move.
+                token.check_cancel()
+                if token.expired():
+                    if trace.phases_executed >= 1:
+                        ctx.partial = True
+                        ctx.partial_epsilon = self.epsilon_scale * math.sqrt(
+                            math.log(2.0 / self.delta)
+                            / (2.0 * trace.phases_executed)
+                        )
+                        break
+                    token.check()
             active_dimensions = {v.dimension for v in alive}
             if not active_dimensions:
                 break

@@ -34,6 +34,7 @@ via :func:`make_server` (port 0 picks a free port — the tests do this).
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -45,7 +46,13 @@ from repro.api.wire import plain as _plain  # noqa: F401
 from repro.api.wire import result_to_json, view_to_json
 from repro.core.space import enumerate_views
 from repro.service import DEFAULT_BACKEND, SeeDBService
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, ServiceError
+
+#: Largest request body accepted before replying 413 (override per server
+#: with ``SeeDBServer(..., max_body_bytes=...)``). Recommend bodies are a
+#: few KB; anything near this bound is a bug or abuse, and reading it
+#: would let one client pin a handler thread on a multi-megabyte parse.
+MAX_BODY_BYTES = 1024 * 1024
 
 #: Config fields a legacy flat request body may override per call. A
 #: deliberate whitelist: serving knobs stay server-side, analyst knobs are
@@ -129,6 +136,11 @@ def error_body(error: Exception, code: str = "invalid_request") -> dict:
     """The structured ``error`` object for a failure response."""
     if isinstance(error, ApiError):
         return {"error": error.to_dict()}
+    if isinstance(error, ServiceError):
+        body: dict = {"code": error.code, "message": str(error)}
+        if error.retry_after is not None:
+            body["retry_after"] = error.retry_after
+        return {"error": body}
     return {"error": {"code": code, "message": str(error)}}
 
 
@@ -175,7 +187,7 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
                     },
                 )
         except ReproError as error:
-            self._reply(400, error_body(error))
+            self._reply_error(error)
         except Exception as error:  # noqa: BLE001 - keep-alive clients need
             # a response body, not a dropped connection, on internal bugs.
             self._reply(500, error_body(error, code="internal_error"))
@@ -200,7 +212,7 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
         try:
             handler(self._read_json())
         except (ReproError, TypeError) as error:
-            self._reply(400, error_body(error))
+            self._reply_error(error)
         except Exception as error:  # noqa: BLE001 - see do_GET
             self._reply(500, error_body(error, code="internal_error"))
 
@@ -279,11 +291,32 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
                 self.wfile.flush()
             except OSError:
                 pass  # client already gone; the broadcast drains regardless
+        finally:
+            # Deterministic unsubscribe: a client that disconnected
+            # mid-stream (BrokenPipeError above) must release its
+            # subscription *now*, not at GC — the last subscriber leaving
+            # is what cancels the producing execution.
+            stream.close()
 
     # -- plumbing ----------------------------------------------------------
 
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
+        limit = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise ApiError(
+                "Content-Length must be an integer", code="invalid_request"
+            ) from None
+        if length > limit:
+            # Rejected *before* reading: the oversized body never enters
+            # memory. The connection must close (the unread bytes would
+            # desync the next keep-alive request's framing).
+            raise ApiError(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit",
+                code="payload_too_large",
+            )
         raw = self.rfile.read(length) if length else b"{}"
         try:
             return json.loads(raw.decode("utf-8"))
@@ -292,11 +325,31 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
                 f"invalid JSON body: {exc}", code="invalid_request"
             ) from exc
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply_error(self, error: Exception) -> None:
+        """Map a typed failure onto its HTTP status (plus Retry-After).
+
+        The lifecycle taxonomy carries its own mapping: ``Overloaded`` →
+        429, ``Cancelled`` / ``WorkerLost`` → 503, ``DeadlineExceeded`` →
+        504. API validation failures stay 400, except the body-size
+        rejection, which is the one transport-level 413.
+        """
+        status, headers = 400, {}
+        if isinstance(error, ServiceError):
+            status = error.http_status
+            if error.retry_after is not None:
+                headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+        elif isinstance(error, ApiError) and error.code == "payload_too_large":
+            status = 413
+            self.close_connection = True
+        self._reply(status, error_body(error), headers=headers)
+
+    def _reply(self, status: int, payload: dict, headers: "dict | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -312,16 +365,25 @@ class SeeDBServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple, service: SeeDBService):
+    def __init__(
+        self,
+        address: tuple,
+        service: SeeDBService,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
         super().__init__(address, SeeDBRequestHandler)
         self.service = service
+        self.max_body_bytes = max_body_bytes
 
 
 def make_server(
-    service: SeeDBService, host: str = "127.0.0.1", port: int = 0
+    service: SeeDBService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> SeeDBServer:
     """Bind a :class:`SeeDBServer`; ``port=0`` picks a free port."""
-    return SeeDBServer((host, port), service)
+    return SeeDBServer((host, port), service, max_body_bytes=max_body_bytes)
 
 
 def serve_in_thread(service: SeeDBService, host: str = "127.0.0.1", port: int = 0):

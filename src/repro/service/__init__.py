@@ -13,6 +13,7 @@ set of warm caches.
 
 from repro.service.cluster import (
     ClusterService,
+    ClusterTimeouts,
     cluster_service_from_uri,
     single_backend_cluster,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "SeeDBService",
     "ServiceStats",
     "ClusterService",
+    "ClusterTimeouts",
     "HashRing",
     "SharedResultCache",
     "DEFAULT_BACKEND",

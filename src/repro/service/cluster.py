@@ -47,10 +47,13 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import os
+import random
 import threading
 import time
 import uuid
 from collections import OrderedDict
+from dataclasses import dataclass, fields
 from dataclasses import replace as dataclass_replace
 from multiprocessing import connection as mp_connection
 
@@ -63,7 +66,8 @@ from repro.service.hashring import HashRing
 from repro.service.service import DEFAULT_BACKEND, SeeDBService, _BackendSlot
 from repro.service.shm import SharedResultCache, decode_result, read_segment, unlink_segment
 from repro.service.worker import BackendBootstrap, decode_error, worker_main
-from repro.util.errors import ConfigError, QueryError
+from repro.util.deadline import CancelToken
+from repro.util.errors import ConfigError, DeadlineExceeded, QueryError, WorkerLost
 
 #: How many times one request may be assigned to a worker before failing
 #: (1 initial dispatch + 1 retry on a different shard).
@@ -72,6 +76,59 @@ MAX_ATTEMPTS = 2
 #: Respawns allowed per worker slot before it is declared failed and
 #: removed from the ring (a crash-looping replica must not flap forever).
 MAX_RESPAWNS = 5
+
+
+@dataclass
+class ClusterTimeouts:
+    """Every cluster-tier timeout, named and overridable in one place.
+
+    Each field can be overridden per-process with an environment variable
+    ``SEEDB_CLUSTER_<FIELD>`` (upper-cased field name, seconds as a float)
+    or per-service by passing ``timeouts=ClusterTimeouts(...)``.
+    """
+
+    #: close(): how long to wait for the router / monitor threads.
+    router_join_s: float = 10.0
+    monitor_join_s: float = 10.0
+    #: Shutdown escalation: graceful join, then terminate, then kill.
+    worker_join_s: float = 10.0
+    worker_terminate_s: float = 5.0
+    worker_kill_s: float = 5.0
+    #: Reaping a worker the monitor already declared dead.
+    dead_worker_join_s: float = 1.0
+    #: update_table() replica broadcast (ships whole tables; generous).
+    table_broadcast_s: float = 120.0
+    #: snapshot() per-worker stats gather.
+    stats_broadcast_s: float = 2.0
+    #: Extra wall-clock past a request deadline before the router stops
+    #: waiting on a worker reply (covers reply-pipe transit + decode).
+    dispatch_grace_s: float = 2.0
+    #: Base delay before re-dispatching an orphaned request to the next
+    #: ring node (jittered; bounds the retry stampede after a crash).
+    retry_backoff_s: float = 0.05
+
+    @classmethod
+    def from_env(cls, env=None) -> "ClusterTimeouts":
+        env = os.environ if env is None else env
+        overrides = {}
+        for field in fields(cls):
+            raw = env.get(f"SEEDB_CLUSTER_{field.name.upper()}")
+            if raw is None:
+                continue
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"SEEDB_CLUSTER_{field.name.upper()} must be a number "
+                    f"of seconds, got {raw!r}"
+                ) from None
+            if value <= 0:
+                raise ConfigError(
+                    f"SEEDB_CLUSTER_{field.name.upper()} must be positive, "
+                    f"got {raw!r}"
+                )
+            overrides[field.name] = value
+        return cls(**overrides)
 
 
 def key_digest(key: tuple) -> str:
@@ -90,7 +147,10 @@ def default_start_method() -> str:
 class _Dispatch:
     """One in-flight message awaiting a worker reply."""
 
-    __slots__ = ("id", "message", "digest", "worker", "attempts", "event", "reply")
+    __slots__ = (
+        "id", "message", "digest", "worker", "attempts", "event", "reply",
+        "expires_at",
+    )
 
     def __init__(self, message: dict, digest: "str | None"):
         self.id = -1
@@ -100,6 +160,9 @@ class _Dispatch:
         self.attempts = 0
         self.event = threading.Event()
         self.reply: "dict | None" = None
+        #: Monotonic instant the request's deadline lands (None = no
+        #: deadline): the retry budget the monitor consults on reassign.
+        self.expires_at: "float | None" = None
 
     def resolve(self, reply: dict) -> None:
         self.reply = reply
@@ -153,12 +216,14 @@ class ClusterService(SeeDBService):
         ring_replicas: int = 64,
         shm_prefix: "str | None" = None,
         start_method: "str | None" = None,
+        timeouts: "ClusterTimeouts | None" = None,
         **service_kwargs,
     ):
         super().__init__(**service_kwargs)
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.n_workers = workers
+        self.timeouts = timeouts or ClusterTimeouts.from_env()
         self._ctx = multiprocessing.get_context(
             start_method or default_start_method()
         )
@@ -182,6 +247,7 @@ class ClusterService(SeeDBService):
         self._monitor_thread: "threading.Thread | None" = None
         self.respawns = 0
         self.retries = 0
+        self.ejections = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -287,9 +353,9 @@ class ClusterService(SeeDBService):
         if started:
             self._shutdown_workers()
             if self._router_thread is not None:
-                self._router_thread.join(timeout=10)
+                self._router_thread.join(timeout=self.timeouts.router_join_s)
             if self._monitor_thread is not None:
-                self._monitor_thread.join(timeout=10)
+                self._monitor_thread.join(timeout=self.timeouts.monitor_join_s)
         self._fail_all_pending(QueryError("service closed"))
         # Final sweep: the LRU already unlinked indexed segments via
         # _cache_clear; this catches anything workers published that the
@@ -306,13 +372,13 @@ class ClusterService(SeeDBService):
             except (OSError, ValueError):
                 pass
         for handle in handles:
-            handle.process.join(timeout=10)
+            handle.process.join(timeout=self.timeouts.worker_join_s)
             if handle.process.is_alive():
                 handle.process.terminate()
-                handle.process.join(timeout=5)
+                handle.process.join(timeout=self.timeouts.worker_terminate_s)
             if handle.process.is_alive():  # pragma: no cover - last resort
                 handle.process.kill()
-                handle.process.join(timeout=5)
+                handle.process.join(timeout=self.timeouts.worker_kill_s)
             handle.inbox.close()
             try:
                 handle.outbox.close()
@@ -329,6 +395,7 @@ class ClusterService(SeeDBService):
         request: RecommendationRequest,
         resolved: ResolvedRequest,
         base: SeeDBConfig,
+        token: "CancelToken | None" = None,
     ) -> RecommendationResult:
         with self._cluster_lock:
             started = self._started
@@ -352,7 +419,13 @@ class ClusterService(SeeDBService):
             # an unlink-after-read on the shared name).
             "publish": bool(self.result_cache_size),
         }
-        reply = self._dispatch(message, digest)
+        if token is not None:
+            remaining_ms = token.remaining_ms()
+            if remaining_ms is not None:
+                # The worker enforces what's left of the budget, not the
+                # original deadline_ms: queue wait already consumed some.
+                message["deadline_ms"] = max(1.0, remaining_ms)
+        reply = self._dispatch(message, digest, token=token)
         if "error" in reply:
             raise decode_error(reply["error"])
         if "shm" in reply:
@@ -371,11 +444,20 @@ class ClusterService(SeeDBService):
             self._shm.put(digest, data_version, result)
         return result
 
-    def _dispatch(self, message: dict, digest: "str | None") -> dict:
+    def _dispatch(
+        self,
+        message: dict,
+        digest: "str | None",
+        token: "CancelToken | None" = None,
+    ) -> dict:
         dispatch = _Dispatch(message, digest)
+        if token is not None:
+            remaining = token.remaining()
+            if remaining is not None:
+                dispatch.expires_at = time.monotonic() + max(0.0, remaining)
         with self._cluster_lock:
             if not self._ring:
-                raise QueryError(
+                raise WorkerLost(
                     "no live workers (all worker slots failed); "
                     "restart the service"
                 )
@@ -387,8 +469,36 @@ class ClusterService(SeeDBService):
             dispatch.attempts = 1
             self._pending[dispatch.id] = dispatch
             self._handles[worker_id].inbox.put(dict(message, id=dispatch.id))
-        dispatch.event.wait()
-        assert dispatch.reply is not None
+        # A cancelled request must not keep a router thread parked waiting
+        # on a worker that is still (correctly) grinding: the token kicks
+        # the event so the waiter can bail with the typed error.
+        unregister = (
+            token.on_cancel(dispatch.event.set) if token is not None else None
+        )
+        try:
+            if dispatch.expires_at is None:
+                dispatch.event.wait()
+            else:
+                # Bounded wait: the worker enforces the deadline itself and
+                # normally replies with DeadlineExceeded; the grace covers
+                # reply transit. A worker that *hangs* (never replies) is
+                # cut off here instead of stranding the request forever.
+                dispatch.event.wait(
+                    max(0.0, dispatch.expires_at - time.monotonic())
+                    + self.timeouts.dispatch_grace_s
+                )
+        finally:
+            if unregister is not None:
+                unregister()
+        if dispatch.reply is None:
+            with self._cluster_lock:
+                self._pending.pop(dispatch.id, None)
+            if token is not None:
+                token.check()  # raises Cancelled / DeadlineExceeded
+            raise DeadlineExceeded(
+                f"worker {dispatch.worker} did not reply within the "
+                f"request deadline (+{self.timeouts.dispatch_grace_s}s grace)"
+            )
         return dispatch.reply
 
     def _broadcast(self, message: dict, timeout: float) -> "dict[str, dict | None]":
@@ -518,7 +628,10 @@ class ClusterService(SeeDBService):
             permanent = (not handle.booted) or respawns > MAX_RESPAWNS
             if permanent:
                 # A replica that cannot even boot (or crash-loops) gets its
-                # shard redistributed instead of flapping forever.
+                # shard redistributed instead of flapping forever. The
+                # ejection is permanent for this service's lifetime, so
+                # health() reports degraded from here on.
+                self.ejections += 1
                 self._ring.remove(worker_id)
                 del self._handles[worker_id]
             else:
@@ -528,7 +641,7 @@ class ClusterService(SeeDBService):
                 self._handles[worker_id] = replacement
             for dispatch in orphans:
                 self._reassign(dispatch, dead_worker=worker_id)
-        handle.process.join(timeout=1)
+        handle.process.join(timeout=self.timeouts.dead_worker_join_s)
         handle.inbox.close()
         # Retire the dead worker's reply pipe. The router tolerates this
         # racing its recv/wait (OSError/EOF land in its dead-channel
@@ -539,16 +652,39 @@ class ClusterService(SeeDBService):
             pass
 
     def _reassign(self, dispatch: _Dispatch, dead_worker: str) -> None:
-        """Retry one orphaned dispatch (caller holds the cluster lock)."""
+        """Retry one orphaned dispatch (caller holds the cluster lock).
+
+        Retries are budget-gated: a request whose deadline already landed
+        (or will land before a retry could plausibly finish) fails with
+        the typed error immediately instead of burning a worker slot on an
+        answer nobody is waiting for.
+        """
         if dispatch.attempts >= MAX_ATTEMPTS:
             self._pending.pop(dispatch.id, None)
             dispatch.resolve(
                 {
                     "error": {
-                        "type": "QueryError",
+                        "type": "WorkerLost",
                         "message": (
                             f"request failed on {dispatch.attempts} workers "
                             f"(last: {dead_worker} died mid-request)"
+                        ),
+                    }
+                }
+            )
+            return
+        if (
+            dispatch.expires_at is not None
+            and time.monotonic() >= dispatch.expires_at
+        ):
+            self._pending.pop(dispatch.id, None)
+            dispatch.resolve(
+                {
+                    "error": {
+                        "type": "DeadlineExceeded",
+                        "message": (
+                            f"worker {dead_worker} died mid-request and no "
+                            "deadline budget remains to retry"
                         ),
                     }
                 }
@@ -571,7 +707,7 @@ class ClusterService(SeeDBService):
             dispatch.resolve(
                 {
                     "error": {
-                        "type": "QueryError",
+                        "type": "WorkerLost",
                         "message": "no live workers left to retry on",
                     }
                 }
@@ -581,7 +717,33 @@ class ClusterService(SeeDBService):
         dispatch.attempts += 1
         dispatch.worker = target
         self.retries += 1
-        self._handles[target].inbox.put(dict(dispatch.message, id=dispatch.id))
+        handle = self._handles[target]
+        # Jittered backoff (seeded per dispatch, so deterministic under
+        # test): after a crash every orphan of the dead worker reassigns
+        # at once; spreading the re-sends keeps the successor's inbox from
+        # absorbing the whole burst in one scheduling quantum. Capped by
+        # the remaining deadline budget — a retry that could only start
+        # after expiry goes out immediately and lets the worker reject it.
+        jitter = random.Random(dispatch.id).random()
+        delay = self.timeouts.retry_backoff_s * dispatch.attempts * (0.5 + jitter)
+        if dispatch.expires_at is not None:
+            delay = min(delay, max(0.0, dispatch.expires_at - time.monotonic()))
+
+        def _resend() -> None:
+            with self._cluster_lock:
+                if dispatch.event.is_set() or dispatch.id not in self._pending:
+                    return
+                try:
+                    handle.inbox.put(dict(dispatch.message, id=dispatch.id))
+                except (OSError, ValueError):  # pragma: no cover - raced close
+                    pass
+
+        if delay <= 0:
+            _resend()
+        else:
+            timer = threading.Timer(delay, _resend)
+            timer.daemon = True
+            timer.start()
 
     def _fail_all_pending(self, error: Exception) -> None:
         with self._cluster_lock:
@@ -658,7 +820,7 @@ class ClusterService(SeeDBService):
                 return
             acks = self._broadcast(
                 {"op": "register_table", "backend": backend, "table": table},
-                timeout=120.0,
+                timeout=self.timeouts.table_broadcast_s,
             )
             missing = sorted(
                 worker_id for worker_id, reply in acks.items() if reply is None
@@ -693,12 +855,16 @@ class ClusterService(SeeDBService):
                 for worker_id, handle in sorted(self._handles.items())
             ]
             started = self._started
+            ejections = self.ejections
         base["workers"] = workers
+        base["ejected_workers"] = ejections
         if base["status"] == "ok" and started:
             alive = sum(1 for worker in workers if worker["alive"])
             if alive == 0:
                 base["status"] = "down"
-            elif alive < self.n_workers:
+            elif alive < self.n_workers or ejections:
+                # Ejections are permanent: even if every *remaining* slot
+                # is alive, capacity is below what was provisioned.
                 base["status"] = "degraded"
         return base
 
@@ -713,7 +879,7 @@ class ClusterService(SeeDBService):
             {
                 worker_id: (reply or {}).get("stats")
                 for worker_id, reply in self._broadcast(
-                    {"op": "stats"}, timeout=2.0
+                    {"op": "stats"}, timeout=self.timeouts.stats_broadcast_s
                 ).items()
             }
             if started
@@ -728,6 +894,7 @@ class ClusterService(SeeDBService):
             "started": started,
             "respawns": self.respawns,
             "retries": self.retries,
+            "ejections": self.ejections,
             "executed_total": executed_total,
             "worker_stats": worker_stats,
             "shm_prefix": self._shm.prefix,

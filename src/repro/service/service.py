@@ -40,7 +40,14 @@ from repro.core.recommender import SeeDB
 from repro.core.result import RecommendationResult
 from repro.db.query import RowSelectQuery
 from repro.engine.engine import ExecutionEngine
-from repro.util.errors import ConfigError, QueryError
+from repro.util.deadline import CancelToken, Deadline
+from repro.util.errors import (
+    Cancelled,
+    ConfigError,
+    DeadlineExceeded,
+    Overloaded,
+    QueryError,
+)
 
 #: Name under which a single-backend service registers its backend.
 DEFAULT_BACKEND = "default"
@@ -65,6 +72,14 @@ class ServiceStats:
     result_cache_hits: int = 0
     #: Streaming requests accepted (counted in ``requests`` too).
     streams: int = 0
+    #: Requests shed by admission control (never scheduled).
+    rejected: int = 0
+    #: Executions that failed with :class:`DeadlineExceeded`.
+    deadline_exceeded: int = 0
+    #: Executions aborted by explicit cancellation (client disconnects).
+    cancelled: int = 0
+    #: Executions that finished with a ``partial=True`` result.
+    partial_results: int = 0
 
 
 @dataclass
@@ -88,11 +103,14 @@ class _StreamBroadcast:
     exception in every subscriber.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cancel_token: "CancelToken | None" = None) -> None:
         self._cond = threading.Condition()
         self._rounds: list[PartialResult] = []
         self._done = False
         self._error: "BaseException | None" = None
+        self._cancel_token = cancel_token
+        self._subscribers = 0
+        self._ever_subscribed = False
 
     def publish(self, item: PartialResult) -> None:
         with self._cond:
@@ -106,20 +124,46 @@ class _StreamBroadcast:
             self._cond.notify_all()
 
     def subscribe(self):
-        """Yield every round from the beginning; blocks on the producer."""
+        """Yield every round from the beginning; blocks on the producer.
+
+        Teardown-aware: when the *last* subscriber disconnects mid-stream
+        (generator closed before exhaustion) the broadcast cancels the
+        producing execution — nobody is listening, so finishing the
+        remaining rounds would only burn backend time. Other subscribers
+        are untouched: the refcount only triggers at zero.
+
+        Registration is eager (here, not at the generator's first
+        ``next()``): a coalesced joiner must be counted the moment it gets
+        the broadcast, or an earlier subscriber disconnecting in the
+        window before the joiner's first read would cancel an execution
+        that still has an audience.
+        """
+        with self._cond:
+            self._subscribers += 1
+            self._ever_subscribed = True
+        return self._replay()
+
+    def _replay(self):
         index = 0
-        while True:
+        try:
+            while True:
+                with self._cond:
+                    while index >= len(self._rounds) and not self._done:
+                        self._cond.wait()
+                    if index < len(self._rounds):
+                        item = self._rounds[index]
+                        index += 1
+                    else:
+                        if self._error is not None:
+                            raise self._error
+                        return
+                yield item
+        finally:
             with self._cond:
-                while index >= len(self._rounds) and not self._done:
-                    self._cond.wait()
-                if index < len(self._rounds):
-                    item = self._rounds[index]
-                    index += 1
-                else:
-                    if self._error is not None:
-                        raise self._error
-                    return
-            yield item
+                self._subscribers -= 1
+                abandoned = self._subscribers == 0 and not self._done
+            if abandoned and self._cancel_token is not None:
+                self._cancel_token.cancel("every stream subscriber disconnected")
 
 
 class SeeDBService:
@@ -131,6 +175,15 @@ class SeeDBService:
     concurrent requests back into independent executions (the equivalence
     tests exercise both). ``result_cache_size=0`` disables the finished
     result LRU.
+
+    Admission control: ``max_queue_depth`` bounds how many admitted
+    executions may *wait* behind the ``max_workers`` running ones — when
+    the bound is hit new work is shed with :class:`Overloaded` (HTTP 429
+    + ``Retry-After``) instead of growing an unbounded backlog.
+    ``backend_inflight_limit`` additionally caps concurrent executions per
+    backend, so one slow backend cannot monopolize the pool. Both default
+    to ``None`` (unbounded, the pre-hardening behavior). Cache hits and
+    coalesced joiners are never shed — they cost no execution slot.
     """
 
     def __init__(
@@ -138,6 +191,8 @@ class SeeDBService:
         max_workers: int = 8,
         coalesce_requests: bool = True,
         result_cache_size: int = 256,
+        max_queue_depth: "int | None" = None,
+        backend_inflight_limit: "int | None" = None,
     ):
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -145,15 +200,28 @@ class SeeDBService:
             raise ConfigError(
                 f"result_cache_size must be >= 0, got {result_cache_size}"
             )
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ConfigError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if backend_inflight_limit is not None and backend_inflight_limit < 1:
+            raise ConfigError(
+                f"backend_inflight_limit must be >= 1, got {backend_inflight_limit}"
+            )
         self.max_workers = max_workers
         self.coalesce_requests = coalesce_requests
         self.result_cache_size = result_cache_size
+        self.max_queue_depth = max_queue_depth
+        self.backend_inflight_limit = backend_inflight_limit
         self.stats = ServiceStats()
         self._lock = threading.RLock()
         self._slots: dict[str, _BackendSlot] = {}
         self._in_flight: dict[tuple, Future] = {}
         self._in_flight_streams: "dict[tuple, _StreamBroadcast]" = {}
         self._results: "OrderedDict[tuple, RecommendationResult]" = OrderedDict()
+        #: Executions admitted and not yet finished (queued + running).
+        self._executing = 0
+        self._backend_executing: dict[str, int] = {}
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="seedb-service"
         )
@@ -231,6 +299,69 @@ class SeeDBService:
         with self._lock:
             return self._require_slot(name)
 
+    # -- admission control -------------------------------------------------
+
+    def _admit_execution(self, backend_name: str) -> None:
+        """Load-shedding gate for one new execution (caller holds the lock).
+
+        Raises :class:`Overloaded` when the admission queue or the
+        backend's in-flight cap is full; otherwise claims a slot (paired
+        with :meth:`_release_execution`).
+        """
+        if (
+            self.max_queue_depth is not None
+            and self._executing >= self.max_workers + self.max_queue_depth
+        ):
+            self.stats.rejected += 1
+            raise Overloaded(
+                f"admission queue full ({self._executing} executions in flight, "
+                f"{self.max_workers} workers + {self.max_queue_depth} queue slots)",
+                retry_after=self._retry_after(),
+            )
+        limit = self.backend_inflight_limit
+        if (
+            limit is not None
+            and self._backend_executing.get(backend_name, 0) >= limit
+        ):
+            self.stats.rejected += 1
+            raise Overloaded(
+                f"backend {backend_name!r} is at its in-flight cap ({limit})",
+                retry_after=self._retry_after(),
+            )
+        self._executing += 1
+        self._backend_executing[backend_name] = (
+            self._backend_executing.get(backend_name, 0) + 1
+        )
+
+    def _retry_after(self) -> float:
+        """Crude drain estimate: half a second per queued execution per
+        worker, floored at 100 ms — a hint, not a promise."""
+        queued = max(0, self._executing - self.max_workers)
+        return max(0.1, round(0.5 * (queued + 1) / self.max_workers, 2))
+
+    def _release_execution(self, backend_name: str) -> None:
+        """Return an admission slot (caller holds the lock)."""
+        self._executing = max(0, self._executing - 1)
+        remaining = self._backend_executing.get(backend_name, 0) - 1
+        if remaining <= 0:
+            self._backend_executing.pop(backend_name, None)
+        else:
+            self._backend_executing[backend_name] = remaining
+
+    def _classify_failure(self, exc: BaseException) -> None:
+        """Per-taxonomy failure counters (caller holds the lock)."""
+        if isinstance(exc, DeadlineExceeded):
+            self.stats.deadline_exceeded += 1
+        elif isinstance(exc, Cancelled):
+            self.stats.cancelled += 1
+
+    @staticmethod
+    def _lifecycle_token(resolved: ResolvedRequest) -> CancelToken:
+        """The request's cancel token, deadline measured from *admission*
+        — queue wait burns budget, exactly like the paper's interactive
+        latency bound intends."""
+        return CancelToken(deadline=Deadline.from_ms(resolved.deadline_ms))
+
     # -- serving -----------------------------------------------------------
 
     def submit(
@@ -273,6 +404,8 @@ class SeeDBService:
                     self.stats.coalesced += 1
                     return in_flight
 
+            self._admit_execution(backend_name)
+            token = self._lifecycle_token(resolved)
             future = Future()
             # With coalescing off an identical key may already be in
             # flight; keep the first occupant — the map only needs *a*
@@ -282,7 +415,15 @@ class SeeDBService:
             self.stats.executions += 1
         try:
             self._pool.submit(
-                self._execute, key, backend_name, slot, request, resolved, base, future
+                self._execute,
+                key,
+                backend_name,
+                slot,
+                request,
+                resolved,
+                base,
+                future,
+                token,
             )
         except RuntimeError as exc:
             # close() shut the pool down between our lock release and the
@@ -292,6 +433,7 @@ class SeeDBService:
                 if self._in_flight.get(key) is future:
                     del self._in_flight[key]
                 self.stats.failed += 1
+                self._release_execution(backend_name)
             future.set_exception(
                 QueryError(f"service closed while scheduling request: {exc}")
             )
@@ -366,16 +508,27 @@ class SeeDBService:
                 if in_flight is not None:
                     self.stats.coalesced += 1
                     return in_flight
-            broadcast = _StreamBroadcast()
+            self._admit_execution(backend_name)
+            token = self._lifecycle_token(resolved)
+            broadcast = _StreamBroadcast(cancel_token=token)
             self._in_flight_streams.setdefault(key, broadcast)
             self.stats.executions += 1
         try:
-            self._pool.submit(self._execute_stream, key, slot, resolved, broadcast)
+            self._pool.submit(
+                self._execute_stream,
+                key,
+                backend_name,
+                slot,
+                resolved,
+                broadcast,
+                token,
+            )
         except RuntimeError as exc:
             with self._lock:
                 if self._in_flight_streams.get(key) is broadcast:
                     del self._in_flight_streams[key]
                 self.stats.failed += 1
+                self._release_execution(backend_name)
             broadcast.finish(
                 QueryError(f"service closed while scheduling request: {exc}")
             )
@@ -384,24 +537,34 @@ class SeeDBService:
     def _execute_stream(
         self,
         key: tuple,
+        backend_name: str,
         slot: _BackendSlot,
         resolved: ResolvedRequest,
         broadcast: _StreamBroadcast,
+        token: CancelToken,
     ) -> None:
+        final_result = None
         try:
-            for partial in slot.facade.iter_resolved(resolved):
+            for partial in slot.facade.iter_resolved(resolved, cancel_token=token):
                 broadcast.publish(partial)
+                if partial.is_final:
+                    final_result = partial.result
         except BaseException as exc:  # noqa: BLE001 - delivered to subscribers
             with self._lock:
                 if self._in_flight_streams.get(key) is broadcast:
                     del self._in_flight_streams[key]
                 self.stats.failed += 1
+                self._classify_failure(exc)
+                self._release_execution(backend_name)
             broadcast.finish(exc)
             return
         with self._lock:
             if self._in_flight_streams.get(key) is broadcast:
                 del self._in_flight_streams[key]
             self.stats.completed += 1
+            if final_result is not None and final_result.partial:
+                self.stats.partial_results += 1
+            self._release_execution(backend_name)
         broadcast.finish()
 
     def _canonicalize(
@@ -493,23 +656,33 @@ class SeeDBService:
         resolved: ResolvedRequest,
         base: SeeDBConfig,
         future: "Future[RecommendationResult]",
+        token: "CancelToken | None" = None,
     ) -> None:
         try:
             result = self._run_execution(
-                key, backend_name, slot, request, resolved, base
+                key, backend_name, slot, request, resolved, base, token
             )
         except BaseException as exc:  # noqa: BLE001 - delivered to waiters
             with self._lock:
                 if self._in_flight.get(key) is future:
                     del self._in_flight[key]
                 self.stats.failed += 1
+                self._classify_failure(exc)
+                self._release_execution(backend_name)
             future.set_exception(exc)
             return
         with self._lock:
             if self._in_flight.get(key) is future:
                 del self._in_flight[key]
             self.stats.completed += 1
-            self._cache_put(key, result)
+            if result.partial:
+                self.stats.partial_results += 1
+            self._release_execution(backend_name)
+            # Partial results are deadline accidents, not the request's
+            # true answer — caching one would serve a degraded result to
+            # a future caller with a fresh budget.
+            if not result.partial:
+                self._cache_put(key, result)
         future.set_result(result)
 
     def _run_execution(
@@ -520,15 +693,17 @@ class SeeDBService:
         request: RecommendationRequest,
         resolved: ResolvedRequest,
         base: SeeDBConfig,
+        token: "CancelToken | None" = None,
     ) -> RecommendationResult:
         """Run one deduplicated request to completion; the dispatch seam.
 
         The base service executes in-process on the slot's facade. The
         cluster tier overrides this to ship ``request`` (re-resolved
         against ``base`` on the other side) to the worker owning ``key``'s
-        shard. Runs on a request-pool thread, without the service lock.
+        shard, forwarding the remaining deadline budget. Runs on a
+        request-pool thread, without the service lock.
         """
-        return slot.facade.run_resolved(resolved).to_result()
+        return slot.facade.run_resolved(resolved, cancel_token=token).to_result()
 
     # -- finished-result cache ---------------------------------------------
 
@@ -588,10 +763,17 @@ class SeeDBService:
                 "coalesced": self.stats.coalesced,
                 "result_cache_hits": self.stats.result_cache_hits,
                 "streams": self.stats.streams,
+                "rejected": self.stats.rejected,
+                "deadline_exceeded": self.stats.deadline_exceeded,
+                "cancelled": self.stats.cancelled,
+                "partial_results": self.stats.partial_results,
                 "in_flight": len(self._in_flight) + len(self._in_flight_streams),
+                "executing": self._executing,
                 "result_cache_entries": len(self._results),
                 "coalescing_enabled": self.coalesce_requests,
                 "max_workers": self.max_workers,
+                "max_queue_depth": self.max_queue_depth,
+                "backend_inflight_limit": self.backend_inflight_limit,
                 "backends": backends,
             }
 

@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.result import RecommendationResult
 from repro.core.view import ViewSpec
 from repro.pruning.base import PruneReport
+from repro.testing.faults import fault_point
 from repro.util.errors import ConfigError
 from repro.util.timing import Stopwatch
 
@@ -249,6 +250,8 @@ def encode_result(
             "sample_fraction": result.sample_fraction,
             "plan_description": result.plan_description,
             "reference_description": result.reference_description,
+            "partial": result.partial,
+            "partial_epsilon": result.partial_epsilon,
         },
         "arrays": arrays.entries,
     }
@@ -328,6 +331,9 @@ def decode_result(buf) -> tuple[str, int, RecommendationResult]:
         sample_fraction=payload["sample_fraction"],
         plan_description=payload["plan_description"],
         reference_description=payload["reference_description"],
+        # .get: tolerate blobs written by a pre-lifecycle encoder.
+        partial=payload.get("partial", False),
+        partial_epsilon=payload.get("partial_epsilon"),
     )
     return header["digest"], header["data_version"], result
 
@@ -440,6 +446,12 @@ class SharedResultCache:
             # Magic goes in last so a reader attaching mid-write (or after
             # a writer crash) sees an invalid segment, never a torn result.
             segment.buf[8:len(payload)] = payload[8:]
+            if "tear" in fault_point("shm.put"):
+                # Chaos hook: simulate a writer dying between the body and
+                # the magic — the segment stays magic-less, exactly what a
+                # reader must treat as invisible.
+                self.put_failures += 1
+                return None
             segment.buf[0:8] = payload[0:8]
             self.puts += 1
             return name

@@ -46,6 +46,8 @@ from repro.core.config import SeeDBConfig
 from repro.core.recommender import SeeDB
 from repro.db.table import Table
 from repro.service.shm import SharedResultCache, encode_result
+from repro.testing.faults import fault_point
+from repro.util.deadline import CancelToken, Deadline
 from repro.util.errors import QueryError
 
 
@@ -145,7 +147,17 @@ def _handle_request(message: dict, slots: _WorkerSlots, cache: SharedResultCache
             code="unknown_backend",
             field="backend",
         )
-    result = facade.run_resolved(resolved).to_result()
+    # The router ships the *remaining* deadline budget (queue wait and
+    # transit already spent some); the worker enforces it exactly like the
+    # in-process tier — cooperative checks at phase and query boundaries,
+    # surfacing DeadlineExceeded through the error reply.
+    deadline_ms = message.get("deadline_ms")
+    token = (
+        CancelToken(deadline=Deadline.from_ms(deadline_ms))
+        if deadline_ms is not None
+        else None
+    )
+    result = facade.run_resolved(resolved, cancel_token=token).to_result()
     digest, version = message["digest"], message["data_version"]
     if message.get("publish", True):
         name = cache.put(digest, version, result)
@@ -214,6 +226,10 @@ def worker_main(
             }
             try:
                 if op == "request":
+                    # Chaos hook: lets the fault harness stall or kill the
+                    # worker between dequeue and execution (the window the
+                    # monitor's reassign logic exists for).
+                    fault_point("worker.request")
                     reply.update(_handle_request(message, slots, cache))
                     counters["executed"] += 1
                 elif op == "register_table":

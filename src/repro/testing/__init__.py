@@ -1,0 +1,22 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection layer the chaos suite
+drives; production code calls its (near-no-op) hooks at the seams where
+real systems fail.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    fault_point,
+    install_injector,
+    uninstall_injector,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "fault_point",
+    "install_injector",
+    "uninstall_injector",
+]

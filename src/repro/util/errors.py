@@ -47,3 +47,49 @@ class PruningError(ReproError):
 
 class SamplingError(ReproError):
     """A sampler was configured with an invalid rate or size."""
+
+
+class ServiceError(ReproError):
+    """Base class for request-lifecycle failures in the serving tier.
+
+    Each subclass carries a stable machine-readable ``code`` and the HTTP
+    status the frontend maps it to. Instances survive the cluster reply
+    pipes: workers encode ``type(exc).__name__`` and the router's
+    ``decode_error`` re-resolves the class by name from this module.
+    """
+
+    code = "service_error"
+    http_status = 500
+    retry_after: "float | None" = None
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's ``deadline_ms`` budget expired before completion."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
+class Overloaded(ServiceError):
+    """Admission control shed the request; retry after ``retry_after``."""
+
+    code = "overloaded"
+    http_status = 429
+
+    def __init__(self, message: str = "service overloaded", retry_after: "float | None" = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Cancelled(ServiceError):
+    """The request was cancelled (client disconnect or explicit cancel)."""
+
+    code = "cancelled"
+    http_status = 503
+
+
+class WorkerLost(ServiceError):
+    """Every dispatch attempt for the request died with its worker."""
+
+    code = "worker_lost"
+    http_status = 503

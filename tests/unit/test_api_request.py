@@ -228,8 +228,14 @@ class TestWireCodec:
     def test_wrong_schema_version(self):
         with expect_api_error("schema_version", "schema_version"):
             RecommendationRequest.from_dict(
-                {"schema_version": 2, "target": {"table": "t"}}
+                {"schema_version": 99, "target": {"table": "t"}}
             )
+
+    def test_schema_version_1_still_accepted(self):
+        decoded = RecommendationRequest.from_dict(
+            {"schema_version": 1, "target": {"table": "t"}}
+        )
+        assert decoded.target.table == "t"
 
     def test_missing_target(self):
         with expect_api_error("missing_field", "target"):

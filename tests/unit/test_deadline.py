@@ -1,0 +1,156 @@
+"""Unit tests: Deadline / CancelToken / cancel-scope primitives."""
+
+import threading
+
+import pytest
+
+from repro.util.deadline import (
+    CancelToken,
+    Deadline,
+    cancel_scope,
+    check_current,
+    current_token,
+)
+from repro.util.errors import Cancelled, ConfigError, DeadlineExceeded
+
+
+class TestDeadline:
+    def test_after_counts_down(self):
+        deadline = Deadline.after(10.0)
+        assert 0.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired()
+
+    def test_past_deadline_is_expired(self):
+        deadline = Deadline.after(-0.001)
+        assert deadline.expired()
+        assert deadline.remaining() <= 0.0
+
+    def test_from_ms(self):
+        assert Deadline.from_ms(None) is None
+        deadline = Deadline.from_ms(1500)
+        assert deadline is not None
+        assert 1.0 < deadline.remaining() <= 1.5
+        assert 1000.0 < deadline.remaining_ms() <= 1500.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_from_ms_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError, match="deadline_ms must be positive"):
+            Deadline.from_ms(bad)
+
+
+class TestCancelToken:
+    def test_fresh_token_is_clean(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert not token.expired()
+        assert not token.should_stop()
+        assert token.error() is None
+        token.check()  # no raise
+        assert token.remaining() is None
+        assert token.remaining_ms() is None
+
+    def test_explicit_cancel_raises_cancelled(self):
+        token = CancelToken()
+        token.cancel("client went away")
+        assert token.cancelled and token.should_stop()
+        with pytest.raises(Cancelled, match="client went away"):
+            token.check()
+        with pytest.raises(Cancelled):
+            token.check_cancel()
+
+    def test_expired_deadline_raises_deadline_exceeded(self):
+        token = CancelToken(deadline=Deadline.after(-0.001))
+        assert token.expired() and token.should_stop()
+        assert not token.cancelled  # expiry is not an explicit cancel
+        with pytest.raises(DeadlineExceeded):
+            token.check()
+        token.check_cancel()  # deadline-only stop lets partial work finish
+
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        with pytest.raises(Cancelled, match="first"):
+            token.check()
+
+    def test_on_cancel_callback_runs_exactly_once(self):
+        token = CancelToken()
+        fired = []
+        token.on_cancel(lambda: fired.append(1))
+        token.cancel()
+        token.cancel()
+        assert fired == [1]
+
+    def test_on_cancel_after_cancel_fires_immediately(self):
+        token = CancelToken()
+        token.cancel()
+        fired = []
+        token.on_cancel(lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_unregister_prevents_callback(self):
+        token = CancelToken()
+        fired = []
+        unregister = token.on_cancel(lambda: fired.append(1))
+        unregister()
+        token.cancel()
+        assert fired == []
+
+    def test_callback_exception_does_not_block_cancel(self):
+        token = CancelToken()
+        fired = []
+
+        def boom():
+            raise RuntimeError("callback bug")
+
+        token.on_cancel(boom)
+        token.on_cancel(lambda: fired.append(1))
+        token.cancel()
+        assert token.cancelled and fired == [1]
+
+    def test_cancel_from_another_thread_observed(self):
+        token = CancelToken()
+        thread = threading.Thread(target=token.cancel)
+        thread.start()
+        thread.join(timeout=10)
+        assert token.should_stop()
+
+
+class TestCancelScope:
+    def test_scope_installs_and_restores(self):
+        token = CancelToken()
+        assert current_token() is None
+        with cancel_scope(token):
+            assert current_token() is token
+        assert current_token() is None
+
+    def test_none_scope_is_a_noop(self):
+        outer = CancelToken()
+        with cancel_scope(outer):
+            with cancel_scope(None):
+                assert current_token() is outer
+            assert current_token() is outer
+
+    def test_scopes_nest(self):
+        outer, inner = CancelToken(), CancelToken()
+        with cancel_scope(outer):
+            with cancel_scope(inner):
+                assert current_token() is inner
+            assert current_token() is outer
+
+    def test_scope_is_thread_local(self):
+        token = CancelToken()
+        seen = []
+        with cancel_scope(token):
+            thread = threading.Thread(target=lambda: seen.append(current_token()))
+            thread.start()
+            thread.join(timeout=10)
+        assert seen == [None]
+
+    def test_check_current_raises_through_scope(self):
+        token = CancelToken()
+        token.cancel()
+        check_current()  # no scope installed: no-op
+        with cancel_scope(token):
+            with pytest.raises(Cancelled):
+                check_current()

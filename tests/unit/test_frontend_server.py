@@ -188,6 +188,36 @@ class TestErrors:
         assert error["code"] == "invalid_value"
         assert error["field"] == "options"
 
+    def test_recommend_oversized_body_413(self, memory_backend):
+        """A Content-Length past the cap is shed before the body is read:
+        structured 413, nothing admitted to the service."""
+        from repro.frontend.server import make_server
+        import threading
+
+        service = single_backend_service(memory_backend, SeeDBConfig(k=3))
+        server = make_server(service, max_body_bytes=64)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            error = self.expect_error(
+                lambda: post(
+                    base,
+                    "/recommend",
+                    {"sql": "SELECT * FROM sales", "pad": "x" * 256},
+                ),
+                413,
+            )
+            assert error["code"] == "payload_too_large"
+            assert "64" in error["message"]
+            assert service.stats.requests == 0
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+            service.close()
+
     def test_recommend_bad_sql_400(self, served):
         _, base = served
         error = self.expect_error(
@@ -298,3 +328,123 @@ class TestSerialization:
         decoded = json.loads(json.dumps(payload))
         assert decoded["table"] == "sales"
         assert len(decoded["recommendations"]) == result.k
+
+
+class TestStreamTeardown:
+    """Client disconnects mid-NDJSON-stream must tear down cleanly: the
+    handler's ``finally`` closes its subscription, a lone subscriber's
+    departure cancels the execution, and a sibling subscriber coalesced
+    onto the same stream is never poisoned by someone else's exit."""
+
+    PAYLOAD = {
+        "sql": "SELECT * FROM sales WHERE product = 'Laserwave'",
+        "k": 2,
+        "options": {"n_phases": 4},
+    }
+
+    @pytest.fixture(autouse=True)
+    def slow_rounds(self):
+        """Stall every incremental round after the first, so round one
+        streams immediately and the disconnect lands mid-execution."""
+        from repro.testing.faults import (
+            FaultInjector,
+            FaultSpec,
+            install_injector,
+            uninstall_injector,
+        )
+
+        install_injector(
+            FaultInjector(
+                [FaultSpec("engine.round", "stall", delay_s=0.2, after=1)]
+            )
+        )
+        yield
+        uninstall_injector()
+
+    def open_stream(self, base: str):
+        import http.client
+        from urllib.parse import urlparse
+
+        parsed = urlparse(base)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=30
+        )
+        conn.request(
+            "POST",
+            "/recommend/stream",
+            body=json.dumps(self.PAYLOAD),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        return conn, response
+
+    def abort(self, conn, response):
+        """Tear the TCP connection down hard, like a vanished client.
+
+        ``conn.close()`` alone is not enough: the response object holds a
+        dup of the socket fd (``makefile``), so the connection would stay
+        open until GC and the server's writes would keep succeeding.
+        """
+        import socket
+
+        # With ``Connection: close`` responses the connection object has
+        # already detached its socket; the live one sits under the
+        # response's buffered reader.
+        sock = conn.sock or getattr(response.fp.raw, "_sock", None)
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        response.close()
+        conn.close()
+
+    def drain(self, service, timeout=15.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if service.in_flight == 0:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def test_disconnect_cancels_lone_stream_without_poisoning(self, served):
+        service, base = served
+        conn, response = self.open_stream(base)
+        first = json.loads(response.readline())
+        assert first["round"] == 1
+        self.abort(conn, response)  # abrupt exit: the server hits EPIPE
+        assert self.drain(service), "execution leaked after client disconnect"
+        assert service.stats.cancelled == 1
+        assert service.stats.completed == 0
+        # The service is not poisoned: the same request, asked again by a
+        # patient client, streams to the final round.
+        lines = TestStreaming().post_stream(base, self.PAYLOAD)
+        assert lines[-1]["is_final"]
+        assert service.stats.completed == 1
+
+    def test_sibling_subscriber_survives_http_disconnect(self, served):
+        service, base = served
+        leaver_conn, leaver_response = self.open_stream(base)
+        assert json.loads(leaver_response.readline())["round"] == 1
+        stayer_conn, stayer_response = self.open_stream(base)
+        assert service.stats.coalesced == 1  # one shared execution
+        self.abort(leaver_conn, leaver_response)
+        try:
+            lines = [
+                json.loads(line)
+                for line in stayer_response
+                if line.strip()
+            ]
+        finally:
+            stayer_conn.close()
+        assert lines[-1]["is_final"]
+        assert lines[-1]["result"] is not None
+        assert [line["round"] for line in lines[:-1]] == list(
+            range(1, len(lines))
+        )
+        assert self.drain(service)
+        assert service.stats.cancelled == 0
+        assert service.stats.completed == 1

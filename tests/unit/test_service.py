@@ -98,10 +98,10 @@ class TestCoalescing:
         calls = []
         inner = facade.run_resolved
 
-        def slow_run_resolved(resolved):
+        def slow_run_resolved(resolved, **kwargs):
             calls.append(resolved)
             release.wait(timeout=10)
-            return inner(resolved)
+            return inner(resolved, **kwargs)
 
         # The service executes through the facade's resolved-request entry
         # point; stalling it holds the first request in flight.
