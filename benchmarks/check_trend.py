@@ -44,6 +44,7 @@ RATIO_COLUMNS = (
     "process_scaling_ratio",
     "speedup_vs_serial",
     "speedup_to_first",
+    "planner_vs_static_ratio",
     "work_saved",
     "topk_precision",
     "first_round_topk_precision",
@@ -61,6 +62,7 @@ PORTABLE_FLOORS = {
     "process_scaling_ratio": 2.5,  # bench_serving workers-axis bar (≥4 cores)
     "speedup_vs_serial": 2.0,  # bench_serving acceptance bar
     "speedup_to_first": 2.0,   # bench_progressive time-to-first bar
+    "planner_vs_static_ratio": 1.0,  # bench_planner adversarial-workload bar
     "deadline_hit_rate": 0.9,  # bench_serving deadline axis (generous row)
 }
 

@@ -57,6 +57,7 @@ def result_to_json(result: RecommendationResult) -> dict:
         "n_executed_views": result.n_executed_views,
         "n_queries": result.n_queries,
         "sample_fraction": result.sample_fraction,
+        "plan_decision": result.plan_decision,
         "phase_seconds": {
             name: round(seconds, 6)
             for name, seconds in result.stopwatch.phases.items()

@@ -29,6 +29,7 @@ from repro.backends.base import (
     Backend,
     BackendCapabilities,
     aggregate_result_schema,
+    profile_from_pushed_rows,
     rows_to_table,
 )
 from repro.backends.sqlgen import (
@@ -36,10 +37,12 @@ from repro.backends.sqlgen import (
     render_aggregate_query,
     render_grouping_sets_native,
     render_grouping_sets_union,
+    render_profile_queries,
     render_row_select,
     split_grouping_rows,
     union_key_positions,
 )
+from repro.metadata.calibration import calibration_sidecar_path
 from repro.db.query import (
     AggregateQuery,
     GroupingSetsQuery,
@@ -90,6 +93,7 @@ class DuckDbBackend(Backend):
         native_var_std=True,
         native_sampling=True,
         zero_copy_extract=True,
+        stats_pushdown=True,
         threading_model="connection-per-thread",
     )
 
@@ -337,7 +341,28 @@ class DuckDbBackend(Backend):
             self._schemas[sample_name] = self._schemas[source]
         return sample_name
 
+    def collect_statistics_pushdown(
+        self, table_name: str, attributes: "tuple[str, ...] | None" = None
+    ):
+        """The two-statement aggregate statistics pass, fully in DuckDB."""
+        self._require_table(table_name)
+        names = self._resolve_profile_attributes(table_name, attributes)
+        summary_sql, skew_sql = render_profile_queries(table_name, names)
+        summary_row = self._metadata_rows(summary_sql)[0]
+        skew_rows = self._metadata_rows(skew_sql) if skew_sql is not None else []
+        return profile_from_pushed_rows(table_name, names, summary_row, skew_rows)
+
+    @property
+    def calibration_path(self) -> "str | None":
+        """Sidecar location for persisted calibration (file-backed only)."""
+        return calibration_sidecar_path(self._path)
+
     # -- internals --------------------------------------------------------------------
+
+    def _metadata_rows(self, sql: str) -> list[tuple]:
+        """Run one counted *metadata* statement (statistics collection)."""
+        self._record_metadata_queries(1)
+        return self._sql(self._connection(), sql).fetchall()
 
     def _sql(self, connection, sql: str):
         """Execute uncounted maintenance SQL (DDL, loads, counts)."""

@@ -114,6 +114,7 @@ class MemoryBackend(Backend):
 
     def reset_counters(self) -> None:
         self.engine.stats.reset()
+        super().reset_counters()  # the base metadata-query counter
 
     def __repr__(self) -> str:
         return f"MemoryBackend(tables={len(self.catalog)})"

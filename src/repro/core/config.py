@@ -66,6 +66,12 @@ class SeeDBConfig:
     memory_budget_cells: int = 100_000
     max_dims_per_query: int = 8
     binpack_exact_threshold: int = 12
+    #: Resolve ``groupby_combining=AUTO`` by estimated cost (backend-pushed
+    #: table statistics + calibrated per-backend coefficients) instead of
+    #: the static capability branch. Every candidate plan is equivalence-
+    #: preserving, so this only changes *how* views execute, never the
+    #: recommendations. False reverts to the declaration-only choice.
+    cost_based_planning: bool = True
 
     # -- sampling (§3.3) ----------------------------------------------------
     #: None disables sampling; otherwise run view queries on a materialized
@@ -74,9 +80,20 @@ class SeeDBConfig:
     sample_seed: int = 7
     #: Tables smaller than this run exact even when sampling is enabled.
     min_rows_for_sampling: int = 10_000
+    #: Opt-in adaptive sampling: when set (and ``sample_fraction`` is not),
+    #: the planner picks the smallest candidate fraction whose sampled size
+    #: keeps the Hoeffding ε within this budget. None keeps execution exact
+    #: unless ``sample_fraction`` forces otherwise — sampling changes
+    #: utilities, so it is never chosen silently.
+    auto_sample_epsilon: "float | None" = None
 
     # -- parallelism (§3.3) ----------------------------------------------------
     n_workers: int = 1
+    #: Opt-in calibrated parallelism: let the cost-based planner *lower*
+    #: the effective worker count (down to sequential) when the predicted
+    #: per-step work cannot amortize worker dispatch overhead. Off by
+    #: default — ``n_workers`` alone stays authoritative.
+    auto_parallelism: bool = False
 
     # -- metadata ---------------------------------------------------------------
     #: Row cap when materializing a table for metadata collection.
@@ -90,6 +107,10 @@ class SeeDBConfig:
         if self.sample_fraction is not None and not (0.0 < self.sample_fraction <= 1.0):
             raise ConfigError(
                 f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if self.auto_sample_epsilon is not None and self.auto_sample_epsilon <= 0:
+            raise ConfigError(
+                f"auto_sample_epsilon must be > 0, got {self.auto_sample_epsilon}"
             )
         if self.n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {self.n_workers}")
@@ -149,6 +170,7 @@ BASIC_FRAMEWORK = SeeDBConfig(
     combine_target_comparison=False,
     combine_aggregates=False,
     groupby_combining=GroupByCombining.NONE,
+    cost_based_planning=False,
     sample_fraction=None,
     n_workers=1,
 )

@@ -28,6 +28,7 @@ from repro.engine.multiview import (
     MultiViewPrunePhase,
 )
 from repro.engine.phases import (
+    CostBasedPlanner,
     EnumeratePhase,
     ExecutePhase,
     MetadataPhase,
@@ -54,6 +55,7 @@ __all__ = [
     "PrunePhase",
     "SamplePhase",
     "PlanPhase",
+    "CostBasedPlanner",
     "ExecutePhase",
     "ScorePhase",
     "SelectPhase",

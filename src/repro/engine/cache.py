@@ -28,9 +28,11 @@ import threading
 import weakref
 from dataclasses import dataclass, field
 
-from repro.backends.base import Backend, materialize_sample
+from repro.backends.base import Backend, collect_statistics, materialize_sample
 from repro.db.table import Table
+from repro.metadata.calibration import CalibrationStore
 from repro.metadata.collector import MetadataCollector, TableMetadata
+from repro.metadata.stats import TableProfile
 
 #: Suffix of cache-owned sampled execution tables.
 SAMPLE_SUFFIX = "__seedb_sample"
@@ -91,6 +93,15 @@ class SessionCache:
         self._metadata: dict[tuple, TableMetadata] = {}  # (name, max_rows)
         self._row_counts: dict[str, int] = {}
         self._samples: dict[str, _SampleEntry] = {}  # source -> entry
+        self._profiles: dict[str, TableProfile] = {}
+        #: Cost-model calibration — deliberately *not* keyed on
+        #: ``data_version`` and never evicted by :meth:`invalidate`:
+        #: per-unit costs describe the machine and backend, not the data.
+        #: Shared through :class:`EngineCache`, so every engine, service
+        #: worker, and cluster replica on one backend learns from all runs.
+        self.calibration = CalibrationStore(
+            path=getattr(backend, "calibration_path", None)
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -117,6 +128,7 @@ class SessionCache:
             self._tables.clear()
             self._metadata.clear()
             self._row_counts.clear()
+            self._profiles.clear()
             self.stats.invalidations += 1
 
     def drop_samples(self) -> None:
@@ -214,6 +226,22 @@ class SessionCache:
             else:
                 self.stats.hits += 1
             return self._row_counts[table]
+
+    def profile(self, table: str) -> TableProfile:
+        """The table's planner profile, collected once per data version.
+
+        Capability-dispatched (:func:`collect_statistics`): pushed
+        aggregate SQL or the client-side fallback, per the backend's
+        declaration. Collection never bumps ``data_version``, so the
+        entry survives until genuine data changes evict it via ``sync``.
+        """
+        with self._lock:
+            if table not in self._profiles:
+                self.stats.misses += 1
+                self._profiles[table] = collect_statistics(self.backend, table)
+            else:
+                self.stats.hits += 1
+            return self._profiles[table]
 
     def sample(self, source: str, fraction: float, seed: int) -> str:
         """Name of a materialized sample of ``source``, creating on miss.

@@ -25,6 +25,7 @@ if TYPE_CHECKING:
     from repro.engine.cache import SessionCache
     from repro.metadata.collector import MetadataCollector, TableMetadata
     from repro.model.view import RawViewData, ScoredView
+    from repro.optimizer.cost import PlanDecision
     from repro.optimizer.parallel import ParallelExecutor
     from repro.optimizer.plan import ExecutionPlan
     from repro.pruning.base import PruneReport
@@ -82,6 +83,10 @@ class ExecutionContext:
     # -- PlanPhase --------------------------------------------------------
     plan: "ExecutionPlan | None" = None
     plan_description: str = ""
+    #: The cost-based planner's choice record (None on the static path);
+    #: the engine fills in ``observed_seconds`` after execution and feeds
+    #: the calibration store.
+    plan_decision: "PlanDecision | None" = None
 
     # -- ExecutePhase -----------------------------------------------------
     raw_views: "dict[Any, RawViewData]" = field(default_factory=dict)
@@ -161,6 +166,11 @@ class ExecutionContext:
             n_queries=self.n_queries,
             sample_fraction=self.sample_fraction,
             plan_description=self.plan_description,
+            plan_decision=(
+                self.plan_decision.to_dict()
+                if self.plan_decision is not None
+                else None
+            ),
             reference_description=self.reference.describe(),
             partial=self.partial,
             partial_epsilon=self.partial_epsilon,

@@ -105,7 +105,31 @@ class ExecutionEngine:
                 ctx.check_cancelled()
                 with ctx.stopwatch.time(phase.name):
                     phase.run(ctx)
+        self._observe_plan_outcome(ctx)
         return ctx
+
+    def _observe_plan_outcome(self, ctx: ExecutionContext) -> None:
+        """Close the cost-model feedback loop after a cost-planned run.
+
+        Reconciles the planner's predicted seconds with the observed
+        execute-phase wall clock and folds the ratio into the session
+        cache's shared :class:`~repro.metadata.calibration.CalibrationStore`
+        (EWMA per backend) — the next prediction on this backend starts
+        from coefficients scaled toward what this machine actually does.
+        """
+        decision = ctx.plan_decision
+        if decision is None or decision.predicted_seconds <= 0:
+            return
+        observed = ctx.stopwatch.phases.get("execute")
+        if observed is None:
+            return
+        decision.observed_seconds = observed
+        self.cache.calibration.observe(
+            self.backend.name,
+            decision.predicted_seconds,
+            observed,
+            plan_kind=decision.kind,
+        )
 
     def recommend(
         self,

@@ -125,7 +125,14 @@ class PrunePhase(Phase):
 
 
 class SamplePhase(Phase):
-    """Materialize a sampled execution table when the optimization applies."""
+    """Materialize a sampled execution table when the optimization applies.
+
+    The fraction comes from ``config.sample_fraction``, or — opt-in, when
+    that is unset but ``auto_sample_epsilon`` is — from the cost model's
+    Hoeffding-bound selector (the smallest candidate fraction whose
+    sampled size keeps the error within the ε budget). Auto selection
+    never engages silently: both knobs default to exact execution.
+    """
 
     name = "sample"
 
@@ -133,7 +140,13 @@ class SamplePhase(Phase):
         config = ctx.config
         ctx.execution_table = ctx.query.table
         ctx.sample_fraction = None
-        if config.sample_fraction is None or config.sample_fraction >= 1.0:
+        fraction = config.sample_fraction
+        if fraction is not None and fraction >= 1.0:
+            return
+        auto = fraction is None
+        if auto and not (
+            config.cost_based_planning and config.auto_sample_epsilon is not None
+        ):
             return
         rows = (
             ctx.cache.row_count(ctx.query.table)
@@ -142,9 +155,16 @@ class SamplePhase(Phase):
         )
         if rows < config.min_rows_for_sampling:
             return
+        if auto:
+            from repro.optimizer.cost import choose_sample_fraction
+
+            fraction = choose_sample_fraction(rows, config.auto_sample_epsilon)
+            if fraction is None or fraction >= 1.0:
+                return
+            ctx.extras["auto_sample_fraction"] = fraction
         if ctx.cache is not None:
             ctx.execution_table = ctx.cache.sample(
-                ctx.query.table, config.sample_fraction, config.sample_seed
+                ctx.query.table, fraction, config.sample_seed
             )
         else:
             # No cache owner: the sample is the caller's to drop — its name
@@ -153,17 +173,17 @@ class SamplePhase(Phase):
             from repro.engine.cache import sample_table_name
 
             ctx.execution_table = sample_table_name(
-                ctx.query.table, config.sample_fraction, config.sample_seed
+                ctx.query.table, fraction, config.sample_seed
             )
             materialize_sample(
                 ctx.backend,
                 ctx.query.table,
                 ctx.execution_table,
-                config.sample_fraction,
+                fraction,
                 seed=config.sample_seed,
             )
             ctx.extras["unmanaged_sample"] = ctx.execution_table
-        ctx.sample_fraction = config.sample_fraction
+        ctx.sample_fraction = fraction
 
 
 class PlanPhase(Phase):
@@ -188,6 +208,154 @@ class PlanPhase(Phase):
             reference=ctx.reference,
         )
         ctx.plan_description = ctx.plan.describe()
+
+
+class CostBasedPlanner(PlanPhase):
+    """Cost-based Optimizer: enumerate candidate plans, run the cheapest.
+
+    Replaces the static capability branch that resolved
+    ``GroupByCombining.AUTO``: every feasible combining mode is planned,
+    priced by :func:`~repro.optimizer.cost.estimate_plan_cost` against the
+    table's statistics profile, converted to seconds with the backend's
+    calibrated coefficients, and the argmin executes. Ties (strict
+    comparison) keep the capability-declared choice, so the static branch
+    remains the behavior on indifferent workloads. Every candidate is
+    equivalence-preserving, so the choice changes *how* views execute,
+    never the recommendations. ``config.cost_based_planning=False``
+    reverts to the static :class:`PlanPhase` wholesale.
+
+    The phase keeps ``name = "plan"`` so stopwatch breakdowns and result
+    schemas are unchanged; its decision record travels on
+    ``ctx.plan_decision`` and feeds the engine's calibration loop.
+    """
+
+    name = "plan"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        config = ctx.config
+        if not getattr(config, "cost_based_planning", False):
+            super().run(ctx)
+            return
+        from dataclasses import replace
+
+        from repro.optimizer.cost import (
+            CostModel,
+            PlanDecision,
+            choose_parallelism,
+            estimate_plan_cost,
+        )
+        from repro.optimizer.plan import GroupByCombining, resolve_auto_mode
+
+        capabilities = ctx.backend.capabilities
+        profile = self._profile(ctx)
+        cardinalities = self._cardinalities(ctx, profile)
+        if profile is not None:
+            n_rows = profile.n_rows
+        elif ctx.base_table is not None:
+            n_rows = ctx.base_table.num_rows
+        else:
+            n_rows = 0
+        model = CostModel.for_backend(
+            ctx.backend.name,
+            ctx.cache.calibration if ctx.cache is not None else None,
+        )
+        table = ctx.resolve_execution_table()
+        base = config.planner_config()
+
+        mode = config.groupby_combining
+        static_choice = resolve_auto_mode(mode, capabilities)
+        if mode is GroupByCombining.AUTO:
+            # Static choice first: strict argmin keeps it on ties.
+            candidates = [static_choice] + [
+                m
+                for m in (
+                    GroupByCombining.GROUPING_SETS,
+                    GroupByCombining.ROLLUP,
+                    GroupByCombining.NONE,
+                )
+                if m is not static_choice
+            ]
+        else:
+            candidates = [static_choice]
+
+        best = None
+        candidate_seconds: dict[str, float] = {}
+        for candidate in candidates:
+            planner = Planner(replace(base, groupby_combining=candidate))
+            plan = planner.plan(
+                ctx.surviving,
+                table,
+                ctx.query.predicate,
+                cardinalities,
+                capabilities,
+                reference=ctx.reference,
+            )
+            cost = estimate_plan_cost(
+                plan,
+                n_rows,
+                cardinalities,
+                capabilities,
+                sample_fraction=ctx.sample_fraction,
+            )
+            seconds = model.predict_seconds(cost)
+            candidate_seconds[candidate.value] = seconds
+            if best is None or seconds < best[2]:
+                best = (plan, cost, seconds, candidate)
+
+        plan, cost, seconds, chosen = best
+        ctx.plan = plan
+        ctx.plan_description = plan.describe()
+        decision = PlanDecision(
+            kind=chosen.value,
+            cost_based=len(candidates) > 1,
+            predicted=cost,
+            predicted_seconds=seconds,
+            candidate_seconds=candidate_seconds,
+            coefficients=model.coefficients,
+            sample_fraction=ctx.sample_fraction,
+        )
+        n_steps = len(plan.steps)
+        decision.recommended_workers = choose_parallelism(
+            n_steps,
+            seconds / n_steps if n_steps else 0.0,
+            config.n_workers,
+        )
+        if (
+            config.auto_parallelism
+            and ctx.executor is not None
+            and decision.recommended_workers <= 1
+        ):
+            # Predicted per-step work cannot amortize worker dispatch
+            # overhead: degrade this run to sequential execution.
+            ctx.executor = None
+        ctx.plan_decision = decision
+
+    def _profile(self, ctx: ExecutionContext):
+        """The base table's statistics profile, or None when unavailable."""
+        from repro.util.errors import ReproError
+
+        try:
+            if ctx.cache is not None:
+                return ctx.cache.profile(ctx.query.table)
+            from repro.backends.base import collect_statistics
+
+            return collect_statistics(ctx.backend, ctx.query.table)
+        except ReproError:
+            # Statistics are advisory: fall back to metadata-derived
+            # cardinalities rather than failing the recommendation.
+            return None
+
+    def _cardinalities(self, ctx: ExecutionContext, profile) -> dict[str, int]:
+        """Dimension cardinalities: profile first, metadata stats fallback."""
+        cardinalities: dict[str, int] = {}
+        if ctx.metadata is not None and ctx.schema is not None:
+            cardinalities = {
+                spec.name: ctx.metadata.stats[spec.name].n_distinct
+                for spec in ctx.schema.dimensions
+            }
+        if profile is not None:
+            cardinalities.update(profile.cardinalities())
+        return cardinalities
 
 
 class ExecutePhase(Phase):
@@ -259,7 +427,7 @@ def default_phases() -> list[Phase]:
         EnumeratePhase(),
         PrunePhase(),
         SamplePhase(),
-        PlanPhase(),
+        CostBasedPlanner(),
         ExecutePhase(),
         ScorePhase(),
         SelectPhase(),

@@ -6,15 +6,36 @@ variance, entropy, top values), pairwise dimension associations, and table
 access patterns from SeeDB-specific tracking.
 """
 
-from repro.metadata.stats import ColumnStats, TableStats, cramers_v, pearson_correlation
+from repro.metadata.stats import (
+    AttributeProfile,
+    ColumnStats,
+    TableProfile,
+    TableStats,
+    cramers_v,
+    pearson_correlation,
+    profile_from_table,
+)
+from repro.metadata.calibration import (
+    CalibrationStore,
+    CostCoefficients,
+    DEFAULT_COEFFICIENTS,
+    SEEDED_COEFFICIENTS,
+)
 from repro.metadata.collector import MetadataCollector, TableMetadata
 from repro.metadata.access_log import AccessLog
 
 __all__ = [
+    "AttributeProfile",
     "ColumnStats",
+    "TableProfile",
     "TableStats",
     "cramers_v",
     "pearson_correlation",
+    "profile_from_table",
+    "CalibrationStore",
+    "CostCoefficients",
+    "DEFAULT_COEFFICIENTS",
+    "SEEDED_COEFFICIENTS",
     "MetadataCollector",
     "TableMetadata",
     "AccessLog",

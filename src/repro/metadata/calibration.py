@@ -1,0 +1,276 @@
+"""Per-backend cost-model calibration: seeded coefficients + feedback.
+
+The cost model (:mod:`repro.optimizer.cost`) prices a plan in abstract
+work units — rows scanned, groups materialized, logical queries, physical
+statements — and converts them to predicted seconds with per-backend
+coefficients. Absolute per-unit costs vary wildly across machines and
+engines, so the coefficients here are only *seeds*: after every run the
+engine reconciles the prediction against the observed execute-phase
+wall-clock and folds the ratio into an exponentially-weighted per-backend
+scale (the ``StatInfo``-style feedback loop). The store is shared through
+:class:`~repro.engine.cache.EngineCache`, so every engine, service worker,
+and cluster replica on one backend learns from all of them.
+
+Thread safety: one lock guards all mutation; snapshots are deep copies.
+Persistence is optional — a backend that lives in a user-owned database
+file may carry a ``<dbfile>.seedb-calibration.json`` sidecar so the
+learned scale survives process restarts (temp-file and in-memory backends
+never persist).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from contextlib import suppress
+from dataclasses import dataclass
+
+#: Sidecar suffix for persisted calibration state (gitignored; covered by
+#: the hygiene CI job's leaked-artifact check).
+CALIBRATION_SUFFIX = ".seedb-calibration.json"
+
+#: EWMA weight of each new observation on the per-backend scale.
+DEFAULT_ALPHA = 0.3
+
+#: One observation may move the scale by at most this factor — a single
+#: stalled query (GC pause, cold cache) must not poison the estimator.
+MAX_STEP_RATIO = 16.0
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """Seconds per cost-model work unit on one backend."""
+
+    #: Seconds per base-table row scanned.
+    row_scan_seconds: float
+    #: Seconds per result group materialized.
+    group_seconds: float
+    #: Fixed seconds per logical query (per grouping-set arm: rendering,
+    #: result decode, per-arm evaluation in a UNION ALL emulation).
+    query_seconds: float
+    #: Fixed seconds per physical statement (round trip, parse, plan).
+    statement_seconds: float
+
+    def predict_seconds(self, cost) -> float:
+        """Predicted wall-clock of a :class:`~repro.optimizer.cost.PlanCost`."""
+        return (
+            self.row_scan_seconds * cost.rows_scanned
+            + self.group_seconds * cost.result_groups
+            + self.query_seconds * cost.n_queries
+            + self.statement_seconds * cost.n_statements
+        )
+
+    def scaled(self, factor: float) -> "CostCoefficients":
+        """All four coefficients multiplied by ``factor``."""
+        return CostCoefficients(
+            row_scan_seconds=self.row_scan_seconds * factor,
+            group_seconds=self.group_seconds * factor,
+            query_seconds=self.query_seconds * factor,
+            statement_seconds=self.statement_seconds * factor,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "row_scan_seconds": self.row_scan_seconds,
+            "group_seconds": self.group_seconds,
+            "query_seconds": self.query_seconds,
+            "statement_seconds": self.statement_seconds,
+        }
+
+
+#: Seeded per-backend coefficients (order-of-magnitude priors; the
+#: feedback loop refines them). The relative shape is what matters for
+#: plan choice before any observation lands: the memory engine has
+#: near-zero statement overhead, sqlite pays per prepared statement,
+#: duckdb pays more per statement but scans columnar-fast.
+SEEDED_COEFFICIENTS: dict[str, CostCoefficients] = {
+    "memory": CostCoefficients(
+        row_scan_seconds=6e-9,
+        group_seconds=2.5e-7,
+        query_seconds=1.5e-4,
+        statement_seconds=0.0,
+    ),
+    "sqlite": CostCoefficients(
+        row_scan_seconds=2.2e-7,
+        group_seconds=5e-7,
+        query_seconds=1.5e-4,
+        statement_seconds=8e-4,
+    ),
+    "duckdb": CostCoefficients(
+        row_scan_seconds=6e-8,
+        group_seconds=4e-7,
+        query_seconds=1.0e-4,
+        statement_seconds=1.2e-3,
+    ),
+}
+
+#: Fallback for backends without a seeded entry.
+DEFAULT_COEFFICIENTS = CostCoefficients(
+    row_scan_seconds=2e-7,
+    group_seconds=5e-7,
+    query_seconds=2e-4,
+    statement_seconds=6e-4,
+)
+
+
+@dataclass
+class _BackendCalibration:
+    """Learned state for one backend name."""
+
+    scale: float = 1.0
+    observations: int = 0
+    last_predicted_seconds: "float | None" = None
+    last_observed_seconds: "float | None" = None
+    #: Relative error of the prediction *at observation time* (before the
+    #: scale update it triggered) — what the convergence test compares.
+    last_relative_error: "float | None" = None
+    last_plan_kind: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "observations": self.observations,
+            "last_predicted_seconds": self.last_predicted_seconds,
+            "last_observed_seconds": self.last_observed_seconds,
+            "last_relative_error": self.last_relative_error,
+            "last_plan_kind": self.last_plan_kind,
+        }
+
+
+class CalibrationStore:
+    """Thread-safe per-backend calibration state with optional persistence."""
+
+    def __init__(
+        self,
+        path: "str | None" = None,
+        alpha: float = DEFAULT_ALPHA,
+        seeds: "dict[str, CostCoefficients] | None" = None,
+    ):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.path = path
+        self.alpha = alpha
+        self._seeds = dict(SEEDED_COEFFICIENTS if seeds is None else seeds)
+        self._lock = threading.Lock()
+        self._backends: dict[str, _BackendCalibration] = {}
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # -- estimator inputs --------------------------------------------------
+
+    def coefficients_for(self, backend_name: str) -> CostCoefficients:
+        """Seeded coefficients for ``backend_name``, scaled by feedback."""
+        seed = self._seeds.get(backend_name, DEFAULT_COEFFICIENTS)
+        with self._lock:
+            state = self._backends.get(backend_name)
+            scale = state.scale if state is not None else 1.0
+        return seed.scaled(scale) if scale != 1.0 else seed
+
+    def scale_for(self, backend_name: str) -> float:
+        with self._lock:
+            state = self._backends.get(backend_name)
+            return state.scale if state is not None else 1.0
+
+    def observations_for(self, backend_name: str) -> int:
+        with self._lock:
+            state = self._backends.get(backend_name)
+            return state.observations if state is not None else 0
+
+    # -- the feedback loop -------------------------------------------------
+
+    def observe(
+        self,
+        backend_name: str,
+        predicted_seconds: float,
+        observed_seconds: float,
+        plan_kind: "str | None" = None,
+    ) -> None:
+        """Fold one (predicted, observed) execute-phase pair into the scale.
+
+        The multiplicative correction ``observed / predicted`` is clamped
+        (one outlier must not poison the estimator) and blended into the
+        per-backend scale with EWMA weight ``alpha``. No-op on degenerate
+        inputs — a zero/negative prediction carries no gradient.
+        """
+        if predicted_seconds <= 0.0 or observed_seconds < 0.0:
+            return
+        ratio = observed_seconds / predicted_seconds
+        ratio = min(max(ratio, 1.0 / MAX_STEP_RATIO), MAX_STEP_RATIO)
+        with self._lock:
+            state = self._backends.setdefault(backend_name, _BackendCalibration())
+            error = abs(predicted_seconds - observed_seconds) / max(
+                observed_seconds, 1e-9
+            )
+            state.last_predicted_seconds = predicted_seconds
+            state.last_observed_seconds = observed_seconds
+            state.last_relative_error = error
+            state.last_plan_kind = plan_kind
+            state.observations += 1
+            state.scale = (1.0 - self.alpha) * state.scale + self.alpha * (
+                state.scale * ratio
+            )
+            if self.path is not None:
+                self._save_locked(self.path)
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-backend state (for ``/stats``)."""
+        with self._lock:
+            out = {}
+            for name, state in sorted(self._backends.items()):
+                seed = self._seeds.get(name, DEFAULT_COEFFICIENTS)
+                entry = state.to_dict()
+                entry["coefficients"] = seed.scaled(state.scale).to_dict()
+                out[name] = entry
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._backends.clear()
+
+    # -- persistence -------------------------------------------------------
+
+    def _save_locked(self, path: str) -> None:
+        """Best-effort atomic write; a read-only filesystem is not an error."""
+        payload = {
+            "alpha": self.alpha,
+            "backends": {
+                name: state.to_dict() for name, state in self._backends.items()
+            },
+        }
+        with suppress(OSError):
+            directory = os.path.dirname(os.path.abspath(path))
+            handle, temp_path = tempfile.mkstemp(
+                prefix=".seedb-calib-", dir=directory
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(payload, stream)
+                os.replace(temp_path, path)
+            except OSError:
+                with suppress(OSError):
+                    os.unlink(temp_path)
+
+    def _load(self, path: str) -> None:
+        with suppress(OSError, json.JSONDecodeError, TypeError, KeyError):
+            with open(path) as stream:
+                payload = json.load(stream)
+            for name, entry in payload.get("backends", {}).items():
+                self._backends[name] = _BackendCalibration(
+                    scale=float(entry.get("scale", 1.0)),
+                    observations=int(entry.get("observations", 0)),
+                    last_predicted_seconds=entry.get("last_predicted_seconds"),
+                    last_observed_seconds=entry.get("last_observed_seconds"),
+                    last_relative_error=entry.get("last_relative_error"),
+                    last_plan_kind=entry.get("last_plan_kind"),
+                )
+
+
+def calibration_sidecar_path(database_path: "str | None") -> "str | None":
+    """Sidecar path for a user-owned database file (None = no persistence)."""
+    if database_path is None or database_path == ":memory:":
+        return None
+    return database_path + CALIBRATION_SUFFIX

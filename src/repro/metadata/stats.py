@@ -135,6 +135,124 @@ def compute_table_stats(table: Table, top_k: int = 10) -> TableStats:
     )
 
 
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Lightweight planner-facing summary of one (dimension) attribute.
+
+    The cheap sibling of :class:`ColumnStats`: only what the cost-based
+    planner consumes — distinct count, null fraction, and group-size skew —
+    all computable by aggregate SQL pushed to the backend (no base-table
+    transfer). NULLs are excluded from distinct counts and group sizes on
+    both the pushed and client-side paths.
+    """
+
+    name: str
+    n_distinct: int
+    null_fraction: float
+    #: Fraction of non-null rows landing in the largest group (1.0 for a
+    #: constant column, ~1/n_distinct for a uniform one).
+    max_group_fraction: float
+
+    def skew(self) -> float:
+        """Largest-group share relative to uniform (1.0 = perfectly even)."""
+        if self.n_distinct <= 0:
+            return 1.0
+        return self.max_group_fraction * self.n_distinct
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Backend-pushed table statistics for cost-based planning.
+
+    Collected by :func:`repro.backends.base.collect_statistics` — via
+    aggregate SQL where the backend declares ``stats_pushdown``, otherwise
+    client-side from one table fetch — and cached per
+    ``(table, data_version)`` in the engine cache.
+    """
+
+    table_name: str
+    n_rows: int
+    attributes: dict[str, AttributeProfile]
+    #: ``"pushed"`` (aggregate SQL on the backend) or ``"clientside"``.
+    source: str = "clientside"
+
+    def __getitem__(self, name: str) -> AttributeProfile:
+        return self.attributes[name]
+
+    def cardinalities(self) -> dict[str, int]:
+        """{attribute: n_distinct} for every profiled attribute."""
+        return {
+            name: profile.n_distinct for name, profile in self.attributes.items()
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table_name,
+            "n_rows": self.n_rows,
+            "source": self.source,
+            "attributes": {
+                name: {
+                    "n_distinct": profile.n_distinct,
+                    "null_fraction": profile.null_fraction,
+                    "max_group_fraction": profile.max_group_fraction,
+                }
+                for name, profile in sorted(self.attributes.items())
+            },
+        }
+
+
+def _null_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean NULL mask under the canonical table representation."""
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    if values.dtype.kind == "M":
+        return np.isnat(values)
+    if values.dtype == object:
+        return np.array([value is None for value in values], dtype=bool)
+    return np.zeros(len(values), dtype=bool)
+
+
+def profile_column(table: Table, name: str) -> AttributeProfile:
+    """Client-side :class:`AttributeProfile` of one column (numpy path)."""
+    values = table.column(name)
+    n_rows = len(values)
+    nulls = _null_mask(values)
+    valid = values[~nulls]
+    if len(valid) == 0:
+        return AttributeProfile(
+            name=name,
+            n_distinct=0,
+            null_fraction=1.0 if n_rows else 0.0,
+            max_group_fraction=0.0,
+        )
+    codes, uniques = factorize(valid)
+    counts = np.bincount(codes, minlength=len(uniques))
+    return AttributeProfile(
+        name=name,
+        n_distinct=len(uniques),
+        null_fraction=float(nulls.sum()) / n_rows if n_rows else 0.0,
+        max_group_fraction=float(counts.max()) / len(valid),
+    )
+
+
+def profile_from_table(
+    table: Table, attributes: "tuple[str, ...] | None" = None
+) -> TableProfile:
+    """Client-side fallback for backend-pushed statistics collection.
+
+    ``attributes`` defaults to the table's dimension columns — the only
+    ones whose cardinality and skew drive plan choice.
+    """
+    if attributes is None:
+        attributes = tuple(spec.name for spec in table.schema.dimensions)
+    return TableProfile(
+        table_name=table.name,
+        n_rows=table.num_rows,
+        attributes={name: profile_column(table, name) for name in attributes},
+        source="clientside",
+    )
+
+
 def cramers_v(values_a: np.ndarray, values_b: np.ndarray) -> float:
     """Cramér's V association between two categorical columns, in [0, 1].
 

@@ -33,9 +33,19 @@ from repro.optimizer.plan import (
     RollupStep,
     SeparateStep,
     ViewGroup,
+    resolve_auto_mode,
 )
 from repro.optimizer.parallel import ParallelExecutor
-from repro.optimizer.cost import PlanCost, estimate_plan_cost
+from repro.optimizer.cost import (
+    CostModel,
+    PlanCost,
+    PlanDecision,
+    choose_parallelism,
+    choose_sample_fraction,
+    estimate_plan_cost,
+    hoeffding_epsilon,
+    sample_fraction_from_table,
+)
 
 __all__ = [
     "MergeSpec",
@@ -55,7 +65,14 @@ __all__ = [
     "RollupStep",
     "SeparateStep",
     "ViewGroup",
+    "resolve_auto_mode",
     "ParallelExecutor",
+    "CostModel",
     "PlanCost",
+    "PlanDecision",
+    "choose_parallelism",
+    "choose_sample_fraction",
     "estimate_plan_cost",
+    "hoeffding_epsilon",
+    "sample_fraction_from_table",
 ]

@@ -442,6 +442,27 @@ class GroupByCombining(enum.Enum):
     AUTO = "auto"  # grouping sets if the backend supports them, else rollup
 
 
+def resolve_auto_mode(
+    mode: GroupByCombining, capabilities: BackendCapabilities
+) -> GroupByCombining:
+    """The static capability-declared resolution of ``AUTO``.
+
+    This is the PR-5 planner's whole decision procedure: shared-scan
+    GROUPING SETS iff the backend declares them, rollup otherwise. The
+    cost-based planner (:class:`repro.engine.phases.CostBasedPlanner`)
+    supersedes it for ``AUTO`` configs, but keeps it as the deterministic
+    tie-break (equal predicted cost → today's choice) and as the fallback
+    when ``config.cost_based_planning`` is off.
+    """
+    if mode is not GroupByCombining.AUTO:
+        return mode
+    return (
+        GroupByCombining.GROUPING_SETS
+        if capabilities.grouping_sets
+        else GroupByCombining.ROLLUP
+    )
+
+
 @dataclass
 class PlannerConfig:
     """Optimizer toggles — the demo Scenario 2 "knobs" (§4)."""
@@ -496,13 +517,7 @@ class Planner:
             reference = TABLE_REFERENCE
         config = self.config
         combine_flag = config.combine_target_comparison and reference.flag_combinable
-        mode = config.groupby_combining
-        if mode is GroupByCombining.AUTO:
-            mode = (
-                GroupByCombining.GROUPING_SETS
-                if capabilities.grouping_sets
-                else GroupByCombining.ROLLUP
-            )
+        mode = resolve_auto_mode(config.groupby_combining, capabilities)
 
         # Group-by combining subsumes aggregate combining within its merged
         # queries (a shared query necessarily carries all the aggregates).

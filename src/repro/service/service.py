@@ -740,13 +740,29 @@ class SeeDBService:
         with self._lock:
             backends = {}
             for name, slot in self._slots.items():
-                cache_stats = slot.facade.engine.cache.stats
+                engine_cache = slot.facade.engine.cache
+                cache_stats = engine_cache.stats
                 hits, misses = cache_stats.hits, cache_stats.misses
                 total = hits + misses
+                calibration = engine_cache.calibration
                 backends[name] = {
                     "backend": slot.backend.name,
                     "data_version": slot.backend.data_version,
                     "queries_executed": slot.backend.queries_executed,
+                    "metadata_queries_executed": (
+                        slot.backend.metadata_queries_executed
+                    ),
+                    # Cost-based planner state: the coefficients the next
+                    # prediction will use and the last predicted/observed
+                    # reconciliation (None before any cost-planned run).
+                    "planner": {
+                        "coefficients": calibration.coefficients_for(
+                            slot.backend.name
+                        ).to_dict(),
+                        "calibration": calibration.snapshot().get(
+                            slot.backend.name
+                        ),
+                    },
                     "engine_cache": {
                         "hits": hits,
                         "misses": misses,

@@ -1,0 +1,132 @@
+"""Property tests: the plan cost estimator orders work sensibly.
+
+The cost model never has to be *accurate* to be useful — the planner only
+compares candidates — but it must be *monotone* in the things that make
+plans expensive: more rows never gets cheaper, native grouping sets never
+cost more than their UNION ALL emulation, and smaller sampling fractions
+never scan more. These are the invariants the argmin choice leans on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.base import BackendCapabilities
+from repro.metadata.calibration import SEEDED_COEFFICIENTS
+from repro.model.view import ViewSpec
+from repro.optimizer.cost import (
+    CostModel,
+    choose_sample_fraction,
+    estimate_plan_cost,
+    hoeffding_epsilon,
+    sample_fraction_from_table,
+)
+from repro.optimizer.plan import GroupByCombining, Planner, PlannerConfig
+
+DIMS = ("d0", "d1", "d2", "d3", "d4")
+
+NATIVE = BackendCapabilities(
+    grouping_sets=True, parallel_queries=True, native_var_std=True
+)
+EMULATED = BackendCapabilities(
+    grouping_sets=False, parallel_queries=True, native_var_std=True
+)
+
+
+@st.composite
+def plan_inputs(draw):
+    """Random view set + cardinalities + a combining mode to plan with."""
+    dims = draw(st.lists(st.sampled_from(DIMS), min_size=1, max_size=5, unique=True))
+    views = []
+    for dim in dims:
+        for func in draw(
+            st.lists(st.sampled_from(["sum", "avg"]), min_size=1, max_size=2, unique=True)
+        ):
+            views.append(ViewSpec(dim, "m", func))
+    cardinalities = {
+        dim: draw(st.integers(min_value=2, max_value=200)) for dim in DIMS
+    }
+    mode = draw(
+        st.sampled_from(
+            [
+                GroupByCombining.NONE,
+                GroupByCombining.GROUPING_SETS,
+                GroupByCombining.ROLLUP,
+            ]
+        )
+    )
+    return views, cardinalities, mode
+
+
+def build_plan(views, cardinalities, mode, capabilities, table="t"):
+    planner = Planner(PlannerConfig(groupby_combining=mode))
+    return planner.plan(views, table, None, cardinalities, capabilities)
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=plan_inputs(), rows=st.integers(1, 10**6), extra=st.integers(1, 10**6))
+def test_more_rows_never_cheaper(inputs, rows, extra):
+    """Scan-bound monotonicity: growing the table never lowers the cost."""
+    views, cardinalities, mode = inputs
+    plan = build_plan(views, cardinalities, mode, NATIVE)
+    small = estimate_plan_cost(plan, rows, cardinalities, NATIVE)
+    large = estimate_plan_cost(plan, rows + extra, cardinalities, NATIVE)
+    assert large.rows_scanned >= small.rows_scanned
+    for model in (CostModel(), *(CostModel(c) for c in SEEDED_COEFFICIENTS.values())):
+        assert model.predict_seconds(large) >= model.predict_seconds(small)
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=plan_inputs(), rows=st.integers(1, 10**6))
+def test_native_grouping_sets_never_dearer_than_fanout(inputs, rows):
+    """The same grouping-sets plan costs no more with native support:
+    the UNION ALL emulation re-scans the base table once per set."""
+    views, cardinalities, _ = inputs
+    plan = build_plan(views, cardinalities, GroupByCombining.GROUPING_SETS, NATIVE)
+    native = estimate_plan_cost(plan, rows, cardinalities, NATIVE)
+    fanout = estimate_plan_cost(plan, rows, cardinalities, EMULATED)
+    assert native.n_queries <= fanout.n_queries
+    assert native.n_scans <= fanout.n_scans
+    assert native.rows_scanned <= fanout.rows_scanned
+    assert native.n_statements == fanout.n_statements  # one UNION ALL batch
+    for model in (CostModel(), *(CostModel(c) for c in SEEDED_COEFFICIENTS.values())):
+        assert model.predict_seconds(native) <= model.predict_seconds(fanout)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inputs=plan_inputs(),
+    rows=st.integers(100, 10**6),
+    fractions=st.tuples(st.floats(0.01, 1.0), st.floats(0.01, 1.0)),
+)
+def test_smaller_sample_fraction_never_scans_more(inputs, rows, fractions):
+    views, cardinalities, mode = inputs
+    lo, hi = min(fractions), max(fractions)
+    plan = build_plan(
+        views, cardinalities, mode, NATIVE, table="t__seedb_sample_500000_7"
+    )
+    small = estimate_plan_cost(plan, rows, cardinalities, NATIVE, sample_fraction=lo)
+    large = estimate_plan_cost(plan, rows, cardinalities, NATIVE, sample_fraction=hi)
+    assert small.rows_scanned <= large.rows_scanned
+    assert small.n_queries == large.n_queries  # sampling changes rows, not shape
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 10**8))
+def test_hoeffding_epsilon_shrinks_with_n(n):
+    assert hoeffding_epsilon(2 * n) < hoeffding_epsilon(n)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows=st.integers(1, 10**8), epsilon=st.floats(1e-4, 1.0))
+def test_chosen_fraction_meets_epsilon_budget(rows, epsilon):
+    fraction = choose_sample_fraction(rows, epsilon)
+    if fraction is not None:
+        assert hoeffding_epsilon(int(rows * fraction)) <= epsilon
+
+
+def test_sample_fraction_roundtrips_through_table_name():
+    from repro.engine.cache import sample_table_name
+
+    name = sample_table_name("orders", 0.05, 7)
+    assert sample_fraction_from_table(name) == 0.05
+    assert sample_fraction_from_table("orders") is None

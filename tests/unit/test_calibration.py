@@ -1,0 +1,121 @@
+"""Unit tests: the cost-model calibration store (EWMA feedback loop)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metadata.calibration import (
+    CALIBRATION_SUFFIX,
+    CalibrationStore,
+    CostCoefficients,
+    DEFAULT_COEFFICIENTS,
+    MAX_STEP_RATIO,
+    SEEDED_COEFFICIENTS,
+    calibration_sidecar_path,
+)
+from repro.optimizer.cost import CostModel, PlanCost
+
+
+class TestCoefficients:
+    def test_predict_is_linear_in_work_units(self):
+        coeffs = CostCoefficients(1.0, 10.0, 100.0, 1000.0)
+        cost = PlanCost(
+            n_queries=2, n_scans=3, rows_scanned=5, result_groups=7, n_statements=11
+        )
+        assert coeffs.predict_seconds(cost) == 5 * 1.0 + 7 * 10.0 + 2 * 100.0 + 11 * 1000.0
+
+    def test_scaled_multiplies_every_coefficient(self):
+        doubled = DEFAULT_COEFFICIENTS.scaled(2.0)
+        assert doubled.row_scan_seconds == 2 * DEFAULT_COEFFICIENTS.row_scan_seconds
+        assert doubled.statement_seconds == 2 * DEFAULT_COEFFICIENTS.statement_seconds
+
+    def test_every_backend_has_seeds(self):
+        assert set(SEEDED_COEFFICIENTS) >= {"memory", "sqlite", "duckdb"}
+
+
+class TestObserve:
+    def test_unseen_backend_returns_seed_unchanged(self):
+        store = CalibrationStore()
+        assert store.coefficients_for("sqlite") == SEEDED_COEFFICIENTS["sqlite"]
+        assert store.scale_for("sqlite") == 1.0
+
+    def test_observation_moves_scale_toward_observed(self):
+        store = CalibrationStore()
+        store.observe("sqlite", predicted_seconds=0.1, observed_seconds=0.4)
+        assert 1.0 < store.scale_for("sqlite") < 4.0
+
+    def test_convergence_second_prediction_error_is_smaller(self):
+        """The acceptance criterion: after observing a run, the next
+        prediction of the *same* workload is strictly closer."""
+        store = CalibrationStore()
+        cost = PlanCost(
+            n_queries=4, n_scans=4, rows_scanned=100_000, result_groups=400,
+            n_statements=4,
+        )
+        observed = 0.5  # machine is much slower than the seed thinks
+        first = CostModel.for_backend("sqlite", store).predict_seconds(cost)
+        store.observe("sqlite", first, observed)
+        second = CostModel.for_backend("sqlite", store).predict_seconds(cost)
+        store.observe("sqlite", second, observed)
+        errors = [
+            abs(predicted - observed) / observed for predicted in (first, second)
+        ]
+        assert errors[1] < errors[0]
+        snap = store.snapshot()["sqlite"]
+        assert snap["observations"] == 2
+        assert snap["last_relative_error"] == pytest.approx(errors[1])
+
+    def test_step_ratio_is_clamped(self):
+        store = CalibrationStore(alpha=1.0)
+        store.observe("memory", predicted_seconds=1e-9, observed_seconds=10.0)
+        assert store.scale_for("memory") <= MAX_STEP_RATIO
+
+    def test_degenerate_observations_are_ignored(self):
+        store = CalibrationStore()
+        store.observe("memory", predicted_seconds=0.0, observed_seconds=1.0)
+        store.observe("memory", predicted_seconds=1.0, observed_seconds=-1.0)
+        assert store.observations_for("memory") == 0
+
+    def test_observe_is_thread_safe(self):
+        store = CalibrationStore()
+
+        def hammer():
+            for _ in range(200):
+                store.observe("sqlite", 0.1, 0.2)
+                store.coefficients_for("sqlite")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.observations_for("sqlite") == 8 * 200
+        assert store.scale_for("sqlite") > 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / f"db{CALIBRATION_SUFFIX}")
+        store = CalibrationStore(path=path)
+        store.observe("sqlite", 0.1, 0.4, plan_kind="grouping_sets")
+        scale = store.scale_for("sqlite")
+
+        reloaded = CalibrationStore(path=path)
+        assert reloaded.scale_for("sqlite") == pytest.approx(scale)
+        assert reloaded.observations_for("sqlite") == 1
+        assert reloaded.snapshot()["sqlite"]["last_plan_kind"] == "grouping_sets"
+        # The file is plain JSON (operators can read/delete it).
+        json.loads((tmp_path / f"db{CALIBRATION_SUFFIX}").read_text())
+
+    def test_corrupt_file_is_ignored(self, tmp_path):
+        path = tmp_path / f"db{CALIBRATION_SUFFIX}"
+        path.write_text("{not json")
+        store = CalibrationStore(path=str(path))
+        assert store.scale_for("sqlite") == 1.0
+
+    def test_sidecar_path_only_for_real_files(self, tmp_path):
+        assert calibration_sidecar_path(None) is None
+        assert calibration_sidecar_path(":memory:") is None
+        db = str(tmp_path / "views.db")
+        assert calibration_sidecar_path(db) == db + CALIBRATION_SUFFIX

@@ -1,0 +1,180 @@
+"""Unit tests: the cost-based planner phase and its feedback loop."""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+from repro.db.expressions import col
+from repro.db.query import RowSelectQuery
+from repro.db.table import Table
+from repro.db.types import AttributeRole
+from repro.optimizer.plan import GroupByCombining
+
+
+def make_table(n_rows=400, name="orders"):
+    return Table.from_columns(
+        name,
+        {
+            "region": [f"r{i % 5}" for i in range(n_rows)],
+            "product": [f"p{i % 7}" for i in range(n_rows)],
+            "band": [f"b{i % 3}" for i in range(n_rows)],
+            "amount": [float(10 + (i * 13) % 97) for i in range(n_rows)],
+            "units": [float(1 + (i % 6)) for i in range(n_rows)],
+        },
+        roles={
+            "region": AttributeRole.DIMENSION,
+            "product": AttributeRole.DIMENSION,
+            "band": AttributeRole.DIMENSION,
+            "amount": AttributeRole.MEASURE,
+            "units": AttributeRole.MEASURE,
+        },
+    )
+
+
+def make_seedb(config, table=None):
+    backend = MemoryBackend()
+    backend.register_table(table if table is not None else make_table())
+    return SeeDB(backend, config)
+
+
+QUERY = RowSelectQuery("orders", col("band") == "b0")
+
+
+class TestCostBasedChoice:
+    def test_auto_records_all_candidates_and_picks_argmin(self):
+        with make_seedb(
+            SeeDBConfig(groupby_combining=GroupByCombining.AUTO)
+        ) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+        decision = result.plan_decision
+        assert decision is not None
+        assert decision["cost_based"] is True
+        assert set(decision["candidate_seconds"]) == {
+            "grouping_sets", "rollup", "none",
+        }
+        best = min(decision["candidate_seconds"].items(), key=lambda kv: kv[1])
+        assert decision["kind"] == best[0]
+        assert decision["predicted_seconds"] == pytest.approx(best[1])
+        assert decision["predicted"]["n_queries"] >= 1
+        assert decision["coefficients"]["query_seconds"] > 0
+
+    def test_pinned_mode_costs_a_single_candidate(self):
+        with make_seedb(
+            SeeDBConfig(groupby_combining=GroupByCombining.ROLLUP)
+        ) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+        decision = result.plan_decision
+        assert decision["cost_based"] is False
+        assert decision["kind"] == "rollup"
+        assert set(decision["candidate_seconds"]) == {"rollup"}
+        assert "rollup" in result.plan_description
+
+    def test_escape_hatch_reverts_to_static_planner(self):
+        """cost_based_planning=False reproduces the static path exactly:
+        same plan description, no decision record, no calibration."""
+        config = SeeDBConfig(
+            groupby_combining=GroupByCombining.AUTO, cost_based_planning=False
+        )
+        with make_seedb(config) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+            assert result.plan_decision is None
+            assert seedb.engine.cache.calibration.observations_for("memory") == 0
+
+    def test_auto_matches_static_top_k_bit_for_bit(self):
+        table = make_table()
+        with make_seedb(
+            SeeDBConfig(groupby_combining=GroupByCombining.AUTO), table
+        ) as cost_based, make_seedb(
+            SeeDBConfig(
+                groupby_combining=GroupByCombining.AUTO,
+                cost_based_planning=False,
+            ),
+            table,
+        ) as static:
+            a = cost_based.recommend(QUERY, k=4)
+            b = static.recommend(QUERY, k=4)
+        assert [(v.spec, v.utility) for v in a.recommendations] == [
+            (v.spec, v.utility) for v in b.recommendations
+        ]
+
+
+class TestFeedbackLoop:
+    def test_run_observes_into_the_calibration_store(self):
+        with make_seedb(SeeDBConfig()) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+            calibration = seedb.engine.cache.calibration
+            assert calibration.observations_for("memory") == 1
+            snap = calibration.snapshot()["memory"]
+            assert snap["last_plan_kind"] == result.plan_decision["kind"]
+            assert snap["last_predicted_seconds"] == pytest.approx(
+                result.plan_decision["predicted_seconds"]
+            )
+            assert result.plan_decision["observed_seconds"] is not None
+            # Second run predicts with the updated coefficients.
+            seedb.recommend(QUERY, k=3)
+            assert calibration.observations_for("memory") == 2
+
+    def test_static_runs_leave_calibration_untouched(self):
+        with make_seedb(SeeDBConfig(cost_based_planning=False)) as seedb:
+            seedb.recommend(QUERY, k=3)
+            assert seedb.engine.cache.calibration.snapshot() == {}
+
+
+class TestSampledCosting:
+    def test_sampled_plan_is_priced_at_the_sampled_rows(self):
+        """Satellite fix: the estimator prices ``__seedb_sample`` scans at
+        the effective sampled count, so predictions track what executes."""
+        table = make_table(n_rows=20_000)
+        exact_config = SeeDBConfig()
+        sampled_config = SeeDBConfig(sample_fraction=0.1)
+        with make_seedb(exact_config, table) as exact, make_seedb(
+            sampled_config, table
+        ) as sampled:
+            full = exact.recommend(QUERY, k=3).plan_decision
+            tenth = sampled.recommend(QUERY, k=3).plan_decision
+        assert tenth["sample_fraction"] == 0.1
+        assert tenth["predicted"]["rows_scanned"] == pytest.approx(
+            full["predicted"]["rows_scanned"] * 0.1, rel=0.01
+        )
+        assert tenth["predicted_seconds"] < full["predicted_seconds"]
+
+    def test_auto_sample_epsilon_picks_a_fraction(self):
+        table = make_table(n_rows=20_000)
+        config = SeeDBConfig(auto_sample_epsilon=0.05, min_rows_for_sampling=1_000)
+        with make_seedb(config, table) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+        assert result.sample_fraction is not None
+        assert 0 < result.sample_fraction < 1
+        from repro.optimizer.cost import hoeffding_epsilon
+
+        assert hoeffding_epsilon(int(20_000 * result.sample_fraction)) <= 0.05
+
+    def test_auto_sampling_requires_explicit_epsilon(self):
+        table = make_table(n_rows=20_000)
+        with make_seedb(
+            SeeDBConfig(min_rows_for_sampling=1_000), table
+        ) as seedb:
+            assert seedb.recommend(QUERY, k=3).sample_fraction is None
+
+
+class TestParallelismAdvice:
+    def test_recommendation_recorded_without_auto_parallelism(self):
+        with make_seedb(SeeDBConfig(n_workers=4)) as seedb:
+            result = seedb.recommend(QUERY, k=3)
+        assert result.plan_decision["recommended_workers"] >= 1
+
+    def test_auto_parallelism_downgrades_trivial_work_to_sequential(self):
+        """A 400-row in-memory workload cannot amortize worker dispatch:
+        with the opt-in flag the run executes sequentially (no parallel
+        report), though the pool itself stays available for later runs."""
+        config = SeeDBConfig(n_workers=4, auto_parallelism=True)
+        backend = MemoryBackend()
+        backend.register_table(make_table())
+        with SeeDB(backend, config) as seedb:
+            ctx = seedb.run_resolved(
+                seedb.as_request(QUERY, k=3).resolve(config)
+            )
+        assert ctx.plan_decision.recommended_workers == 1
+        assert ctx.executor is None
+        assert "parallel_report" not in ctx.extras
