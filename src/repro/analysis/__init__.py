@@ -1,0 +1,50 @@
+"""SEEDB's project-specific static analysis: invariant lint for the repo.
+
+Run ``python -m repro.analysis src/`` (or ``seedb lint``) to enforce the
+cross-cutting contracts the runtime tests can only sample:
+
+* ``lock-order`` — no cycles in the lock-acquisition graph; no
+  indefinitely-blocking calls while holding a lock;
+* ``guarded-field`` — ``# guarded-by: <lock>`` annotated attributes are
+  only touched under their lock;
+* ``counter-accounting`` — every backend statement-execution seam
+  increments exactly the audited counters;
+* ``cancellation`` — long-running engine/service loops reach a
+  Deadline/CancelToken checkpoint;
+* ``wire-schema`` — the request schema only drifts by versioned addition
+  against its committed snapshot.
+
+See :mod:`repro.analysis.core` for the suppression and baseline
+machinery, and ``analysis-baseline.toml`` at the repo root for the
+justified waivers of pre-existing, provably-benign findings.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError, Waiver, load_baseline
+from repro.analysis.core import (
+    CHECKERS,
+    AnalysisReport,
+    Checker,
+    ProgramFacts,
+    Violation,
+    analyze_paths,
+    load_program,
+    register,
+)
+from repro.analysis.facts import ModuleFacts, extract_module
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineError",
+    "CHECKERS",
+    "Checker",
+    "ModuleFacts",
+    "ProgramFacts",
+    "Violation",
+    "Waiver",
+    "analyze_paths",
+    "extract_module",
+    "load_baseline",
+    "load_program",
+    "register",
+]

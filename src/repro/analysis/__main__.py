@@ -1,0 +1,108 @@
+"""``python -m repro.analysis`` / ``seedb lint``: the analysis CLI.
+
+Exit codes: 0 clean (waivers allowed), 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis.baseline import BaselineError, load_baseline
+from repro.analysis.core import CHECKERS, analyze_paths
+
+DEFAULT_BASELINE = "analysis-baseline.toml"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="SEEDB invariant lint: lock order, guarded fields, "
+        "counter accounting, cancellation coverage, wire-schema drift.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule subset (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"waiver file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    import repro.analysis.checkers  # noqa: F401 - registration side effect
+
+    if args.list_rules:
+        for rule in sorted(CHECKERS):
+            print(f"{rule}: {CHECKERS[rule].description}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        path = args.baseline
+        if path is None and os.path.exists(DEFAULT_BASELINE):
+            path = DEFAULT_BASELINE
+        if path is not None:
+            try:
+                baseline = load_baseline(path)
+            except (OSError, BaselineError) as exc:
+                print(f"error: cannot load baseline {path}: {exc}", file=sys.stderr)
+                return 2
+
+    rules = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+    try:
+        report = analyze_paths(args.paths, rules=rules, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+        return 0 if report.clean else 1
+
+    for violation in report.violations:
+        print(violation.format())
+    summary = (
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.waived)} waived, "
+        f"{len(report.suppressed)} suppressed inline, "
+        f"{report.files} file(s), rules: {', '.join(report.rules)}"
+    )
+    print(("FAIL: " if report.violations else "OK: ") + summary)
+    for unused in report.unused_waivers:
+        print(f"warning: unused baseline waiver {unused}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""The committed waiver file: ``analysis-baseline.toml``.
+
+Pre-existing findings that are provably benign are waived here instead of
+suppressed inline, so the justification lives in one reviewable place and
+``python -m repro.analysis src/`` stays at exit 0. Format::
+
+    [[waiver]]
+    rule = "lock-order"
+    path = "src/repro/engine/cache.py"
+    contains = "fetch_table"           # optional message substring
+    reason = "why this finding is acceptable"
+
+A waiver matches a violation when the rule is equal, the violation's path
+ends with the waiver's ``path`` (so the file works from any invocation
+directory), and ``contains`` (when present) is a substring of the
+message. ``reason`` is mandatory — an unjustified waiver is a parse
+error. Waivers that match nothing are reported so the file cannot rot.
+
+Parsing prefers :mod:`tomllib` (3.11+); on 3.10 a fallback parser covers
+exactly the subset above (``[[waiver]]`` tables of string keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing required keys."""
+
+
+@dataclass
+class Waiver:
+    rule: str
+    path: str
+    reason: str
+    contains: "str | None" = None
+    uses: int = 0
+
+    def describe(self) -> str:
+        extra = f" contains={self.contains!r}" if self.contains else ""
+        return f"[{self.rule}] {self.path}{extra}"
+
+
+@dataclass
+class Baseline:
+    waivers: "list[Waiver]" = field(default_factory=list)
+
+    def waive(self, violation) -> "str | None":
+        """The matching waiver's reason, or None. Counts the use."""
+        for waiver in self.waivers:
+            if waiver.rule != violation.rule:
+                continue
+            if not _path_matches(violation.path, waiver.path):
+                continue
+            if waiver.contains and waiver.contains not in violation.message:
+                continue
+            waiver.uses += 1
+            return waiver.reason
+        return None
+
+    def unused(self) -> "list[str]":
+        return [w.describe() for w in self.waivers if w.uses == 0]
+
+
+def _path_matches(violation_path: str, waiver_path: str) -> bool:
+    v = violation_path.replace("\\", "/")
+    w = waiver_path.replace("\\", "/")
+    return v == w or v.endswith("/" + w) or v.endswith(w)
+
+
+def _parse_toml(text: str) -> dict:
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: minimal fallback for our subset
+        return _parse_minimal(text)
+    return tomllib.loads(text)
+
+
+def _parse_minimal(text: str) -> dict:
+    """Parse the ``[[waiver]]`` + string-keys subset used by this file."""
+    out: dict = {}
+    current: "dict | None" = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            out.setdefault(name, []).append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            current = {}
+            out[name] = current
+            continue
+        if "=" in line:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+                parsed: object = value[1:-1]
+            elif value in ("true", "false"):
+                parsed = value == "true"
+            else:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise BaselineError(
+                        f"unsupported TOML value in baseline: {raw!r}"
+                    ) from None
+            if current is None:
+                out[key] = parsed
+            else:
+                current[key] = parsed
+            continue
+        raise BaselineError(f"unsupported TOML line in baseline: {raw!r}")
+    return out
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = _parse_toml(handle.read())
+    waivers: list[Waiver] = []
+    for index, entry in enumerate(data.get("waiver", [])):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"waiver #{index + 1} is not a table")
+        missing = [key for key in ("rule", "path", "reason") if not entry.get(key)]
+        if missing:
+            raise BaselineError(
+                f"waiver #{index + 1} is missing required keys {missing} "
+                "(every waiver needs rule, path, and a justification)"
+            )
+        waivers.append(
+            Waiver(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                reason=str(entry["reason"]),
+                contains=(
+                    str(entry["contains"]) if entry.get("contains") else None
+                ),
+            )
+        )
+    return Baseline(waivers=waivers)

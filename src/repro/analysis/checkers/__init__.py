@@ -1,0 +1,9 @@
+"""The five built-in rule families; importing this package registers them."""
+
+from repro.analysis.checkers import (  # noqa: F401
+    cancellation,
+    counters,
+    guarded_field,
+    lock_order,
+    wire_schema,
+)

@@ -1,0 +1,215 @@
+"""lock-order: cycles in the lock-acquisition graph + blocking under locks.
+
+**Rule.** Build a directed graph over lock identities (``Class._attr``
+for instance/class locks resolved by static MRO walk, ``module._name``
+for module-level locks). An edge ``A -> B`` exists when code acquires
+``B`` while holding ``A`` — either a lexically nested ``with`` block, or
+(one hop interprocedurally) a ``self.``/``cls.``/``super().`` method call
+under ``A`` whose target's body opens ``with B:`` at its top level. Any
+cycle is a potential deadlock and is reported once per cycle.
+
+**Also.** Calls that can block indefinitely while a lock is held are
+reported: backend statement execution (``.execute`` /
+``.execute_grouping_sets`` / ``.fetch_table`` on backend-ish receivers),
+``Queue.get`` without a timeout on queue-ish receivers (``inbox`` /
+``outbox`` / ``queue``), ``Process.join`` without a timeout, pipe
+``.recv``, and ``Event.wait`` without a timeout. Deliberate cases (the
+session cache computes misses under its lock to coalesce requests) carry
+baseline waivers with their justification.
+
+Suppress with ``# seedb-lint: disable=lock-order -- <reason>``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Checker, ProgramFacts, Violation, register
+from repro.analysis.facts import CallSite, FunctionFacts, LockBlock, ModuleFacts
+
+#: Receiver name fragments that make an ``execute``-family call a DBMS
+#: round trip (`self.backend.execute`, `slot.backend.fetch_table`, ...).
+BACKEND_RECEIVERS = ("backend",)
+EXECUTE_ATTRS = ("execute", "execute_grouping_sets", "fetch_table")
+QUEUE_RECEIVERS = ("inbox", "outbox", "queue", "requests")
+PIPE_RECEIVERS = ("outbox", "conn", "pipe", "reader")
+PROCESS_RECEIVERS = ("process", "thread", "proc", "worker")
+
+
+def _blocking_reason(site: CallSite) -> "str | None":
+    attr = site.attr
+    recv = site.receiver
+    last = recv[-1] if recv else ""
+    recv_text = ".".join(recv)
+    if attr in EXECUTE_ATTRS and any(
+        fragment in part for part in recv for fragment in BACKEND_RECEIVERS
+    ):
+        return f"backend round trip '{site.text}'"
+    if attr == "get" and not site.has_timeout and any(
+        fragment in last for fragment in QUEUE_RECEIVERS
+    ):
+        return f"queue get without timeout '{site.text}'"
+    if attr == "join" and not site.has_timeout and any(
+        fragment in recv_text for fragment in PROCESS_RECEIVERS
+    ):
+        return f"join without timeout '{site.text}'"
+    if attr == "recv" and last in PIPE_RECEIVERS:
+        return f"pipe recv '{site.text}'"
+    if attr == "wait" and not site.has_timeout and "event" in last:
+        return f"unbounded event wait '{site.text}'"
+    return None
+
+
+@register
+class LockOrderChecker(Checker):
+    rule = "lock-order"
+    description = (
+        "lock-acquisition cycles and indefinitely-blocking calls made "
+        "while holding a lock"
+    )
+
+    def check(self, program: ProgramFacts) -> "list[Violation]":
+        violations: list[Violation] = []
+        #: edge (held, acquired) -> (path, line) of one example site.
+        edges: "dict[tuple[str, str], tuple[str, int]]" = {}
+
+        for module in program.modules:
+            for function in module.functions:
+                for block in function.lock_blocks:
+                    self._walk_block(
+                        program, module, function, block, [], edges, violations
+                    )
+
+        violations.extend(self._find_cycles(edges))
+        return violations
+
+    def _walk_block(
+        self,
+        program: ProgramFacts,
+        module: ModuleFacts,
+        function: FunctionFacts,
+        block: LockBlock,
+        held: "list[str]",
+        edges,
+        violations: "list[Violation]",
+    ) -> None:
+        node = program.lock_node(block.chain, function, module)
+        if node is not None:
+            for outer in held:
+                edges.setdefault((outer, node), (module.path, block.line))
+            held = held + [node]
+            # Blocking calls anywhere under this lock.
+            for site in block.calls:
+                reason = _blocking_reason(site)
+                if reason is not None:
+                    violations.append(
+                        Violation(
+                            rule=self.rule,
+                            path=module.path,
+                            line=site.line,
+                            message=(
+                                f"{reason} while holding {node} "
+                                f"(in {function.qualname})"
+                            ),
+                        )
+                    )
+            # One-hop interprocedural edges: self/cls/super() calls whose
+            # target opens a lock at its top level.
+            for site in block.calls:
+                for target_lock, _ in self._callee_locks(
+                    program, module, function, site
+                ):
+                    for outer in held:
+                        if outer != target_lock:
+                            edges.setdefault(
+                                (outer, target_lock), (module.path, site.line)
+                            )
+        for child in block.children:
+            self._walk_block(
+                program, module, function, child, held, edges, violations
+            )
+
+    def _callee_locks(
+        self,
+        program: ProgramFacts,
+        module: ModuleFacts,
+        function: FunctionFacts,
+        site: CallSite,
+    ):
+        """Top-level locks acquired by the (statically resolved) callee."""
+        target: "FunctionFacts | None" = None
+        target_module = module
+        if len(site.chain) == 2 and site.chain[0] in ("self", "cls"):
+            if function.class_name is not None:
+                target = program.resolve_method(
+                    function.class_name, site.chain[1]
+                )
+        elif len(site.chain) == 2 and site.chain[0] == "super()":
+            if function.class_name is not None:
+                target = program.resolve_method(
+                    function.class_name, site.chain[1], skip_self=True
+                )
+        elif len(site.chain) == 1:
+            name = site.chain[0]
+            target = self._module_function(module, name)
+            if target is None and name in module.imports:
+                dotted = module.imports[name]
+                source_module = program.by_dotted.get(
+                    dotted.rsplit(".", 1)[0] if "." in dotted else dotted
+                )
+                if source_module is not None:
+                    target_module = source_module
+                    target = self._module_function(
+                        source_module, dotted.rsplit(".", 1)[-1]
+                    )
+        if target is None:
+            return
+        owner_module = target_module
+        if target.class_name is not None:
+            entry = program.classes.get(target.class_name)
+            if entry is not None:
+                owner_module = entry[1]
+        for inner in target.lock_blocks:
+            resolved = program.lock_node(inner.chain, target, owner_module)
+            if resolved is not None:
+                yield resolved, inner.line
+
+    @staticmethod
+    def _module_function(
+        module: ModuleFacts, name: str
+    ) -> "FunctionFacts | None":
+        for function in module.functions:
+            if function.class_name is None and function.qualname == name:
+                return function
+        return None
+
+    def _find_cycles(self, edges) -> "list[Violation]":
+        graph: "dict[str, list[str]]" = {}
+        for held, acquired in edges:
+            graph.setdefault(held, []).append(acquired)
+        reported: set = set()
+        violations: list[Violation] = []
+
+        def dfs(node: str, stack: "list[str]", on_stack: set) -> None:
+            for succ in graph.get(node, []):
+                if succ in on_stack:
+                    cycle = stack[stack.index(succ) :] + [succ]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        path, line = edges[(node, succ)]
+                        violations.append(
+                            Violation(
+                                rule=self.rule,
+                                path=path,
+                                line=line,
+                                message=(
+                                    "lock-order cycle (potential deadlock): "
+                                    + " -> ".join(cycle)
+                                ),
+                            )
+                        )
+                    continue
+                dfs(succ, stack + [succ], on_stack | {succ})
+
+        for start in sorted(graph):
+            dfs(start, [start], {start})
+        return violations

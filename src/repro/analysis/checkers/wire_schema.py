@@ -1,0 +1,167 @@
+"""wire-schema: the request schema may only grow, and only versioned.
+
+**Rule.** ``repro.api.schema.request_json_schema()`` is the service's
+wire contract; ``tests/data/api_contract_v1.json`` is its committed
+snapshot. This checker flattens both documents to ``path = value`` pairs
+and diffs them:
+
+* a **removal** or **change** of any committed path fails — clients
+  depend on it;
+* an **addition** is allowed only when ``schema_version`` was bumped
+  above the committed snapshot's (a versioned addition); unversioned
+  additions fail;
+* an identical schema is clean.
+
+Intentional breaking changes regenerate the snapshot *and* bump
+``SCHEMA_VERSION`` in the same commit, which this checker (and the
+runtime contract test) then accepts.
+
+The generated schema is obtained by importing ``repro.api.schema`` — the
+module is import-pure — so the diff is exact rather than an AST
+approximation of dict literals. The checker runs only when the analyzed
+tree contains ``api/schema.py``.
+
+Suppress with ``# seedb-lint: disable=wire-schema -- <reason>`` (there is
+deliberately no baseline waiver for schema drift).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.core import Checker, ProgramFacts, Violation, register
+
+CONTRACT_RELPATH = os.path.join("tests", "data", "api_contract_v1.json")
+
+
+def flatten(doc, prefix: str = "") -> "dict[str, object]":
+    """``{json-path: scalar}`` pairs for a JSON document."""
+    out: dict[str, object] = {}
+    if isinstance(doc, dict):
+        if not doc:
+            out[prefix or "$"] = "{}"
+        for key in sorted(doc):
+            out.update(flatten(doc[key], f"{prefix}.{key}" if prefix else key))
+    elif isinstance(doc, list):
+        if not doc:
+            out[prefix or "$"] = "[]"
+        for index, item in enumerate(doc):
+            out.update(flatten(item, f"{prefix}[{index}]"))
+    else:
+        out[prefix or "$"] = doc
+    return out
+
+
+def diff_schemas(
+    committed: dict, current: dict
+) -> "list[tuple[str, str, str]]":
+    """``(kind, path, detail)`` findings; empty means no illegal drift.
+
+    ``kind`` is one of ``removed`` / ``changed`` / ``unversioned-add``.
+    """
+    old = flatten(committed)
+    new = flatten(current)
+    committed_version = committed.get("schema_version", 0)
+    current_version = current.get("schema_version", 0)
+    versioned = current_version > committed_version
+    findings: list[tuple[str, str, str]] = []
+    for path in sorted(old):
+        if path == "schema_version":
+            continue
+        if path not in new:
+            findings.append(
+                ("removed", path, f"was {old[path]!r}, now absent")
+            )
+        elif new[path] != old[path]:
+            findings.append(
+                ("changed", path, f"was {old[path]!r}, now {new[path]!r}")
+            )
+    if not versioned:
+        for path in sorted(set(new) - set(old)):
+            findings.append(
+                (
+                    "unversioned-add",
+                    path,
+                    f"added ({new[path]!r}) without bumping schema_version "
+                    f"(still {current_version})",
+                )
+            )
+    if current_version < committed_version:
+        findings.append(
+            (
+                "changed",
+                "schema_version",
+                f"went backwards: {committed_version} -> {current_version}",
+            )
+        )
+    return findings
+
+
+@register
+class WireSchemaChecker(Checker):
+    rule = "wire-schema"
+    description = (
+        "drift between api/schema.py and the committed wire-contract "
+        "snapshot that is not a versioned addition"
+    )
+
+    def check(self, program: ProgramFacts) -> "list[Violation]":
+        schema_module = None
+        for module in program.modules:
+            if module.path.replace("\\", "/").endswith("api/schema.py"):
+                schema_module = module
+                break
+        if schema_module is None:
+            return []  # schema not in the analyzed tree
+        contract_path = self._contract_path(schema_module.path)
+        if contract_path is None or not os.path.exists(contract_path):
+            return [
+                Violation(
+                    rule=self.rule,
+                    path=schema_module.path,
+                    line=1,
+                    message=(
+                        f"wire-contract snapshot {CONTRACT_RELPATH} not "
+                        "found; the schema has no committed baseline to "
+                        "diff against"
+                    ),
+                )
+            ]
+        with open(contract_path, "r", encoding="utf-8") as handle:
+            contract = json.load(handle)
+        committed = contract.get("request_schema", contract)
+        from repro.api.schema import request_json_schema
+
+        current = request_json_schema()
+        anchor = self._anchor_line(schema_module)
+        return [
+            Violation(
+                rule=self.rule,
+                path=schema_module.path,
+                line=anchor,
+                message=f"wire-schema drift [{kind}] at {path}: {detail}",
+            )
+            for kind, path, detail in diff_schemas(committed, current)
+        ]
+
+    @staticmethod
+    def _contract_path(schema_path: str) -> "str | None":
+        """Walk up from api/schema.py to the repo root holding tests/."""
+        current = os.path.dirname(os.path.abspath(schema_path))
+        for _ in range(8):
+            candidate = os.path.join(current, CONTRACT_RELPATH)
+            if os.path.exists(candidate):
+                return candidate
+            parent = os.path.dirname(current)
+            if parent == current:
+                break
+            current = parent
+        return None
+
+    @staticmethod
+    def _anchor_line(module) -> int:
+        for function in module.functions:
+            if function.qualname == "request_json_schema":
+                return function.line
+        return 1

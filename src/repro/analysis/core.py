@@ -1,0 +1,248 @@
+"""Checker registry, whole-program facts, and the analysis driver.
+
+A checker is a class with a ``rule`` name and a ``check(program)`` method
+returning :class:`Violation` objects; registration is by decorator, and
+``python -m repro.analysis`` runs every registered checker over the
+extracted :class:`ProgramFacts`. Violations pass through two filters
+before they fail the run:
+
+* inline suppressions — ``# seedb-lint: disable=<rule> -- <reason>`` on
+  (or immediately above) the flagged line, or
+  ``# seedb-lint: file-disable=<rule>`` anywhere in the file;
+* the committed baseline (``analysis-baseline.toml``) of waived findings,
+  each carrying a justification (:mod:`repro.analysis.baseline`).
+
+Everything left is a hard failure: the exit code contract is 0 for clean
+(possibly with waivers), 1 for violations, 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.facts import ClassFacts, FunctionFacts, ModuleFacts, extract_module
+
+
+@dataclass
+class Violation:
+    """One finding: rule, location, and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+#: rule name -> checker class. Populated by :func:`register`.
+CHECKERS: "dict[str, type]" = {}
+
+
+def register(cls):
+    """Class decorator adding a checker to the registry by its ``rule``."""
+    rule = getattr(cls, "rule", None)
+    if not rule:
+        raise ValueError(f"checker {cls.__name__} has no rule name")
+    CHECKERS[rule] = cls
+    return cls
+
+
+class Checker:
+    """Base class: one rule, documented in the subclass docstring."""
+
+    rule = ""
+    description = ""
+
+    def check(self, program: "ProgramFacts") -> "list[Violation]":
+        raise NotImplementedError
+
+
+class ProgramFacts:
+    """Cross-file view: class table, MRO walks, and lock-name resolution."""
+
+    def __init__(self, modules: "list[ModuleFacts]"):
+        self.modules = modules
+        self.by_dotted: "dict[str, ModuleFacts]" = {
+            module.dotted: module for module in modules
+        }
+        #: class name -> (facts, defining module). Class names are unique
+        #: in this codebase; a duplicate keeps the first definition.
+        self.classes: "dict[str, tuple[ClassFacts, ModuleFacts]]" = {}
+        for module in modules:
+            for name, cls in module.classes.items():
+                self.classes.setdefault(name, (cls, module))
+
+    # -- name resolution ---------------------------------------------------
+
+    def mro(self, class_name: str) -> "list[str]":
+        """Static linearization: the class then bases depth-first.
+
+        Good enough for single-inheritance chains (which is all this
+        codebase has); unknown bases terminate the walk.
+        """
+        seen: list[str] = []
+
+        def visit(name: str) -> None:
+            if name in seen or name not in self.classes:
+                return
+            seen.append(name)
+            for base in self.classes[name][0].bases:
+                visit(base)
+
+        visit(class_name)
+        return seen
+
+    def resolve_lock(self, class_name: str, attr: str) -> "str | None":
+        """``Owner.attr`` for the class (via MRO) defining lock ``attr``."""
+        for name in self.mro(class_name):
+            if attr in self.classes[name][0].lock_attrs:
+                return f"{name}.{attr}"
+        return None
+
+    def resolve_method(
+        self, class_name: str, method: str, skip_self: bool = False
+    ) -> "FunctionFacts | None":
+        """The method the name dispatches to, by static MRO walk.
+
+        ``skip_self=True`` models ``super().method()`` from ``class_name``.
+        """
+        order = self.mro(class_name)
+        if skip_self and order and order[0] == class_name:
+            order = order[1:]
+        for name in order:
+            found = self.classes[name][0].methods.get(method)
+            if found is not None:
+                return found
+        return None
+
+    def lock_node(
+        self,
+        chain: "tuple[str, ...]",
+        function: FunctionFacts,
+        module: ModuleFacts,
+    ) -> "str | None":
+        """Stable graph-node name for a lock expression chain.
+
+        ``self._lock`` / ``cls._lock`` resolve through the class table to
+        the defining class; bare names resolve to module-level locks.
+        Chains that resolve to nothing lock-like return None (the ``with``
+        was over something else, e.g. a connection object).
+        """
+        if len(chain) == 2 and chain[0] in ("self", "cls"):
+            if function.class_name is None:
+                return None
+            resolved = self.resolve_lock(function.class_name, chain[1])
+            if resolved is not None:
+                return resolved
+            # Unknown attribute: only treat lock-suffixed/condition names
+            # as locks so `with self._conn:` style contexts stay out.
+            if chain[1].endswith(("_lock", "_cond")) or chain[1] in (
+                "_lock",
+                "_cond",
+            ):
+                return f"{function.class_name}.{chain[1]}"
+            return None
+        if len(chain) == 1:
+            name = chain[0]
+            if name in module.module_locks:
+                return f"{module.dotted}.{name}"
+            if name.endswith("_lock"):
+                # A function-local lock: real, but private to the function.
+                return f"{function.qualname}.<{name}>"
+            return None
+        return None
+
+
+@dataclass
+class AnalysisReport:
+    """The driver's result: violations plus the bookkeeping around them."""
+
+    violations: "list[Violation]" = field(default_factory=list)
+    waived: "list[tuple[Violation, str]]" = field(default_factory=list)
+    suppressed: "list[Violation]" = field(default_factory=list)
+    unused_waivers: "list[str]" = field(default_factory=list)
+    files: int = 0
+    rules: "list[str]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files": self.files,
+            "rules": self.rules,
+            "violations": [v.__dict__ for v in self.violations],
+            "waived": [
+                dict(v.__dict__, reason=reason) for v, reason in self.waived
+            ],
+            "suppressed": [v.__dict__ for v in self.suppressed],
+            "unused_waivers": self.unused_waivers,
+        }
+
+
+def collect_files(paths: "list[str]") -> "list[str]":
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def load_program(paths: "list[str]") -> ProgramFacts:
+    modules = [extract_module(path) for path in collect_files(paths)]
+    return ProgramFacts(modules)
+
+
+def analyze_paths(
+    paths: "list[str]",
+    rules: "list[str] | None" = None,
+    baseline: "Baseline | None" = None,
+) -> AnalysisReport:
+    """Run checkers over ``paths`` and fold in suppressions + baseline."""
+    # Import for the registration side effect (each checker registers).
+    import repro.analysis.checkers  # noqa: F401
+
+    program = load_program(paths)
+    selected = sorted(rules) if rules else sorted(CHECKERS)
+    unknown = [rule for rule in selected if rule not in CHECKERS]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {unknown}; available: {sorted(CHECKERS)}"
+        )
+    report = AnalysisReport(files=len(program.modules), rules=selected)
+    by_path = {module.path: module for module in program.modules}
+    findings: list[Violation] = []
+    for rule in selected:
+        findings.extend(CHECKERS[rule]().check(program))
+    findings.sort(key=lambda v: (v.path, v.line, v.rule))
+    for violation in findings:
+        module = by_path.get(violation.path)
+        if module is not None and module.suppressed(
+            violation.rule, violation.line
+        ):
+            report.suppressed.append(violation)
+            continue
+        if baseline is not None:
+            reason = baseline.waive(violation)
+            if reason is not None:
+                report.waived.append((violation, reason))
+                continue
+        report.violations.append(violation)
+    if baseline is not None:
+        report.unused_waivers = baseline.unused()
+    return report

@@ -1,0 +1,522 @@
+"""Per-file fact extraction: the AST layer every checker shares.
+
+One parse per file produces a :class:`ModuleFacts` — classes, functions,
+lock-acquisition blocks, call sites, loops, ``# guarded-by:`` field
+annotations, and ``# seedb-lint:`` suppression comments — so each checker
+is a small pass over pre-digested structure instead of its own AST walk.
+
+The model is deliberately syntactic. Lock identity is a *name chain*
+(``self._lock``, ``cls._registry_lock``, a module-level ``_pool_lock``)
+resolved later against the whole-program class table
+(:class:`~repro.analysis.core.ProgramFacts`); calls are dotted chains
+with their ``timeout`` arguments noted. That is exactly the level the
+codebase's own conventions live at (``with self._lock:`` blocks,
+``# guarded-by: _lock`` comments), which keeps the checkers honest about
+what they can and cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+#: Callables whose result is a lock object for our purposes.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "allocate_lock"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*seedb-lint:\s*disable=([A-Za-z0-9_,\-]+)(?:\s*--\s*(?P<reason>.*))?"
+)
+_FILE_SUPPRESS_RE = re.compile(
+    r"#\s*seedb-lint:\s*file-disable=([A-Za-z0-9_,\-]+)(?:\s*--\s*(?P<reason>.*))?"
+)
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass
+class CallSite:
+    """One call expression: dotted receiver chain plus timeout evidence."""
+
+    chain: tuple[str, ...]  # ("self", "backend", "execute"); ("super()", "close")
+    line: int
+    has_timeout: bool
+
+    @property
+    def attr(self) -> str:
+        return self.chain[-1]
+
+    @property
+    def receiver(self) -> tuple[str, ...]:
+        return self.chain[:-1]
+
+    @property
+    def text(self) -> str:
+        return ".".join(self.chain)
+
+
+@dataclass
+class LockBlock:
+    """One ``with <lock>:`` block; children are lexically nested blocks."""
+
+    chain: tuple[str, ...]
+    line: int
+    end_line: int
+    children: "list[LockBlock]" = field(default_factory=list)
+    #: Every call in the block's subtree (the lock is held across all).
+    calls: "list[CallSite]" = field(default_factory=list)
+
+
+@dataclass
+class LoopFacts:
+    """One for/while loop with everything its subtree mentions."""
+
+    kind: str  # "for" | "while"
+    line: int
+    is_while_true: bool
+    #: Every Name id and Attribute attr in the loop subtree (condition
+    #: included) — the cancellation checker's satisfaction vocabulary.
+    names: set = field(default_factory=set)
+    calls: "list[CallSite]" = field(default_factory=list)
+    children: "list[LoopFacts]" = field(default_factory=list)
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.X`` / ``cls.X`` attribute read or write."""
+
+    attr: str
+    line: int
+    is_store: bool
+
+
+@dataclass
+class FunctionFacts:
+    name: str
+    qualname: str
+    class_name: "str | None"
+    line: int
+    docstring: str
+    lock_blocks: "list[LockBlock]" = field(default_factory=list)  # top-level
+    #: Flat (chain, start, end) spans for every lock block, nested included.
+    lock_spans: "list[tuple[tuple[str, ...], int, int]]" = field(
+        default_factory=list
+    )
+    loops: "list[LoopFacts]" = field(default_factory=list)  # top-level
+    calls: "list[CallSite]" = field(default_factory=list)  # all
+    accesses: "list[AttrAccess]" = field(default_factory=list)
+
+
+@dataclass
+class ClassFacts:
+    name: str
+    line: int
+    bases: "list[str]" = field(default_factory=list)
+    #: lock attribute -> defining line (threading.Lock/RLock/Condition).
+    lock_attrs: "dict[str, int]" = field(default_factory=dict)
+    #: field attribute -> (guard lock attribute, annotation line).
+    guarded: "dict[str, tuple[str, int]]" = field(default_factory=dict)
+    methods: "dict[str, FunctionFacts]" = field(default_factory=dict)
+
+
+@dataclass
+class ModuleFacts:
+    path: str  # as given on the command line / to analyze_paths
+    dotted: str  # "repro.engine.cache" (best effort from the path)
+    source: str
+    classes: "dict[str, ClassFacts]" = field(default_factory=dict)
+    #: Every function in the file: module level, methods, and closures.
+    functions: "list[FunctionFacts]" = field(default_factory=list)
+    #: Module-level lock assignments: name -> line.
+    module_locks: "dict[str, int]" = field(default_factory=dict)
+    #: line -> rules suppressed on that line (or the line below it).
+    suppressions: "dict[int, set]" = field(default_factory=dict)
+    file_suppressions: set = field(default_factory=set)
+    #: lines that are pure comments — only these may annotate the line below.
+    comment_lines: set = field(default_factory=set)
+    #: imported name -> dotted source module ("repro.optimizer.parallel").
+    imports: "dict[str, str]" = field(default_factory=dict)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        probes = [line]
+        if line - 1 in self.comment_lines:
+            # A trailing comment on the previous *statement* must not leak
+            # onto this line; only a standalone comment annotates downward.
+            probes.append(line - 1)
+        for probe in probes:
+            rules = self.suppressions.get(probe)
+            if rules and (rule in rules or "all" in rules):
+                return True
+        return False
+
+
+def _expr_chain(node: ast.expr) -> "tuple[str, ...] | None":
+    """Dotted name chain of an expression, or None if not a plain chain."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    elif isinstance(cur, ast.Call):
+        if isinstance(cur.func, ast.Name) and cur.func.id == "super":
+            parts.append("super()")
+        else:
+            # Flatten through an intermediate call so e.g.
+            # ``self._connection().execute`` yields
+            # ``("self", "_connection()", "execute")``.
+            inner = _expr_chain(cur.func)
+            if inner is None:
+                return None
+            return inner[:-1] + (inner[-1] + "()",) + tuple(reversed(parts))
+    else:
+        return None
+    return tuple(reversed(parts))
+
+
+def _call_site(node: ast.Call) -> "CallSite | None":
+    chain = _expr_chain(node.func)
+    if chain is None:
+        return None
+    attr = chain[-1]
+    has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
+    if not has_timeout:
+        # Positional timeout forms: Process.join(t), Event.wait(t),
+        # Queue.get(block, t).
+        if attr in ("join", "wait") and len(node.args) >= 1:
+            has_timeout = True
+        elif attr == "get" and len(node.args) >= 2:
+            has_timeout = True
+    return CallSite(chain=chain, line=node.lineno, has_timeout=has_timeout)
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _expr_chain(node.func)
+    return chain is not None and chain[-1] in LOCK_FACTORIES
+
+
+def dotted_module_name(path: str) -> str:
+    """Best-effort dotted module name from a file path."""
+    norm = path.replace("\\", "/")
+    parts = [p for p in norm.split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or norm
+
+
+class _FunctionWalker:
+    """Recursive statement walk of one function body.
+
+    Tracks the lock-block stack (for nesting edges and per-block call
+    attribution) and the loop stack; nested ``def``/``lambda`` bodies are
+    handed back to the module extractor as separate functions — code in a
+    closure runs later, under whatever locks are held *then*.
+    """
+
+    def __init__(self, facts: FunctionFacts, nested_sink):
+        self.facts = facts
+        self.nested_sink = nested_sink  # list of (ast.FunctionDef, qualname)
+        self.lock_stack: list[LockBlock] = []
+        self.loop_stack: list[LoopFacts] = []
+
+    def walk_body(self, body) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested_sink.append(
+                (node, f"{self.facts.qualname}.{node.name}")
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes: out of scope
+        if isinstance(node, ast.With):
+            self._walk_with(node)
+            return
+        if isinstance(node, (ast.For, ast.While)):
+            self._walk_loop(node)
+            return
+        # Generic statement: collect expressions, then recurse into any
+        # nested statement lists (if/try/etc.).
+        self._collect_exprs(node)
+        for child_body in self._stmt_bodies(node):
+            self.walk_body(child_body)
+
+    @staticmethod
+    def _stmt_bodies(node: ast.stmt):
+        for name in ("body", "orelse", "finalbody"):
+            body = getattr(node, name, None)
+            if body and isinstance(body, list) and isinstance(
+                body[0], ast.stmt
+            ):
+                yield body
+        for handler in getattr(node, "handlers", []) or []:
+            yield handler.body
+
+    def _walk_with(self, node: ast.With) -> None:
+        opened: list[LockBlock] = []
+        for item in node.items:
+            chain = _expr_chain(item.context_expr)
+            if chain is not None:
+                block = LockBlock(
+                    chain=chain,
+                    line=node.lineno,
+                    end_line=node.end_lineno or node.lineno,
+                )
+                if self.lock_stack:
+                    self.lock_stack[-1].children.append(block)
+                else:
+                    self.facts.lock_blocks.append(block)
+                self.facts.lock_spans.append(
+                    (chain, block.line, block.end_line)
+                )
+                self.lock_stack.append(block)
+                opened.append(block)
+            else:
+                # Not a lock acquisition (``with open(...)``, a
+                # contextmanager call): still walk its expression for
+                # calls/accesses.
+                self._collect_expr(item.context_expr)
+            if item.optional_vars is not None:
+                self._collect_expr(item.optional_vars)
+        self.walk_body(node.body)
+        for _ in opened:
+            self.lock_stack.pop()
+
+    def _walk_loop(self, node) -> None:
+        loop = LoopFacts(
+            kind="for" if isinstance(node, ast.For) else "while",
+            line=node.lineno,
+            is_while_true=(
+                isinstance(node, ast.While)
+                and isinstance(node.test, ast.Constant)
+                and node.test.value is True
+            ),
+        )
+        if self.loop_stack:
+            self.loop_stack[-1].children.append(loop)
+        else:
+            self.facts.loops.append(loop)
+        self.loop_stack.append(loop)
+        # Header expressions count toward the loop's vocabulary.
+        if isinstance(node, ast.For):
+            self._collect_expr(node.target)
+            self._collect_expr(node.iter)
+        else:
+            self._collect_expr(node.test)
+        self.walk_body(node.body)
+        self.walk_body(node.orelse)
+        self.loop_stack.pop()
+
+    def _collect_exprs(self, node: ast.stmt) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._collect_expr(child)
+
+    def _collect_expr(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                site = _call_site(sub)
+                if site is not None:
+                    self._note_call(site)
+            elif isinstance(sub, ast.Attribute):
+                if isinstance(sub.value, ast.Name) and sub.value.id in (
+                    "self",
+                    "cls",
+                ):
+                    self.facts.accesses.append(
+                        AttrAccess(
+                            attr=sub.attr,
+                            line=sub.lineno,
+                            is_store=isinstance(
+                                sub.ctx, (ast.Store, ast.Del)
+                            ),
+                        )
+                    )
+                self._note_name(sub.attr)
+            elif isinstance(sub, ast.Name):
+                self._note_name(sub.id)
+            elif isinstance(sub, (ast.Lambda,)):
+                pass  # bodies run later; header already walked by ast.walk
+
+    def _note_call(self, site: CallSite) -> None:
+        self.facts.calls.append(site)
+        for block in self.lock_stack:
+            block.calls.append(site)
+        for loop in self.loop_stack:
+            loop.calls.append(site)
+        for part in site.chain:
+            self._note_name(part)
+
+    def _note_name(self, name: str) -> None:
+        for loop in self.loop_stack:
+            loop.names.add(name)
+
+
+def _extract_function(
+    node, class_name: "str | None", qualname: str, sink: list
+) -> FunctionFacts:
+    facts = FunctionFacts(
+        name=node.name,
+        qualname=qualname,
+        class_name=class_name,
+        line=node.lineno,
+        docstring=ast.get_docstring(node) or "",
+    )
+    nested: list = []
+    walker = _FunctionWalker(facts, nested)
+    walker.walk_body(node.body)
+    sink.append(facts)
+    for child, child_qualname in nested:
+        _extract_function(child, class_name, child_qualname, sink)
+    return facts
+
+
+def _guard_comment_lines(source_lines: "list[str]") -> "dict[int, str]":
+    out: dict[int, str] = {}
+    for index, line in enumerate(source_lines, start=1):
+        match = _GUARDED_BY_RE.search(line)
+        if match:
+            out[index] = match.group(1)
+    return out
+
+
+def _guard_for(
+    node: ast.stmt, guard_lines: "dict[int, str]", comment_lines: set
+) -> "str | None":
+    """The guard annotated on a statement's first/preceding/last line.
+
+    The preceding line only counts when it is a standalone comment —
+    otherwise a trailing annotation on the previous statement would leak
+    onto this one.
+    """
+    probes = [node.lineno, node.end_lineno or 0]
+    if node.lineno - 1 in comment_lines:
+        probes.append(node.lineno - 1)
+    for probe in probes:
+        guard = guard_lines.get(probe)
+        if guard is not None:
+            return guard
+    return None
+
+
+def _extract_class(
+    node: ast.ClassDef,
+    module: ModuleFacts,
+    guard_lines: "dict[int, str]",
+    comment_lines: set,
+    sink: list,
+) -> ClassFacts:
+    facts = ClassFacts(name=node.name, line=node.lineno)
+    for base in node.bases:
+        chain = _expr_chain(base)
+        if chain:
+            facts.bases.append(chain[-1])
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _extract_function(
+                stmt, node.name, f"{node.name}.{stmt.name}", sink
+            )
+            facts.methods[stmt.name] = fn
+            if stmt.name == "__init__":
+                _scan_init_assignments(stmt, facts, guard_lines, comment_lines)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if value is not None and _is_lock_factory(value):
+                        facts.lock_attrs[target.id] = stmt.lineno
+                    guard = _guard_for(stmt, guard_lines, comment_lines)
+                    if guard is not None:
+                        facts.guarded[target.id] = (guard, stmt.lineno)
+    return facts
+
+
+def _scan_init_assignments(
+    init: ast.FunctionDef,
+    facts: ClassFacts,
+    guard_lines: "dict[int, str]",
+    comment_lines: set,
+) -> None:
+    for stmt in ast.walk(init):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if value is not None and _is_lock_factory(value):
+                    facts.lock_attrs[target.attr] = stmt.lineno
+                guard = _guard_for(stmt, guard_lines, comment_lines)
+                if guard is not None:
+                    facts.guarded[target.attr] = (guard, stmt.lineno)
+
+
+def extract_module(path: str, source: "str | None" = None) -> ModuleFacts:
+    """Parse one file into a :class:`ModuleFacts`."""
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    module = ModuleFacts(
+        path=path, dotted=dotted_module_name(path), source=source
+    )
+    lines = source.splitlines()
+    guard_lines = _guard_comment_lines(lines)
+    module.comment_lines = {
+        index
+        for index, line in enumerate(lines, start=1)
+        if line.lstrip().startswith("#")
+    }
+
+    for index, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            module.suppressions.setdefault(index, set()).update(rules)
+        match = _FILE_SUPPRESS_RE.search(line)
+        if match:
+            module.file_suppressions.update(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            module.classes[stmt.name] = _extract_class(
+                stmt, module, guard_lines, module.comment_lines, module.functions
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _extract_function(stmt, None, stmt.name, module.functions)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and _is_lock_factory(
+                    stmt.value
+                ):
+                    module.module_locks[target.id] = stmt.lineno
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module:
+            for alias in stmt.names:
+                module.imports[alias.asname or alias.name] = (
+                    f"{stmt.module}.{alias.name}"
+                )
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                module.imports[alias.asname or alias.name] = alias.name
+    return module

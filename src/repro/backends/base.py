@@ -99,10 +99,10 @@ class Backend:
         #: their table-registry mutations): stats reads and cache
         #: invalidation see a single consistent accounting state.
         self._accounting_lock = threading.RLock()
-        self._data_version = 0
-        self._queries_executed = 0
-        self._statements_executed = 0
-        self._metadata_queries_executed = 0
+        self._data_version = 0  # guarded-by: _accounting_lock
+        self._queries_executed = 0  # guarded-by: _accounting_lock
+        self._statements_executed = 0  # guarded-by: _accounting_lock
+        self._metadata_queries_executed = 0  # guarded-by: _accounting_lock
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -240,7 +240,8 @@ class Backend:
         grouping set — the unit the paper's combining optimizations
         minimize — while a *native* shared scan counts once.
         """
-        return self._queries_executed
+        with self._accounting_lock:
+            return self._queries_executed
 
     @property
     def statements_executed(self) -> int:
@@ -250,7 +251,8 @@ class Backend:
         batch is many logical queries but one statement; a native
         GROUPING SETS query is one of each.
         """
-        return self._statements_executed
+        with self._accounting_lock:
+            return self._statements_executed
 
     @property
     def metadata_queries_executed(self) -> int:
@@ -261,7 +263,8 @@ class Backend:
         observable — the conformance kit asserts it stays ≤ 2 per table —
         without perturbing view-query accounting.
         """
-        return self._metadata_queries_executed
+        with self._accounting_lock:
+            return self._metadata_queries_executed
 
     def reset_counters(self) -> None:
         with self._accounting_lock:
@@ -288,7 +291,8 @@ class Backend:
         through :meth:`create_sample`) do not bump it — they are owned by
         the cache layer that keys on this counter.
         """
-        return self._data_version
+        with self._accounting_lock:
+            return self._data_version
 
     def _bump_data_version(self) -> None:
         with self._accounting_lock:

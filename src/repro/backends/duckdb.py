@@ -223,11 +223,10 @@ class DuckDbBackend(Backend):
 
     def row_count(self, table_name: str) -> int:
         self._require_table(table_name)
-        cursor = self._sql(
-            self._connection(),
-            f"SELECT COUNT(*) FROM {quote_identifier(table_name)}",
+        rows = self._metadata_rows(
+            f"SELECT COUNT(*) FROM {quote_identifier(table_name)}"
         )
-        return int(cursor.fetchone()[0])
+        return int(rows[0][0])
 
     # -- execution -------------------------------------------------------------
 
@@ -378,6 +377,9 @@ class DuckDbBackend(Backend):
             if interrupt is not None:
                 unregister = token.on_cancel(interrupt)
         try:
+            # _sql is the shared raw seam; counted callers (_run,
+            # _run_to_table, _metadata_rows) record before reaching it.
+            # seedb-lint: disable=counter-accounting -- bare DDL/loads are deliberately uncounted
             return connection.execute(sql)
         except Exception as exc:
             if token is not None:

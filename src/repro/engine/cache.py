@@ -87,13 +87,16 @@ class SessionCache:
         self.backend = backend
         self.stats = CacheStats()
         self._lock = threading.RLock()
-        self._version: "int | None" = None
-        self._schemas: dict = {}
-        self._tables: dict = {}  # (name, max_rows) -> Table
-        self._metadata: dict[tuple, TableMetadata] = {}  # (name, max_rows)
-        self._row_counts: dict[str, int] = {}
-        self._samples: dict[str, _SampleEntry] = {}  # source -> entry
-        self._profiles: dict[str, TableProfile] = {}
+        self._version: "int | None" = None  # guarded-by: _lock
+        self._schemas: dict = {}  # guarded-by: _lock
+        # (name, max_rows) -> Table
+        self._tables: dict = {}  # guarded-by: _lock
+        # (name, max_rows) -> TableMetadata
+        self._metadata: dict[tuple, TableMetadata] = {}  # guarded-by: _lock
+        self._row_counts: dict[str, int] = {}  # guarded-by: _lock
+        # source -> entry
+        self._samples: dict[str, _SampleEntry] = {}  # guarded-by: _lock
+        self._profiles: dict[str, TableProfile] = {}  # guarded-by: _lock
         #: Cost-model calibration — deliberately *not* keyed on
         #: ``data_version`` and never evicted by :meth:`invalidate`:
         #: per-unit costs describe the machine and backend, not the data.
@@ -143,7 +146,7 @@ class SessionCache:
 
         ``drop_table`` bumps the backend's data version; re-reading it here
         keeps the cache's own maintenance from looking like an external
-        data change on the next :meth:`sync`.
+        data change on the next :meth:`sync`. Caller holds the lock.
         """
         if self.backend.has_table(name):
             self.backend.drop_table(name)

@@ -281,6 +281,12 @@ def main(argv: "list[str] | None" = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # The invariant lint suite (lock order, guarded fields, counter
+        # accounting, cancellation coverage, wire-schema drift).
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     backend = None
     seedb = None

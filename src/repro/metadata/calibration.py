@@ -152,9 +152,10 @@ class CalibrationStore:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.path = path
         self.alpha = alpha
+        # Immutable after construction; reads need no lock.
         self._seeds = dict(SEEDED_COEFFICIENTS if seeds is None else seeds)
         self._lock = threading.Lock()
-        self._backends: dict[str, _BackendCalibration] = {}
+        self._backends: dict[str, _BackendCalibration] = {}  # guarded-by: _lock
         if path is not None and os.path.exists(path):
             self._load(path)
 
@@ -234,7 +235,8 @@ class CalibrationStore:
     # -- persistence -------------------------------------------------------
 
     def _save_locked(self, path: str) -> None:
-        """Best-effort atomic write; a read-only filesystem is not an error."""
+        """Best-effort atomic write; a read-only filesystem is not an
+        error. Caller holds the lock."""
         payload = {
             "alpha": self.alpha,
             "backends": {
@@ -255,7 +257,9 @@ class CalibrationStore:
                     os.unlink(temp_path)
 
     def _load(self, path: str) -> None:
-        with suppress(OSError, json.JSONDecodeError, TypeError, KeyError):
+        with self._lock, suppress(
+            OSError, json.JSONDecodeError, TypeError, KeyError
+        ):
             with open(path) as stream:
                 payload = json.load(stream)
             for name, entry in payload.get("backends", {}).items():

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.backends.base import Backend
 from repro.model.view import RawViewData, ViewSpec
 from repro.optimizer.plan import ExecutionPlan, ExecutionStep
+from repro.util.deadline import cancel_scope, check_current, current_token
 from repro.util.errors import ConfigError
 
 
@@ -66,14 +67,15 @@ class WorkerPool:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self._lock = threading.Lock()
-        self._pool: "ThreadPoolExecutor | None" = None
+        self._pool: "ThreadPoolExecutor | None" = None  # guarded-by: _lock
         #: Tasks ever submitted (observability; exact under the lock).
-        self.tasks_submitted = 0
+        self.tasks_submitted = 0  # guarded-by: _lock
 
     @property
     def warm(self) -> bool:
         """Whether worker threads already exist."""
-        return self._pool is not None
+        with self._lock:
+            return self._pool is not None
 
     def submit(self, fn, /, *args, **kwargs):
         with self._lock:
@@ -183,6 +185,7 @@ class ParallelExecutor:
         start = time.perf_counter()
         extracted: dict[ViewSpec, RawViewData] = {}
         step_seconds: list[float] = []
+        token = current_token()
 
         if self.n_workers == 1 or len(plan.steps) <= 1:
             for step in plan.steps:
@@ -193,9 +196,13 @@ class ParallelExecutor:
             extracted, step_seconds = self._run_on_shared(plan, backend)
         elif self.persistent:
             pool = self._ensure_pool()
-            futures = [pool.submit(_timed_run, step, backend) for step in plan.steps]
+            futures = [
+                pool.submit(_scoped_run, token, step, backend)
+                for step in plan.steps
+            ]
             try:
                 for future in futures:
+                    check_current()
                     result, elapsed = future.result()
                     extracted.update(result)
                     step_seconds.append(elapsed)
@@ -209,9 +216,13 @@ class ParallelExecutor:
         else:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
-                    pool.submit(_timed_run, step, backend) for step in plan.steps
+                    pool.submit(_scoped_run, token, step, backend)
+                    for step in plan.steps
                 ]
+                # On cancellation the with-block still joins every worker;
+                # each aborts at its next backend checkpoint (same token).
                 for future in futures:
+                    check_current()
                     result, elapsed = future.result()
                     extracted.update(result)
                     step_seconds.append(elapsed)
@@ -237,7 +248,9 @@ class ParallelExecutor:
         """
         steps = plan.steps
         if self.shared_pool.warm:
-            self.pool_reuses += 1
+            with self._pool_lock:
+                self.pool_reuses += 1
+        token = current_token()
         next_index = 0
         index_lock = threading.Lock()
         results: list = [None] * len(steps)
@@ -246,13 +259,15 @@ class ParallelExecutor:
         def claim() -> None:
             nonlocal next_index
             while True:
+                if token is not None and token.should_stop():
+                    return  # cancelled run: stop claiming, keep nothing held
                 with index_lock:
                     if failures or next_index >= len(steps):
                         return
                     index = next_index
                     next_index += 1
                 try:
-                    results[index] = _timed_run(steps[index], backend)
+                    results[index] = _scoped_run(token, steps[index], backend)
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     with index_lock:
                         failures.append(exc)
@@ -262,8 +277,15 @@ class ParallelExecutor:
             self.shared_pool.submit(claim)
             for _ in range(min(self.n_workers, len(steps)))
         ]
+        # Join-before-raise: every claimer must finish before a failure (or
+        # cancellation, which claim() observes per step) propagates — so
+        # this drain stays unconditional rather than checkpointed.
+        # seedb-lint: disable=cancellation -- claim() checks the token per step; this join is bounded by it
         for future in claimers:
             future.result()
+        # A cancel observed by claim() *between* steps leaves no failure
+        # behind; re-raise it here rather than returning partial results.
+        check_current()
         if failures:
             raise failures[0]
 
@@ -305,6 +327,19 @@ def _timed_run(
     start = time.perf_counter()
     result = step.run(backend)
     return result, time.perf_counter() - start
+
+
+def _scoped_run(
+    token, step: ExecutionStep, backend: Backend
+) -> tuple[dict[ViewSpec, RawViewData], float]:
+    """Run one step on a pool thread under the submitter's cancel token.
+
+    Thread-local cancel scopes do not cross thread boundaries on their
+    own; without this re-install the backend's per-statement checkpoints
+    would never see a cancelled request from a parallel plan.
+    """
+    with cancel_scope(token):
+        return _timed_run(step, backend)
 
 
 def _drain(futures) -> None:

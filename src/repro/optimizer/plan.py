@@ -27,6 +27,7 @@ from repro.db.aggregates import Aggregate
 from repro.db.expressions import Expression, TruePredicate
 from repro.db.query import AggregateQuery, FlagColumn, GroupingSetsQuery
 from repro.optimizer.binpack import pack_dimensions
+from repro.util.deadline import check_current
 from repro.optimizer.combine import dedup_aggregates, merge_spec
 from repro.optimizer.extract import (
     FLAG_NAME,
@@ -424,6 +425,9 @@ class ExecutionPlan:
         """Execute all steps sequentially."""
         extracted: dict[ViewSpec, RawViewData] = {}
         for step in self.steps:
+            # Per-step checkpoint: abort a cancelled multi-step plan at a
+            # step boundary even when the backend has no finer-grained one.
+            check_current()
             extracted.update(step.run(backend))
         return extracted
 

@@ -106,6 +106,9 @@ class ClusterTimeouts:
     #: Base delay before re-dispatching an orphaned request to the next
     #: ring node (jittered; bounds the retry stampede after a crash).
     retry_backoff_s: float = 0.05
+    #: Worker inbox poll: how often an idle worker wakes to check whether
+    #: it has been reparented (parent died without draining it).
+    worker_idle_poll_s: float = 5.0
 
     @classmethod
     def from_env(cls, env=None) -> "ClusterTimeouts":
@@ -231,23 +234,23 @@ class ClusterService(SeeDBService):
         self._shm = SharedResultCache(prefix)
         #: LRU index of cache segments this router published/read, so the
         #: result-cache bound and close() can unlink deterministically.
-        self._segments: "OrderedDict[str, str]" = OrderedDict()
+        self._segments: "OrderedDict[str, str]" = OrderedDict()  # guarded-by: _lock
         self._ring = HashRing(replicas=ring_replicas)
         # Guards everything below; ordered *inside* the service lock
         # (never acquire the service lock while holding this one).
         self._cluster_lock = threading.RLock()
-        self._handles: "dict[str, _WorkerHandle]" = {}
-        self._pending: "dict[int, _Dispatch]" = {}
+        self._handles: "dict[str, _WorkerHandle]" = {}  # guarded-by: _cluster_lock
+        self._pending: "dict[int, _Dispatch]" = {}  # guarded-by: _cluster_lock
         self._ids = itertools.count(1)
-        self._bootstraps: "dict[str, BackendBootstrap]" = {}
-        self._started = False
-        self._cluster_closed = False
+        self._bootstraps: "dict[str, BackendBootstrap]" = {}  # guarded-by: _cluster_lock
+        self._started = False  # guarded-by: _cluster_lock
+        self._cluster_closed = False  # guarded-by: _cluster_lock
         self._closing = threading.Event()
         self._router_thread: "threading.Thread | None" = None
         self._monitor_thread: "threading.Thread | None" = None
-        self.respawns = 0
-        self.retries = 0
-        self.ejections = 0
+        self.respawns = 0  # guarded-by: _cluster_lock
+        self.retries = 0  # guarded-by: _cluster_lock
+        self.ejections = 0  # guarded-by: _cluster_lock
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -309,6 +312,7 @@ class ClusterService(SeeDBService):
         )
 
     def _spawn(self, worker_id: str, generation: int) -> _WorkerHandle:
+        """Fork one worker process. Caller holds the cluster lock."""
         inbox = self._ctx.Queue()
         reader, writer = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
@@ -341,11 +345,15 @@ class ClusterService(SeeDBService):
     def close(self) -> None:
         """Drain in-flight requests, stop workers, release all segments."""
         with self._cluster_lock:
-            if self._cluster_closed:
-                super().close()
-                return
+            already_closed = self._cluster_closed
             self._cluster_closed = True
             started = self._started
+        if already_closed:
+            # Idempotent re-close. The base close() acquires the service
+            # lock, which orders *outside* the cluster lock (see start),
+            # so it must never run under it.
+            super().close()
+            return
         # Drain first (the monitor still covers crashes mid-drain), then
         # stop respawns and take the pool down.
         super().close()
@@ -360,8 +368,10 @@ class ClusterService(SeeDBService):
         # Final sweep: the LRU already unlinked indexed segments via
         # _cache_clear; this catches anything workers published that the
         # router never read.
-        self._shm.unlink_all(list(self._segments.values()))
-        self._segments.clear()
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        self._shm.unlink_all(segments)
 
     def _shutdown_workers(self) -> None:
         with self._cluster_lock:
@@ -757,6 +767,7 @@ class ClusterService(SeeDBService):
     # -- cross-process result cache ----------------------------------------
 
     def _cache_get(self, key: tuple) -> "RecommendationResult | None":
+        """Shared-memory cache probe. Caller holds the service lock."""
         if not self.result_cache_size:
             return None
         digest = key_digest(key)
@@ -768,6 +779,7 @@ class ClusterService(SeeDBService):
         return result
 
     def _cache_put(self, key: tuple, result: RecommendationResult) -> None:
+        """Index a published segment. Caller holds the service lock."""
         # The worker already published the segment (or _run_execution
         # republished the in-band fallback); only the LRU index lives here.
         if not self.result_cache_size:
@@ -775,6 +787,10 @@ class ClusterService(SeeDBService):
         self._index_segment(key_digest(key))
 
     def _index_segment(self, digest: str) -> None:
+        """LRU-touch a segment, evicting over budget.
+
+        Caller holds the service lock.
+        """
         self._segments[digest] = self._shm.segment_name(digest)
         self._segments.move_to_end(digest)
         while len(self._segments) > self.result_cache_size:
@@ -782,6 +798,7 @@ class ClusterService(SeeDBService):
             unlink_segment(name)
 
     def _cache_clear(self) -> None:
+        """Unlink every indexed segment. Caller holds the service lock."""
         for name in self._segments.values():
             unlink_segment(name)
         self._segments.clear()
@@ -875,6 +892,9 @@ class ClusterService(SeeDBService):
             n_live = sum(
                 1 for handle in self._handles.values() if handle.process.is_alive()
             )
+            respawns = self.respawns
+            retries = self.retries
+            ejections = self.ejections
         worker_stats = (
             {
                 worker_id: (reply or {}).get("stats")
@@ -892,9 +912,9 @@ class ClusterService(SeeDBService):
             "workers": self.n_workers,
             "live_workers": n_live,
             "started": started,
-            "respawns": self.respawns,
-            "retries": self.retries,
-            "ejections": self.ejections,
+            "respawns": respawns,
+            "retries": retries,
+            "ejections": ejections,
             "executed_total": executed_total,
             "worker_stats": worker_stats,
             "shm_prefix": self._shm.prefix,

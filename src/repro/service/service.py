@@ -215,17 +215,17 @@ class SeeDBService:
         self.backend_inflight_limit = backend_inflight_limit
         self.stats = ServiceStats()
         self._lock = threading.RLock()
-        self._slots: dict[str, _BackendSlot] = {}
-        self._in_flight: dict[tuple, Future] = {}
-        self._in_flight_streams: "dict[tuple, _StreamBroadcast]" = {}
-        self._results: "OrderedDict[tuple, RecommendationResult]" = OrderedDict()
+        self._slots: dict[str, _BackendSlot] = {}  # guarded-by: _lock
+        self._in_flight: dict[tuple, Future] = {}  # guarded-by: _lock
+        self._in_flight_streams: "dict[tuple, _StreamBroadcast]" = {}  # guarded-by: _lock
+        self._results: "OrderedDict[tuple, RecommendationResult]" = OrderedDict()  # guarded-by: _lock
         #: Executions admitted and not yet finished (queued + running).
-        self._executing = 0
-        self._backend_executing: dict[str, int] = {}
+        self._executing = 0  # guarded-by: _lock
+        self._backend_executing: dict[str, int] = {}  # guarded-by: _lock
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="seedb-service"
         )
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
 
     # -- backend registry -------------------------------------------------
 
@@ -335,7 +335,10 @@ class SeeDBService:
 
     def _retry_after(self) -> float:
         """Crude drain estimate: half a second per queued execution per
-        worker, floored at 100 ms — a hint, not a promise."""
+        worker, floored at 100 ms — a hint, not a promise.
+
+        Caller holds the lock.
+        """
         queued = max(0, self._executing - self.max_workers)
         return max(0.1, round(0.5 * (queued + 1) / self.max_workers, 2))
 
@@ -637,6 +640,7 @@ class SeeDBService:
         return backend, slot, request.resolve(base), base
 
     def _require_slot(self, backend: str) -> _BackendSlot:
+        """Look up a registered backend slot. Caller holds the lock."""
         slot = self._slots.get(backend)
         if slot is None:
             raise ApiError(
@@ -839,6 +843,7 @@ class SeeDBService:
             self._cache_clear()
 
     def _require_open(self) -> None:
+        """Reject calls on a closed service. Caller holds the lock."""
         if self._closed:
             raise QueryError("service is closed")
 

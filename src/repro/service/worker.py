@@ -195,6 +195,11 @@ def worker_main(
     # requests before the parent has drained them.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    # Imported here, not at module top: cluster.py imports worker_main, and
+    # the worker only needs the timeout table once it is already running.
+    from repro.service.cluster import ClusterTimeouts
+
+    idle_poll_s = ClusterTimeouts.from_env().worker_idle_poll_s
     cache = SharedResultCache(shm_prefix)
     counters = {"executed": 0, "errors": 0, "tables_registered": 0}
     try:
@@ -205,9 +210,10 @@ def worker_main(
     _send(outbox, {"op": "up", "worker": worker_id})
     parent = os.getppid()
     try:
+        # seedb-lint: disable=cancellation -- exits via the shutdown op and the reparent heartbeat below; requests carry their own deadlines
         while True:
             try:
-                message = inbox.get(timeout=5.0)
+                message = inbox.get(timeout=idle_poll_s)
             except queue.Empty:
                 # Idle heartbeat: if the parent died without draining us
                 # (SIGKILL, crash before _shutdown_workers) we have been

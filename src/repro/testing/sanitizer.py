@@ -1,0 +1,287 @@
+"""tsan-lite lock-order sanitizer: catch inversions the static pass can't.
+
+The static ``lock-order`` checker proves properties about lock *names* it
+can resolve; dynamic acquisition through callbacks, dependency injection,
+or data-driven dispatch is invisible to it. This module closes that gap
+at test time: with ``SEEDB_SANITIZE=1`` in the environment the test
+suite's conftest calls :func:`install`, which monkeypatches
+``threading.Lock`` / ``threading.RLock`` with thin proxies that
+
+* identify each lock by its **creation site** (the first stack frame
+  outside ``threading.py`` and this module when the lock was made), so
+  every ``SessionCache._lock`` across all instances is one node;
+* keep a per-thread stack of currently-held locks;
+* record every *site A held while acquiring site B* edge in a global
+  order graph, and **raise** :class:`LockOrderViolation` the moment an
+  acquisition would close a cycle — i.e. the suite has now observed both
+  ``A → B`` and ``B → A``, a latent deadlock, even though this particular
+  interleaving did not hang.
+
+Same-site edges (two instances created on one line, e.g. per-session
+locks in a registry loop) are ignored — ordering within a site class is
+instance-dependent and the repo orders those by construction. Locks
+created inside the stdlib or site-packages are not tracked at all; the
+sanitizer watches repo code only.
+
+Tests can use :func:`tracked_lock` / :func:`tracked_rlock` to build
+scenario fixtures without installing the global patch, and
+:func:`fresh_state` to isolate one scenario's order graph from another's.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import threading
+import traceback
+
+_THIS_FILE = os.path.normcase(os.path.abspath(__file__))
+
+__all__ = [
+    "LockOrderViolation",
+    "LockOrderSanitizer",
+    "install",
+    "uninstall",
+    "enabled_by_env",
+    "tracked_lock",
+    "tracked_rlock",
+    "fresh_state",
+    "current_state",
+]
+
+ENV_FLAG = "SEEDB_SANITIZE"
+
+class LockOrderViolation(RuntimeError):
+    """Two lock sites were observed acquiring in both orders."""
+
+
+def _opaque(filename: str) -> bool:
+    """Frames that never identify a lock's creation site: this module,
+    the stdlib, and third-party packages."""
+    norm = os.path.normcase(os.path.abspath(filename))
+    if norm == _THIS_FILE or norm.endswith(os.sep + "threading.py"):
+        return True
+    if "site-packages" in norm or "dist-packages" in norm:
+        return True
+    return (os.sep + "lib" + os.sep + "python") in norm
+
+
+def _creation_site() -> str:
+    """``file:line`` of the first caller frame in repo code."""
+    for frame in reversed(traceback.extract_stack()):
+        if _opaque(frame.filename):
+            continue
+        return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+class LockOrderSanitizer:
+    """The global order graph plus per-thread held-lock stacks."""
+
+    def __init__(self) -> None:
+        # A raw, untracked lock: the sanitizer must never feed edges into
+        # the graph it is checking (or recurse through its own proxies).
+        self._graph_lock = _thread.allocate_lock()
+        #: site -> set of sites observed acquired *after* it (edges).
+        self._after: "dict[str, set]" = {}
+        #: (held, acquired) -> example stacks, for the error message.
+        self._evidence: "dict[tuple, str]" = {}
+        self._local = threading.local()
+        #: Inversions detected (monotonic; survives the raise for tests).
+        self.violations = 0
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _held(self) -> list:
+        stack = getattr(self._local, "held", None)
+        if stack is None:
+            stack = []
+            self._local.held = stack
+        return stack
+
+    # -- event hooks (called by the proxies) ------------------------------
+
+    def note_acquired(self, site: str) -> None:
+        held = self._held()
+        for previous in held:
+            if previous != site:
+                self._record_edge(previous, site)
+        held.append(site)
+
+    def note_released(self, site: str) -> None:
+        held = self._held()
+        # Release order need not be LIFO (lock A, lock B, release A):
+        # drop the innermost matching entry.
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == site:
+                del held[index]
+                return
+
+    def _record_edge(self, held_site: str, acquired_site: str) -> None:
+        where = "".join(traceback.format_stack(limit=12)[:-3])
+        with self._graph_lock:
+            edges = self._after.setdefault(held_site, set())
+            new_edge = acquired_site not in edges
+            edges.add(acquired_site)
+            if new_edge:
+                self._evidence[(held_site, acquired_site)] = where
+            cycle = self._find_cycle(acquired_site, held_site)
+            if cycle is None:
+                return
+            self.violations += 1
+            forward = self._evidence.get((held_site, acquired_site), "")
+            back = self._evidence.get((cycle[0], cycle[1]), "")
+        chain = " -> ".join([held_site, acquired_site, *cycle[1:]])
+        raise LockOrderViolation(
+            f"lock-order inversion: acquiring {acquired_site} while "
+            f"holding {held_site} closes the cycle {chain}\n"
+            f"--- this acquisition ---\n{forward}"
+            f"--- prior opposite-order acquisition ---\n{back}"
+        )
+
+    def _find_cycle(self, start: str, goal: str) -> "list | None":
+        """DFS ``start -> ... -> goal`` through recorded edges.
+
+        Caller holds the graph lock.
+        """
+        stack = [(start, [start])]
+        seen = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._after.get(node, ()):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+
+_state = LockOrderSanitizer()
+_real_lock = threading.Lock
+_real_rlock = threading.RLock
+_installed = False
+
+
+def fresh_state() -> LockOrderSanitizer:
+    """Swap in an empty order graph (test isolation); returns the new one."""
+    global _state
+    _state = LockOrderSanitizer()
+    return _state
+
+
+def current_state() -> LockOrderSanitizer:
+    return _state
+
+
+class _TrackedLockBase:
+    """Shared proxy behavior over a real lock primitive.
+
+    Tracking is decided at creation time: locks born in stdlib or
+    third-party code pass straight through (``_site`` is None).
+    """
+
+    _factory = staticmethod(_real_lock)
+
+    def __init__(self) -> None:
+        self._inner = self._factory()
+        site = _creation_site()
+        self._site = None if site == "<unknown>" else site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and self._site is not None:
+            _state.note_acquired(self._site)
+        return acquired
+
+    def release(self) -> None:
+        if self._site is not None:
+            _state.note_released(self._site)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<tracked {self._inner!r} from {self._site}>"
+
+
+class _TrackedLock(_TrackedLockBase):
+    _factory = staticmethod(_real_lock)
+
+
+class _TrackedRLock(_TrackedLockBase):
+    _factory = staticmethod(_real_rlock)
+
+    # Reentrant acquisitions still push/pop the held stack symmetrically,
+    # so nested with-blocks on one RLock stay balanced and produce no
+    # self-edges (note_acquired skips previous == site).
+
+    # Condition-variable integration: threading.Condition calls these on
+    # the lock it wraps. Delegate to the inner primitive, keeping the
+    # held-stack consistent across a wait()'s release/reacquire.
+    def _release_save(self):
+        if self._site is not None:
+            # wait() releases *all* recursion levels; drop every entry
+            # for this site so the held stack mirrors reality.
+            held = _state._held()
+            self._pending = sum(1 for entry in held if entry == self._site)
+            for _ in range(self._pending):
+                _state.note_released(self._site)
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        if self._site is not None:
+            for _ in range(getattr(self, "_pending", 1)):
+                _state.note_acquired(self._site)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+def tracked_lock() -> _TrackedLock:
+    """A tracked non-reentrant lock (for scenario tests)."""
+    return _TrackedLock()
+
+
+def tracked_rlock() -> _TrackedRLock:
+    """A tracked reentrant lock (for scenario tests)."""
+    return _TrackedRLock()
+
+
+def enabled_by_env(env=None) -> bool:
+    value = (os.environ if env is None else env).get(ENV_FLAG, "")
+    return value.strip().lower() in {"1", "true", "yes", "on"}
+
+
+def install() -> None:
+    """Monkeypatch ``threading.Lock``/``RLock`` with tracked proxies.
+
+    Locks created *before* install (stdlib singletons, import-time
+    registries) keep their real type and stay invisible — which is the
+    point: the sanitizer watches locks the code under test creates.
+    """
+    global _installed
+    if _installed:
+        return
+    threading.Lock = _TrackedLock  # type: ignore[misc, assignment]
+    threading.RLock = _TrackedRLock  # type: ignore[misc, assignment]
+    _installed = True
+
+
+def uninstall() -> None:
+    global _installed
+    if not _installed:
+        return
+    threading.Lock = _real_lock  # type: ignore[misc]
+    threading.RLock = _real_rlock  # type: ignore[misc]
+    _installed = False

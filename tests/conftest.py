@@ -10,6 +10,15 @@ from repro.backends.sqlite import SqliteBackend
 from repro.db.expressions import col
 from repro.db.table import Table
 from repro.db.types import AttributeRole
+from repro.testing import sanitizer
+
+# SEEDB_SANITIZE=1 turns on the tsan-lite lock-order sanitizer for the
+# whole run: every lock the code under test creates from here on is
+# tracked, and an observed acquisition-order inversion raises instead of
+# maybe deadlocking some other day. Installed at import time so locks
+# born in module/fixture setup are covered too.
+if sanitizer.enabled_by_env():
+    sanitizer.install()
 
 
 @pytest.fixture

@@ -1,0 +1,227 @@
+"""Framework plumbing: suppressions, baseline waivers, report contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    Waiver,
+    load_baseline,
+)
+from repro.analysis.baseline import _parse_minimal
+from repro.analysis.core import (
+    CHECKERS,
+    ProgramFacts,
+    Violation,
+    analyze_paths,
+)
+from repro.analysis.facts import extract_module
+
+
+def module_from(source: str, path: str = "src/repro/pkg/mod.py"):
+    return extract_module(path, source=source)
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        module = module_from(
+            "x = 1  # seedb-lint: disable=lock-order -- known benign\n"
+        )
+        assert module.suppressed("lock-order", 1)
+        assert not module.suppressed("cancellation", 1)
+
+    def test_standalone_comment_covers_next_line(self):
+        module = module_from(
+            "# seedb-lint: disable=lock-order -- reason here\n"
+            "x = 1\n"
+        )
+        assert module.suppressed("lock-order", 2)
+
+    def test_trailing_comment_does_not_leak_to_next_line(self):
+        # A suppression attached to line 1's statement must not silence a
+        # finding on line 2.
+        module = module_from(
+            "x = 1  # seedb-lint: disable=lock-order -- for line 1 only\n"
+            "y = 2\n"
+        )
+        assert module.suppressed("lock-order", 1)
+        assert not module.suppressed("lock-order", 2)
+
+    def test_file_disable(self):
+        module = module_from(
+            "# seedb-lint: file-disable=counter-accounting\n"
+            "x = 1\n"
+            "y = 2\n"
+        )
+        assert module.suppressed("counter-accounting", 3)
+        assert not module.suppressed("lock-order", 3)
+
+    def test_multiple_rules_one_comment(self):
+        module = module_from(
+            "x = 1  # seedb-lint: disable=lock-order,cancellation -- both\n"
+        )
+        assert module.suppressed("lock-order", 1)
+        assert module.suppressed("cancellation", 1)
+
+
+class TestGuardComments:
+    def test_trailing_guard_does_not_leak_downward(self):
+        module = module_from(
+            "import threading\n"
+            "\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._a = {}  # guarded-by: _lock\n"
+            "        self._b = {}\n"
+        )
+        guarded = module.classes["C"].guarded
+        assert "_a" in guarded
+        assert guarded["_a"][0] == "_lock"
+        assert "_b" not in guarded
+
+    def test_standalone_guard_comment_annotates_next_line(self):
+        module = module_from(
+            "import threading\n"
+            "\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        # guarded-by: _lock\n"
+            "        self._a = {}\n"
+        )
+        assert "_a" in module.classes["C"].guarded
+
+
+class TestBaseline:
+    def test_waive_matches_rule_path_and_contains(self):
+        baseline = Baseline(
+            [
+                Waiver(
+                    rule="lock-order",
+                    path="engine/cache.py",
+                    contains="fetch_table",
+                    reason="deliberate coalescing",
+                )
+            ]
+        )
+        hit = Violation(
+            rule="lock-order",
+            path="src/repro/engine/cache.py",
+            line=10,
+            message="backend round trip 'self.backend.fetch_table' ...",
+        )
+        assert baseline.waive(hit) == "deliberate coalescing"
+        miss_rule = Violation(
+            rule="cancellation", path="src/repro/engine/cache.py",
+            line=10, message="fetch_table",
+        )
+        assert baseline.waive(miss_rule) is None
+        miss_contains = Violation(
+            rule="lock-order", path="src/repro/engine/cache.py",
+            line=10, message="something else entirely",
+        )
+        assert baseline.waive(miss_contains) is None
+
+    def test_unused_waivers_reported(self):
+        baseline = Baseline(
+            [Waiver(rule="lock-order", path="nowhere.py", reason="stale")]
+        )
+        assert baseline.unused()
+        hit = Violation("lock-order", "a/nowhere.py", 1, "x")
+        baseline.waive(hit)
+        assert not baseline.unused()
+
+    def test_load_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            "[[waiver]]\n"
+            'rule = "lock-order"\n'
+            'path = "engine/cache.py"\n'
+            'contains = "fetch_table"\n'
+            'reason = "deliberate"\n'
+        )
+        baseline = load_baseline(str(path))
+        assert len(baseline.waivers) == 1
+        assert baseline.waivers[0].reason == "deliberate"
+
+    def test_missing_reason_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            "[[waiver]]\n"
+            'rule = "lock-order"\n'
+            'path = "engine/cache.py"\n'
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+
+    def test_minimal_parser_matches_expectations(self):
+        # The fallback parser (Python < 3.11, no tomllib) must read the
+        # subset of TOML the baseline file uses.
+        doc = _parse_minimal(
+            "# comment\n"
+            "[[waiver]]\n"
+            'rule = "a"\n'
+            'path = "b.py"\n'
+            'reason = "why"\n'
+            "[[waiver]]\n"
+            'rule = "c"\n'
+            'path = "d.py"\n'
+            'reason = "also why"\n'
+        )
+        assert len(doc["waiver"]) == 2
+        assert doc["waiver"][1]["rule"] == "c"
+
+
+class TestDriver:
+    def test_all_five_rules_registered(self):
+        import repro.analysis.checkers  # noqa: F401 - registration
+
+        assert set(CHECKERS) == {
+            "lock-order",
+            "guarded-field",
+            "counter-accounting",
+            "cancellation",
+            "wire-schema",
+        }
+
+    def test_unknown_rule_raises(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule"):
+            analyze_paths([str(tmp_path)], rules=["no-such-rule"])
+
+    def test_report_shape_on_clean_tree(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        report = analyze_paths([str(tmp_path)])
+        assert report.clean
+        assert report.files == 1
+        payload = report.to_dict()
+        assert payload["clean"] is True
+        assert payload["violations"] == []
+
+    def test_violation_format_is_clickable(self):
+        v = Violation("lock-order", "src/a.py", 12, "boom")
+        assert v.format() == "src/a.py:12: [lock-order] boom"
+
+
+class TestProgramFacts:
+    def test_mro_and_lock_resolution(self):
+        base = module_from(
+            "import threading\n"
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n",
+            path="src/repro/pkg/base.py",
+        )
+        child = module_from(
+            "from repro.pkg.base import Base\n"
+            "class Child(Base):\n"
+            "    pass\n",
+            path="src/repro/pkg/child.py",
+        )
+        program = ProgramFacts([base, child])
+        assert program.mro("Child") == ["Child", "Base"]
+        assert program.resolve_lock("Child", "_lock") == "Base._lock"
+        assert program.resolve_lock("Child", "_other") is None

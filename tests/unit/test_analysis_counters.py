@@ -1,0 +1,80 @@
+"""counter-accounting checker: backend execution seams must be counted."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.counters import CounterAccountingChecker
+from repro.analysis.core import ProgramFacts
+from repro.analysis.facts import extract_module
+
+
+def run(source: str, path: str = "src/repro/backends/fixture.py"):
+    program = ProgramFacts([extract_module(path, source=source)])
+    return CounterAccountingChecker().check(program)
+
+
+UNCOUNTED = """
+class FixtureBackend(Backend):
+    def execute(self, query):
+        return self._connection.execute(query)
+"""
+
+COUNTED_DIRECT = """
+class FixtureBackend(Backend):
+    def execute(self, query):
+        self._record_queries(1)
+        return self._connection.execute(query)
+"""
+
+COUNTED_VIA_HELPER = """
+class FixtureBackend(Backend):
+    def execute(self, query):
+        return self._run(query)
+
+    def _run(self, query):
+        self._record_queries(1)
+        return self._connection.execute(query)
+"""
+
+METADATA_COUNTED = """
+class FixtureBackend(Backend):
+    def row_count(self, name):
+        self._record_metadata_queries(1)
+        return self._connection.execute(name)
+"""
+
+
+def test_uncounted_raw_execute_flagged():
+    violations = run(UNCOUNTED)
+    assert len(violations) == 1
+    assert violations[0].rule == "counter-accounting"
+    assert "FixtureBackend.execute" in violations[0].message
+
+
+def test_direct_recording_is_clean():
+    assert run(COUNTED_DIRECT) == []
+
+
+def test_recording_through_helper_is_clean():
+    assert run(COUNTED_VIA_HELPER) == []
+
+
+def test_metadata_recorder_also_counts():
+    assert run(METADATA_COUNTED) == []
+
+
+def test_exempt_lifecycle_methods_not_flagged():
+    source = """
+class FixtureBackend(Backend):
+    def close(self):
+        self._connection.execute("ROLLBACK")
+
+    def register_table(self, table):
+        self._connection.execute("CREATE TABLE t (x)")
+"""
+    assert run(source) == []
+
+
+def test_outside_backends_tree_not_in_scope():
+    # The rule is about backend seams; the same shape elsewhere is the
+    # lock-order/cancellation checkers' business, not this one's.
+    assert run(UNCOUNTED, path="src/repro/engine/fixture.py") == []

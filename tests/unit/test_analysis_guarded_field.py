@@ -1,0 +1,110 @@
+"""guarded-field checker: ``# guarded-by:`` annotations are enforced."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.guarded_field import GuardedFieldChecker
+from repro.analysis.core import ProgramFacts
+from repro.analysis.facts import extract_module
+
+
+def run(*sources_and_paths):
+    modules = [
+        extract_module(path, source=source) for source, path in sources_and_paths
+    ]
+    return GuardedFieldChecker().check(ProgramFacts(modules))
+
+
+UNGUARDED_ACCESS = """
+import threading
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def size(self):
+        return len(self._items)
+"""
+
+
+def test_access_outside_guard_flagged():
+    violations = run((UNGUARDED_ACCESS, "src/repro/engine/fixture.py"))
+    assert len(violations) == 1
+    assert violations[0].rule == "guarded-field"
+    assert "Registry._items" in violations[0].message
+    assert "Registry.size" in violations[0].message
+
+
+GUARDED_ACCESS = UNGUARDED_ACCESS.replace(
+    "    def size(self):\n        return len(self._items)",
+    "    def size(self):\n        with self._lock:\n"
+    "            return len(self._items)",
+)
+
+
+def test_access_under_guard_is_clean():
+    assert run((GUARDED_ACCESS, "src/repro/engine/fixture.py")) == []
+
+
+CALLER_HOLDS = """
+import threading
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key, value):
+        \"\"\"Insert one entry. Caller holds the lock.\"\"\"
+        self._items[key] = value
+"""
+
+
+def test_caller_holds_docstring_exempts_helper():
+    assert run((CALLER_HOLDS, "src/repro/engine/fixture.py")) == []
+
+
+def test_init_writes_are_exempt():
+    # __init__ populates guarded fields before the object is shared; the
+    # UNGUARDED fixture's __init__ assignment itself must not be flagged.
+    violations = run((UNGUARDED_ACCESS, "src/repro/engine/fixture.py"))
+    assert all("__init__" not in v.message for v in violations)
+
+
+INHERITED_GUARD_BASE = """
+import threading
+
+class Base:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._shared = {}  # guarded-by: _lock
+"""
+
+INHERITED_GUARD_CHILD = """
+from repro.pkg.base import Base
+
+class Child(Base):
+    def bad(self):
+        return len(self._shared)
+
+    def good(self):
+        with self._lock:
+            return len(self._shared)
+"""
+
+
+def test_guard_annotation_is_inherited_through_mro():
+    violations = run(
+        (INHERITED_GUARD_BASE, "src/repro/pkg/base.py"),
+        (INHERITED_GUARD_CHILD, "src/repro/pkg/child.py"),
+    )
+    assert len(violations) == 1
+    assert "Child.bad" in violations[0].message

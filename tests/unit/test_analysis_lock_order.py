@@ -1,0 +1,165 @@
+"""lock-order checker: cycles and blocking calls under a held lock.
+
+Each fixture is a source string analyzed as if it lived in the engine
+tree; the positive case must produce the violation and the corrected
+twin must not — that pairing is what proves the checker (not the code
+under test) is doing the work.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.lock_order import LockOrderChecker
+from repro.analysis.core import ProgramFacts
+from repro.analysis.facts import extract_module
+
+
+def run(source: str, path: str = "src/repro/engine/fixture.py"):
+    program = ProgramFacts([extract_module(path, source=source)])
+    return LockOrderChecker().check(program)
+
+
+CYCLE = """
+import threading
+
+class Pair:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._other_lock = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            with self._other_lock:
+                pass
+
+    def backward(self):
+        with self._other_lock:
+            with self._lock:
+                pass
+"""
+
+CONSISTENT = """
+import threading
+
+class Pair:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._other_lock = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            with self._other_lock:
+                pass
+
+    def also_forward(self):
+        with self._lock:
+            with self._other_lock:
+                pass
+"""
+
+
+def test_nested_with_cycle_detected():
+    violations = run(CYCLE)
+    assert len(violations) == 1
+    assert violations[0].rule == "lock-order"
+    assert "cycle" in violations[0].message
+    assert "Pair._lock" in violations[0].message
+    assert "Pair._other_lock" in violations[0].message
+
+
+def test_consistent_order_is_clean():
+    assert run(CONSISTENT) == []
+
+
+INTERPROCEDURAL_CYCLE = """
+import threading
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cluster_lock = threading.Lock()
+
+    def start(self):
+        with self._lock:
+            with self._cluster_lock:
+                pass
+
+    def close(self):
+        with self._cluster_lock:
+            self._teardown()
+
+    def _teardown(self):
+        with self._lock:
+            pass
+"""
+
+
+def test_one_hop_interprocedural_cycle_detected():
+    # close() holds _cluster_lock and calls _teardown(), which takes
+    # _lock — the reverse of start()'s order. This is the shape of the
+    # real ClusterService.close() inversion this suite exists to prevent.
+    violations = run(INTERPROCEDURAL_CYCLE)
+    assert len(violations) == 1
+    assert "cycle" in violations[0].message
+
+
+BLOCKING_UNDER_LOCK = """
+import threading
+
+class Cache:
+    def __init__(self, backend):
+        self._lock = threading.Lock()
+        self.backend = backend
+
+    def load(self, name):
+        with self._lock:
+            return self.backend.execute(name)
+"""
+
+BLOCKING_OUTSIDE_LOCK = """
+import threading
+
+class Cache:
+    def __init__(self, backend):
+        self._lock = threading.Lock()
+        self.backend = backend
+
+    def load(self, name):
+        with self._lock:
+            cached = name
+        return self.backend.execute(cached)
+"""
+
+
+def test_backend_call_while_holding_lock_flagged():
+    violations = run(BLOCKING_UNDER_LOCK)
+    assert len(violations) == 1
+    assert "backend" in violations[0].message.lower()
+    assert "Cache._lock" in violations[0].message
+
+
+def test_backend_call_after_release_is_clean():
+    assert run(BLOCKING_OUTSIDE_LOCK) == []
+
+
+QUEUE_GET_UNDER_LOCK = """
+import threading
+
+class Router:
+    def __init__(self, inbox):
+        self._lock = threading.Lock()
+        self.inbox = inbox
+
+    def pump(self):
+        with self._lock:
+            return self.inbox.get()
+
+    def pump_bounded(self):
+        with self._lock:
+            return self.inbox.get(timeout=1.0)
+"""
+
+
+def test_unbounded_queue_get_under_lock_flagged_bounded_is_not():
+    violations = run(QUEUE_GET_UNDER_LOCK)
+    assert len(violations) == 1
+    assert violations[0].line < 12  # the unbounded get, not the bounded one

@@ -1,0 +1,72 @@
+"""wire-schema checker: only versioned additions may change the contract."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.checkers.wire_schema import diff_schemas, flatten
+
+
+BASE = {
+    "schema_version": 3,
+    "fields": {
+        "query": {"type": "object", "required": True},
+        "k": {"type": "integer", "required": False},
+    },
+}
+
+
+def test_identical_schema_is_clean():
+    assert diff_schemas(BASE, copy.deepcopy(BASE)) == []
+
+
+def test_removed_path_flagged():
+    current = copy.deepcopy(BASE)
+    del current["fields"]["k"]
+    findings = diff_schemas(BASE, current)
+    assert any(kind == "removed" and "fields.k" in path for kind, path, _ in findings)
+
+
+def test_changed_value_flagged():
+    current = copy.deepcopy(BASE)
+    current["fields"]["k"]["required"] = True
+    findings = diff_schemas(BASE, current)
+    assert [kind for kind, _, _ in findings] == ["changed"]
+
+
+def test_unversioned_addition_flagged():
+    current = copy.deepcopy(BASE)
+    current["fields"]["timeout_ms"] = {"type": "integer", "required": False}
+    findings = diff_schemas(BASE, current)
+    assert findings
+    assert all(kind == "unversioned-add" for kind, _, _ in findings)
+
+
+def test_versioned_addition_allowed():
+    current = copy.deepcopy(BASE)
+    current["schema_version"] = 4
+    current["fields"]["timeout_ms"] = {"type": "integer", "required": False}
+    assert diff_schemas(BASE, current) == []
+
+
+def test_version_bump_does_not_excuse_removal():
+    current = copy.deepcopy(BASE)
+    current["schema_version"] = 4
+    del current["fields"]["k"]
+    findings = diff_schemas(BASE, current)
+    assert any(kind == "removed" for kind, _, _ in findings)
+
+
+def test_version_going_backwards_flagged():
+    current = copy.deepcopy(BASE)
+    current["schema_version"] = 2
+    findings = diff_schemas(BASE, current)
+    assert any(path == "schema_version" for _, path, _ in findings)
+
+
+def test_flatten_distinguishes_empty_containers():
+    flat = flatten({"a": {}, "b": [], "c": [1, 2]})
+    assert flat["a"] == "{}"
+    assert flat["b"] == "[]"
+    assert flat["c[0]"] == 1
+    assert flat["c[1]"] == 2

@@ -1,0 +1,57 @@
+"""Self-hosting: the shipped tree passes its own invariant lint.
+
+This is the merge gate the CI static-analysis job enforces; keeping it in
+the unit suite means a violation shows up locally before CI, with the
+full finding text.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.baseline import load_baseline
+from repro.analysis.core import analyze_paths
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def test_src_tree_is_clean_modulo_committed_baseline():
+    baseline_path = os.path.join(REPO_ROOT, "analysis-baseline.toml")
+    baseline = load_baseline(baseline_path)
+    report = analyze_paths([os.path.join(REPO_ROOT, "src")], baseline=baseline)
+    assert report.clean, "invariant lint failures:\n" + "\n".join(
+        violation.format() for violation in report.violations
+    )
+    # All five rule families ran over the real tree.
+    assert set(report.rules) == {
+        "lock-order",
+        "guarded-field",
+        "counter-accounting",
+        "cancellation",
+        "wire-schema",
+    }
+    assert report.files > 100
+    # The baseline holds no dead waivers.
+    assert report.unused_waivers == []
+
+
+def test_every_inline_suppression_carries_a_reason():
+    # Hygiene CI greps for this too; assert it here so the failure comes
+    # with context instead of a bare grep hit.
+    offenders = []
+    for tree in ("src", "tests"):
+        for root, dirs, names in os.walk(os.path.join(REPO_ROOT, tree)):
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            for name in names:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                with open(path, "r", encoding="utf-8") as handle:
+                    for lineno, line in enumerate(handle, start=1):
+                        if "seedb-lint: disable" in line and " -- " not in line:
+                            offenders.append(f"{path}:{lineno}: {line.strip()}")
+    assert offenders == [], "suppressions without a reason:\n" + "\n".join(
+        offenders
+    )

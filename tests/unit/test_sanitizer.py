@@ -1,0 +1,170 @@
+"""Lock-order sanitizer: the runtime half of the invariant suite.
+
+The seeded-inversion test is the acceptance proof that SEEDB_SANITIZE=1
+would have caught a real deadlock-shaped bug: two locks taken in both
+orders raise the moment the second order is observed, even though this
+particular interleaving did not hang.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.testing import sanitizer
+
+
+@pytest.fixture(autouse=True)
+def isolated_graph():
+    # Each scenario gets its own order graph so edges recorded by one
+    # test (or by production locks elsewhere in the suite) cannot leak.
+    state = sanitizer.fresh_state()
+    yield state
+    sanitizer.fresh_state()
+
+
+def test_seeded_inversion_raises(isolated_graph):
+    lock_a = sanitizer.tracked_lock()
+    lock_b = sanitizer.tracked_lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with pytest.raises(sanitizer.LockOrderViolation) as excinfo:
+        with lock_b:
+            with lock_a:
+                pass
+    assert "inversion" in str(excinfo.value)
+    assert isolated_graph.violations == 1
+
+
+def test_consistent_order_never_fires(isolated_graph):
+    lock_a = sanitizer.tracked_lock()
+    lock_b = sanitizer.tracked_lock()
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert isolated_graph.violations == 0
+
+
+def test_three_lock_cycle_detected(isolated_graph):
+    lock_a = sanitizer.tracked_lock()
+    lock_b = sanitizer.tracked_lock()
+    lock_c = sanitizer.tracked_lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_c:
+            pass
+    with pytest.raises(sanitizer.LockOrderViolation):
+        with lock_c:
+            with lock_a:
+                pass
+
+
+def test_same_creation_site_pairs_ignored(isolated_graph):
+    # Instances born on one line (per-session locks made in a loop) have
+    # no defined order among themselves; both orders must be silent.
+    locks = [sanitizer.tracked_lock() for _ in range(2)]
+    with locks[0]:
+        with locks[1]:
+            pass
+    with locks[1]:
+        with locks[0]:
+            pass
+    assert isolated_graph.violations == 0
+
+
+def test_rlock_reentrancy_is_not_an_inversion(isolated_graph):
+    rlock = sanitizer.tracked_rlock()
+    with rlock:
+        with rlock:
+            pass
+    assert isolated_graph.violations == 0
+
+
+def test_condition_variable_protocol(isolated_graph):
+    # threading.Condition drives the wrapped lock through _release_save /
+    # _acquire_restore / _is_owned during wait(); the proxy must forward
+    # all three and keep the held stack balanced across the release.
+    cond = threading.Condition(sanitizer.tracked_rlock())
+    with cond:
+        cond.notify_all()
+        assert cond.wait(timeout=0.01) is False
+    other = sanitizer.tracked_lock()
+    # The held stack is empty again: taking another lock records no edge
+    # from the condition's lock.
+    with other:
+        pass
+    assert isolated_graph.violations == 0
+
+
+def test_nonblocking_acquire_failure_not_recorded(isolated_graph):
+    # A failed try-acquire holds nothing and must record no edge, even
+    # when succeeding *would* have been an inversion.
+    lock_a = sanitizer.tracked_lock()
+    lock_b = sanitizer.tracked_lock()
+    with lock_a:
+        with lock_b:
+            pass
+    held = threading.Event()
+    release = threading.Event()
+
+    def hold() -> None:
+        with lock_a:
+            held.set()
+            release.wait(timeout=5.0)
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert held.wait(timeout=5.0)
+    try:
+        with lock_b:
+            assert lock_a.acquire(blocking=False) is False
+    finally:
+        release.set()
+        holder.join()
+    assert isolated_graph.violations == 0
+
+
+def test_install_patches_threading_and_uninstall_restores():
+    # threading.Lock may already be patched (suite running under
+    # SEEDB_SANITIZE=1), so compare against the sanitizer's saved
+    # original rather than whatever threading currently exposes.
+    real_lock_type = type(sanitizer._real_lock())
+    try:
+        sanitizer.install()
+        patched = threading.Lock()
+        assert hasattr(patched, "_site")
+        sanitizer.uninstall()
+        restored = threading.Lock()
+        assert type(restored) is real_lock_type
+    finally:
+        # Re-install if the surrounding suite runs sanitized, restore if
+        # not — matching whatever state conftest set up.
+        if sanitizer.enabled_by_env():
+            sanitizer.install()
+        else:
+            sanitizer.uninstall()
+
+
+def test_cross_thread_opposite_orders_detected(isolated_graph):
+    # The inversion is global, not per-thread: thread 1 records A→B, the
+    # main thread then closes the cycle with B→A.
+    lock_a = sanitizer.tracked_lock()
+    lock_b = sanitizer.tracked_lock()
+
+    def forward():
+        with lock_a:
+            with lock_b:
+                pass
+
+    worker = threading.Thread(target=forward)
+    worker.start()
+    worker.join()
+    with pytest.raises(sanitizer.LockOrderViolation):
+        with lock_b:
+            with lock_a:
+                pass

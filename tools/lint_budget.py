@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Enforce the pinned ruff/mypy finding budgets from pyproject.toml.
+
+Hygiene CI runs this after installing .github/requirements-lint.txt. It
+executes both tools over src/ and tests/, counts findings, and fails
+when a count exceeds its budget under [tool.seedb.lint-budget]. Counts
+below budget print a reminder to ratchet the budget down but still pass,
+so fixes land without a same-commit budget edit being mandatory.
+
+Run locally with ``python tools/lint_budget.py``; a tool that is not
+installed is reported and skipped so the script stays usable in
+environments without the lint toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RUFF_TARGETS = ["src", "tests", "tools"]
+# mypy only walks src: the test tree has multiple same-named modules
+# (conftest.py per package) that mypy rejects as duplicates, and every
+# module outside repro.analysis is ignore_errors=true anyway.
+MYPY_TARGETS = ["src"]
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10
+    tomllib = None
+
+
+def load_budgets() -> dict[str, int]:
+    pyproject = REPO_ROOT / "pyproject.toml"
+    if tomllib is not None:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        section = data.get("tool", {}).get("seedb", {}).get("lint-budget", {})
+        return {name: int(value) for name, value in section.items()}
+    # 3.10 fallback: the section is two flat ``name = int`` lines.
+    budgets: dict[str, int] = {}
+    in_section = False
+    for line in pyproject.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped.startswith("["):
+            in_section = stripped == "[tool.seedb.lint-budget]"
+            continue
+        if in_section:
+            match = re.match(r"^(\w+)\s*=\s*(\d+)\s*(?:#.*)?$", stripped)
+            if match:
+                budgets[match.group(1)] = int(match.group(2))
+    return budgets
+
+
+def count_ruff() -> int | None:
+    if shutil.which("ruff") is None:
+        return None
+    result = subprocess.run(
+        ["ruff", "check", "--output-format", "json", *RUFF_TARGETS],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    try:
+        findings = json.loads(result.stdout or "[]")
+    except json.JSONDecodeError:
+        print("ruff produced unparseable output:", file=sys.stderr)
+        sys.stderr.write(result.stdout + result.stderr)
+        return -1
+    for finding in findings:
+        location = finding.get("location") or {}
+        print(
+            f"ruff: {finding.get('filename')}:{location.get('row')}: "
+            f"{finding.get('code')} {finding.get('message')}"
+        )
+    return len(findings)
+
+
+def count_mypy() -> int | None:
+    if shutil.which("mypy") is None:
+        return None
+    result = subprocess.run(
+        ["mypy", "--no-error-summary", *MYPY_TARGETS],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    errors = [
+        line
+        for line in result.stdout.splitlines()
+        if re.search(r":\d+:(\d+:)? error:", line)
+    ]
+    for line in errors:
+        print(f"mypy: {line}")
+    if result.returncode not in (0, 1):
+        # Crash / config error, not findings: surface and fail hard.
+        print("mypy failed to run:", file=sys.stderr)
+        sys.stderr.write(result.stdout + result.stderr)
+        return -1
+    return len(errors)
+
+
+def main() -> int:
+    budgets = load_budgets()
+    if not budgets:
+        print("no [tool.seedb.lint-budget] section found", file=sys.stderr)
+        return 2
+    counters = {"ruff": count_ruff, "mypy": count_mypy}
+    status = 0
+    for tool, budget in sorted(budgets.items()):
+        counter = counters.get(tool)
+        if counter is None:
+            print(f"{tool}: no counter implemented", file=sys.stderr)
+            status = 2
+            continue
+        count = counter()
+        if count is None:
+            print(f"{tool}: not installed, skipped (budget {budget})")
+            continue
+        if count < 0:
+            status = 2
+            continue
+        if count > budget:
+            print(f"{tool}: {count} finding(s) exceeds budget {budget}")
+            status = 1
+        elif count < budget:
+            print(
+                f"{tool}: {count} finding(s), under budget {budget} — "
+                "ratchet the budget down in pyproject.toml"
+            )
+        else:
+            print(f"{tool}: {count} finding(s), within budget {budget}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
