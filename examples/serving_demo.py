@@ -5,8 +5,10 @@ frontend on a free port, then drives it from both transports at once —
 eight threaded analyst sessions issuing overlapping declarative
 :class:`~repro.api.RecommendationRequest` objects through the service
 while HTTP clients hit ``/recommend`` and stream ``/recommend/stream`` —
-and prints the service stats showing request coalescing and shared-result
-reuse at work.
+then exercises visualization serving (``options.render`` → Vega-Lite
+specs, ``GET /dashboard`` → a self-contained live-dashboard HTML artifact
+written next to this script) and prints the service stats showing request
+coalescing and shared-result reuse at work.
 
 Run:  python examples/serving_demo.py
 
@@ -15,6 +17,8 @@ Run:  python examples/serving_demo.py
 """
 
 import json
+import pathlib
+import urllib.parse
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
@@ -99,7 +103,39 @@ def main() -> None:
     )
     assert final["is_final"]
 
-    # 6. The stats surface (also at GET /stats): far fewer executions than
+    # 6. Visualization serving (wire schema_version 3): the same request
+    #    with an options.render block comes back with a Vega-Lite spec and
+    #    a chart-choice rationale paired to every top-k view.
+    render_wire = REQUESTS[0].to_dict()
+    render_wire.setdefault("options", {})["render"] = {"format": "vega-lite"}
+    render_request = urllib.request.Request(
+        base + "/recommend",
+        data=json.dumps(render_wire).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(render_request, timeout=30) as response:
+        body = json.loads(response.read())
+    frame = body["visualizations"][0]
+    print(
+        f"render: {len(body['visualizations'])} specs; #1 is a "
+        f"{frame['chart_type']} ({frame['rationale']})"
+    )
+
+    # 7. The live dashboard page — self-contained HTML (no CDN) that
+    #    consumes /recommend/stream and animates the top-k converging.
+    #    Saved as an artifact you can open in any browser while a server
+    #    is running.
+    with urllib.request.urlopen(
+        base + "/dashboard?table=store_orders&where="
+        + urllib.parse.quote("category = 'Technology'"),
+        timeout=30,
+    ) as response:
+        html = response.read().decode("utf-8")
+    artifact = pathlib.Path("serving_demo_dashboard.html")
+    artifact.write_text(html)
+    print(f"dashboard: wrote {artifact} ({len(html)} bytes, self-contained)")
+
+    # 8. The stats surface (also at GET /stats): far fewer executions than
     #    requests is the whole point of serving from one warm stack.
     stats = service.snapshot()
     print(

@@ -1,9 +1,9 @@
-"""wire-schema: the request schema may only grow, and only versioned.
+"""wire-schema: the wire schemas may only grow, and only versioned.
 
-**Rule.** ``repro.api.schema.request_json_schema()`` is the service's
-wire contract; ``tests/data/api_contract_v1.json`` is its committed
-snapshot. This checker flattens both documents to ``path = value`` pairs
-and diffs them:
+**Rule.** ``repro.api.schema.request_json_schema()`` — and, since wire
+version 3, ``response_json_schema()`` — is the service's wire contract;
+``tests/data/api_contract.json`` is its committed snapshot. This checker
+flattens both documents to ``path = value`` pairs and diffs them:
 
 * a **removal** or **change** of any committed path fails — clients
   depend on it;
@@ -32,7 +32,7 @@ import os
 
 from repro.analysis.core import Checker, ProgramFacts, Violation, register
 
-CONTRACT_RELPATH = os.path.join("tests", "data", "api_contract_v1.json")
+CONTRACT_RELPATH = os.path.join("tests", "data", "api_contract.json")
 
 
 def flatten(doc, prefix: str = "") -> "dict[str, object]":
@@ -130,18 +130,34 @@ class WireSchemaChecker(Checker):
             ]
         with open(contract_path, "r", encoding="utf-8") as handle:
             contract = json.load(handle)
-        committed = contract.get("request_schema", contract)
-        from repro.api.schema import request_json_schema
+        from repro.api.schema import request_json_schema, response_json_schema
 
-        current = request_json_schema()
         anchor = self._anchor_line(schema_module)
+        # (label, committed, live) per schema under contract. Response
+        # coverage is .get-guarded so the checker still runs against
+        # request-only snapshots from before wire version 3.
+        pairs = [
+            (
+                "request",
+                contract.get("request_schema", contract),
+                request_json_schema(),
+            )
+        ]
+        if contract.get("response_schema") is not None:
+            pairs.append(
+                ("response", contract["response_schema"], response_json_schema())
+            )
         return [
             Violation(
                 rule=self.rule,
                 path=schema_module.path,
                 line=anchor,
-                message=f"wire-schema drift [{kind}] at {path}: {detail}",
+                message=(
+                    f"wire-schema drift in {label} schema [{kind}] "
+                    f"at {path}: {detail}"
+                ),
             )
+            for label, committed, current in pairs
             for kind, path, detail in diff_schemas(committed, current)
         ]
 

@@ -5,9 +5,10 @@ deviates most from a reference" — as a first-class, serializable object:
 
 * :class:`RecommendationRequest` — target spec + reference spec + metric /
   k / view-space filters + execution options (including the
-  ``deadline_ms`` latency budget), with a versioned JSON codec
-  (``schema_version`` 2, version 1 accepted) and
-  :meth:`~RecommendationRequest.from_sql` ingestion of raw SQL.
+  ``deadline_ms`` latency budget and the ``render`` visualization block),
+  with a versioned JSON codec (``schema_version`` 3, versions 1-2
+  accepted) and :meth:`~RecommendationRequest.from_sql` ingestion of raw
+  SQL.
 * :class:`Reference` — pluggable comparison side: the whole table (§2
   default), the target's complement (Q vs D ∖ Q), or an arbitrary second
   query (query-vs-query, temporal slices).
@@ -34,12 +35,15 @@ from repro.api.request import (
     ACCEPTED_SCHEMA_VERSIONS,
     INCREMENTAL_OPTION_DEFAULTS,
     LIFECYCLE_OPTION_DEFAULTS,
+    RENDER_FORMATS,
+    RENDER_OPTION_DEFAULTS,
+    RENDER_THEMES,
     SCHEMA_VERSION,
     STRATEGIES,
     RecommendationRequest,
     ResolvedRequest,
 )
-from repro.api.schema import request_json_schema
+from repro.api.schema import request_json_schema, response_json_schema
 from repro.api.wire import result_to_json, view_to_json
 
 __all__ = [
@@ -54,7 +58,11 @@ __all__ = [
     "STRATEGIES",
     "INCREMENTAL_OPTION_DEFAULTS",
     "LIFECYCLE_OPTION_DEFAULTS",
+    "RENDER_OPTION_DEFAULTS",
+    "RENDER_FORMATS",
+    "RENDER_THEMES",
     "request_json_schema",
+    "response_json_schema",
     "expression_to_wire",
     "expression_from_wire",
     "query_to_wire",

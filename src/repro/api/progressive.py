@@ -40,6 +40,11 @@ class PartialResult:
     epsilon: "float | None" = None
     is_final: bool = False
     result: "RecommendationResult | None" = None
+    #: Rendered chart frames for the *current* top-k estimate, when the
+    #: request's ``options.render`` asked for them — each round's specs
+    #: refine the previous round's, and the final round's are bit-identical
+    #: to the blocking result's.
+    visualizations: "list[dict] | None" = None
 
     def to_dict(self) -> dict:
         """The NDJSON wire form of this round (schema version 1)."""
@@ -54,6 +59,8 @@ class PartialResult:
                 view_to_json(view) for view in self.recommendations
             ],
         }
+        if self.visualizations is not None:
+            payload["visualizations"] = self.visualizations
         if self.result is not None:
             from repro.api.wire import result_to_json
 

@@ -7,7 +7,8 @@ the metric and k, optional dimension/measure filters on the view space,
 the execution strategy, and validated execution options. It is plain data:
 construct it from code, from SQL (:meth:`RecommendationRequest.from_sql`),
 or from the versioned wire form (:meth:`RecommendationRequest.from_dict`,
-``schema_version`` 1), and hand it to :meth:`repro.SeeDB.recommend`,
+``schema_version`` 3; versions 1 and 2 remain accepted), and hand it to
+:meth:`repro.SeeDB.recommend`,
 :meth:`repro.SeeDB.recommend_iter`, :class:`repro.service.SeeDBService`,
 :class:`repro.AnalystSession`, the CLI, or ``POST /recommend`` — they all
 speak this type.
@@ -35,12 +36,13 @@ from repro.optimizer.plan import GroupByCombining
 from repro.util.errors import ConfigError, MetricError
 
 #: Wire schema version emitted by ``to_dict``. Version 2 added the
-#: ``deadline_ms`` lifecycle option; version-1 payloads (which never carry
-#: it) are still accepted, so the bump is backward-compatible.
-SCHEMA_VERSION = 2
+#: ``deadline_ms`` lifecycle option; version 3 added the ``render`` block
+#: (response visualizations). Version-1/2 payloads (which never carry
+#: either) are still accepted, so each bump is backward-compatible.
+SCHEMA_VERSION = 3
 
 #: Wire schema versions ``from_dict`` accepts.
-ACCEPTED_SCHEMA_VERSIONS = (1, 2)
+ACCEPTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Execution strategies a request may name.
 STRATEGIES = ("batch", "incremental")
@@ -62,6 +64,24 @@ INCREMENTAL_OPTION_DEFAULTS: dict[str, Any] = {
 LIFECYCLE_OPTION_DEFAULTS: dict[str, Any] = {
     "deadline_ms": None,
 }
+
+#: The ``options.render`` block (wire schema version 3): whether — and
+#: how — the response carries rendered visualizations alongside the raw
+#: view data. ``format`` picks the artifact ("none" keeps pre-v3 behavior
+#: exactly), ``theme`` the color scheme of Vega-Lite output, and
+#: ``max_charts`` caps how many of the top-k views get charts (None =
+#: all of them).
+RENDER_OPTION_DEFAULTS: dict[str, Any] = {
+    "format": "none",
+    "theme": "light",
+    "max_charts": None,
+}
+
+#: Visualization formats ``options.render.format`` may name.
+RENDER_FORMATS = ("none", "vega-lite", "svg")
+
+#: Color themes ``options.render.theme`` may name.
+RENDER_THEMES = ("light", "dark")
 
 #: SeeDBConfig fields a request's ``options`` may override.
 CONFIG_OPTION_FIELDS = frozenset(
@@ -135,6 +155,59 @@ def _validate_lifecycle_option(key: str, value: Any) -> None:
                 code="invalid_value",
                 field="options.deadline_ms",
             )
+
+
+def _validate_render_block(value: Any) -> dict[str, Any]:
+    """Validate ``options.render`` and normalize it (defaults applied).
+
+    Returning the fully-defaulted block makes downstream identity cheap:
+    ``{"format": "none"}`` and ``{}`` and an absent block all resolve to
+    the same dict, so coalescing keys and cache entries never split on
+    spelling differences of "no rendering".
+    """
+    if not isinstance(value, Mapping):
+        raise ApiError(
+            f"render must be an object, got {type(value).__name__}",
+            code="invalid_value",
+            field="options.render",
+        )
+    unknown = sorted(set(value) - set(RENDER_OPTION_DEFAULTS))
+    if unknown:
+        raise ApiError(
+            f"unknown render option(s) {unknown}; expected one of "
+            f"{sorted(RENDER_OPTION_DEFAULTS)}",
+            code="unknown_field",
+            field=f"options.render.{unknown[0]}",
+        )
+    block = dict(RENDER_OPTION_DEFAULTS)
+    block.update(value)
+    if block["format"] not in RENDER_FORMATS:
+        raise ApiError(
+            f"render format must be one of {list(RENDER_FORMATS)}, got "
+            f"{block['format']!r}",
+            code="invalid_value",
+            field="options.render.format",
+        )
+    if block["theme"] not in RENDER_THEMES:
+        raise ApiError(
+            f"render theme must be one of {list(RENDER_THEMES)}, got "
+            f"{block['theme']!r}",
+            code="invalid_value",
+            field="options.render.theme",
+        )
+    max_charts = block["max_charts"]
+    if max_charts is not None and (
+        isinstance(max_charts, bool)
+        or not isinstance(max_charts, int)
+        or max_charts < 1
+    ):
+        raise ApiError(
+            f"max_charts must be a positive integer or null, got "
+            f"{max_charts!r}",
+            code="invalid_value",
+            field="options.render.max_charts",
+        )
+    return block
 
 
 def _coerce_option(key: str, value: Any) -> Any:
@@ -255,6 +328,9 @@ class RecommendationRequest:
             )
         coerced = {}
         for key, value in self.options.items():
+            if key == "render":
+                coerced[key] = _validate_render_block(value)
+                continue
             if key in INCREMENTAL_OPTION_DEFAULTS:
                 _validate_incremental_option(key, value)
             elif key in LIFECYCLE_OPTION_DEFAULTS:
@@ -374,9 +450,12 @@ class RecommendationRequest:
         config = base_config if base_config is not None else SeeDBConfig()
         incremental = dict(INCREMENTAL_OPTION_DEFAULTS)
         lifecycle = dict(LIFECYCLE_OPTION_DEFAULTS)
+        render = dict(RENDER_OPTION_DEFAULTS)
         config_overrides: dict[str, Any] = {}
         for key, value in self.options.items():
-            if key in INCREMENTAL_OPTION_DEFAULTS:
+            if key == "render":
+                render = dict(value)  # normalized by __post_init__
+            elif key in INCREMENTAL_OPTION_DEFAULTS:
                 incremental[key] = value
             elif key in LIFECYCLE_OPTION_DEFAULTS:
                 lifecycle[key] = value
@@ -413,6 +492,7 @@ class RecommendationRequest:
             strategy=self.strategy,
             incremental=incremental,
             deadline_ms=lifecycle["deadline_ms"],
+            render=render,
         )
 
     def with_k(self, k: "int | None") -> "RecommendationRequest":
@@ -440,6 +520,11 @@ class ResolvedRequest:
     incremental: dict[str, Any]
     #: End-to-end latency budget in milliseconds (None = unbounded).
     deadline_ms: "float | None" = None
+    #: Normalized ``options.render`` block (defaults applied). The engine
+    #: appends a RenderPhase when ``format`` is not "none".
+    render: dict[str, Any] = field(
+        default_factory=lambda: dict(RENDER_OPTION_DEFAULTS)
+    )
 
     def key_parts(self) -> tuple:
         """Deterministic identity for coalescing / result caching (the
@@ -461,4 +546,8 @@ class ResolvedRequest:
             # a short-deadline execution's partial answer is not an honest
             # result for a joiner that asked for more time.
             self.deadline_ms,
+            # Different render blocks must not coalesce either: the
+            # visualizations travel inside the cached result, so a joiner
+            # asking for SVG must not receive a Vega-Lite-bearing entry.
+            tuple(sorted(self.render.items())),
         )

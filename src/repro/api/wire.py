@@ -45,7 +45,7 @@ def view_to_json(view: ScoredView) -> dict:
 
 def result_to_json(result: RecommendationResult) -> dict:
     """A full recommendation result as the ``/recommend`` response body."""
-    return {
+    payload: dict = {
         "table": result.table,
         "predicate": result.predicate_description,
         "k": result.k,
@@ -66,3 +66,8 @@ def result_to_json(result: RecommendationResult) -> dict:
         "partial": result.partial,
         "partial_epsilon": result.partial_epsilon,
     }
+    # Absent — not null — without a render request: v1/v2 clients see a
+    # byte-identical body shape to the pre-v3 server.
+    if result.visualizations is not None:
+        payload["visualizations"] = result.visualizations
+    return payload

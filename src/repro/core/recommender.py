@@ -132,17 +132,32 @@ class SeeDB:
         self,
         query: "RecommendationRequest | RowSelectQuery | str",
         k: "int | None" = None,
+        warn: bool = True,
     ) -> "RecommendationRequest":
         """Normalize any accepted input into a :class:`RecommendationRequest`.
 
         The deprecation adapter behind every legacy signature: strings are
         parsed as SQL, :class:`RowSelectQuery` objects wrapped verbatim,
-        and an explicit ``k`` overrides the request's own.
+        and an explicit ``k`` overrides the request's own. Legacy inputs
+        draw a :class:`DeprecationWarning` unless ``warn=False`` (for
+        wrappers like :class:`~repro.frontend.session.AnalystSession`
+        whose own signature is the supported surface).
         """
         from repro.api.request import RecommendationRequest
 
         if isinstance(query, RecommendationRequest):
             return query.with_k(k)
+        if warn:
+            import warnings
+
+            warnings.warn(
+                "positional SeeDB signatures (query, k, config) are "
+                "deprecated; construct a RecommendationRequest (for SQL "
+                "text: RecommendationRequest.from_sql(...)) and pass that "
+                "instead — see README 'Public API' for the migration table",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         return RecommendationRequest(target=self.resolve_query(query), k=k)
 
     # -- execution ----------------------------------------------------------
@@ -161,6 +176,10 @@ class SeeDB:
         phases = None
         if resolved.strategy == "incremental":
             phases = self._incremental_phases(resolved)
+        elif resolved.render.get("format", "none") != "none":
+            from repro.engine.phases import RenderPhase, default_phases
+
+            phases = [*default_phases(), RenderPhase(resolved.render)]
         return self.engine.recommend(
             resolved.query,
             resolved.config,
@@ -225,6 +244,7 @@ class SeeDB:
                 with ctx.stopwatch.time(phase.name):
                     phase.run(ctx)
 
+        rendering = resolved.render.get("format", "none") != "none"
         rounds = execute.rounds(ctx)
         while True:
             with ctx.stopwatch.time(execute.name):
@@ -232,15 +252,27 @@ class SeeDB:
                     round_state = next(rounds, None)
             if round_state is None:
                 break
+            round_top_k = top_k_views(round_state.scored.values(), resolved.k)
+            visualizations = None
+            if rendering:
+                # Per-round specs for the *current* estimate: the same
+                # builder the RenderPhase runs at the end, so each round's
+                # charts refine the previous round's and the final round's
+                # (below, taken from the result) are bit-identical to the
+                # blocking path's.
+                from repro.viz.render import build_visualizations
+
+                visualizations = build_visualizations(
+                    round_top_k, ctx.schema, resolved.render
+                )
             yield PartialResult(
                 round=round_state.phase,
                 n_rounds=round_state.n_phases,
-                recommendations=top_k_views(
-                    round_state.scored.values(), resolved.k
-                ),
+                recommendations=round_top_k,
                 views_alive=round_state.views_alive,
                 views_pruned=round_state.views_pruned,
                 epsilon=round_state.epsilon,
+                visualizations=visualizations,
             )
 
         with cancel_scope(token):
@@ -261,6 +293,7 @@ class SeeDB:
             epsilon=result.partial_epsilon if result.partial else 0.0,
             is_final=True,
             result=result,
+            visualizations=result.visualizations,
         )
 
     @staticmethod
@@ -281,13 +314,17 @@ class SeeDB:
             EnumeratePhase,
             MetadataPhase,
             PrunePhase,
+            RenderPhase,
             SelectPhase,
         )
 
+        post_phases: list = [IncrementalScorePhase(), SelectPhase()]
+        if resolved.render.get("format", "none") != "none":
+            post_phases.append(RenderPhase(resolved.render))
         return (
             [MetadataPhase(), EnumeratePhase(), PrunePhase()],
             PhasedExecutePhase(**resolved.incremental),
-            [IncrementalScorePhase(), SelectPhase()],
+            post_phases,
         )
 
     @classmethod

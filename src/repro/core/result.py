@@ -56,6 +56,12 @@ class RecommendationResult:
     #: Hoeffding ε of the last completed incremental round when
     #: ``partial`` — the confidence half-width on every utility.
     partial_epsilon: "float | None" = None
+    #: JSON-safe visualization frames (one per recommended view, built by
+    #: the RenderPhase) when the request's ``options.render`` asked for
+    #: them; None otherwise. Carried inside the result so every transport
+    #: — in-process LRU, coalesced joiners, the shm cluster cache — ships
+    #: the charts with the data.
+    visualizations: "list[dict] | None" = None
 
     @property
     def utilities(self) -> dict[ViewSpec, float]:

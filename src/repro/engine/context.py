@@ -97,6 +97,11 @@ class ExecutionContext:
     # -- SelectPhase ------------------------------------------------------
     recommendations: "list[ScoredView]" = field(default_factory=list)
 
+    # -- RenderPhase ------------------------------------------------------
+    #: JSON-safe chart frames for the recommendations (None when the
+    #: request did not ask for rendering).
+    visualizations: "list[dict] | None" = None
+
     # -- accounting / extension point --------------------------------------
     #: Backend query counter at the start of view-query execution; metadata
     #: round trips are deliberately excluded from ``n_queries``.
@@ -174,6 +179,7 @@ class ExecutionContext:
             reference_description=self.reference.describe(),
             partial=self.partial,
             partial_epsilon=self.partial_epsilon,
+            visualizations=self.visualizations,
         )
 
 

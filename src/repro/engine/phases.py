@@ -420,6 +420,34 @@ class SelectPhase(Phase):
         ctx.recommendations = top_k_views(ctx.scored.values(), ctx.k)
 
 
+class RenderPhase(Phase):
+    """Translate the selected top-k into chart frames (§3.2 frontend).
+
+    Appended after :class:`SelectPhase` when the request's
+    ``options.render`` block asks for output. Each recommended view is
+    paired with a chart chosen by the DataVizard-style selector
+    (:func:`repro.viz.chart_select.select_chart`: dtype, cardinality,
+    semantic tag, series count) and emitted as a JSON-safe frame —
+    Vega-Lite spec or standalone SVG plus the chart-type rationale.
+    Frames live on ``ctx.visualizations`` and travel inside the result,
+    so coalesced joiners, the in-process LRU, and the shm cluster cache
+    all carry them without re-rendering.
+    """
+
+    name = "render"
+
+    def __init__(self, render: "dict | None" = None):
+        #: Normalized ``options.render`` block (format/theme/max_charts).
+        self.render = dict(render) if render else {}
+
+    def run(self, ctx: ExecutionContext) -> None:
+        from repro.viz.render import build_visualizations
+
+        ctx.visualizations = build_visualizations(
+            ctx.recommendations, ctx.schema, self.render
+        )
+
+
 def default_phases() -> list[Phase]:
     """The standard batch pipeline, in Figure-4 order."""
     return [

@@ -10,7 +10,8 @@ Examples::
 
 The ``serve`` subcommand starts the HTTP/JSON frontend: a
 :class:`~repro.service.SeeDBService` wrapping the loaded table, exposed
-via ``/recommend``, ``/views``, ``/healthz``, and ``/stats``.
+via ``/recommend``, ``/views``, ``/dashboard``, ``/healthz``, and
+``/stats``.
 """
 
 from __future__ import annotations
@@ -262,7 +263,8 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         f"on http://{host}:{port}"
     )
     print(
-        "endpoints: POST /recommend  GET /views?table=…  GET /healthz  GET /stats"
+        "endpoints: POST /recommend  GET /dashboard?table=…  "
+        "GET /views?table=…  GET /healthz  GET /stats"
     )
     try:
         server.serve_forever()

@@ -9,10 +9,13 @@ warm service — same engine caches, same coalescing, same stats.
 Request bodies are validated through the declarative request API
 (:mod:`repro.api`): ``POST /recommend`` accepts either the versioned wire
 form of a :class:`~repro.api.RecommendationRequest` (a ``target`` field,
-``schema_version`` 1) or the legacy flat form (``sql``/``table`` plus
-whitelisted config overrides), and every validation failure returns a
-structured 400 — ``{"error": {"code": ..., "message": ..., "field": ...}}``
-— instead of a free-text message.
+``schema_version`` 3; versions 1-2 still accepted) or the legacy flat
+form (``sql``/``table`` plus whitelisted config overrides — deprecated:
+responses to it carry a ``Deprecation: true`` header and a structured
+``deprecation`` object pointing at the migration table in the README),
+and every validation failure returns a structured 400 —
+``{"error": {"code": ..., "message": ..., "field": ...}}`` — instead of a
+free-text message.
 
 Endpoints
 ---------
@@ -21,11 +24,17 @@ Endpoints
 * ``GET /stats`` — the service's :meth:`SeeDBService.snapshot`.
 * ``GET /views?backend=NAME&table=TABLE`` — the enumerated candidate view
   space (dimension, measure, function triples) for one table.
+* ``GET /dashboard?backend=NAME&table=TABLE[&where=...][&k=N]`` — a
+  self-contained live-dashboard HTML page (no external assets) that
+  consumes ``POST /recommend/stream`` with ``render.format="vega-lite"``
+  and animates the top-k converging.
 * ``POST /recommend`` — a request body as above; returns serialized
-  recommendations.
+  recommendations, plus a ``visualizations`` list when the request's
+  ``options.render`` asks for charts.
 * ``POST /recommend/stream`` — same body; responds with NDJSON, one
   :class:`~repro.api.PartialResult` round per line (progressive top-k from
-  the incremental engine), the last line carrying the final result.
+  the incremental engine) — each round carrying refreshed ``visualizations``
+  frames when rendering — the last line carrying the final result.
 
 Run one with ``seedb serve --dataset store_orders`` or programmatically
 via :func:`make_server` (port 0 picks a free port — the tests do this).
@@ -82,6 +91,35 @@ _LEGACY_REQUEST_FIELDS = (
     "dimensions",
     "measures",
 )
+
+#: The structured deprecation notice attached to responses whose request
+#: arrived in the legacy flat body form. The legacy form still works —
+#: deprecation here means "announce, point at the migration path, keep
+#: serving", not "break".
+LEGACY_BODY_DEPRECATION = {
+    "code": "legacy_flat_body",
+    "message": (
+        "flat request bodies (sql/table + top-level config fields) are "
+        "deprecated; send the versioned wire form (schema_version 3, "
+        "a 'target' object, overrides under 'options')"
+    ),
+    "docs": "README.md#public-api",
+}
+
+
+def decode_request(payload) -> "tuple[RecommendationRequest, dict | None]":
+    """Decode an HTTP body; returns ``(request, deprecation-or-None)``.
+
+    The second element is :data:`LEGACY_BODY_DEPRECATION` when the body
+    used the legacy flat form, so endpoint handlers can stamp the
+    response (``Deprecation: true`` header + ``deprecation`` body field)
+    without re-detecting the body shape.
+    """
+    is_wire_form = isinstance(payload, dict) and (
+        "target" in payload or "schema_version" in payload
+    )
+    request = request_from_payload(payload)
+    return request, (None if is_wire_form else LEGACY_BODY_DEPRECATION)
 
 
 def request_from_payload(payload) -> RecommendationRequest:
@@ -176,6 +214,8 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
                 self._reply(200, self.service.snapshot())
             elif parsed.path == "/views":
                 self._reply(200, self._views(parse_qs(parsed.query)))
+            elif parsed.path == "/dashboard":
+                self._reply_html(200, self._dashboard(parse_qs(parsed.query)))
             else:
                 self._reply(
                     404,
@@ -263,10 +303,48 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
             ],
         }
 
+    def _dashboard(self, params: dict) -> str:
+        """The live-dashboard page (validated before any HTML goes out).
+
+        Bad backend/table names must fail as structured JSON 400s, not as
+        a dashboard that errors after load — so the lookups the page will
+        depend on run here first.
+        """
+        backend_name = params.get("backend", [DEFAULT_BACKEND])[0]
+        tables = params.get("table")
+        if not tables:
+            raise ApiError(
+                "/dashboard requires a table=... query parameter",
+                code="missing_field",
+                field="table",
+            )
+        table = tables[0]
+        facade = self.service.facade(backend_name)
+        self.service.engine(backend_name).cache.schema(table)
+        k = facade.config.k
+        if "k" in params:
+            try:
+                k = int(params["k"][0])
+            except ValueError:
+                raise ApiError(
+                    f"k must be an integer, got {params['k'][0]!r}",
+                    code="invalid_value",
+                    field="k",
+                ) from None
+        where = params.get("where", [None])[0]
+        from repro.viz.html_report import render_dashboard_page
+
+        return render_dashboard_page(backend_name, table, k, where=where)
+
     def _recommend(self, payload: dict) -> None:
-        request = request_from_payload(payload)
+        request, deprecation = decode_request(payload)
         result = self.service.recommend(request)
-        self._reply(200, result_to_json(result))
+        body = result_to_json(result)
+        headers = None
+        if deprecation is not None:
+            body["deprecation"] = deprecation
+            headers = {"Deprecation": "true"}
+        self._reply(200, body, headers=headers)
 
     def _recommend_stream(self, payload: dict) -> None:
         """NDJSON progressive delivery: one PartialResult per line.
@@ -278,10 +356,14 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
         final ``{"error": ...}`` line, since the 200 header is already on
         the wire.
         """
-        request = request_from_payload(payload)
+        request, deprecation = decode_request(payload)
         stream = self.service.recommend_stream(request)
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
+        if deprecation is not None:
+            # NDJSON lines are PartialResult rounds, so the notice rides
+            # the header alone here (the blocking endpoint carries both).
+            self.send_header("Deprecation", "true")
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
@@ -354,6 +436,14 @@ class SeeDBRequestHandler(BaseHTTPRequestHandler):
             status = 413
             self.close_connection = True
         self._reply(status, error_body(error), headers=headers)
+
+    def _reply_html(self, status: int, html: str) -> None:
+        body = html.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _reply(self, status: int, payload: dict, headers: "dict | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")

@@ -119,7 +119,7 @@ class AnalystSession:
         view-space filters, and execution options all honored); a
         :class:`RowSelectQuery` or SQL string is wrapped into one.
         """
-        request = self.seedb.as_request(query, k=k)
+        request = self.seedb.as_request(query, k=k, warn=False)
         result = self.service.recommend(request, backend=self.backend_name)
         self.history.append((request.target, result))
         return result
@@ -133,7 +133,7 @@ class AnalystSession:
         :class:`~repro.api.PartialResult` rounds through the service's
         coalescing-aware stream fan-out, recording the final result in the
         session history like a blocking call."""
-        request = self.seedb.as_request(query, k=k)
+        request = self.seedb.as_request(query, k=k, warn=False)
         for partial in self.service.recommend_stream(
             request, backend=self.backend_name
         ):

@@ -252,6 +252,7 @@ def encode_result(
             "reference_description": result.reference_description,
             "partial": result.partial,
             "partial_epsilon": result.partial_epsilon,
+            "visualizations": result.visualizations,
         },
         "arrays": arrays.entries,
     }
@@ -334,6 +335,7 @@ def decode_result(buf) -> tuple[str, int, RecommendationResult]:
         # .get: tolerate blobs written by a pre-lifecycle encoder.
         partial=payload.get("partial", False),
         partial_epsilon=payload.get("partial_epsilon"),
+        visualizations=payload.get("visualizations"),
     )
     return header["digest"], header["data_version"], result
 

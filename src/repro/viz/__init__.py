@@ -10,23 +10,41 @@ Vega-Lite JSON (browsers).
 """
 
 from repro.viz.spec import ChartSpec, ChartType, Series, view_to_chart_spec
-from repro.viz.chart_select import select_chart_type
+from repro.viz.chart_select import (
+    ChartChoice,
+    dimension_spec_for,
+    select_chart,
+    select_chart_type,
+)
 from repro.viz.render_text import render_ascii
 from repro.viz.svg import render_svg
 from repro.viz.vega import to_vega_lite
+from repro.viz.vega_schema import VEGA_LITE_MINI_SCHEMA, validate_vega_lite
+from repro.viz.render import build_visualizations
 from repro.viz.export import export_recommendations
-from repro.viz.html_report import render_html_report, write_html_report
+from repro.viz.html_report import (
+    render_dashboard_page,
+    render_html_report,
+    write_html_report,
+)
 
 __all__ = [
+    "ChartChoice",
     "ChartSpec",
     "ChartType",
     "Series",
     "view_to_chart_spec",
+    "dimension_spec_for",
+    "select_chart",
     "select_chart_type",
     "render_ascii",
     "render_svg",
     "to_vega_lite",
+    "VEGA_LITE_MINI_SCHEMA",
+    "validate_vega_lite",
+    "build_visualizations",
     "export_recommendations",
+    "render_dashboard_page",
     "render_html_report",
     "write_html_report",
 ]

@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro.core.result import RecommendationResult
 from repro.db.schema import Schema
+from repro.viz.chart_select import dimension_spec_for
 from repro.viz.render_text import render_ascii
 from repro.viz.spec import view_to_chart_spec
 from repro.viz.svg import render_svg
@@ -37,11 +38,10 @@ def export_recommendations(
     directory.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     for rank, view in enumerate(result.recommendations, start=1):
-        dimension_spec = (
-            schema[view.spec.dimension]
-            if schema is not None and view.spec.dimension in schema
-            else None
-        )
+        # dimension_spec_for, not a direct schema[...] lookup: multiview
+        # specs expose `dimensions` (no `.dimension` attribute) and must
+        # export with the bar fallback instead of crashing.
+        dimension_spec = dimension_spec_for(view.spec, schema)
         spec = view_to_chart_spec(view, dimension_spec)
         stem = f"{rank:02d}_{_slug(view.spec.label)}"
         if "svg" in formats:

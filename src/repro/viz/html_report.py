@@ -10,12 +10,14 @@ so the file mails/uploads as-is.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from xml.sax.saxutils import escape
 
 from repro.core.result import RecommendationResult
 from repro.db.schema import Schema
 from repro.util.timing import format_duration
+from repro.viz.chart_select import dimension_spec_for
 from repro.viz.spec import view_to_chart_spec
 from repro.viz.svg import render_svg
 
@@ -75,10 +77,7 @@ def render_html_report(
 
     # One embedded chart per recommendation.
     for rank, view in enumerate(result.recommendations, start=1):
-        dimension_spec = None
-        if schema is not None and view.spec.dimension in schema:
-            dimension_spec = schema[view.spec.dimension]
-        spec = view_to_chart_spec(view, dimension_spec)
+        spec = view_to_chart_spec(view, dimension_spec_for(view.spec, schema))
         parts.append(f"<h2>#{rank} — {escape(view.spec.label)}</h2>")
         parts.append(f'<div class="chart">{render_svg(spec)}</div>')
 
@@ -114,6 +113,229 @@ def render_html_report(
 
     parts.append("</body></html>")
     return "\n".join(parts)
+
+
+_DASHBOARD_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5rem auto;
+       max-width: 1100px; color: #1a1a2e; background: #fafbfc; }
+h1 { font-size: 1.35rem; }
+#status { color: #555; font-size: 0.9rem; margin: 0.5rem 0 1.25rem; }
+#status .err { color: #b00020; }
+#charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(480px, 1fr));
+          gap: 1rem; }
+.card { background: #fff; border: 1px solid #e2e5ec; border-radius: 6px;
+        padding: 0.6rem 0.8rem; }
+.card h3 { font-size: 0.95rem; margin: 0 0 0.2rem; }
+.card .why { color: #777; font-size: 0.78rem; margin: 0 0 0.4rem; }
+.card.pending { opacity: 0.75; }
+""".strip()
+
+# The dashboard renders SeeDB's restricted Vega-Lite subset (flat
+# {category, series, value} rows, bar/line marks — see
+# repro.viz.vega_schema) with ~100 lines of inline JS, so the page needs
+# no CDN and works offline. It is NOT a general Vega renderer.
+_DASHBOARD_JS = """
+'use strict';
+const PALETTE = ['#4c78a8', '#f58518', '#54a24b', '#e45756', '#b279a2'];
+
+function renderSpec(spec) {
+  const W = 460, H = 240, M = {top: 28, right: 12, bottom: 52, left: 48};
+  const rows = (spec.data && spec.data.values) || [];
+  const cats = [], seriesNames = [];
+  for (const r of rows) {
+    if (!cats.includes(r.category)) cats.push(r.category);
+    if (!seriesNames.includes(r.series)) seriesNames.push(r.series);
+  }
+  const val = {};
+  for (const r of rows) val[r.series + '\\u0000' + r.category] = r.value;
+  let lo = 0, hi = 0;
+  for (const r of rows) {
+    if (r.value == null) continue;
+    lo = Math.min(lo, r.value); hi = Math.max(hi, r.value);
+  }
+  if (hi === lo) hi = lo + 1;
+  const iw = W - M.left - M.right, ih = H - M.top - M.bottom;
+  const y = v => M.top + ih - ((v - lo) / (hi - lo)) * ih;
+  const xBand = iw / Math.max(cats.length, 1);
+  const xMid = i => M.left + xBand * (i + 0.5);
+  const esc = s => String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;')
+      .replace(/>/g, '&gt;').replace(/"/g, '&quot;');
+  const bg = (spec.config && spec.config.background) || '#ffffff';
+  const parts = ['<svg xmlns="http://www.w3.org/2000/svg" width="' + W +
+      '" height="' + H + '" viewBox="0 0 ' + W + ' ' + H + '">',
+      '<rect width="' + W + '" height="' + H + '" fill="' + esc(bg) + '"/>'];
+  // axes + zero line
+  parts.push('<line x1="' + M.left + '" y1="' + y(0) + '" x2="' + (W - M.right) +
+      '" y2="' + y(0) + '" stroke="#9aa0b0"/>');
+  parts.push('<line x1="' + M.left + '" y1="' + M.top + '" x2="' + M.left +
+      '" y2="' + (M.top + ih) + '" stroke="#9aa0b0"/>');
+  for (const t of [lo, (lo + hi) / 2, hi]) {
+    parts.push('<text x="' + (M.left - 4) + '" y="' + (y(t) + 3) +
+        '" font-size="9" text-anchor="end" fill="#3c3c50">' +
+        esc(t.toPrecision(3)) + '</text>');
+  }
+  const maxTicks = Math.max(1, Math.floor(cats.length / 12) + 1);
+  cats.forEach((c, i) => {
+    if (i % maxTicks) return;
+    parts.push('<text x="' + xMid(i) + '" y="' + (M.top + ih + 12) +
+        '" font-size="9" text-anchor="middle" fill="#3c3c50">' +
+        esc(String(c).slice(0, 12)) + '</text>');
+  });
+  if (spec.mark === 'line') {
+    seriesNames.forEach((name, si) => {
+      const pts = cats.map((c, i) => {
+        const v = val[name + '\\u0000' + c];
+        return v == null ? null : xMid(i) + ',' + y(v);
+      }).filter(Boolean).join(' ');
+      parts.push('<polyline fill="none" stroke="' + PALETTE[si % PALETTE.length] +
+          '" stroke-width="1.6" points="' + pts + '"/>');
+    });
+  } else {
+    const slot = xBand * 0.8 / Math.max(seriesNames.length, 1);
+    seriesNames.forEach((name, si) => {
+      cats.forEach((c, i) => {
+        const v = val[name + '\\u0000' + c];
+        if (v == null) return;
+        const x0 = M.left + xBand * i + xBand * 0.1 + slot * si;
+        const top = Math.min(y(v), y(0));
+        parts.push('<rect x="' + x0 + '" y="' + top + '" width="' +
+            Math.max(slot - 1, 1) + '" height="' + Math.abs(y(v) - y(0)) +
+            '" fill="' + PALETTE[si % PALETTE.length] + '"/>');
+      });
+    });
+  }
+  seriesNames.forEach((name, si) => {
+    const lx = M.left + 8 + si * 150;
+    parts.push('<rect x="' + lx + '" y="' + (H - 12) +
+        '" width="9" height="9" fill="' + PALETTE[si % PALETTE.length] + '"/>');
+    parts.push('<text x="' + (lx + 13) + '" y="' + (H - 4) +
+        '" font-size="9" fill="#3c3c50">' + esc(name) + '</text>');
+  });
+  parts.push('<text x="' + (W / 2) + '" y="14" font-size="11" ' +
+      'text-anchor="middle" fill="#1a1a2e">' + esc(spec.title || '') + '</text>');
+  parts.push('</svg>');
+  return parts.join('');
+}
+
+function upsertCard(frame, isFinal) {
+  const grid = document.getElementById('charts');
+  const key = 'card-' + btoa(unescape(encodeURIComponent(frame.view)));
+  let card = document.getElementById(key);
+  if (!card) {
+    card = document.createElement('div');
+    card.id = key;
+    card.className = 'card';
+    card.innerHTML = '<h3></h3><p class="why"></p><div class="plot"></div>';
+    grid.appendChild(card);
+  }
+  card.style.order = frame.rank;
+  card.className = 'card' + (isFinal ? '' : ' pending');
+  card.querySelector('h3').textContent = '#' + frame.rank + ' \\u2014 ' + frame.view;
+  card.querySelector('.why').textContent =
+      frame.chart_type + ': ' + frame.rationale;
+  card.querySelector('.plot').innerHTML = renderSpec(frame.spec);
+  return key;
+}
+
+async function run() {
+  const cfg = window.SEEDB_DASHBOARD;
+  const status = document.getElementById('status');
+  const body = {
+    schema_version: 3,
+    target: cfg.where
+        ? {sql: 'SELECT * FROM ' + cfg.table + ' WHERE ' + cfg.where}
+        : {table: cfg.table},
+    backend: cfg.backend,
+    k: cfg.k,
+    strategy: 'incremental',
+    options: {render: {format: 'vega-lite'}},
+  };
+  const resp = await fetch('/recommend/stream', {
+    method: 'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(body),
+  });
+  if (!resp.ok) {
+    status.innerHTML = '<span class="err">request failed: ' + resp.status +
+        ' ' + (await resp.text()).replace(/</g, '&lt;') + '</span>';
+    return;
+  }
+  const reader = resp.body.getReader();
+  const decoder = new TextDecoder();
+  let buf = '';
+  const handle = round => {
+    if (round.error) {
+      status.innerHTML = '<span class="err">stream error: ' +
+          String(round.error.message || round.error).replace(/</g, '&lt;') +
+          '</span>';
+      return;
+    }
+    status.textContent = 'round ' + round.round + '/' + round.n_rounds +
+        ' \\u00b7 ' + round.views_alive + ' views alive, ' +
+        round.views_pruned + ' pruned' +
+        (round.epsilon != null ? ' \\u00b7 \\u03b5=' + round.epsilon.toFixed(4) : '') +
+        (round.is_final ? ' \\u00b7 done' : ' \\u2026');
+    const live = new Set();
+    for (const frame of round.visualizations || []) {
+      live.add(upsertCard(frame, round.is_final));
+    }
+    // views that fell out of the running top-k disappear
+    for (const card of Array.from(document.querySelectorAll('.card'))) {
+      if (!live.has(card.id)) card.remove();
+    }
+  };
+  for (;;) {
+    const {done, value} = await reader.read();
+    if (done) break;
+    buf += decoder.decode(value, {stream: true});
+    let idx;
+    while ((idx = buf.indexOf('\\n')) >= 0) {
+      const line = buf.slice(0, idx).trim();
+      buf = buf.slice(idx + 1);
+      if (line) handle(JSON.parse(line));
+    }
+  }
+}
+document.addEventListener('DOMContentLoaded', run);
+""".strip()
+
+
+def render_dashboard_page(
+    backend: str,
+    table: str,
+    k: int,
+    where: "str | None" = None,
+) -> str:
+    """The live-dashboard HTML page for ``GET /dashboard``.
+
+    Self-contained — inline styles, inline JS, no CDN — so it works
+    offline and behind firewalls. On load the page POSTs an incremental
+    v3 request with ``render.format="vega-lite"`` to
+    ``/recommend/stream`` on the same origin and consumes the NDJSON
+    rounds: each round's ``visualizations`` frames update the chart grid
+    in place, so the analyst watches the top-k converge live. The final
+    round's charts are exactly the blocking result's.
+    """
+    # </-escaping keeps embedded JSON from terminating the <script> block.
+    config = json.dumps(
+        {"backend": backend, "table": table, "k": k, "where": where}
+    ).replace("</", "<\\/")
+    heading = f"SeeDB live dashboard — {table} ({backend})"
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8">',
+            f"<title>{escape(heading)}</title>",
+            f"<style>{_DASHBOARD_STYLE}</style>",
+            "</head><body>",
+            f"<h1>{escape(heading)}</h1>",
+            '<p id="status">connecting…</p>',
+            '<div id="charts" style="display: grid;"></div>',
+            f"<script>window.SEEDB_DASHBOARD = {config};</script>",
+            f"<script>{_DASHBOARD_JS}</script>",
+            "</body></html>",
+        ]
+    )
 
 
 def write_html_report(

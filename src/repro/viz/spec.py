@@ -65,13 +65,17 @@ def view_to_chart_spec(
     normalized: bool = False,
     target_name: str = "query subset",
     comparison_name: str = "entire dataset",
+    chart_type: "ChartType | None" = None,
 ) -> ChartSpec:
     """Translate a scored view into a chart spec.
 
     Shows target and comparison side by side — the comparison is what makes
     a recommended view interpretable (Figure 1 vs Figures 2/3 in the
     paper). ``normalized=True`` plots the probability distributions the
-    utility was computed on instead of raw aggregate values.
+    utility was computed on instead of raw aggregate values. An explicit
+    ``chart_type`` overrides the rule-based selector (callers that already
+    ran :func:`~repro.viz.chart_select.select_chart` pass their choice so
+    the chart and its recorded rationale cannot drift apart).
     """
     from repro.viz.chart_select import select_chart_type  # avoid cycle
 
@@ -84,7 +88,13 @@ def view_to_chart_spec(
         comparison_values = view.comparison_values
         y_label = view.spec.aggregate.alias
 
-    chart_type = select_chart_type(dimension_spec, len(view.groups))
+    if chart_type is None:
+        chart_type = select_chart_type(dimension_spec, len(view.groups))
+    # Multi-attribute specs carry `dimensions`, not `dimension`; the axis
+    # label must degrade, not crash, when charts are built from them.
+    dimension = getattr(view.spec, "dimension", None)
+    if dimension is None:
+        dimension = " x ".join(getattr(view.spec, "dimensions", ())) or "group"
     notes = (
         f"utility={view.utility:.4f}",
         f"max deviation at {view.max_deviation_group!r}",
@@ -92,7 +102,7 @@ def view_to_chart_spec(
     return ChartSpec(
         chart_type=chart_type,
         title=view.spec.label,
-        x_label=view.spec.dimension,
+        x_label=dimension,
         y_label=y_label,
         categories=tuple(view.groups),
         series=(

@@ -14,8 +14,44 @@ from repro.viz.spec import ChartSpec, ChartType
 _SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
 
 
-def to_vega_lite(spec: ChartSpec) -> dict[str, Any]:
-    """A Vega-Lite v5 specification dict for ``spec``."""
+def _theme_config(theme: str) -> dict[str, Any]:
+    """The Vega-Lite ``config`` block for a named theme (fresh dict per
+    call — specs are mutated by callers and must not share state)."""
+    if theme == "dark":
+        return {
+            "background": "#16161e",
+            "title": {"color": "#e8e8f0"},
+            "axis": {
+                "labelColor": "#c6c6d4",
+                "titleColor": "#c6c6d4",
+                "gridColor": "#2e2e3c",
+                "domainColor": "#55556a",
+            },
+            "legend": {"labelColor": "#c6c6d4", "titleColor": "#c6c6d4"},
+        }
+    if theme == "light":
+        return {
+            "background": "#ffffff",
+            "title": {"color": "#1a1a2e"},
+            "axis": {
+                "labelColor": "#3c3c50",
+                "titleColor": "#3c3c50",
+                "gridColor": "#e2e5ec",
+                "domainColor": "#9aa0b0",
+            },
+            "legend": {"labelColor": "#3c3c50", "titleColor": "#3c3c50"},
+        }
+    from repro.util.errors import ReproError
+
+    raise ReproError(f"unknown vega theme {theme!r}; expected light/dark")
+
+
+def to_vega_lite(spec: ChartSpec, theme: "str | None" = None) -> dict[str, Any]:
+    """A Vega-Lite v5 specification dict for ``spec``.
+
+    ``theme`` (light/dark) adds a ``config`` color block; None keeps the
+    pre-v3 output byte-identical for existing export files.
+    """
     rows = [
         {
             "category": str(category),
@@ -34,7 +70,7 @@ def to_vega_lite(spec: ChartSpec) -> dict[str, Any]:
     }
     if mark == "bar" and len(spec.series) > 1:
         encoding["xOffset"] = {"field": "series"}
-    return {
+    doc: dict[str, Any] = {
         "$schema": _SCHEMA_URL,
         "title": spec.title,
         "description": "; ".join(spec.notes),
@@ -42,6 +78,9 @@ def to_vega_lite(spec: ChartSpec) -> dict[str, Any]:
         "mark": mark,
         "encoding": encoding,
     }
+    if theme is not None:
+        doc["config"] = _theme_config(theme)
+    return doc
 
 
 def to_vega_lite_json(spec: ChartSpec, indent: int = 2) -> str:

@@ -1,0 +1,173 @@
+"""Vendored Vega-Lite validation: a minimal JSON Schema, checked offline.
+
+SeeDB emits a deliberately restricted Vega-Lite v5 subset — flat
+``{category, series, value}`` rows, ``bar``/``line`` marks, x/y/color/
+xOffset channels, an optional theme ``config`` block. This module vendors
+a JSON Schema for exactly that subset plus a small pure-Python validator
+for the draft-07 keywords the subset needs, so CI can verify every
+emitted spec without network access to the real (multi-megabyte) upstream
+schema and without a jsonschema dependency.
+
+The point is drift detection, not Vega completeness: if a change to
+:mod:`repro.viz.vega` starts emitting frames the documented subset does
+not admit, :func:`validate_vega_lite` reports it and the hygiene job
+fails.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: The Vega-Lite v5 subset this repo emits, as a draft-07-style schema.
+#: Vendored: CI validates against this document, never the network.
+VEGA_LITE_MINI_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": "seedb-vendored-vega-lite-v5-subset",
+    "type": "object",
+    "required": ["$schema", "data", "mark", "encoding"],
+    "additionalProperties": False,
+    "properties": {
+        "$schema": {
+            "const": "https://vega.github.io/schema/vega-lite/v5.json"
+        },
+        "title": {"type": "string"},
+        "description": {"type": "string"},
+        "data": {
+            "type": "object",
+            "required": ["values"],
+            "additionalProperties": False,
+            "properties": {
+                "values": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["category", "series", "value"],
+                        "additionalProperties": False,
+                        "properties": {
+                            "category": {"type": "string"},
+                            "series": {"type": "string"},
+                            "value": {"type": ["number", "null"]},
+                        },
+                    },
+                }
+            },
+        },
+        "mark": {"enum": ["bar", "line"]},
+        "encoding": {
+            "type": "object",
+            "required": ["x", "y"],
+            "additionalProperties": False,
+            "properties": {
+                "x": {"$ref": "#/definitions/channel"},
+                "y": {"$ref": "#/definitions/channel"},
+                "color": {"$ref": "#/definitions/channel"},
+                "xOffset": {"$ref": "#/definitions/channel"},
+            },
+        },
+        "config": {"type": "object"},
+    },
+    "definitions": {
+        "channel": {
+            "type": "object",
+            "required": ["field"],
+            "additionalProperties": False,
+            "properties": {
+                "field": {"type": "string"},
+                "type": {
+                    "enum": [
+                        "nominal",
+                        "ordinal",
+                        "quantitative",
+                        "temporal",
+                    ]
+                },
+                "title": {"type": ["string", "null"]},
+                "sort": {"type": ["string", "null", "array"]},
+            },
+        }
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"only local $refs are supported, got {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(
+    instance: Any,
+    schema: dict,
+    root: "dict | None" = None,
+    path: str = "$",
+) -> list[str]:
+    """Validate ``instance`` against a draft-07 schema subset.
+
+    Returns human-readable error strings (empty = valid). Supports the
+    keywords the vendored schema uses: ``type`` (incl. union lists),
+    ``enum``, ``const``, ``required``, ``properties``,
+    ``additionalProperties`` (boolean form), ``items``, and local
+    ``$ref``. Unknown keywords are ignored, like a real draft-07
+    validator would.
+    """
+    root = root if root is not None else schema
+    if "$ref" in schema:
+        schema = _resolve_ref(schema["$ref"], root)
+    errors: list[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[name](instance) for name in allowed):
+            return [
+                f"{path}: expected type {expected!r}, got "
+                f"{type(instance).__name__}"
+            ]
+    if "const" in schema and instance != schema["const"]:
+        errors.append(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}"
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(
+            f"{path}: {instance!r} not in enum {schema['enum']!r}"
+        )
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in instance:
+                errors.extend(
+                    validate(instance[key], subschema, root, f"{path}.{key}")
+                )
+        if schema.get("additionalProperties") is False:
+            for key in sorted(set(instance) - set(properties)):
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(
+                validate(item, schema["items"], root, f"{path}[{index}]")
+            )
+    return errors
+
+
+def validate_vega_lite(spec: dict) -> list[str]:
+    """Errors for ``spec`` against the vendored subset schema (empty = ok)."""
+    return validate(spec, VEGA_LITE_MINI_SCHEMA)

@@ -1,10 +1,11 @@
 """API-stability contract: the public surface of ``repro.api`` is frozen.
 
-Snapshots the package's public symbols and the versioned request wire
-schema against ``tests/data/api_contract_v1.json``. An accidental rename,
-removal, or schema change fails here; a *deliberate* change must update
-the snapshot in the same commit (and bump ``SCHEMA_VERSION`` when the
-wire form changes incompatibly) — regenerate with::
+Snapshots the package's public symbols and the versioned wire schemas
+(request *and*, since wire version 3, response) against
+``tests/data/api_contract.json``. An accidental rename, removal, or
+schema change fails here; a *deliberate* change must update the snapshot
+in the same commit (and bump ``SCHEMA_VERSION`` when the wire form
+changes incompatibly) — regenerate with::
 
     PYTHONPATH=src python tests/unit/test_api_contract.py
 """
@@ -14,16 +15,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-SNAPSHOT_PATH = Path(__file__).parent.parent / "data" / "api_contract_v1.json"
+SNAPSHOT_PATH = Path(__file__).parent.parent / "data" / "api_contract.json"
 
 
 def current_contract() -> dict:
     import repro.api as api
-    from repro.api import request_json_schema
+    from repro.api import request_json_schema, response_json_schema
 
     return {
         "public_symbols": sorted(api.__all__),
         "request_schema": request_json_schema(),
+        "response_schema": response_json_schema(),
     }
 
 
@@ -56,6 +58,15 @@ class TestApiContract:
             "the RecommendationRequest wire schema changed — an incompatible "
             "change must bump SCHEMA_VERSION; regenerate the snapshot once "
             "the change is deliberate"
+        )
+
+    def test_response_schema_unchanged(self):
+        snapshot = json.loads(SNAPSHOT_PATH.read_text())
+        current = json.loads(json.dumps(current_contract()))  # JSON-normalize
+        assert current["response_schema"] == snapshot["response_schema"], (
+            "the response wire schema changed — an incompatible change must "
+            "bump SCHEMA_VERSION; regenerate the snapshot once the change "
+            "is deliberate"
         )
 
     def test_all_symbols_importable(self):

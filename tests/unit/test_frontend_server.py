@@ -116,6 +116,135 @@ class TestEndpoints:
         assert service.stats.result_cache_hits == 1
 
 
+def post_raw(base: str, path: str, payload: dict):
+    """POST returning ``(body-dict, response-headers)``."""
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read()), response.headers
+
+
+class TestVisualizationServing:
+    RENDER_BODY = {
+        "schema_version": 3,
+        "target": "SELECT * FROM sales WHERE product = 'Laserwave'",
+        "k": 2,
+        "options": {"render": {"format": "vega-lite"}},
+    }
+
+    def test_recommend_returns_a_spec_for_every_topk_view(self, served):
+        _, base = served
+        body = post(base, "/recommend", self.RENDER_BODY)
+        frames = body["visualizations"]
+        assert len(frames) == len(body["recommendations"]) == 2
+        for frame, view in zip(frames, body["recommendations"]):
+            assert frame["view"] == view["label"]
+            assert frame["spec"]["$schema"].endswith("v5.json")
+            assert frame["rationale"]
+
+    def test_emitted_specs_validate_against_vendored_schema(self, served):
+        from repro.viz.vega_schema import validate_vega_lite
+
+        _, base = served
+        body = post(base, "/recommend", self.RENDER_BODY)
+        for frame in body["visualizations"]:
+            assert validate_vega_lite(frame["spec"]) == []
+
+    def test_stream_rounds_carry_specs(self, served):
+        _, base = served
+        payload = dict(self.RENDER_BODY)
+        payload["strategy"] = "incremental"
+        lines = TestStreaming().post_stream(base, payload)
+        for line in lines:
+            assert line["visualizations"]
+        assert lines[-1]["result"]["visualizations"] == (
+            lines[-1]["visualizations"]
+        )
+
+    def test_dashboard_serves_self_contained_html(self, served):
+        _, base = served
+        request = urllib.request.Request(base + "/dashboard?table=sales")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["Content-Type"].startswith("text/html")
+            html = response.read().decode("utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "/recommend/stream" in html
+        assert '"table": "sales"' in html
+        # Self-contained: no external scripts, styles, or fonts.
+        for marker in ("src=\"http", "href=\"http", "@import", "cdn"):
+            assert marker not in html.lower()
+
+    def test_dashboard_requires_table(self, served):
+        _, base = served
+        error = TestErrors().expect_error(
+            lambda: get(base, "/dashboard"), 400
+        )
+        assert error["code"] == "missing_field"
+
+    def test_dashboard_unknown_table_structured_400(self, served):
+        _, base = served
+        TestErrors().expect_error(
+            lambda: get(base, "/dashboard?table=missing"), 400
+        )
+
+    def test_dashboard_unknown_backend_structured_400(self, served):
+        _, base = served
+        error = TestErrors().expect_error(
+            lambda: get(base, "/dashboard?table=sales&backend=nope"), 400
+        )
+        assert error["code"] == "unknown_backend"
+
+
+class TestDeprecationSignaling:
+    LEGACY = {"sql": "SELECT * FROM sales WHERE product = 'Laserwave'", "k": 2}
+
+    def test_legacy_flat_body_stamped(self, served):
+        _, base = served
+        body, headers = post_raw(base, "/recommend", self.LEGACY)
+        assert headers["Deprecation"] == "true"
+        assert body["deprecation"]["code"] == "legacy_flat_body"
+        assert "schema_version 3" in body["deprecation"]["message"]
+        assert body["deprecation"]["docs"]
+
+    def test_wire_form_body_not_stamped(self, served):
+        _, base = served
+        body, headers = post_raw(
+            base,
+            "/recommend",
+            {"schema_version": 3, "target": self.LEGACY["sql"], "k": 2},
+        )
+        assert headers.get("Deprecation") is None
+        assert "deprecation" not in body
+
+    def test_stream_carries_the_header_only(self, served):
+        _, base = served
+        request = urllib.request.Request(
+            base + "/recommend/stream",
+            data=json.dumps(self.LEGACY).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["Deprecation"] == "true"
+            lines = [json.loads(line) for line in response if line.strip()]
+        assert all("deprecation" not in line for line in lines)
+
+    def test_legacy_results_otherwise_unchanged(self, served):
+        """Deprecation is additive: stripping the notice leaves exactly
+        the body a wire-form request for the same work produces."""
+        _, base = served
+        legacy, _ = post_raw(base, "/recommend", self.LEGACY)
+        legacy.pop("deprecation")
+        wire, _ = post_raw(
+            base,
+            "/recommend",
+            {"schema_version": 3, "target": self.LEGACY["sql"], "k": 2},
+        )
+        assert legacy == wire
+
+
 class TestErrors:
     def expect_error(self, fn, code):
         """HTTP error bodies are structured: {"error": {code, message, field?}}."""

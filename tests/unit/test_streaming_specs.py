@@ -1,0 +1,85 @@
+"""Streaming spec deltas: per-round visualizations refine monotonically.
+
+Satellite contract for the v3 render block on the progressive path: a
+view that survives from round N to round N+1 gets a spec whose category
+set is a superset-or-refinement of the previous round's (the incremental
+engine only ever absorbs more partitions, never forgets groups), and the
+final round's frames are bit-identical to what blocking ``recommend()``
+returns for the same request — on both the memory and sqlite backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RecommendationRequest
+from repro.core.config import SeeDBConfig
+from repro.core.recommender import SeeDB
+
+SQL = "SELECT * FROM sales WHERE product = 'Laserwave'"
+
+BACKENDS = ("memory_backend", "sqlite_backend")
+
+
+def streaming_request() -> RecommendationRequest:
+    return RecommendationRequest.from_sql(
+        SQL,
+        k=2,
+        strategy="incremental",
+        options={"render": {"format": "vega-lite"}, "n_phases": 3},
+    )
+
+
+def categories(frame: dict) -> set:
+    return {row["category"] for row in frame["spec"]["data"]["values"]}
+
+
+@pytest.fixture(params=BACKENDS)
+def seedb(request):
+    backend = request.getfixturevalue(request.param)
+    return SeeDB(backend, SeeDBConfig(k=2))
+
+
+class TestStreamingSpecs:
+    def test_every_round_carries_frames_for_its_topk(self, seedb):
+        rounds = list(seedb.recommend_iter(streaming_request()))
+        assert len(rounds) >= 2
+        for partial in rounds:
+            assert partial.visualizations is not None
+            assert [f["view"] for f in partial.visualizations] == [
+                v.spec.label for v in partial.recommendations
+            ]
+
+    def test_surviving_views_refine_monotonically(self, seedb):
+        """Round N+1's spec for a surviving view covers at least the
+        categories round N had already shown — charts grow, they never
+        lose data the analyst has seen."""
+        rounds = list(seedb.recommend_iter(streaming_request()))
+        compared = 0
+        for earlier, later in zip(rounds, rounds[1:]):
+            later_frames = {f["view"]: f for f in later.visualizations}
+            for frame in earlier.visualizations:
+                successor = later_frames.get(frame["view"])
+                if successor is None:
+                    continue  # fell out of the running top-k
+                assert categories(frame) <= categories(successor), (
+                    f"round {later.round} lost categories for "
+                    f"{frame['view']!r}"
+                )
+                compared += 1
+        assert compared > 0, "no view survived two rounds — vacuous test"
+
+    def test_final_round_bit_identical_to_blocking(self, seedb):
+        rounds = list(seedb.recommend_iter(streaming_request()))
+        final = rounds[-1]
+        assert final.is_final
+        blocking = seedb.recommend(streaming_request())
+        assert final.visualizations == blocking.visualizations
+        assert final.result.visualizations == blocking.visualizations
+
+    def test_no_render_block_means_no_frames(self, seedb):
+        request = RecommendationRequest.from_sql(
+            SQL, k=2, strategy="incremental", options={"n_phases": 3}
+        )
+        for partial in seedb.recommend_iter(request):
+            assert partial.visualizations is None

@@ -13,8 +13,10 @@ from repro.viz import (
     ChartSpec,
     ChartType,
     Series,
+    dimension_spec_for,
     render_ascii,
     render_svg,
+    select_chart,
     select_chart_type,
     to_vega_lite,
     view_to_chart_spec,
@@ -98,6 +100,67 @@ class TestChartSelection:
         assert select_chart_type(None, 8) is ChartType.GROUPED_BAR
 
 
+class TestSelectChart:
+    """The rationale-carrying selector behind the v3 render block."""
+
+    def test_delegation_preserves_legacy_choices(self):
+        for spec, n_groups in (
+            (dim_spec(semantic="geography"), 4),
+            (dim_spec(DataType.DATE), 30),
+            (dim_spec(DataType.INT), 30),
+            (dim_spec(), 8),
+            (None, 8),
+        ):
+            assert (
+                select_chart(spec, n_groups, n_series=2).chart_type
+                is select_chart_type(spec, n_groups)
+            )
+
+    def test_single_low_cardinality_series_is_pie_eligible(self):
+        choice = select_chart(dim_spec(), 4, n_series=1)
+        assert choice.chart_type is ChartType.PIE
+        assert "part-to-whole" in choice.rationale
+
+    def test_rationales_name_their_rule(self):
+        assert "geography" in select_chart(
+            dim_spec(semantic="geography"), 4
+        ).rationale
+        assert "DATE" in select_chart(dim_spec(DataType.DATE), 30).rationale
+        assert "no schema context" in select_chart(None, 8).rationale
+
+    def test_none_spec_single_series_plain_bar(self):
+        assert select_chart(None, 8, n_series=1).chart_type is ChartType.BAR
+
+
+class TestDimensionSpecFor:
+    def test_resolves_from_schema(self, sales_table):
+        spec = ViewSpec("store", "amount", "sum")
+        resolved = dimension_spec_for(spec, sales_table.schema)
+        assert resolved is not None and resolved.name == "store"
+
+    def test_none_schema_degrades(self):
+        assert dimension_spec_for(ViewSpec("d", "m", "sum"), None) is None
+
+    def test_missing_column_degrades(self, sales_table):
+        assert (
+            dimension_spec_for(ViewSpec("gone", "m", "sum"), sales_table.schema)
+            is None
+        )
+
+    def test_multiview_spec_degrades(self, sales_table):
+        class MultiSpec:
+            dimensions = ("store", "month")
+
+        assert dimension_spec_for(MultiSpec(), sales_table.schema) is None
+
+    def test_single_dimension_multiview_resolves(self, sales_table):
+        class MultiSpec:
+            dimensions = ("store",)
+
+        resolved = dimension_spec_for(MultiSpec(), sales_table.schema)
+        assert resolved is not None and resolved.name == "store"
+
+
 class TestAsciiRenderer:
     def test_contains_categories_and_legend(self, scored_view):
         text = render_ascii(view_to_chart_spec(scored_view, dim_spec()))
@@ -178,3 +241,60 @@ class TestExport:
         assert suffixes == {".svg", ".json", ".txt"}
         for path in paths:
             assert path.exists() and path.stat().st_size > 0
+
+    def test_export_without_schema_falls_back_not_crashes(
+        self, memory_backend, tmp_path
+    ):
+        """Regression (chart_select/export drift): a None schema must
+        degrade every chart to the bar fallback, never raise."""
+        from repro.core.recommender import SeeDB
+        from repro.db.expressions import col
+        from repro.db.query import RowSelectQuery
+        from repro.viz.export import export_recommendations
+
+        result = SeeDB(memory_backend).recommend(
+            RowSelectQuery("sales", col("product") == "Laserwave"), k=2
+        )
+        paths = export_recommendations(
+            result, tmp_path / "bare", schema=None, formats=("vega",)
+        )
+        assert len(paths) == 2
+        for path in paths:
+            vega = json.loads(path.read_text())
+            assert vega["mark"] == "bar"
+
+    def test_export_tolerates_multiview_specs(self, scored_view, tmp_path):
+        """Multi-dimension view specs (``dimensions``, no ``dimension``)
+        export with degraded labels instead of AttributeError."""
+        import dataclasses
+
+        from repro.core.result import RecommendationResult
+        from repro.util.timing import Stopwatch
+        from repro.viz.export import export_recommendations
+
+        @dataclasses.dataclass(frozen=True)
+        class MultiSpec:
+            dimensions: tuple
+            label: str = "sum(amount) by store x month"
+            aggregate = type("Agg", (), {"alias": "sum_amount"})()
+
+        view = dataclasses.replace(
+            scored_view, spec=MultiSpec(dimensions=("store", "month"))
+        )
+        result = RecommendationResult(
+            table="sales",
+            predicate_description="product = 'Laserwave'",
+            metric="js",
+            k=1,
+            recommendations=[view],
+            all_scored={},
+            prune_reports=[],
+            stopwatch=Stopwatch(),
+            n_candidate_views=1,
+            n_executed_views=1,
+            n_queries=1,
+        )
+        paths = export_recommendations(
+            result, tmp_path / "multi", formats=("vega",)
+        )
+        assert len(paths) == 1

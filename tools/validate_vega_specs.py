@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate every Vega-Lite spec the serving stack emits, offline.
+
+Hygiene CI runs this (after installing numpy on top of the lint
+toolchain). It builds the store-orders demo dataset in memory, executes a
+render-enabled request through both delivery paths — blocking
+``recommend()`` and the per-round streaming estimates — across both
+themes, and validates every emitted spec against the vendored minimal
+Vega-Lite JSON Schema (``repro.viz.vega_schema``). No network, no
+jsonschema dependency: the vendored schema *is* the documented subset,
+so a spec it rejects is wire-contract drift.
+
+Run locally with ``PYTHONPATH=src python tools/validate_vega_specs.py``;
+exits nonzero listing every invalid spec.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.api import RecommendationRequest
+    from repro.backends.memory import MemoryBackend
+    from repro.core.recommender import SeeDB
+    from repro.datasets.registry import load_dataset
+    from repro.viz.vega_schema import validate_vega_lite
+
+    backend = MemoryBackend()
+    backend.register_table(load_dataset("store_orders"))
+    seedb = SeeDB(backend)
+    sql = "SELECT * FROM store_orders WHERE category = 'Technology'"
+
+    checked = 0
+    failures: list[str] = []
+
+    def check(frames, origin: str) -> None:
+        nonlocal checked
+        for frame in frames or []:
+            checked += 1
+            for error in validate_vega_lite(frame["spec"]):
+                failures.append(f"{origin} / {frame['view']}: {error}")
+
+    for theme in ("light", "dark"):
+        render = {"format": "vega-lite", "theme": theme}
+        blocking = seedb.recommend(
+            RecommendationRequest.from_sql(
+                sql, k=5, options={"render": dict(render)}
+            )
+        )
+        check(blocking.visualizations, f"blocking/{theme}")
+        streaming = RecommendationRequest.from_sql(
+            sql,
+            k=5,
+            strategy="incremental",
+            options={"render": dict(render), "n_phases": 4},
+        )
+        for partial in seedb.recommend_iter(streaming):
+            check(partial.visualizations, f"stream-round-{partial.round}/{theme}")
+
+    if checked == 0:
+        failures.append("no specs were emitted — the render path is broken")
+    for failure in failures:
+        print(f"INVALID: {failure}", file=sys.stderr)
+    print(f"validated {checked} Vega-Lite specs, {len(failures)} invalid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
